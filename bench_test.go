@@ -1,0 +1,276 @@
+// Repository-level benchmarks: one per reproduction experiment (E1–E9, see
+// DESIGN.md §3 and EXPERIMENTS.md) plus micro-benchmarks of the engines.
+// Experiment benches run the harness in quick mode with a fixed seed so
+// `go test -bench=.` regenerates every table's shape deterministically.
+package cst_test
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"cst"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := cst.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := cst.ExperimentConfig{Seed: 42, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := cst.RunExperiment(io.Discard, e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1Rounds regenerates E1 (Theorem 5): rounds == width.
+func BenchmarkE1Rounds(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2ConfigChanges regenerates E2 (Theorem 8): O(1) vs Θ(w) changes.
+func BenchmarkE2ConfigChanges(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3PowerUnits regenerates E3 (§2.3/§5): power units by mode.
+func BenchmarkE3PowerUnits(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Words regenerates E4 (Theorem 5): constant words/storage.
+func BenchmarkE4Words(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Verify regenerates E5 (Theorem 4): correctness mass trial.
+func BenchmarkE5Verify(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Segbus regenerates E6: segmentable-bus programs.
+func BenchmarkE6Segbus(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7SRGA regenerates E7: SRGA grid routing.
+func BenchmarkE7SRGA(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Concurrent regenerates E8: goroutine-per-node execution.
+func BenchmarkE8Concurrent(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Ablation regenerates E9: baseline round-order ablation.
+func BenchmarkE9Ablation(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Energy regenerates E10: energy-model sensitivity/crossover.
+func BenchmarkE10Energy(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11General regenerates E11: general (crossing) oriented sets.
+func BenchmarkE11General(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Selection regenerates E12: greedy vs conservative selection.
+func BenchmarkE12Selection(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Timing regenerates E13: reconfiguration latency.
+func BenchmarkE13Timing(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Adversary regenerates E14: adversarial worst-case search.
+func BenchmarkE14Adversary(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15JointOptimum regenerates E15: exact min-change @ width rounds.
+func BenchmarkE15JointOptimum(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16Online regenerates E16: online traffic sweep.
+func BenchmarkE16Online(b *testing.B) { benchExperiment(b, "E16") }
+
+// --- engine micro-benchmarks -----------------------------------------------
+
+func benchWorkload(b *testing.B, n, w int) *cst.Set {
+	b.Helper()
+	s, err := cst.NestedChain(n, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkPADRSequential measures the sequential engine end to end
+// (Phase 1 + w rounds) on a width-16 chain over 1024 PEs.
+func BenchmarkPADRSequential(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cst.Run(tree, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds != 16 {
+			b.Fatal("wrong rounds")
+		}
+	}
+}
+
+// BenchmarkPADRConcurrent measures the goroutine-per-node engine on the
+// same workload (2047 goroutines, channel waves).
+func BenchmarkPADRConcurrent(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cst.RunConcurrent(tree, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds != 16 {
+			b.Fatal("wrong rounds")
+		}
+	}
+}
+
+// BenchmarkBaselineDepthID measures the prior-work reconstruction on the
+// same workload.
+func BenchmarkBaselineDepthID(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.RunDepthID(tree, s, cst.OutermostFirst, cst.Stateful); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineGreedy measures the greedy scheduler.
+func BenchmarkBaselineGreedy(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.RunGreedy(tree, s, cst.Stateful); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelfRoute measures the historical self-routing baseline on a
+// disjoint set (one circuit per 8-PE block over 1024 PEs).
+func BenchmarkSelfRoute(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	set := cst.NewSet(1024)
+	for block := 0; block < 128; block++ {
+		set.Comms = append(set.Comms, cst.Comm{Src: block * 8, Dst: block*8 + 5})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.SelfRouteAll(tree, set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineThroughput measures the online dispatcher under steady
+// random load on a 256-PE fabric.
+func BenchmarkOnlineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := cst.NewOnline(256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := cst.NewRand(int64(i))
+		for step := 0; step < 50; step++ {
+			sim.SubmitRandom(rng, 4)
+			if sim.QueueLen() >= 8 {
+				if _, err := sim.Dispatch(); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				sim.Tick()
+			}
+		}
+		if err := sim.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactColoring measures the branch-and-bound scheduler on random
+// crossing sets.
+func BenchmarkExactColoring(b *testing.B) {
+	tree := cst.MustNewTree(64)
+	set, err := cst.RandomOriented(cst.NewRand(3), 64, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.ScheduleExact(tree, set, 500000); err != nil && err != cst.ErrBudget {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerator measures the uniform well-nested generator.
+func BenchmarkGenerator(b *testing.B) {
+	rng := cst.NewRand(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.RandomWellNested(rng, 1024, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWidth measures the link-width computation (edge congestion).
+func BenchmarkWidth(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s, err := cst.RandomWellNested(cst.NewRand(2), 1024, 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Width(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleN sweeps the PE count at fixed width, the scaling series
+// behind E4/E8.
+func BenchmarkScaleN(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		n := n
+		b.Run(benchName(n), func(b *testing.B) {
+			tree := cst.MustNewTree(n)
+			s := benchWorkload(b, n, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cst.Run(tree, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleW sweeps the width at fixed N, the series behind E2/E3.
+func BenchmarkScaleW(b *testing.B) {
+	for _, w := range []int{4, 16, 64, 256} {
+		w := w
+		b.Run(benchName(w), func(b *testing.B) {
+			tree := cst.MustNewTree(1024)
+			s := benchWorkload(b, 1024, w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cst.Run(tree, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,64 @@
+// Command cstbench regenerates the paper-reproduction experiments (DESIGN.md
+// §3, E1–E9) and prints the markdown tables recorded in EXPERIMENTS.md.
+//
+// Examples:
+//
+//	cstbench                 # run everything, full sweeps
+//	cstbench -exp E2,E9      # only the power experiments
+//	cstbench -quick          # reduced sweeps (CI-sized)
+//	cstbench -out report.md  # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cst"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E9) or \"all\"")
+		seed  = flag.Int64("seed", 42, "random seed for every experiment")
+		quick = flag.Bool("quick", false, "reduced sweep sizes")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cstbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := cst.ExperimentConfig{Seed: *seed, Quick: *quick}
+	fmt.Fprintf(w, "# CST/PADR reproduction experiments (seed=%d quick=%v)\n\n", *seed, *quick)
+
+	if *exp == "all" {
+		if err := cst.RunExperiments(w, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "cstbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := cst.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cstbench: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		if err := cst.RunExperiment(w, e, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "cstbench:", err)
+			os.Exit(1)
+		}
+	}
+}

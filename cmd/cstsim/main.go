@@ -1,0 +1,207 @@
+// Command cstsim runs one communication set through a scheduler on the CST
+// and prints the schedule, the power ledger and (optionally) a round-by-
+// round trace.
+//
+// Examples:
+//
+//	cstsim -set "((.)(.))"
+//	cstsim -workload chain -n 64 -w 16 -algo padr -trace
+//	cstsim -workload split -n 256 -w 32 -algo depth-id -order alternating
+//	cstsim -workload random -n 128 -m 40 -seed 7 -algo padr-sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cst"
+)
+
+func main() {
+	var (
+		setExpr  = flag.String("set", "", "parenthesis expression, e.g. \"((.)(.))\" (overrides -workload)")
+		workload = flag.String("workload", "random", "workload generator: chain | split | compact | pairs | forest | staircase | bitrev | random")
+		n        = flag.Int("n", 64, "number of PEs (power of two)")
+		w        = flag.Int("w", 8, "target width for chain/split/compact workloads")
+		m        = flag.Int("m", 16, "number of communications for random/pairs workloads")
+		seed     = flag.Int64("seed", 1, "random seed")
+		algo     = flag.String("algo", "padr", "scheduler: padr | padr-sim | depth-id | greedy")
+		order    = flag.String("order", "outermost", "depth-id round order: outermost | innermost | alternating")
+		mode     = flag.String("mode", "stateful", "power accounting: stateful | stateless")
+		showTr   = flag.Bool("trace", false, "print a round-by-round trace with live switch configurations")
+		words    = flag.Bool("words", false, "print every non-idle control word (implies -trace)")
+		quiet    = flag.Bool("quiet", false, "print only the summary line")
+		jsonOut  = flag.Bool("json", false, "emit the full run as JSON (padr only) instead of text")
+	)
+	flag.Parse()
+
+	if *jsonOut {
+		if err := runJSON(*setExpr, *workload, *n, *w, *m, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "cstsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*setExpr, *workload, *n, *w, *m, *seed, *algo, *order, *mode, *showTr, *words, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "cstsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(setExpr, workload string, n, w, m int, seed int64, algo, order, mode string, showTrace, words, quiet bool) error {
+	set, err := buildSet(setExpr, workload, n, w, m, seed)
+	if err != nil {
+		return err
+	}
+	tree, err := cst.NewTree(set.N)
+	if err != nil {
+		return err
+	}
+	pmode := cst.Stateful
+	if mode == "stateless" {
+		pmode = cst.Stateless
+	} else if mode != "stateful" {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	if !quiet {
+		fmt.Println(set.Summary())
+		fmt.Print(cst.RenderSet(set))
+		fmt.Println()
+	}
+
+	switch algo {
+	case "padr":
+		opts := []cst.Option{cst.WithMode(pmode)}
+		var logger interface {
+			VerifyDataPlane() error
+			Observer() cst.Observer
+		}
+		if showTrace || words {
+			l := cst.NewRunLogger(tree, set, os.Stdout)
+			l.Trees = true
+			l.Words = words
+			logger = l
+			opts = append(opts, cst.WithObserver(l.Observer()))
+		}
+		res, err := cst.Run(tree, set, opts...)
+		if err != nil {
+			return err
+		}
+		if err := res.Schedule.VerifyOptimal(tree); err != nil {
+			return fmt.Errorf("schedule failed verification: %v", err)
+		}
+		if logger != nil {
+			if err := logger.VerifyDataPlane(); err != nil {
+				return fmt.Errorf("data plane failed verification: %v", err)
+			}
+		}
+		if !quiet {
+			fmt.Print(res.Schedule.String())
+			fmt.Println()
+			fmt.Print(cst.RenderGantt(res.Schedule))
+		}
+		fmt.Printf("%s | width=%d rounds=%d | phase1 words=%d phase2 words=%d\n",
+			res.Report.Summary(), res.Width, res.Rounds, res.UpWords, res.DownWords)
+	case "padr-sim":
+		res, err := cst.RunConcurrent(tree, set)
+		if err != nil {
+			return err
+		}
+		if err := res.Schedule.VerifyOptimal(tree); err != nil {
+			return fmt.Errorf("schedule failed verification: %v", err)
+		}
+		if !quiet {
+			fmt.Print(res.Schedule.String())
+		}
+		fmt.Printf("%s | width=%d rounds=%d | goroutines=%d msgs=%d+%d\n",
+			res.Report.Summary(), res.Width, res.Rounds, res.Goroutines,
+			res.Phase1Messages, res.Phase2Messages)
+	case "depth-id":
+		var o cst.BaselineOrder
+		switch order {
+		case "outermost":
+			o = cst.OutermostFirst
+		case "innermost":
+			o = cst.InnermostFirst
+		case "alternating":
+			o = cst.Alternating
+		default:
+			return fmt.Errorf("unknown order %q", order)
+		}
+		res, err := cst.RunDepthID(tree, set, o, pmode)
+		if err != nil {
+			return err
+		}
+		if err := res.Schedule.Verify(tree); err != nil {
+			return fmt.Errorf("schedule failed verification: %v", err)
+		}
+		if !quiet {
+			fmt.Print(res.Schedule.String())
+		}
+		fmt.Printf("%s | width=%d rounds=%d\n", res.Report.Summary(), res.Width, res.Rounds)
+	case "greedy":
+		res, err := cst.RunGreedy(tree, set, pmode)
+		if err != nil {
+			return err
+		}
+		if err := res.Schedule.Verify(tree); err != nil {
+			return fmt.Errorf("schedule failed verification: %v", err)
+		}
+		if !quiet {
+			fmt.Print(res.Schedule.String())
+		}
+		fmt.Printf("%s | width=%d rounds=%d\n", res.Report.Summary(), res.Width, res.Rounds)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return nil
+}
+
+// runJSON runs PADR and emits the machine-readable result.
+func runJSON(setExpr, workload string, n, w, m int, seed int64) error {
+	set, err := buildSet(setExpr, workload, n, w, m, seed)
+	if err != nil {
+		return err
+	}
+	tree, err := cst.NewTree(set.N)
+	if err != nil {
+		return err
+	}
+	res, err := cst.Run(tree, set)
+	if err != nil {
+		return err
+	}
+	if err := res.Schedule.VerifyOptimal(tree); err != nil {
+		return fmt.Errorf("schedule failed verification: %v", err)
+	}
+	return cst.WriteResultJSON(os.Stdout, res)
+}
+
+func buildSet(setExpr, workload string, n, w, m int, seed int64) (*cst.Set, error) {
+	if setExpr != "" {
+		return cst.Parse(setExpr)
+	}
+	rng := cst.NewRand(seed)
+	switch workload {
+	case "chain":
+		return cst.NestedChain(n, w)
+	case "split":
+		return cst.SplitChain(n, w)
+	case "compact":
+		return cst.CompactChain(n, w)
+	case "pairs":
+		return cst.DisjointPairs(n, m)
+	case "forest":
+		return cst.SiblingForest(n, 4, w)
+	case "staircase":
+		return cst.Staircase(n, m)
+	case "bitrev":
+		return cst.BitReversal(n)
+	case "random":
+		return cst.RandomWellNested(rng, n, m)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+}

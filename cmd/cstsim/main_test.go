@@ -1,0 +1,76 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildSetWorkloads(t *testing.T) {
+	cases := []struct {
+		workload string
+		wantLen  int
+	}{
+		{"chain", 8},
+		{"split", 8},
+		{"compact", 8},
+		{"pairs", 16},
+		{"forest", 32},
+		{"staircase", 17},
+		{"bitrev", 28},
+		{"random", 16},
+	}
+	for _, c := range cases {
+		set, err := buildSet("", c.workload, 64, 8, 16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.workload, err)
+		}
+		if set.Len() != c.wantLen {
+			t.Errorf("%s: %d comms, want %d", c.workload, set.Len(), c.wantLen)
+		}
+	}
+	if _, err := buildSet("", "nope", 64, 8, 16, 1); err == nil {
+		t.Error("unknown workload: want error")
+	}
+	set, err := buildSet("(())", "chain", 64, 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.N != 4 {
+		t.Errorf("-set must override -workload, got N=%d", set.N)
+	}
+	if _, err := buildSet(")(", "chain", 64, 8, 16, 1); err == nil {
+		t.Error("bad expression: want error")
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"padr", "padr-sim", "depth-id", "greedy"} {
+		if err := run("", "chain", 32, 4, 8, 1, algo, "outermost", "stateful", false, false, true); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+	if err := run("", "chain", 32, 4, 8, 1, "nope", "outermost", "stateful", false, false, true); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+	if err := run("", "chain", 32, 4, 8, 1, "depth-id", "nope", "stateful", false, false, true); err == nil {
+		t.Error("unknown order: want error")
+	}
+	if err := run("", "chain", 32, 4, 8, 1, "padr", "outermost", "nope", false, false, true); err == nil {
+		t.Error("unknown mode: want error")
+	}
+	// The crossing bit-reversal workload cannot go through PADR.
+	if err := run("", "bitrev", 32, 4, 8, 1, "padr", "outermost", "stateful", false, false, true); err == nil {
+		t.Error("bitrev through padr: want error")
+	}
+	if err := run("", "bitrev", 32, 4, 8, 1, "greedy", "outermost", "stateful", false, false, true); err != nil {
+		t.Errorf("bitrev through greedy: %v", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := runJSON("", "chain", 32, 4, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runJSON(")(", "chain", 32, 4, 8, 1); err == nil {
+		t.Error("bad expression: want error")
+	}
+}

@@ -1,0 +1,100 @@
+// Command cstviz renders CSTs, communication sets and PADR runs as ASCII
+// (or Graphviz dot), reproducing the paper's illustrative figures:
+//
+//	cstviz -fig 1    # Fig. 1: communications established over the CST
+//	cstviz -fig 2    # Fig. 2: a well-nested communication set
+//	cstviz -fig 3    # Fig. 3(b)/4(a): per-switch control state after Phase 1
+//	cstviz -set "((.)((.)..).)" -rounds   # animate any set round by round
+//	cstviz -set "(())" -dot               # Graphviz output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cst"
+	"cst/internal/deliver"
+	"cst/internal/padr"
+	"cst/internal/trace"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "render paper figure 1, 2 or 3")
+		setStr = flag.String("set", "", "parenthesis expression to render")
+		rounds = flag.Bool("rounds", false, "run PADR and draw the tree after every round")
+		stored = flag.Bool("stored", false, "draw the Phase-1 control state C_S at every switch")
+		dot    = flag.Bool("dot", false, "emit Graphviz dot instead of ASCII")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *setStr, *rounds, *stored, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "cstviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, setStr string, rounds, stored, dot bool) error {
+	if fig != 0 {
+		out, err := trace.Figure(fig)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	if setStr == "" {
+		return fmt.Errorf("need -fig or -set (run with -h for usage)")
+	}
+	set, err := cst.Parse(setStr)
+	if err != nil {
+		return err
+	}
+	if dot {
+		tree := cst.MustNewTree(set.N)
+		fmt.Print(tree.DOT(nil))
+		return nil
+	}
+	fmt.Print(cst.RenderSet(set))
+	fmt.Println()
+	if rounds {
+		return animate(set)
+	}
+	tree := cst.MustNewTree(set.N)
+	if stored {
+		res, err := cst.Run(tree, set)
+		if err != nil {
+			return err
+		}
+		fmt.Print(trace.RenderStored(tree, res.InitialStored, set))
+		return nil
+	}
+	fmt.Print(cst.RenderTree(tree, nil, set))
+	return nil
+}
+
+// animate runs PADR on the set and draws the configured tree after every
+// round, then verifies the data plane.
+func animate(set *cst.Set) error {
+	tree := cst.MustNewTree(set.N)
+	var rec deliver.Recorder
+	e, err := padr.New(tree, set, padr.WithObserver(rec.Observer()))
+	if err != nil {
+		return err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return err
+	}
+	for r := 0; r < res.Rounds; r++ {
+		fmt.Printf("--- round %d: %v ---\n", r, res.Schedule.Rounds[r])
+		fmt.Print(cst.RenderTree(tree, rec.Config(r), set))
+		fmt.Println()
+	}
+	if err := rec.Verify(tree); err != nil {
+		return err
+	}
+	fmt.Println(res.Report.Summary())
+	return nil
+}

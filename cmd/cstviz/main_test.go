@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	for fig := 1; fig <= 3; fig++ {
+		if err := run(fig, "", false, false, false); err != nil {
+			t.Errorf("fig %d: %v", fig, err)
+		}
+	}
+	if err := run(9, "", false, false, false); err == nil {
+		t.Error("unknown figure: want error")
+	}
+	if err := run(0, "(())", false, false, false); err != nil {
+		t.Errorf("static set: %v", err)
+	}
+	if err := run(0, "(())", true, false, false); err != nil {
+		t.Errorf("animated set: %v", err)
+	}
+	if err := run(0, "(())", false, true, false); err != nil {
+		t.Errorf("stored view: %v", err)
+	}
+	if err := run(0, "(())", false, false, true); err != nil {
+		t.Errorf("dot output: %v", err)
+	}
+	if err := run(0, ")(", false, false, false); err == nil {
+		t.Error("bad expression: want error")
+	}
+	if err := run(0, "", false, false, false); err == nil {
+		t.Error("no input: want error")
+	}
+}

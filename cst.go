@@ -1,0 +1,436 @@
+// Package cst is a library for power-aware routing and scheduling of
+// communications on the Circuit Switched Tree (CST), reproducing
+// El-Boghdadi, "Power-Aware Routing for Well-Nested Communications On The
+// Circuit Switched Tree" (IPDPS/IPPS 2007).
+//
+// The CST is a complete binary tree whose leaves are processing elements
+// and whose internal nodes are three-sided circuit switches. The library
+// provides:
+//
+//   - the tree substrate and switch model (NewTree, the Tree and Comm
+//     types),
+//   - well-nested communication sets: parsing, validation, width, and a
+//     family of workload generators,
+//   - the paper's Configuration and Scheduling Algorithm under Power-Aware
+//     Dynamic Reconfiguration: Run (sequential reference) and RunConcurrent
+//     (one goroutine per tree node, channels as links),
+//   - baselines for comparison (RunDepthID, RunGreedy) and three power
+//     accounting modes,
+//   - the segmentable-bus and SRGA-grid substrates built on top, and
+//   - renderers and an experiment harness that regenerates every claim in
+//     the paper (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	set := cst.MustParse("((.)(.))")        // 8 PEs, 3 communications
+//	tree, _ := cst.NewTree(set.N)
+//	res, _ := cst.Run(tree, set)
+//	fmt.Println(res.Rounds)                  // == width of the set
+//	fmt.Println(res.Report.Summary())        // power ledger per Theorem 8
+package cst
+
+import (
+	"math/rand"
+
+	"cst/internal/baseline"
+	"cst/internal/comm"
+	"cst/internal/deliver"
+	"cst/internal/energy"
+	"cst/internal/export"
+	"cst/internal/general"
+	"cst/internal/harness"
+	"cst/internal/online"
+	"cst/internal/padr"
+	"cst/internal/power"
+	"cst/internal/sched"
+	"cst/internal/segbus"
+	"cst/internal/selfroute"
+	"cst/internal/sim"
+	"cst/internal/srga"
+	"cst/internal/timing"
+	"cst/internal/topology"
+	"cst/internal/trace"
+	"cst/internal/xbar"
+)
+
+// Tree is the circuit switched tree substrate (heap-indexed complete binary
+// tree; leaves are PEs, internal nodes are 3-sided switches).
+type Tree = topology.Tree
+
+// Node is a tree node handle.
+type Node = topology.Node
+
+// NewTree builds a CST with n leaves (n a power of two, >= 2).
+func NewTree(n int) (*Tree, error) { return topology.New(n) }
+
+// MustNewTree is NewTree but panics on error.
+func MustNewTree(n int) *Tree { return topology.MustNew(n) }
+
+// Comm is one communication: data flows from PE Src to PE Dst.
+type Comm = comm.Comm
+
+// Set is a communication set over N PEs.
+type Set = comm.Set
+
+// NewSet builds a set over n PEs.
+func NewSet(n int, comms ...Comm) *Set { return comm.NewSet(n, comms...) }
+
+// Parse builds a set from a parenthesis expression like "((.)(.))".
+func Parse(expr string) (*Set, error) { return comm.Parse(expr) }
+
+// MustParse is Parse but panics on error.
+func MustParse(expr string) *Set { return comm.MustParse(expr) }
+
+// Decompose splits an arbitrary set into a right-oriented subset and the
+// mirror image of its left-oriented subset, both schedulable by Run.
+func Decompose(s *Set) (right, leftMirrored *Set) { return comm.Decompose(s) }
+
+// Workload generators (all deterministic given the *rand.Rand).
+var (
+	// RandomWellNested draws a uniform well-nested set with m communications.
+	RandomWellNested = comm.RandomWellNested
+	// RandomWellNestedWidth draws a well-nested set of an exact link width.
+	RandomWellNestedWidth = comm.RandomWellNestedWidth
+	// NestedChain is the root-crossing width-w chain ((((…)))).
+	NestedChain = comm.NestedChain
+	// SplitChain is the chain whose sources split across two subtrees — the
+	// adversarial workload for configuration churn.
+	SplitChain = comm.SplitChain
+	// CompactChain packs a chain into the leftmost 2w PEs.
+	CompactChain = comm.CompactChain
+	// DisjointPairs is the width-1 comb ()()().
+	DisjointPairs = comm.DisjointPairs
+	// SiblingForest is several side-by-side chains.
+	SiblingForest = comm.SiblingForest
+	// Staircase is an outer span over many disjoint inner pairs.
+	Staircase = comm.Staircase
+	// BitReversal is the FFT-style bit-reversal pairing — crossing-heavy,
+	// not well nested; for the general scheduler.
+	BitReversal = comm.BitReversal
+	// RandomOriented draws an arbitrary right-oriented (possibly crossing) set.
+	RandomOriented = comm.RandomOriented
+	// RandomTwoSided draws an arbitrary set with both orientations.
+	RandomTwoSided = comm.RandomTwoSided
+)
+
+// Workload combinators (Set also has Translate/Within/Pad methods).
+var (
+	// Concat places one set's PE line to the right of another's.
+	Concat = comm.Concat
+	// Nest wraps a set in one enclosing communication (depth + 1).
+	Nest = comm.Nest
+)
+
+// Schedule is a multi-round schedule with an independent verifier
+// (Verify / VerifyOptimal).
+type Schedule = sched.Schedule
+
+// PowerMode selects how switch state is treated across rounds.
+type PowerMode = power.Mode
+
+// Power accounting modes.
+const (
+	// Stateful holds configurations across rounds (the PADR design point);
+	// only genuine changes cost power.
+	Stateful = power.Stateful
+	// Stateless tears every switch down each round; every connection is
+	// re-established and billed.
+	Stateless = power.Stateless
+)
+
+// PowerReport is the per-run power ledger (units and alternations per
+// switch).
+type PowerReport = power.Report
+
+// Result is the outcome of a PADR run.
+type Result = padr.Result
+
+// Option configures a PADR run.
+type Option = padr.Option
+
+// WithMode selects the power accounting mode for Run.
+func WithMode(m PowerMode) Option { return padr.WithMode(m) }
+
+// Observer carries optional per-round callbacks for Run.
+type Observer = padr.Observer
+
+// WithObserver attaches callbacks to Run.
+func WithObserver(o Observer) Option { return padr.WithObserver(o) }
+
+// Selection chooses when a switch starts its own matched pairs; see the
+// padr package and experiment E12 for the tradeoff between the two rules.
+type Selection = padr.Selection
+
+// Selection rules.
+const (
+	// GreedySelection is the literal Fig. 5 pseudocode (default):
+	// time-optimal on every input.
+	GreedySelection = padr.Greedy
+	// ConservativeSelection enforces the paper's satisfy-outer-first prose:
+	// O(1) changes per switch on every input, possibly extra rounds.
+	ConservativeSelection = padr.Conservative
+)
+
+// WithSelection picks the selection rule for Run.
+func WithSelection(s Selection) Option { return padr.WithSelection(s) }
+
+// Run schedules an oriented well-nested set with the paper's CSA algorithm
+// (sequential reference engine). The returned schedule uses exactly
+// width(set) rounds and every switch spends O(1) power units.
+func Run(t *Tree, s *Set, opts ...Option) (*Result, error) {
+	e, err := padr.New(t, s, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// RunBoth schedules an arbitrary (two-sided) communication set by
+// decomposing it into its two orientations (paper §2.1) and running CSA on
+// each. Both passes drive the same physical crossbars — the left-oriented
+// half runs on the mirrored PE line and lands its connections on the
+// reflected switches — so the second result's power report is the
+// cumulative physical ledger for the whole set. Either result may be nil
+// when that orientation is empty. The left result's schedule is in mirrored
+// coordinates (PE i stands for physical PE N-1-i).
+func RunBoth(t *Tree, s *Set, opts ...Option) (right, left *Result, err error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	switches := map[topology.Node]*xbar.Switch{}
+	t.EachSwitch(func(n topology.Node) { switches[n] = xbar.NewSwitch() })
+	r, lm := comm.Decompose(s)
+	if r.Len() > 0 {
+		right, err = Run(t, r, append(opts, padr.WithCrossbars(switches))...)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if lm.Len() > 0 {
+		left, err = Run(t, lm, append(opts, padr.WithReflectedCrossbars(switches))...)
+		if err != nil {
+			return right, nil, err
+		}
+	}
+	return right, left, nil
+}
+
+// ConcurrentResult is the outcome of a goroutine-per-node run.
+type ConcurrentResult = sim.Result
+
+// RunConcurrent executes the same algorithm as Run but as a real
+// message-passing system: one goroutine per switch and PE, one channel pair
+// per tree link. Results are identical to Run by construction.
+func RunConcurrent(t *Tree, s *Set) (*ConcurrentResult, error) {
+	return sim.Run(t, s)
+}
+
+// BaselineOrder selects how the depth-ID baseline plays its rounds.
+type BaselineOrder = baseline.Order
+
+// Baseline round orders.
+const (
+	// OutermostFirst plays depth 0 upward (closest to PADR).
+	OutermostFirst = baseline.OutermostFirst
+	// InnermostFirst plays the deepest level first.
+	InnermostFirst = baseline.InnermostFirst
+	// Alternating interleaves shallow and deep levels (maximum churn).
+	Alternating = baseline.Alternating
+)
+
+// BaselineResult is the outcome of a baseline run.
+type BaselineResult = baseline.Result
+
+// RunDepthID runs the ID-based prior-work reconstruction (Roy et al. [6]).
+func RunDepthID(t *Tree, s *Set, order BaselineOrder, mode PowerMode) (*BaselineResult, error) {
+	return baseline.DepthID(t, s, order, mode)
+}
+
+// RunGreedy runs the maximal-compatible-subset baseline; it accepts any
+// right-oriented set, not only well-nested ones.
+func RunGreedy(t *Tree, s *Set, mode PowerMode) (*BaselineResult, error) {
+	return baseline.Greedy(t, s, mode)
+}
+
+// DataPlaneRecorder captures per-round switch configurations from a Run and
+// replays tokens through them (Theorem 4 verification).
+type DataPlaneRecorder = deliver.Recorder
+
+// RoundConfig is one round's switch-configuration snapshot (as captured by
+// DataPlaneRecorder or baseline results) — the input to the energy model.
+type RoundConfig = deliver.RoundConfig
+
+// RenderSet draws a set in the paper's Fig. 2 style.
+func RenderSet(s *Set) string { return trace.RenderSet(s) }
+
+// RenderGantt draws a schedule round by round over the PE line.
+func RenderGantt(s *Schedule) string { return trace.RenderGantt(s) }
+
+// RenderTree draws the tree with roles or live configurations (Fig. 1
+// style).
+var RenderTree = trace.RenderTree
+
+// NewRunLogger builds a streaming round-by-round logger; attach its
+// Observer() to Run.
+var NewRunLogger = trace.NewLogger
+
+// Bus is a segmentable bus (the motivating reconfigurable architecture).
+type Bus = segbus.Bus
+
+// NewBus builds a segmentable bus over n PEs.
+func NewBus(n int) (*Bus, error) { return segbus.New(n) }
+
+// BusTransfer is one segment-local transfer.
+type BusTransfer = segbus.Transfer
+
+// BusCycle is one bus cycle (at most one transfer per segment).
+type BusCycle = segbus.Cycle
+
+// RunBusProgram executes a multi-cycle bus program on a CST, holding
+// crossbar state across cycles.
+var RunBusProgram = segbus.RunProgram
+
+// RandomBusProgram generates a random bus program for experiments.
+var RandomBusProgram = segbus.RandomProgram
+
+// Grid is an SRGA PE grid with one CST per row and per column.
+type Grid = srga.Grid
+
+// NewGrid builds an SRGA grid (rows, cols powers of two).
+func NewGrid(rows, cols int) (*Grid, error) { return srga.New(rows, cols) }
+
+// Comm2D is one grid communication.
+type Comm2D = srga.Comm2D
+
+// Grid workload generators.
+var (
+	// RandomPermutation draws a random full-permutation workload.
+	RandomPermutation = srga.RandomPermutation
+	// Transpose is the matrix-transpose workload on a square grid.
+	Transpose = srga.Transpose
+	// RowShift shifts every PE k columns within its row.
+	RowShift = srga.RowShift
+)
+
+// EnergyModel prices a run beyond the paper's unit model: SetCost per
+// established connection, HoldCost per connection·round held, IdleCost per
+// switch·round.
+type EnergyModel = energy.Model
+
+// PaperEnergyModel is §2.3 verbatim: only establishment costs.
+var PaperEnergyModel = energy.Paper
+
+// EnergyBreakdown is a priced run.
+type EnergyBreakdown = energy.Breakdown
+
+// EvaluateEnergy prices per-round configuration snapshots under a model;
+// it charges the minimal physical work realizing the trajectory.
+var EvaluateEnergy = energy.Evaluate
+
+// EnergyCrossover locates the HoldCost at which two trajectories' totals
+// cross (the sensitivity of the paper's holding-is-free assumption).
+var EnergyCrossover = energy.Crossover
+
+// ConflictGraph is the share-a-directed-link conflict structure of an
+// arbitrary right-oriented set.
+type ConflictGraph = general.ConflictGraph
+
+// Conflicts builds the conflict graph of a right-oriented (possibly
+// crossing) set.
+var Conflicts = general.Conflicts
+
+// ScheduleFirstFit schedules an arbitrary right-oriented set greedily in
+// source order (exact on well-nested sets).
+var ScheduleFirstFit = general.FirstFit
+
+// ScheduleExact finds a minimum-round schedule for an arbitrary
+// right-oriented set by branch-and-bound, within a search-node budget; on
+// budget exhaustion it returns the best valid schedule plus ErrBudget.
+var ScheduleExact = general.Exact
+
+// ErrBudget marks a possibly suboptimal ScheduleExact result.
+var ErrBudget = general.ErrBudget
+
+// MinChangeResult is the outcome of the exact joint rounds/changes
+// optimization.
+type MinChangeResult = general.MinChangeResult
+
+// MinChangeSchedule searches all width-round schedules for the fewest
+// configuration changes (exponential; small instances only) — the tool
+// behind experiment E15.
+var MinChangeSchedule = general.MinChangeSchedule
+
+// Serialization of runs for external tooling (plotting, CI dashboards).
+var (
+	// WriteScheduleJSON writes a schedule as indented JSON.
+	WriteScheduleJSON = export.WriteScheduleJSON
+	// UnmarshalSchedule reverses WriteScheduleJSON.
+	UnmarshalSchedule = export.UnmarshalSchedule
+	// WriteReportJSON writes a power report as indented JSON.
+	WriteReportJSON = export.WriteReportJSON
+	// WriteResultJSON writes a full PADR run as indented JSON.
+	WriteResultJSON = export.WriteResultJSON
+	// ScheduleCSV writes one line per communication: round,src,dst.
+	ScheduleCSV = export.ScheduleCSV
+	// ReportCSV writes one line per non-idle switch: node,units,alternations.
+	ReportCSV = export.ReportCSV
+)
+
+// SelfRoute configures one circuit by Sidhu et al.'s header-driven
+// self-routing — the historical predecessor the paper's algorithm
+// supersedes; handles either orientation.
+var SelfRoute = selfroute.Route
+
+// SelfRouteAll self-routes an entire pairwise-disjoint set in one round.
+var SelfRouteAll = selfroute.RouteAll
+
+// DisjointSet reports whether no two communications share any tree link,
+// even in opposite directions — the class self-routing handles.
+var DisjointSet = selfroute.Disjoint
+
+// OnlineSimulator runs the scheduler against dynamically arriving traffic.
+type OnlineSimulator = online.Simulator
+
+// NewOnline builds an online simulator over a CST with n leaves.
+func NewOnline(n int) (*OnlineSimulator, error) { return online.New(n) }
+
+// OnlineStats summarizes an online run (latency, batches, power).
+type OnlineStats = online.Stats
+
+// TimingParams prices schedules in clock cycles (control wave per level,
+// reconfiguration stall, transfer time).
+type TimingParams = timing.Params
+
+// DefaultTiming is a conventional operating point (1 cycle/level, 4-cycle
+// reconfiguration stall, 1 transfer cycle).
+var DefaultTiming = timing.Default
+
+// TimingBreakdown is a cycle-priced run.
+type TimingBreakdown = timing.Breakdown
+
+// Makespan prices per-round configuration snapshots in clock cycles.
+var Makespan = timing.Makespan
+
+// TimingSpeedup compares two priced runs (>1 means the first is faster).
+var TimingSpeedup = timing.Speedup
+
+// ExperimentConfig tunes the reproduction experiments.
+type ExperimentConfig = harness.Config
+
+// Experiment is one registered paper-reproduction experiment.
+type Experiment = harness.Experiment
+
+// Experiments returns the registered experiments (E1..E9).
+func Experiments() []Experiment { return harness.All() }
+
+// ExperimentByID looks up one experiment.
+var ExperimentByID = harness.ByID
+
+// RunExperiments executes every registered experiment, writing markdown.
+var RunExperiments = harness.RunAll
+
+// RunExperiment executes one experiment with its standard header.
+var RunExperiment = harness.RunOne
+
+// NewRand is a convenience seeded source for the generator APIs.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,275 @@
+package cst_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cst"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	set := cst.MustParse("((.)(.))")
+	tree, err := cst.NewTree(set.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cst.Run(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != res.Width {
+		t.Fatalf("rounds %d != width %d", res.Rounds, res.Width)
+	}
+	if err := res.Schedule.VerifyOptimal(tree); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.MaxUnits() > 6 {
+		t.Fatalf("max units = %d", res.Report.MaxUnits())
+	}
+}
+
+func TestRunBothOrientations(t *testing.T) {
+	rng := cst.NewRand(3)
+	set, err := cst.RandomTwoSided(rng, 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RunBoth requires each orientation to be well nested; retry until the
+	// decomposition qualifies (two-sided random sets often cross).
+	tree := cst.MustNewTree(32)
+	for tries := 0; ; tries++ {
+		right, leftM := cst.Decompose(set)
+		if right.IsWellNested() && leftM.IsWellNested() {
+			break
+		}
+		if tries > 200 {
+			t.Skip("no well-nested two-sided draw found")
+		}
+		set, err = cst.RandomTwoSided(rng, 32, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, l, err := cst.RunBoth(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	if r != nil {
+		total += r.Schedule.TotalScheduled()
+	}
+	if l != nil {
+		total += l.Schedule.TotalScheduled()
+	}
+	if total != set.Len() {
+		t.Fatalf("scheduled %d of %d communications", total, set.Len())
+	}
+}
+
+func TestConcurrentFacade(t *testing.T) {
+	set := cst.MustParse("(((())))")
+	tree := cst.MustNewTree(set.N)
+	conc, err := cst.RunConcurrent(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := cst.Run(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Rounds != seq.Rounds {
+		t.Fatalf("concurrent %d rounds vs sequential %d", conc.Rounds, seq.Rounds)
+	}
+}
+
+func TestBaselineFacades(t *testing.T) {
+	tree := cst.MustNewTree(64)
+	set, err := cst.NestedChain(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := cst.RunDepthID(tree, set, cst.Alternating, cst.Stateful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di.Rounds != 8 {
+		t.Fatalf("depth-id rounds = %d", di.Rounds)
+	}
+	gr, err := cst.RunGreedy(tree, set, cst.Stateless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Rounds != 8 {
+		t.Fatalf("greedy rounds = %d", gr.Rounds)
+	}
+}
+
+func TestRenderFacades(t *testing.T) {
+	set := cst.MustParse("(())")
+	if !strings.Contains(cst.RenderSet(set), "gaps:") {
+		t.Error("RenderSet broken")
+	}
+	tree := cst.MustNewTree(4)
+	if !strings.Contains(cst.RenderTree(tree, nil, set), "S0") {
+		t.Error("RenderTree broken")
+	}
+}
+
+func TestLoggerFacade(t *testing.T) {
+	set := cst.MustParse("(())")
+	tree := cst.MustNewTree(4)
+	var buf bytes.Buffer
+	logger := cst.NewRunLogger(tree, set, &buf)
+	if _, err := cst.Run(tree, set, cst.WithObserver(logger.Observer())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "round 0") {
+		t.Errorf("log output: %q", buf.String())
+	}
+	if err := logger.VerifyDataPlane(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegbusFacade(t *testing.T) {
+	bus, err := cst.NewBus(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cst.RandomBusProgram(cst.NewRand(1), bus, 5, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cst.RunBusProgram(cst.MustNewTree(16), bus, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 5 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+}
+
+func TestGridFacade(t *testing.T) {
+	grid, err := cst.NewGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := cst.RandomPermutation(cst.NewRand(2), grid)
+	res, err := grid.Route(comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMaxRounds() == 0 {
+		t.Fatal("routing did nothing")
+	}
+}
+
+func TestGeneralSchedulingFacade(t *testing.T) {
+	tree := cst.MustNewTree(32)
+	set, err := cst.RandomOriented(cst.NewRand(9), 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cst.Conflicts(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := cst.ScheduleFirstFit(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ff.Verify(tree); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := cst.ScheduleExact(tree, set, 100000)
+	if err != nil && err != cst.ErrBudget {
+		t.Fatal(err)
+	}
+	if ex.NumRounds() > ff.NumRounds() {
+		t.Fatalf("exact %d worse than first-fit %d", ex.NumRounds(), ff.NumRounds())
+	}
+	if g.MaxDegree()+1 < ff.NumRounds() {
+		t.Fatalf("first-fit %d rounds exceeds degree bound %d", ff.NumRounds(), g.MaxDegree()+1)
+	}
+}
+
+func TestEnergyFacade(t *testing.T) {
+	tree := cst.MustNewTree(16)
+	set := cst.MustParse("((((....))))....")
+	var rec cst.DataPlaneRecorder
+	res, err := cst.Run(tree, set, cst.WithObserver(rec.Observer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]cst.RoundConfig, rec.Rounds())
+	for i := range all {
+		all[i] = rec.Config(i)
+	}
+	b := cst.EvaluateEnergy(tree, all, cst.PaperEnergyModel)
+	if b.Changes != res.Report.TotalUnits() {
+		t.Fatalf("energy changes %d != units %d", b.Changes, res.Report.TotalUnits())
+	}
+	if _, ok := cst.EnergyCrossover(tree, all, all, 1); ok {
+		t.Fatal("identical trajectories cannot cross")
+	}
+}
+
+func TestSelfRouteFacade(t *testing.T) {
+	tree := cst.MustNewTree(16)
+	set := cst.NewSet(16,
+		cst.Comm{Src: 0, Dst: 3},
+		cst.Comm{Src: 15, Dst: 12}, // leftward: self-routing is orientation-agnostic
+	)
+	ok, err := cst.DisjointSet(tree, set)
+	if err != nil || !ok {
+		t.Fatalf("disjointness: %v/%v", ok, err)
+	}
+	res, err := cst.SelfRouteAll(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxHops > 2*tree.Levels()-1 {
+		t.Fatalf("hops %d over bound", res.MaxHops)
+	}
+	// Nested sets are exactly what self-routing cannot do.
+	if _, err := cst.SelfRouteAll(tree, cst.MustParse("(())............")); err == nil {
+		t.Fatal("nested set must be rejected by self-routing")
+	}
+}
+
+func TestOnlineFacade(t *testing.T) {
+	sim, err := cst.NewOnline(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := cst.NewRand(4)
+	submitted := sim.SubmitRandom(rng, 6)
+	if submitted == 0 {
+		t.Fatal("no requests accepted")
+	}
+	if err := sim.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	stats := sim.Finish()
+	if len(stats.Completed) != submitted || stats.Leftover != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if len(cst.Experiments()) != 16 {
+		t.Fatalf("experiments = %d", len(cst.Experiments()))
+	}
+	e, ok := cst.ExperimentByID("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	var buf bytes.Buffer
+	if err := cst.RunExperiment(&buf, e, cst.ExperimentConfig{Seed: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "## E1") {
+		t.Error("experiment output missing header")
+	}
+}

@@ -1,0 +1,101 @@
+package cst_test
+
+import (
+	"testing"
+
+	"cst"
+)
+
+// Differential testing across every scheduler in the library: on the same
+// random well-nested sets, all of them must produce verifier-approved
+// complete schedules, the width-optimal ones must agree on the round count,
+// and the power ledgers must respect the paper's ordering (PADR at the
+// bottom, stateless rebuilds at the top).
+func TestDifferentialSchedulers(t *testing.T) {
+	rng := cst.NewRand(321)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 << (3 + rng.Intn(4)) // 8..64
+		tree := cst.MustNewTree(n)
+		set, err := cst.RandomWellNested(rng, n, rng.Intn(n/2+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		width, err := set.Width(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// 1. PADR sequential (greedy selection).
+		padrRes, err := cst.Run(tree, set)
+		if err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if err := padrRes.Schedule.VerifyOptimal(tree); err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+
+		// 2. PADR concurrent.
+		concRes, err := cst.RunConcurrent(tree, set)
+		if err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if concRes.Rounds != padrRes.Rounds {
+			t.Fatalf("set %s: concurrent %d rounds vs %d", set, concRes.Rounds, padrRes.Rounds)
+		}
+
+		// 3. PADR conservative: valid, possibly more rounds, never fewer.
+		consRes, err := cst.Run(tree, set, cst.WithSelection(cst.ConservativeSelection))
+		if err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if err := consRes.Schedule.Verify(tree); err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if consRes.Rounds < width {
+			t.Fatalf("set %s: conservative %d rounds below width %d", set, consRes.Rounds, width)
+		}
+
+		// 4. Depth-ID baseline: valid; rounds = nesting depth >= width.
+		depthRes, err := cst.RunDepthID(tree, set, cst.OutermostFirst, cst.Stateful)
+		if err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if err := depthRes.Schedule.Verify(tree); err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if depthRes.Rounds < width {
+			t.Fatalf("set %s: depth-id %d rounds below width %d", set, depthRes.Rounds, width)
+		}
+
+		// 5. Greedy compatible-set baseline.
+		greedyRes, err := cst.RunGreedy(tree, set, cst.Stateful)
+		if err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if err := greedyRes.Schedule.Verify(tree); err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+
+		// 6. First-fit conflict coloring (general scheduler).
+		ffSched, err := cst.ScheduleFirstFit(tree, set)
+		if err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if err := ffSched.Verify(tree); err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if ffSched.NumRounds() != width {
+			t.Fatalf("set %s: first-fit %d rounds, want width %d", set, ffSched.NumRounds(), width)
+		}
+
+		// 7. Stateless rebuild pays at least as much as held PADR.
+		statelessRes, err := cst.RunDepthID(tree, set, cst.OutermostFirst, cst.Stateless)
+		if err != nil {
+			t.Fatalf("set %s: %v", set, err)
+		}
+		if set.Len() > 0 && statelessRes.Report.TotalUnits() < padrRes.Report.TotalUnits() {
+			t.Fatalf("set %s: stateless total %d below PADR %d", set,
+				statelessRes.Report.TotalUnits(), padrRes.Report.TotalUnits())
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package cst_test
+
+import (
+	"fmt"
+
+	"cst"
+)
+
+// ExampleRun schedules the paper's running example and prints the schedule.
+func ExampleRun() {
+	set := cst.MustParse("((.)(.))")
+	tree := cst.MustNewTree(set.N)
+	res, err := cst.Run(tree, set)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("width %d, %d rounds\n", res.Width, res.Rounds)
+	fmt.Print(res.Schedule.String())
+	// Output:
+	// width 2, 2 rounds
+	// round 0: 0->7
+	// round 1: 1->3 4->6
+}
+
+// ExampleParse shows the Fig. 2 notation round trip.
+func ExampleParse() {
+	set, _ := cst.Parse("(()).()")
+	fmt.Println(set.Summary())
+	// Output:
+	// 8 PEs, 3 comms, well-nested depth 2: (()).().
+}
+
+// ExampleRun_power shows the Theorem 8 ledger on an adversarial chain:
+// sixteen nested communications all matched at the root, yet no switch
+// spends more than a constant number of power units.
+func ExampleRun_power() {
+	set, _ := cst.NestedChain(64, 16)
+	tree := cst.MustNewTree(64)
+	res, _ := cst.Run(tree, set)
+	fmt.Println(res.Report.Summary())
+	// Output:
+	// padr/stateful: 16 rounds, total 63 units, max/switch 2, max alternations 1
+}
+
+// ExampleRunConcurrent runs the same algorithm as a goroutine-per-node
+// message-passing system.
+func ExampleRunConcurrent() {
+	set := cst.MustParse("(((())))")
+	tree := cst.MustNewTree(set.N)
+	res, _ := cst.RunConcurrent(tree, set)
+	fmt.Printf("%d goroutines, %d rounds, agrees with Theorem 5: %v\n",
+		res.Goroutines, res.Rounds, res.Rounds == res.Width)
+	// Output:
+	// 15 goroutines, 4 rounds, agrees with Theorem 5: true
+}
+
+// ExampleRenderSet draws a set in the paper's Fig. 2 style.
+func ExampleRenderSet() {
+	fmt.Print(cst.RenderSet(cst.MustParse("(())")))
+	// Output:
+	// PEs : (())
+	// d=0 : \__/
+	// d=1 :  \/
+	// gaps: 121
+}
+
+// ExampleRunDepthID contrasts the prior ID-based scheduler under the
+// adversarial alternating order (Θ(w) churn) with PADR (O(1)).
+func ExampleRunDepthID() {
+	set, _ := cst.SplitChain(64, 16)
+	tree := cst.MustNewTree(64)
+	padrRes, _ := cst.Run(tree, set)
+	altRes, _ := cst.RunDepthID(tree, set, cst.Alternating, cst.Stateful)
+	fmt.Printf("padr max alternations: %d\n", padrRes.Report.MaxAlternations())
+	fmt.Printf("alternating-ID max alternations: %d\n", altRes.Report.MaxAlternations())
+	// Output:
+	// padr max alternations: 1
+	// alternating-ID max alternations: 15
+}

@@ -1,0 +1,73 @@
+// Powerstudy: the paper's headline contrast as a table. Sweeps the set
+// width w and compares, at the hottest switch, the power-aware scheduler
+// (O(1) configuration changes) against the prior ID-based approach (Θ(w)).
+//
+// Run with:
+//
+//	go run ./examples/powerstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cst"
+)
+
+func main() {
+	const n = 512
+	fmt.Printf("workload: split nested chains over %d PEs (every pair crosses the root)\n\n", n)
+	fmt.Printf("%4s | %20s | %24s | %24s | %22s\n", "w", "PADR max units/switch",
+		"alt-ID churn (stateful)", "rebuild cost (stateless)", "rounds (all schedulers)")
+	fmt.Println(dashes(108))
+
+	tree, err := cst.NewTree(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range []int{4, 8, 16, 32, 64, 128} {
+		set, err := cst.SplitChain(n, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The power-aware scheduler: hold configurations, change O(1) times.
+		padrRes, err := cst.Run(tree, set)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Prior work, reconstructed: schedule by communication ID in an
+		// order that interleaves outer and inner pairs. Even with free
+		// holds, the hottest switch flips its upward driver every round.
+		altRes, err := cst.RunDepthID(tree, set, cst.Alternating, cst.Stateful)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Literal per-round reconfiguration: every connection re-billed.
+		tornRes, err := cst.RunDepthID(tree, set, cst.OutermostFirst, cst.Stateless)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%4d | %20d | %24d | %24d | %22d\n",
+			w,
+			padrRes.Report.MaxUnits(),
+			altRes.Report.MaxAlternations(),
+			tornRes.Report.MaxUnits(),
+			padrRes.Rounds)
+	}
+	fmt.Println()
+	fmt.Println("Reading: the PADR column stays flat (Theorem 8: O(1) per switch);")
+	fmt.Println("both baseline columns grow linearly with w (Θ(w)); every scheduler")
+	fmt.Println("uses exactly w rounds on these chains (Theorem 5: time-optimal).")
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,3 @@
+module cst
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package adversary searches for worst-case well-nested inputs by local
+// mutation — used to probe how bad the literal Fig. 5 selection rule's
+// per-switch change count can actually get (experiment E14), beyond what
+// uniform random sampling finds.
+//
+// The search is simple stochastic hill climbing over parenthesis strings:
+// mutate (open a new innermost pair, close one, slide an endpoint, swap two
+// columns), keep the mutant when the metric does not decrease, restart from
+// the best-so-far on stagnation.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cst/internal/comm"
+	"cst/internal/padr"
+	"cst/internal/topology"
+)
+
+// Metric scores a well-nested set; larger is worse (more adversarial).
+type Metric func(t *topology.Tree, s *comm.Set) (float64, error)
+
+// GreedyMaxUnits scores by the hottest switch's power units under the
+// literal (greedy) selection rule.
+func GreedyMaxUnits(t *topology.Tree, s *comm.Set) (float64, error) {
+	e, err := padr.New(t, s, padr.WithSelection(padr.Greedy))
+	if err != nil {
+		return 0, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Report.MaxUnits()), nil
+}
+
+// ConservativeExtraRounds scores by the round overhead of the conservative
+// rule (rounds beyond the width).
+func ConservativeExtraRounds(t *topology.Tree, s *comm.Set) (float64, error) {
+	e, err := padr.New(t, s, padr.WithSelection(padr.Conservative))
+	if err != nil {
+		return 0, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Rounds - res.Width), nil
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Set is the most adversarial input found.
+	Set *comm.Set
+	// Score is its metric value.
+	Score float64
+	// Evaluated counts metric evaluations performed.
+	Evaluated int
+}
+
+// Search hill-climbs for iters mutations over n PEs, seeding from a random
+// set. The returned set always validates and is well nested.
+func Search(rng *rand.Rand, n, iters int, metric Metric) (*Result, error) {
+	t, err := topology.New(n)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := comm.RandomWellNested(rng, n, n/4)
+	if err != nil {
+		return nil, err
+	}
+	curScore, err := metric(t, cur)
+	if err != nil {
+		return nil, err
+	}
+	best, bestScore := cur.Clone(), curScore
+	evaluated := 1
+	sinceImprove := 0
+	for i := 0; i < iters; i++ {
+		mut := mutate(rng, cur)
+		if mut == nil {
+			continue
+		}
+		score, err := metric(t, mut)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: metric on %s: %v", mut, err)
+		}
+		evaluated++
+		if score >= curScore {
+			cur, curScore = mut, score
+		}
+		if score > bestScore {
+			best, bestScore = mut.Clone(), score
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		// Restart from the incumbent when stuck on a plateau.
+		if sinceImprove > iters/4 && sinceImprove > 25 {
+			cur, curScore = best.Clone(), bestScore
+			sinceImprove = 0
+		}
+	}
+	return &Result{Set: best, Score: bestScore, Evaluated: evaluated}, nil
+}
+
+// mutate applies one random edit to the parenthesis string; nil when the
+// edit produced an invalid or unchanged expression.
+func mutate(rng *rand.Rand, s *comm.Set) *comm.Set {
+	b := []byte(s.String())
+	switch rng.Intn(4) {
+	case 0: // open a new pair on two idle PEs
+		i, j := rng.Intn(len(b)), rng.Intn(len(b))
+		if i > j {
+			i, j = j, i
+		}
+		if i == j || b[i] != '.' || b[j] != '.' {
+			return nil
+		}
+		b[i], b[j] = '(', ')'
+	case 1: // remove a pair
+		if s.Len() == 0 {
+			return nil
+		}
+		c := s.Comms[rng.Intn(s.Len())]
+		b[c.Src], b[c.Dst] = '.', '.'
+	case 2: // slide one endpoint onto an adjacent idle PE
+		if s.Len() == 0 {
+			return nil
+		}
+		c := s.Comms[rng.Intn(s.Len())]
+		pos := c.Src
+		if rng.Intn(2) == 0 {
+			pos = c.Dst
+		}
+		dir := 1
+		if rng.Intn(2) == 0 {
+			dir = -1
+		}
+		np := pos + dir
+		if np < 0 || np >= len(b) || b[np] != '.' {
+			return nil
+		}
+		b[np], b[pos] = b[pos], '.'
+	default: // swap two columns
+		i, j := rng.Intn(len(b)), rng.Intn(len(b))
+		b[i], b[j] = b[j], b[i]
+	}
+	mut, err := comm.Parse(string(b))
+	if err != nil || !mut.IsWellNested() || mut.N != s.N {
+		return nil
+	}
+	return mut
+}

@@ -1,0 +1,97 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/padr"
+	"cst/internal/topology"
+)
+
+func TestMetricsRun(t *testing.T) {
+	tr := topology.MustNew(16)
+	s := comm.MustParse("..(((()(....))))")
+	u, err := GreedyMaxUnits(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 1 {
+		t.Fatalf("greedy units metric = %v", u)
+	}
+	x, err := ConservativeExtraRounds(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x < 0 {
+		t.Fatalf("extra rounds metric = %v", x)
+	}
+}
+
+func TestMutatePreservesWellNestedness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := comm.RandomWellNested(rng, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	produced := 0
+	for i := 0; i < 500; i++ {
+		m := mutate(rng, s)
+		if m == nil {
+			continue
+		}
+		produced++
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mutant invalid: %v", err)
+		}
+		if !m.IsWellNested() {
+			t.Fatalf("mutant not well nested: %s", m)
+		}
+		if m.N != 32 {
+			t.Fatalf("mutant changed N: %d", m.N)
+		}
+	}
+	if produced < 50 {
+		t.Fatalf("mutation acceptance too low: %d/500", produced)
+	}
+}
+
+// The search must find inputs at least as bad as random sampling does: on
+// n=64 the greedy rule's hottest switch should exceed the chain bound of 2.
+func TestSearchFindsAdversarialInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res, err := Search(rng, 64, 400, GreedyMaxUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Set == nil || !res.Set.IsWellNested() {
+		t.Fatal("search returned a bad set")
+	}
+	if res.Evaluated < 10 {
+		t.Fatalf("search barely ran: %d evaluations", res.Evaluated)
+	}
+	if res.Score < 3 {
+		t.Fatalf("search should beat the chain bound of 2, got %v", res.Score)
+	}
+	// The reported score must be reproducible from the returned set.
+	tr := topology.MustNew(64)
+	again, err := GreedyMaxUnits(tr, res.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != res.Score {
+		t.Fatalf("score not reproducible: %v vs %v", again, res.Score)
+	}
+	// And the conservative rule must keep the same input cheap.
+	e, err := padr.New(tr, res.Set, padr.WithSelection(padr.Conservative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Report.MaxUnits() > 4 {
+		t.Fatalf("conservative rule must stay O(1) on the adversarial input, got %d", cons.Report.MaxUnits())
+	}
+}

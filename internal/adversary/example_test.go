@@ -1,0 +1,22 @@
+package adversary_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cst/internal/adversary"
+)
+
+// Hill-climb for a well-nested input that maximizes the literal selection
+// rule's per-switch churn.
+func ExampleSearch() {
+	rng := rand.New(rand.NewSource(7))
+	res, err := adversary.Search(rng, 64, 200, adversary.GreedyMaxUnits)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("found an input with per-switch churn above the chain bound:", res.Score > 2)
+	// Output:
+	// found an input with per-switch churn above the chain bound: true
+}

@@ -1,0 +1,239 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/power"
+	"cst/internal/topology"
+)
+
+func TestOrderString(t *testing.T) {
+	if OutermostFirst.String() != "outermost" ||
+		InnermostFirst.String() != "innermost" ||
+		Alternating.String() != "alternating" {
+		t.Fatal("Order.String wrong")
+	}
+	if Order(9).String() == "" {
+		t.Fatal("unknown order must still render")
+	}
+}
+
+func TestPlayOrder(t *testing.T) {
+	cases := []struct {
+		order Order
+		n     int
+		want  []int
+	}{
+		{OutermostFirst, 4, []int{0, 1, 2, 3}},
+		{InnermostFirst, 4, []int{3, 2, 1, 0}},
+		{Alternating, 4, []int{0, 3, 1, 2}},
+		{Alternating, 5, []int{0, 4, 1, 3, 2}},
+		{Alternating, 1, []int{0}},
+		{OutermostFirst, 0, []int{}},
+	}
+	for _, c := range cases {
+		got := playOrder(c.order, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s/%d: %v want %v", c.order, c.n, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s/%d: %v want %v", c.order, c.n, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDepthIDValidSchedules(t *testing.T) {
+	tr := topology.MustNew(64)
+	s, err := comm.NestedChain(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []Order{OutermostFirst, InnermostFirst, Alternating} {
+		res, err := DepthID(tr, s, order, power.Stateful)
+		if err != nil {
+			t.Fatalf("%s: %v", order, err)
+		}
+		if err := res.Schedule.Verify(tr); err != nil {
+			t.Fatalf("%s: %v", order, err)
+		}
+		if res.Rounds != 8 {
+			t.Fatalf("%s: rounds = %d, want 8 (chain depth == width)", order, res.Rounds)
+		}
+		if res.Width != 8 {
+			t.Fatalf("%s: width = %d", order, res.Width)
+		}
+	}
+}
+
+func TestDepthIDRejectsBadInput(t *testing.T) {
+	tr := topology.MustNew(8)
+	crossing := comm.NewSet(8, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 1, Dst: 3})
+	if _, err := DepthID(tr, crossing, OutermostFirst, power.Stateful); err == nil {
+		t.Error("crossing set: want error")
+	}
+	s := comm.MustParse("(())")
+	if _, err := DepthID(tr, s, OutermostFirst, power.Stateful); err == nil {
+		t.Error("size mismatch: want error")
+	}
+}
+
+func TestDepthIDEmptySet(t *testing.T) {
+	tr := topology.MustNew(8)
+	res, err := DepthID(tr, comm.NewSet(8), OutermostFirst, power.Stateful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.Report.TotalUnits() != 0 {
+		t.Fatalf("empty set: rounds=%d units=%d", res.Rounds, res.Report.TotalUnits())
+	}
+}
+
+// The headline contrast, stateless form: rebuilding each round's circuits
+// from scratch costs the root Θ(w) units on a root-crossing chain.
+func TestStatelessChurnOnChain(t *testing.T) {
+	tr := topology.MustNew(64)
+	const w = 16
+	s, err := comm.NestedChain(64, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DepthID(tr, s, OutermostFirst, power.Stateless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Report.MaxUnits(); got < w {
+		t.Fatalf("stateless max units = %d, want >= %d", got, w)
+	}
+	// Stateful with the same monotone order holds the root's l->r across
+	// rounds, so the chain alone does not exhibit churn.
+	held, err := DepthID(tr, s, OutermostFirst, power.Stateful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := held.Report.MaxUnits(); got >= w {
+		t.Fatalf("stateful outermost-first should hold configurations, max units = %d", got)
+	}
+}
+
+// The headline contrast, stateful form: an ID order that interleaves outer
+// and inner communications flips a switch's p_o driver Θ(w) times on a
+// split chain, even though dropping/holding is free.
+func TestStatefulChurnWithAlternatingOrder(t *testing.T) {
+	tr := topology.MustNew(64)
+	const w = 16
+	s, err := comm.SplitChain(64, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsWellNested() {
+		t.Fatalf("split chain not well nested: %s", s)
+	}
+	alt, err := DepthID(tr, s, Alternating, power.Stateful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alt.Schedule.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := alt.Report.MaxAlternations(); got < w-2 {
+		t.Fatalf("alternating order: max alternations = %d, want ~%d", got, w-1)
+	}
+	out, err := DepthID(tr, s, OutermostFirst, power.Stateful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Report.MaxAlternations(); got > 3 {
+		t.Fatalf("outermost order: max alternations = %d, want O(1)", got)
+	}
+}
+
+func TestGreedyOptimalOnWellNested(t *testing.T) {
+	tr := topology.MustNew(32)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		s, err := comm.RandomWellNested(rng, 32, rng.Intn(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Greedy(tr, s, power.Stateful)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.Verify(tr); err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		// Greedy by leftmost source on a well-nested set performs a maximal
+		// antichain per round; it must meet the width lower bound exactly
+		// on these workloads only when depth == width, so only assert
+		// validity plus the depth upper bound here.
+		d, err := s.MaxDepth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds > d {
+			t.Fatalf("set %s: greedy used %d rounds, depth is %d", s, res.Rounds, d)
+		}
+		if res.Rounds < res.Width {
+			t.Fatalf("set %s: %d rounds beats the width lower bound %d", s, res.Rounds, res.Width)
+		}
+	}
+}
+
+func TestGreedyHandlesNonWellNested(t *testing.T) {
+	tr := topology.MustNew(32)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		s, err := comm.RandomOriented(rng, 32, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Greedy(tr, s, power.Stateful)
+		if err != nil {
+			t.Fatalf("set %v: %v", s.Comms, err)
+		}
+		if err := res.Schedule.Verify(tr); err != nil {
+			t.Fatalf("set %v: %v", s.Comms, err)
+		}
+		if res.Rounds < res.Width {
+			t.Fatalf("set %v: rounds %d below width %d", s.Comms, res.Rounds, res.Width)
+		}
+	}
+}
+
+func TestGreedyRejectsBadInput(t *testing.T) {
+	tr := topology.MustNew(8)
+	leftward := comm.NewSet(8, comm.Comm{Src: 5, Dst: 1})
+	if _, err := Greedy(tr, leftward, power.Stateful); err == nil {
+		t.Error("left-oriented set: want error")
+	}
+	if _, err := Greedy(tr, comm.MustParse("(())"), power.Stateful); err == nil {
+		t.Error("size mismatch: want error")
+	}
+	invalid := comm.NewSet(8, comm.Comm{Src: 0, Dst: 20})
+	if _, err := Greedy(tr, invalid, power.Stateful); err == nil {
+		t.Error("invalid set: want error")
+	}
+}
+
+func TestReportNames(t *testing.T) {
+	tr := topology.MustNew(8)
+	s := comm.MustParse("(.)(.).")
+	res, err := DepthID(tr, s, Alternating, power.Stateless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Algorithm != "depth-id(alternating)" {
+		t.Errorf("algorithm name = %q", res.Report.Algorithm)
+	}
+	g, err := Greedy(tr, s, power.Stateful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Report.Algorithm != "greedy" {
+		t.Errorf("algorithm name = %q", g.Report.Algorithm)
+	}
+}

@@ -1,0 +1,74 @@
+// Package circuit establishes whole source→destination circuits on CST
+// switches, the way a centralized controller would (one connection per
+// switch on the path). The PADR engine never uses this — it configures
+// switches from local control words — but the baselines, the SRGA layer and
+// several tests do.
+package circuit
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+	"cst/internal/xbar"
+)
+
+// childSide returns which side of parent the node child hangs on.
+func childSide(t *topology.Tree, child topology.Node) xbar.Side {
+	if t.IsLeftChild(child) {
+		return xbar.L
+	}
+	return xbar.R
+}
+
+// Configure establishes the circuit for one right-oriented communication:
+// child-side→parent connections up to the LCA, a left→right turn at the
+// LCA, and parent→child-side connections down to the destination leaf.
+func Configure(t *topology.Tree, switches map[topology.Node]*xbar.Switch, c comm.Comm) error {
+	if !c.RightOriented() {
+		return fmt.Errorf("circuit: %s is not right oriented", c)
+	}
+	if c.Src < 0 || c.Dst >= t.Leaves() {
+		return fmt.Errorf("circuit: %s out of range for N=%d", c, t.Leaves())
+	}
+	lca := t.LCA(c.Src, c.Dst)
+	connect := func(u topology.Node, in, out xbar.Side) error {
+		sw := switches[u]
+		if sw == nil {
+			return fmt.Errorf("circuit: no switch at node %d", u)
+		}
+		return sw.Connect(in, out)
+	}
+
+	// Upward leg: at every switch strictly below the LCA on the source
+	// side, data enters from the child we came from and leaves toward the
+	// parent.
+	for child := t.Leaf(c.Src); t.Parent(child) != lca; child = t.Parent(child) {
+		u := t.Parent(child)
+		if err := connect(u, childSide(t, child), xbar.P); err != nil {
+			return fmt.Errorf("circuit: %s at switch %d: %v", c, u, err)
+		}
+	}
+
+	// The turn at the LCA: the source is in the left subtree and the
+	// destination in the right subtree for a right-oriented pair.
+	if err := connect(lca, xbar.L, xbar.R); err != nil {
+		return fmt.Errorf("circuit: %s at lca %d: %v", c, lca, err)
+	}
+
+	// Downward leg: walk up from the destination leaf to collect the chain,
+	// then configure each switch to pass parent data toward the next child.
+	var chain []topology.Node
+	for child := t.Leaf(c.Dst); t.Parent(child) != lca; child = t.Parent(child) {
+		chain = append(chain, child)
+	}
+	// chain[i] hangs below chain[i+1]; the last element hangs below the
+	// switch that is the LCA's child on the destination side.
+	for i := len(chain) - 1; i >= 0; i-- {
+		u := t.Parent(chain[i])
+		if err := connect(u, xbar.P, childSide(t, chain[i])); err != nil {
+			return fmt.Errorf("circuit: %s at switch %d: %v", c, u, err)
+		}
+	}
+	return nil
+}

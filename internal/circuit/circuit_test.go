@@ -1,0 +1,126 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+	"cst/internal/xbar"
+)
+
+func switchSet(t *topology.Tree) map[topology.Node]*xbar.Switch {
+	m := map[topology.Node]*xbar.Switch{}
+	t.EachSwitch(func(n topology.Node) { m[n] = xbar.NewSwitch() })
+	return m
+}
+
+func TestConfigureAdjacentPair(t *testing.T) {
+	tr := topology.MustNew(4)
+	switches := switchSet(tr)
+	if err := Configure(tr, switches, comm.Comm{Src: 0, Dst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Only the parent of leaves 0 and 1 (node 2) is touched: l->r.
+	if got := switches[2].Config().String(); got != "[l->r]" {
+		t.Fatalf("node 2 config = %s", got)
+	}
+	if switches[1].Units() != 0 || switches[3].Units() != 0 {
+		t.Fatal("untouched switches must stay idle")
+	}
+}
+
+func TestConfigureFullSpan(t *testing.T) {
+	tr := topology.MustNew(8)
+	switches := switchSet(tr)
+	if err := Configure(tr, switches, comm.Comm{Src: 0, Dst: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Up: node 4 (l->p), node 2 (l->p); turn at root (l->r); down: node 3
+	// (p->r), node 7 (p->r).
+	wants := map[topology.Node]string{
+		4: "[l->p]", 2: "[l->p]", 1: "[l->r]", 3: "[p->r]", 7: "[p->r]",
+	}
+	for n, want := range wants {
+		if got := switches[n].Config().String(); got != want {
+			t.Errorf("node %d config = %s, want %s", n, got, want)
+		}
+	}
+	// Total connections = number of path switches.
+	total := 0
+	for _, sw := range switches {
+		total += sw.Units()
+	}
+	if total != 5 {
+		t.Fatalf("total units = %d, want 5", total)
+	}
+}
+
+func TestConfigureRightSubtreeSource(t *testing.T) {
+	tr := topology.MustNew(8)
+	switches := switchSet(tr)
+	// Source 3 hangs right of node 5; node 5 must connect r->p.
+	if err := Configure(tr, switches, comm.Comm{Src: 3, Dst: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := switches[5].Config().String(); got != "[r->p]" {
+		t.Fatalf("node 5 config = %s", got)
+	}
+	if got := switches[6].Config().String(); got != "[p->l]" {
+		t.Fatalf("node 6 config = %s", got)
+	}
+}
+
+func TestConfigureRejectsBadComms(t *testing.T) {
+	tr := topology.MustNew(8)
+	switches := switchSet(tr)
+	if err := Configure(tr, switches, comm.Comm{Src: 5, Dst: 2}); err == nil {
+		t.Error("left-oriented: want error")
+	}
+	if err := Configure(tr, switches, comm.Comm{Src: -1, Dst: 2}); err == nil {
+		t.Error("negative src: want error")
+	}
+	if err := Configure(tr, switches, comm.Comm{Src: 0, Dst: 8}); err == nil {
+		t.Error("out of range dst: want error")
+	}
+}
+
+func TestConfigureNilSwitch(t *testing.T) {
+	tr := topology.MustNew(8)
+	if err := Configure(tr, map[topology.Node]*xbar.Switch{}, comm.Comm{Src: 0, Dst: 7}); err == nil {
+		t.Error("missing switches: want error")
+	}
+}
+
+// Property: a random circuit touches exactly HopCount switches, each with
+// one connection.
+func TestConfigureTouchesExactlyPathSwitches(t *testing.T) {
+	tr := topology.MustNew(64)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Intn(64), rng.Intn(64)
+		if a >= b {
+			continue
+		}
+		switches := switchSet(tr)
+		if err := Configure(tr, switches, comm.Comm{Src: a, Dst: b}); err != nil {
+			t.Fatal(err)
+		}
+		hops, err := tr.HopCount(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		touched := 0
+		for _, sw := range switches {
+			if sw.Units() > 0 {
+				if sw.Units() != 1 {
+					t.Fatalf("%d->%d: a switch made %d connections", a, b, sw.Units())
+				}
+				touched++
+			}
+		}
+		if touched != hops {
+			t.Fatalf("%d->%d: touched %d switches, path has %d", a, b, touched, hops)
+		}
+	}
+}

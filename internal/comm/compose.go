@@ -1,0 +1,76 @@
+package comm
+
+import "fmt"
+
+// Combinators for building structured workloads out of smaller sets. All
+// return new sets and never mutate their inputs.
+
+// Translate shifts every endpoint by offset (PE i becomes i+offset) onto a
+// line of newN PEs. Errors when any endpoint would leave [0, newN).
+func (s *Set) Translate(offset, newN int) (*Set, error) {
+	out := &Set{N: newN}
+	for _, c := range s.Comms {
+		nc := Comm{Src: c.Src + offset, Dst: c.Dst + offset}
+		if nc.Src < 0 || nc.Src >= newN || nc.Dst < 0 || nc.Dst >= newN {
+			return nil, fmt.Errorf("comm: translate by %d moves %s out of [0,%d)", offset, c, newN)
+		}
+		out.Comms = append(out.Comms, nc)
+	}
+	return out, nil
+}
+
+// Concat places b's PE line immediately to the right of a's: the result has
+// a.N + b.N PEs (the sum must be a power of two for CST use; Concat itself
+// does not require it). Well-nestedness is preserved: the two halves are
+// disjoint.
+func Concat(a, b *Set) *Set {
+	out := &Set{N: a.N + b.N}
+	out.Comms = append(out.Comms, a.Comms...)
+	for _, c := range b.Comms {
+		out.Comms = append(out.Comms, Comm{Src: c.Src + a.N, Dst: c.Dst + a.N})
+	}
+	return out
+}
+
+// Nest wraps s in one enclosing communication: the result has s.N + 2 PEs
+// with a new source at PE 0 and a new destination at the last PE, and s
+// shifted right by one. Nesting a well-nested set stays well nested and
+// increases the maximum depth by one.
+func Nest(s *Set) *Set {
+	out := &Set{N: s.N + 2}
+	out.Comms = append(out.Comms, Comm{Src: 0, Dst: s.N + 1})
+	for _, c := range s.Comms {
+		out.Comms = append(out.Comms, Comm{Src: c.Src + 1, Dst: c.Dst + 1})
+	}
+	return out
+}
+
+// Within returns the communications fully contained in the half-open PE
+// interval [lo, hi), renumbered to a fresh line of hi-lo PEs.
+func (s *Set) Within(lo, hi int) (*Set, error) {
+	if lo < 0 || hi > s.N || lo >= hi {
+		return nil, fmt.Errorf("comm: bad interval [%d,%d) for N=%d", lo, hi, s.N)
+	}
+	out := &Set{N: hi - lo}
+	for _, c := range s.Comms {
+		a, b := c.Src, c.Dst
+		if a > b {
+			a, b = b, a
+		}
+		if a >= lo && b < hi {
+			out.Comms = append(out.Comms, Comm{Src: c.Src - lo, Dst: c.Dst - lo})
+		}
+	}
+	return out, nil
+}
+
+// Pad returns the set on a wider line of newN PEs (endpoints unchanged).
+// Errors when newN is smaller than N.
+func (s *Set) Pad(newN int) (*Set, error) {
+	if newN < s.N {
+		return nil, fmt.Errorf("comm: cannot pad N=%d down to %d", s.N, newN)
+	}
+	out := s.Clone()
+	out.N = newN
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package comm
+
+import (
+	"testing"
+
+	"cst/internal/topology"
+)
+
+func TestTranslate(t *testing.T) {
+	s := MustParse("(())")
+	moved, err := s.Translate(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.String() != "....(())" {
+		t.Fatalf("translate = %q", moved.String())
+	}
+	if !moved.IsWellNested() {
+		t.Fatal("translate must preserve well-nestedness")
+	}
+	if _, err := s.Translate(7, 8); err == nil {
+		t.Error("out-of-range translate: want error")
+	}
+	if _, err := s.Translate(-1, 8); err == nil {
+		t.Error("negative translate: want error")
+	}
+	// Original untouched.
+	if s.String() != "(())" {
+		t.Fatal("Translate mutated its receiver")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustParse("(())")
+	b := MustParse("(.).")
+	c := Concat(a, b)
+	if c.N != 8 {
+		t.Fatalf("N = %d", c.N)
+	}
+	if c.String() != "(())(.)." {
+		t.Fatalf("concat = %q", c.String())
+	}
+	if !c.IsWellNested() {
+		t.Fatal("concat of well-nested sets must stay well nested")
+	}
+	w, err := c.Width(topology.MustNew(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Fatalf("width = %d", w)
+	}
+}
+
+func TestNest(t *testing.T) {
+	inner := MustParse("()")
+	nested := Nest(inner)
+	if nested.String() != "(())" {
+		t.Fatalf("nest = %q", nested.String())
+	}
+	d, err := nested.MaxDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("depth = %d", d)
+	}
+	// Nest three times: depth grows accordingly.
+	deep := Nest(Nest(nested))
+	d, err = deep.MaxDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 {
+		t.Fatalf("deep depth = %d", d)
+	}
+	if deep.N != 8 {
+		t.Fatalf("deep N = %d", deep.N)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	s := MustParse("(())(.).")
+	sub, err := s.Within(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.String() != "(.)." {
+		t.Fatalf("within = %q", sub.String())
+	}
+	// Communications straddling the cut are dropped.
+	whole, err := s.Within(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Len() != 2 { // (1,2) and (4,6); (0,3) straddles
+		t.Fatalf("straddle filter wrong: %v", whole.Comms)
+	}
+	if _, err := s.Within(5, 3); err == nil {
+		t.Error("inverted interval: want error")
+	}
+	if _, err := s.Within(0, 99); err == nil {
+		t.Error("oversized interval: want error")
+	}
+}
+
+func TestPad(t *testing.T) {
+	s := MustParse("(())")
+	p, err := s.Pad(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 16 || p.Len() != 2 {
+		t.Fatalf("pad = %s", p.Summary())
+	}
+	if _, err := s.Pad(2); err == nil {
+		t.Error("shrinking pad: want error")
+	}
+}
+
+// Compose a forest out of combinators and schedule it: combinators feed the
+// engine directly.
+func TestComposedWorkloadSchedules(t *testing.T) {
+	chain := MustParse("((()))")      // depth 3 over 8 PEs (after Parse pads)
+	forest := Concat(chain, chain)    // 16 PEs
+	forest2 := Concat(forest, forest) // 32 PEs
+	if forest2.N != 32 {
+		t.Fatalf("N = %d", forest2.N)
+	}
+	if !forest2.IsWellNested() {
+		t.Fatal("composed forest must be well nested")
+	}
+	tr := topology.MustNew(32)
+	w, err := forest2.Width(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 2 {
+		t.Fatalf("width = %d", w)
+	}
+}

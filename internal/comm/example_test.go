@@ -1,0 +1,46 @@
+package comm_test
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+// Parse a communication set from the paper's Fig. 2 notation, then inspect
+// its structure.
+func ExampleParse() {
+	set, err := comm.Parse("(()).()")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	depth, _ := set.MaxDepth()
+	fmt.Println(set.Len(), "communications, depth", depth)
+	// Output:
+	// 3 communications, depth 2
+}
+
+// Width is the paper's w: the maximum number of communications that need
+// the same tree link in the same direction.
+func ExampleSet_Width() {
+	set, _ := comm.NestedChain(16, 4)
+	tree := topology.MustNew(16)
+	w, _ := set.Width(tree)
+	fmt.Println("width", w)
+	// Output:
+	// width 4
+}
+
+// Decompose splits a two-sided set into the two oriented halves the
+// scheduler consumes.
+func ExampleDecompose() {
+	set := comm.NewSet(8,
+		comm.Comm{Src: 0, Dst: 3}, // rightward
+		comm.Comm{Src: 7, Dst: 4}, // leftward
+	)
+	right, leftMirrored := comm.Decompose(set)
+	fmt.Println(right.Len(), "rightward;", leftMirrored.Len(), "leftward (mirrored to", leftMirrored.Comms[0].String()+")")
+	// Output:
+	// 1 rightward; 1 leftward (mirrored to 0->3)
+}

@@ -1,0 +1,88 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+
+	"cst/internal/topology"
+)
+
+// FuzzParse feeds arbitrary strings to the parser: it must never panic, and
+// anything it accepts must round-trip, validate, and be well nested.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "()", "(())", "(.)(.)", "((((((((", "))))", "(x)", "._.",
+		"((.)((.)..).)(.)", strings.Repeat("()", 40),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		s, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted set does not validate: %v (%q)", err, expr)
+		}
+		if !s.IsWellNested() {
+			t.Fatalf("accepted set not well nested: %q", expr)
+		}
+		// String() must reproduce the parsed structure: re-parsing it gives
+		// the same communications.
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v (%q -> %q)", err, expr, s.String())
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round trip changed size: %d -> %d (%q)", s.Len(), back.Len(), expr)
+		}
+		want := map[Comm]bool{}
+		for _, c := range s.Comms {
+			want[c] = true
+		}
+		for _, c := range back.Comms {
+			if !want[c] {
+				t.Fatalf("round trip changed comms: %v not in %v", c, s.Comms)
+			}
+		}
+	})
+}
+
+// FuzzWidthDepth checks width <= depth on every accepted expression.
+func FuzzWidthDepth(f *testing.F) {
+	f.Add("((((()))))")
+	f.Add("()()()()")
+	f.Add("((.)((.)..).)(.)")
+	trees := map[int]*topology.Tree{}
+	f.Fuzz(func(t *testing.T, expr string) {
+		if len(expr) > 512 {
+			return
+		}
+		s, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		tr := trees[s.N]
+		if tr == nil {
+			tr, err = topology.New(s.N)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trees[s.N] = tr
+		}
+		w, err := s.Width(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := s.MaxDepth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w > d {
+			t.Fatalf("width %d > depth %d for %q", w, d, expr)
+		}
+		if (s.Len() == 0) != (w == 0) {
+			t.Fatalf("width/emptiness mismatch for %q", expr)
+		}
+	})
+}

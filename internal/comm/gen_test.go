@@ -1,0 +1,343 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cst/internal/topology"
+)
+
+func TestRandomDyckBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for m := 0; m <= 20; m++ {
+		w := RandomDyck(rng, m)
+		if len(w) != 2*m {
+			t.Fatalf("m=%d: length %d", m, len(w))
+		}
+		depth := 0
+		for _, ch := range w {
+			if ch == '(' {
+				depth++
+			} else {
+				depth--
+			}
+			if depth < 0 {
+				t.Fatalf("m=%d: negative depth in %s", m, w)
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("m=%d: unbalanced %s", m, w)
+		}
+	}
+}
+
+func TestRandomDyckDistribution(t *testing.T) {
+	// For m=3 there are 5 Dyck words; a uniform sampler should hit all of
+	// them over 2000 draws, each with frequency within a loose band.
+	rng := rand.New(rand.NewSource(42))
+	counts := map[string]int{}
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		counts[string(RandomDyck(rng, 3))]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("expected 5 distinct Dyck words for m=3, got %d: %v", len(counts), counts)
+	}
+	for w, c := range counts {
+		if c < draws/10 || c > draws*3/5 {
+			t.Errorf("word %s drawn %d/%d times; distribution looks skewed", w, c, draws)
+		}
+	}
+}
+
+func TestRandomWellNestedProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 << (2 + rng.Intn(6)) // 4..128
+		m := rng.Intn(n/2 + 1)
+		s, err := RandomWellNested(rng, n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generated set invalid: %v (%s)", err, s)
+		}
+		if !s.IsWellNested() {
+			t.Fatalf("generated set not well nested: %s", s)
+		}
+		if s.Len() != m {
+			t.Fatalf("generated %d comms, want %d", s.Len(), m)
+		}
+	}
+}
+
+func TestRandomWellNestedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomWellNested(rng, 6, 1); err == nil {
+		t.Error("non power of two: want error")
+	}
+	if _, err := RandomWellNested(rng, 8, 5); err == nil {
+		t.Error("too many comms: want error")
+	}
+}
+
+// Only nested communications can share a directed tree link, so the link
+// width is bounded by the maximum nesting depth; and a root-crossing chain
+// realizes its depth exactly as link congestion.
+func TestWidthBoundedByMaxDepthProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trees := map[int]*topology.Tree{}
+	f := func(seed int64) bool {
+		n := 1 << (2 + rng.Intn(5)) // 4..64
+		m := rng.Intn(n/2 + 1)
+		s, err := RandomWellNested(rand.New(rand.NewSource(seed)), n, m)
+		if err != nil {
+			return false
+		}
+		tr := trees[n]
+		if tr == nil {
+			tr = topology.MustNew(n)
+			trees[n] = tr
+		}
+		w, err := s.Width(tr)
+		if err != nil {
+			return false
+		}
+		d, err := s.MaxDepth()
+		if err != nil {
+			return false
+		}
+		if w > d {
+			return false
+		}
+		return (m == 0) == (w == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedChainWidthEqualsDepth(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7, 16} {
+		s, err := NestedChain(64, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Width(topology.MustNew(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("NestedChain(64,%d) width = %d", w, got)
+		}
+	}
+}
+
+func TestRandomWellNestedWidthExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, m, w int }{
+		{16, 4, 2}, {32, 8, 3}, {64, 16, 1}, {64, 20, 5}, {128, 32, 10},
+	} {
+		s, err := RandomWellNestedWidth(rng, tc.n, tc.m, tc.w)
+		if err != nil {
+			t.Fatalf("n=%d m=%d w=%d: %v", tc.n, tc.m, tc.w, err)
+		}
+		if !s.IsWellNested() {
+			t.Fatalf("n=%d m=%d: not well nested: %s", tc.n, tc.m, s)
+		}
+		got, err := s.Width(topology.MustNew(tc.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.w {
+			t.Fatalf("n=%d m=%d: got width %d, want %d", tc.n, tc.m, got, tc.w)
+		}
+	}
+	if _, err := RandomWellNestedWidth(rng, 8, 2, 0); err == nil {
+		t.Error("width 0: want error")
+	}
+	if _, err := RandomWellNestedWidth(rng, 8, 8, 2); err == nil {
+		t.Error("m too large: want error")
+	}
+}
+
+func TestNestedChain(t *testing.T) {
+	s, err := NestedChain(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsWellNested() {
+		t.Fatalf("chain not well nested: %s", s)
+	}
+	d, _ := s.MaxDepth()
+	if d != 5 {
+		t.Fatalf("chain depth %d, want 5", d)
+	}
+	// Every communication must be matched at the root: src < 8 <= dst.
+	for _, c := range s.Comms {
+		if c.Src >= 8 || c.Dst < 8 {
+			t.Fatalf("chain comm %s does not cross the root", c)
+		}
+	}
+	if _, err := NestedChain(8, 5); err == nil {
+		t.Error("overfull chain: want error")
+	}
+}
+
+func TestCompactChain(t *testing.T) {
+	s, err := CompactChain(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.MaxDepth()
+	if d != 4 {
+		t.Fatalf("depth %d, want 4", d)
+	}
+	for _, c := range s.Comms {
+		if c.Dst >= 8 {
+			t.Fatalf("compact chain escapes its 2w prefix: %s", c)
+		}
+	}
+	if _, err := CompactChain(4, 3); err == nil {
+		t.Error("overfull compact chain: want error")
+	}
+}
+
+func TestDisjointPairs(t *testing.T) {
+	s, err := DisjointPairs(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.MaxDepth()
+	if d != 1 {
+		t.Fatalf("comb depth %d, want 1", d)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("pairs %d, want 4", s.Len())
+	}
+	if _, err := DisjointPairs(4, 3); err == nil {
+		t.Error("overfull comb: want error")
+	}
+}
+
+func TestSiblingForest(t *testing.T) {
+	s, err := SiblingForest(64, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsWellNested() {
+		t.Fatalf("forest not well nested: %s", s)
+	}
+	d, _ := s.MaxDepth()
+	if d != 3 {
+		t.Fatalf("forest depth %d, want 3", d)
+	}
+	if s.Len() != 12 {
+		t.Fatalf("forest size %d, want 12", s.Len())
+	}
+	w, err := s.Width(topology.MustNew(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 {
+		t.Fatalf("forest width %d, want 3", w)
+	}
+	if _, err := SiblingForest(8, 4, 3); err == nil {
+		t.Error("overfull forest: want error")
+	}
+	if _, err := SiblingForest(64, 3, 2); err == nil {
+		t.Error("non power-of-two groups: want error")
+	}
+}
+
+func TestStaircase(t *testing.T) {
+	s, err := Staircase(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsWellNested() {
+		t.Fatalf("staircase not well nested: %s", s)
+	}
+	d, _ := s.MaxDepth()
+	if d != 2 {
+		t.Fatalf("staircase depth %d, want 2", d)
+	}
+	if _, err := Staircase(8, 4); err == nil {
+		t.Error("overfull staircase: want error")
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	s, err := BitReversal(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsRightOriented() {
+		t.Fatal("bit reversal pairs must be oriented rightward")
+	}
+	// 16 PEs: palindromic indices 0,6,9,15 map to themselves; the other 12
+	// form 6 pairs.
+	if s.Len() != 6 {
+		t.Fatalf("pairs = %d, want 6", s.Len())
+	}
+	// Specific known pair: 1 (0001) <-> 8 (1000).
+	found := false
+	for _, c := range s.Comms {
+		if c == (Comm{Src: 1, Dst: 8}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pair 1->8 missing: %v", s.Comms)
+	}
+	// Bit reversal famously crosses: for n >= 16 it is not well nested.
+	if s.IsWellNested() {
+		t.Fatal("bit reversal should cross")
+	}
+	if _, err := BitReversal(12); err == nil {
+		t.Error("non power of two: want error")
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	cases := []struct{ v, bits, want int }{
+		{0, 4, 0}, {1, 4, 8}, {3, 4, 12}, {5, 3, 5}, {6, 3, 3}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := reverseBits(c.v, c.bits); got != c.want {
+			t.Errorf("reverseBits(%d,%d) = %d, want %d", c.v, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestRandomOrientedAndTwoSided(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := RandomOriented(rng, 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsRightOriented() {
+		t.Fatal("RandomOriented must be right oriented")
+	}
+	ts, err := RandomTwoSided(rng, 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	right, leftM := Decompose(ts)
+	if right.Len()+leftM.Len() != ts.Len() {
+		t.Fatal("decompose must partition")
+	}
+	if _, err := RandomOriented(rng, 8, 5); err == nil {
+		t.Error("overfull: want error")
+	}
+}

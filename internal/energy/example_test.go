@@ -1,0 +1,25 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"cst/internal/baseline"
+	"cst/internal/comm"
+	"cst/internal/energy"
+	"cst/internal/power"
+	"cst/internal/topology"
+)
+
+// Price the same schedule under the paper's model and under a model where
+// holding a connection costs a quarter unit per round.
+func ExampleEvaluate() {
+	tree := topology.MustNew(64)
+	set, _ := comm.NestedChain(64, 8)
+	res, _ := baseline.DepthID(tree, set, baseline.OutermostFirst, power.Stateful)
+
+	paper := energy.Evaluate(tree, res.Configs, energy.Paper)
+	holdCosts := energy.Evaluate(tree, res.Configs, energy.Model{SetCost: 1, HoldCost: 0.25})
+	fmt.Printf("paper model: E=%.0f; with hold cost: E=%.0f\n", paper.Total, holdCosts.Total)
+	// Output:
+	// paper model: E=33; with hold cost: E=63
+}

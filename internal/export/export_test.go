@@ -1,0 +1,141 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/padr"
+	"cst/internal/topology"
+)
+
+func runExample(t *testing.T) *padr.Result {
+	t.Helper()
+	s := comm.MustParse("((.)(.))")
+	e, err := padr.New(topology.MustNew(8), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	res := runExample(t)
+	var buf bytes.Buffer
+	if err := WriteScheduleJSON(&buf, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSchedule(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRounds() != res.Schedule.NumRounds() {
+		t.Fatalf("rounds %d != %d", back.NumRounds(), res.Schedule.NumRounds())
+	}
+	if back.TotalScheduled() != res.Schedule.TotalScheduled() {
+		t.Fatalf("comms %d != %d", back.TotalScheduled(), res.Schedule.TotalScheduled())
+	}
+	// The reconstructed schedule must still verify against the topology.
+	if err := back.Verify(topology.MustNew(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalScheduleErrors(t *testing.T) {
+	if _, err := UnmarshalSchedule([]byte("{")); err == nil {
+		t.Error("truncated JSON: want error")
+	}
+	bad := ScheduleJSON{N: 4, Rounds: [][][2]int{{{0, 9}}}}
+	raw, _ := json.Marshal(bad)
+	if _, err := UnmarshalSchedule(raw); err == nil {
+		t.Error("invalid endpoints: want error")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	res := runExample(t)
+	var buf bytes.Buffer
+	if err := WriteReportJSON(&buf, res.Report); err != nil {
+		t.Fatal(err)
+	}
+	var wire ReportJSON
+	if err := json.Unmarshal(buf.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Algorithm != "padr" || wire.Mode != "stateful" {
+		t.Fatalf("header wrong: %+v", wire)
+	}
+	if wire.TotalUnits != res.Report.TotalUnits() || wire.MaxUnits != res.Report.MaxUnits() {
+		t.Fatalf("units wrong: %+v", wire)
+	}
+	sum := 0
+	for _, sw := range wire.Switches {
+		if sw.Units == 0 && sw.Alternations == 0 {
+			t.Fatalf("idle switch exported: %+v", sw)
+		}
+		sum += sw.Units
+	}
+	if sum != wire.TotalUnits {
+		t.Fatalf("per-switch sum %d != total %d", sum, wire.TotalUnits)
+	}
+}
+
+func TestResultJSON(t *testing.T) {
+	res := runExample(t)
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var wire ResultJSON
+	if err := json.Unmarshal(buf.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Width != res.Width || wire.Rounds != res.Rounds {
+		t.Fatalf("wire %+v", wire)
+	}
+	if wire.MaxStoredBytes != res.MaxStoredBytes || wire.UpWords != res.UpWords {
+		t.Fatalf("stats wrong: %+v", wire)
+	}
+}
+
+func TestScheduleCSV(t *testing.T) {
+	res := runExample(t)
+	var buf bytes.Buffer
+	if err := ScheduleCSV(&buf, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "round,src,dst" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 1+res.Schedule.TotalScheduled() {
+		t.Fatalf("%d lines for %d comms", len(lines), res.Schedule.TotalScheduled())
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	res := runExample(t)
+	var buf bytes.Buffer
+	if err := ReportCSV(&buf, res.Report); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "node,units,alternations\n") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if strings.Count(out, "\n") < 2 {
+		t.Fatalf("no switch rows: %q", out)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := Sanitize("a,b\nc\rd"); got != "a;b c d" {
+		t.Fatalf("Sanitize = %q", got)
+	}
+}

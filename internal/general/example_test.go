@@ -1,0 +1,42 @@
+package general_test
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/general"
+	"cst/internal/topology"
+)
+
+// Crossing sets — which the paper's algorithm excludes — schedule via
+// conflict coloring.
+func ExampleFirstFit() {
+	// (0,2) and (1,3) cross and share tree links: two rounds needed.
+	set := comm.NewSet(4, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 1, Dst: 3})
+	tree := topology.MustNew(4)
+	schedule, err := general.FirstFit(tree, set)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(schedule.NumRounds(), "rounds")
+	fmt.Println("valid:", schedule.Verify(tree) == nil)
+	// Output:
+	// 2 rounds
+	// valid: true
+}
+
+// Exact finds the true minimum round count by branch and bound.
+func ExampleExact() {
+	set, _ := comm.BitReversal(16) // the FFT exchange pattern: crossing-heavy
+	tree := topology.MustNew(16)
+	width, _ := set.Width(tree)
+	schedule, err := general.Exact(tree, set, 100000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("width %d, optimal rounds %d\n", width, schedule.NumRounds())
+	// Output:
+	// width 4, optimal rounds 4
+}

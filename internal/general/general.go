@@ -1,0 +1,280 @@
+// Package general schedules *arbitrary* right-oriented communication sets —
+// crossing spans allowed — on the CST, the first extension named in the
+// paper's concluding remarks ("the study of other communication patterns on
+// the CST").
+//
+// Scheduling is graph coloring: two communications conflict when their
+// circuits share a directed tree link, rounds are color classes, and the
+// width (maximum per-link congestion) is a clique-size lower bound on the
+// round count. The package provides
+//
+//   - the conflict graph itself,
+//   - FirstFit: assign each communication (in left-to-right source order)
+//     the first round whose links are all free — fast, no optimality
+//     promise,
+//   - Exact: branch-and-bound chromatic search — optimal, exponential worst
+//     case, bounded by an explicit node budget.
+//
+// Experiment E11 measures how often FirstFit is optimal and how often the
+// optimum exceeds the width lower bound.
+package general
+
+import (
+	"fmt"
+	"sort"
+
+	"cst/internal/comm"
+	"cst/internal/sched"
+	"cst/internal/topology"
+)
+
+// ConflictGraph is an adjacency list over communication indices (into
+// Set.Comms): i and j are adjacent when their circuits share a directed
+// link.
+type ConflictGraph struct {
+	// Adj[i] lists the neighbours of communication i, ascending.
+	Adj [][]int
+}
+
+// Degree returns the number of conflicts of communication i.
+func (g *ConflictGraph) Degree(i int) int { return len(g.Adj[i]) }
+
+// MaxDegree returns the largest degree.
+func (g *ConflictGraph) MaxDegree() int {
+	maxd := 0
+	for i := range g.Adj {
+		if len(g.Adj[i]) > maxd {
+			maxd = len(g.Adj[i])
+		}
+	}
+	return maxd
+}
+
+// Edges returns the number of conflict pairs.
+func (g *ConflictGraph) Edges() int {
+	total := 0
+	for i := range g.Adj {
+		total += len(g.Adj[i])
+	}
+	return total / 2
+}
+
+// Conflicts builds the conflict graph of a valid right-oriented set.
+func Conflicts(t *topology.Tree, s *comm.Set) (*ConflictGraph, error) {
+	if t.Leaves() != s.N {
+		return nil, fmt.Errorf("general: tree has %d leaves, set has N=%d", t.Leaves(), s.N)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.IsRightOriented() {
+		return nil, fmt.Errorf("general: set must be right oriented (decompose two-sided sets first)")
+	}
+	// users[edge] lists the communications whose circuit uses that directed
+	// link; every pair within one list conflicts.
+	users := make([][]int, t.DirectedEdgeCount())
+	for i, c := range s.Comms {
+		edges, err := t.PathEdges(c.Src, c.Dst)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range edges {
+			idx := t.EdgeIndex(e)
+			users[idx] = append(users[idx], i)
+		}
+	}
+	adjSet := make([]map[int]bool, s.Len())
+	for i := range adjSet {
+		adjSet[i] = map[int]bool{}
+	}
+	for _, list := range users {
+		for a := 0; a < len(list); a++ {
+			for b := a + 1; b < len(list); b++ {
+				adjSet[list[a]][list[b]] = true
+				adjSet[list[b]][list[a]] = true
+			}
+		}
+	}
+	g := &ConflictGraph{Adj: make([][]int, s.Len())}
+	for i, set := range adjSet {
+		for j := range set {
+			g.Adj[i] = append(g.Adj[i], j)
+		}
+		sort.Ints(g.Adj[i])
+	}
+	return g, nil
+}
+
+// FirstFit schedules the set by scanning communications in left-to-right
+// source order and placing each in the lowest-numbered round where all of
+// its links are free. The result is a valid schedule with at most
+// MaxDegree+1 rounds; on well-nested sets it uses exactly the width.
+func FirstFit(t *topology.Tree, s *comm.Set) (*sched.Schedule, error) {
+	g, err := Conflicts(t, s)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, s.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return s.Comms[order[a]].Src < s.Comms[order[b]].Src })
+	colors := assignGreedy(g, order)
+	return scheduleFromColors(s, colors), nil
+}
+
+// Exact finds a minimum-round schedule by branch-and-bound chromatic
+// search, seeded with the FirstFit solution as the incumbent. nodeBudget
+// bounds the search-tree size; when exhausted, Exact returns the best
+// schedule found so far along with ErrBudget.
+func Exact(t *topology.Tree, s *comm.Set, nodeBudget int) (*sched.Schedule, error) {
+	g, err := Conflicts(t, s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Len() == 0 {
+		return &sched.Schedule{Set: s.Clone()}, nil
+	}
+	// Incumbent: greedy in descending-degree order (Welsh–Powell), often
+	// tighter than source order.
+	order := make([]int, s.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return g.Degree(order[a]) > g.Degree(order[b]) })
+	best := assignGreedy(g, order)
+	bestK := numColors(best)
+
+	width, err := s.Width(t)
+	if err != nil {
+		return nil, err
+	}
+
+	bb := &searcher{g: g, order: order, budget: nodeBudget}
+	cur := make([]int, s.Len())
+	for i := range cur {
+		cur[i] = -1
+	}
+	if improved, _ := bb.search(cur, 0, 0, bestK, width); improved != nil {
+		best = improved
+	}
+	schedule := scheduleFromColors(s, best)
+	if bb.exhausted {
+		return schedule, ErrBudget
+	}
+	return schedule, nil
+}
+
+// ErrBudget reports that Exact ran out of search nodes; the schedule
+// returned alongside is the best incumbent, valid but possibly suboptimal.
+var ErrBudget = fmt.Errorf("general: search budget exhausted; result may be suboptimal")
+
+type searcher struct {
+	g         *ConflictGraph
+	order     []int
+	budget    int
+	exhausted bool
+}
+
+// search assigns colors to order[pos:] with at most `limit-1`+1 colors,
+// returning an improved complete coloring (or nil) and its color count.
+// lower is the clique lower bound: once limit == lower the incumbent is
+// provably optimal and the search stops.
+func (b *searcher) search(cur []int, pos, used, limit, lower int) ([]int, int) {
+	if limit <= lower {
+		return nil, 0
+	}
+	if b.budget <= 0 {
+		b.exhausted = true
+		return nil, 0
+	}
+	b.budget--
+	if pos == len(b.order) {
+		if used >= limit {
+			return nil, 0
+		}
+		out := append([]int(nil), cur...)
+		return out, used
+	}
+	v := b.order[pos]
+	var bestSol []int
+	bestK := limit
+	// Try existing colors, then one fresh color; never exceed color index
+	// bestK-2 so every completion strictly improves the incumbent. bestK
+	// may tighten mid-loop, so the bound is re-checked per iteration.
+	for c := 0; c <= used && c < len(b.g.Adj); c++ {
+		if c > bestK-2 {
+			break
+		}
+		ok := true
+		for _, nb := range b.g.Adj[v] {
+			if cur[nb] == c {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		cur[v] = c
+		newUsed := used
+		if c == used {
+			newUsed = used + 1
+		}
+		if sol, k := b.search(cur, pos+1, newUsed, bestK, lower); sol != nil && k < bestK {
+			bestSol, bestK = sol, k
+			if bestK <= lower {
+				cur[v] = -1
+				return bestSol, bestK
+			}
+		}
+		cur[v] = -1
+		if b.exhausted {
+			break
+		}
+	}
+	return bestSol, bestK
+}
+
+// assignGreedy colors vertices in the given order with the smallest legal
+// color.
+func assignGreedy(g *ConflictGraph, order []int) []int {
+	colors := make([]int, len(g.Adj))
+	for i := range colors {
+		colors[i] = -1
+	}
+	for _, v := range order {
+		used := map[int]bool{}
+		for _, nb := range g.Adj[v] {
+			if colors[nb] >= 0 {
+				used[colors[nb]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+func numColors(colors []int) int {
+	maxc := -1
+	for _, c := range colors {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	return maxc + 1
+}
+
+// scheduleFromColors groups communications by color into rounds.
+func scheduleFromColors(s *comm.Set, colors []int) *sched.Schedule {
+	k := numColors(colors)
+	rounds := make([][]comm.Comm, k)
+	for i, c := range colors {
+		rounds[c] = append(rounds[c], s.Comms[i])
+	}
+	return &sched.Schedule{Set: s.Clone(), Rounds: rounds}
+}

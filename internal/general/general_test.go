@@ -1,0 +1,243 @@
+package general
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/padr"
+	"cst/internal/topology"
+)
+
+func TestConflictsBasics(t *testing.T) {
+	tr := topology.MustNew(8)
+	// (0,2) and (1,3) cross and share links; (5,6) is far away.
+	s := comm.NewSet(8, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 1, Dst: 3}, comm.Comm{Src: 5, Dst: 6})
+	g, err := Conflicts(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.Edges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	if g.MaxDegree() != 1 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+}
+
+func TestConflictsRejectsBadInput(t *testing.T) {
+	tr := topology.MustNew(8)
+	if _, err := Conflicts(tr, comm.MustParse("(())")); err == nil {
+		t.Error("size mismatch: want error")
+	}
+	leftward := comm.NewSet(8, comm.Comm{Src: 5, Dst: 1})
+	if _, err := Conflicts(tr, leftward); err == nil {
+		t.Error("left-oriented: want error")
+	}
+	invalid := comm.NewSet(8, comm.Comm{Src: 0, Dst: 20})
+	if _, err := Conflicts(tr, invalid); err == nil {
+		t.Error("invalid set: want error")
+	}
+}
+
+func TestFirstFitValid(t *testing.T) {
+	tr := topology.MustNew(32)
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 40; trial++ {
+		s, err := comm.RandomOriented(rng, 32, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := FirstFit(tr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sch.Verify(tr); err != nil {
+			t.Fatalf("set %v: %v", s.Comms, err)
+		}
+		w, err := s.Width(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sch.NumRounds() < w {
+			t.Fatalf("set %v: %d rounds beats the width bound %d", s.Comms, sch.NumRounds(), w)
+		}
+	}
+}
+
+// On well-nested sets FirstFit in source order is optimal: it matches the
+// width exactly, agreeing with PADR.
+func TestFirstFitOptimalOnWellNested(t *testing.T) {
+	tr := topology.MustNew(64)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		s, err := comm.RandomWellNested(rng, 64, rng.Intn(25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := FirstFit(tr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sch.VerifyOptimal(tr); err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		eng, err := padr.New(tr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sch.NumRounds() != res.Rounds {
+			t.Fatalf("set %s: first-fit %d rounds vs PADR %d", s, sch.NumRounds(), res.Rounds)
+		}
+	}
+}
+
+func TestExactNeverWorseThanFirstFit(t *testing.T) {
+	tr := topology.MustNew(32)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		s, err := comm.RandomOriented(rng, 32, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff, err := FirstFit(tr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := Exact(tr, s, 200000)
+		if err != nil && !errors.Is(err, ErrBudget) {
+			t.Fatal(err)
+		}
+		if err := ex.Verify(tr); err != nil {
+			t.Fatalf("set %v: %v", s.Comms, err)
+		}
+		if ex.NumRounds() > ff.NumRounds() {
+			t.Fatalf("set %v: exact %d rounds worse than first-fit %d", s.Comms, ex.NumRounds(), ff.NumRounds())
+		}
+		w, err := s.Width(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.NumRounds() < w {
+			t.Fatalf("set %v: exact %d rounds below width %d", s.Comms, ex.NumRounds(), w)
+		}
+	}
+}
+
+// The FFT bit-reversal exchange is the canonical crossing workload: the
+// general scheduler must handle it, and the optimum must sit between the
+// width lower bound and the first-fit upper bound.
+func TestBitReversalScheduling(t *testing.T) {
+	for _, n := range []int{16, 32, 64} {
+		tr := topology.MustNew(n)
+		s, err := comm.BitReversal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.IsWellNested() {
+			t.Fatalf("n=%d: bit reversal should cross", n)
+		}
+		w, err := s.Width(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff, err := FirstFit(tr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ff.Verify(tr); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ex, err := Exact(tr, s, 2_000_000)
+		if err != nil && err != ErrBudget {
+			t.Fatal(err)
+		}
+		if err := ex.Verify(tr); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ex.NumRounds() < w || ex.NumRounds() > ff.NumRounds() {
+			t.Fatalf("n=%d: optimum %d outside [width %d, first-fit %d]",
+				n, ex.NumRounds(), w, ff.NumRounds())
+		}
+		t.Logf("n=%d: width=%d exact=%d first-fit=%d", n, w, ex.NumRounds(), ff.NumRounds())
+	}
+}
+
+func TestExactEmptySet(t *testing.T) {
+	tr := topology.MustNew(8)
+	sch, err := Exact(tr, comm.NewSet(8), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.NumRounds() != 0 {
+		t.Fatalf("empty set: %d rounds", sch.NumRounds())
+	}
+}
+
+func TestExactBudgetExhaustion(t *testing.T) {
+	tr := topology.MustNew(64)
+	rng := rand.New(rand.NewSource(8))
+	s, err := comm.RandomOriented(rng, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := Exact(tr, s, 1)
+	if err == nil {
+		// With budget 1 the search may still conclude immediately when the
+		// greedy incumbent already meets the clique bound; only a non-budget
+		// error is a failure.
+		if vErr := sch.Verify(tr); vErr != nil {
+			t.Fatal(vErr)
+		}
+		return
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if vErr := sch.Verify(tr); vErr != nil {
+		t.Fatalf("budget-exhausted schedule must still be valid: %v", vErr)
+	}
+}
+
+// A hand-built case where first fit in source order is suboptimal but the
+// exact search recovers the optimum... at minimum, Exact must match the
+// known chromatic number of a crossing triple.
+func TestExactOnCrossingTriple(t *testing.T) {
+	tr := topology.MustNew(8)
+	// (0,2), (1,3): conflict. (1,3),(2,? ) — build a path in the conflict
+	// graph: (0,2)-(1,3) conflict; (1,3)-(2,5)? 2 is endpoint of first...
+	// use distinct PEs: (0,2),(1,4),(3,6): spans cross pairwise except
+	// (0,2) vs (3,6) which are disjoint.
+	s := comm.NewSet(8, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 1, Dst: 4}, comm.Comm{Src: 3, Dst: 6})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Conflicts(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the exact conflict structure, the chromatic number of a
+	// graph on 3 vertices with at least one edge is 2 or 3; Exact must hit
+	// it and Verify must pass.
+	ex, err := Exact(tr, s, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() > 0 && ex.NumRounds() < 2 {
+		t.Fatalf("conflicting comms in one round: %v", ex.Rounds)
+	}
+	if ex.NumRounds() > 3 {
+		t.Fatalf("3 comms cannot need %d rounds", ex.NumRounds())
+	}
+}

@@ -1,0 +1,27 @@
+package lemma_test
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/lemma"
+	"cst/internal/padr"
+	"cst/internal/topology"
+)
+
+// Machine-check Lemma 7's Q1/Q2 sequence structure on a run.
+func ExampleMonitor() {
+	set, _ := comm.NestedChain(32, 4)
+	tree := topology.MustNew(32)
+	var mon lemma.Monitor
+	engine, _ := padr.New(tree, set, padr.WithObserver(mon.Observer()))
+	if _, err := engine.Run(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("nodes observed:", mon.Nodes())
+	fmt.Println("Lemma 7 holds:", mon.Verify() == nil)
+	// Output:
+	// nodes observed: 62
+	// Lemma 7 holds: true
+}

@@ -1,0 +1,255 @@
+// Package online runs the scheduler against dynamically arriving traffic —
+// the setting a deployed CST interconnect actually faces, and a natural
+// extension of the paper's one-shot model.
+//
+// Requests (single communications) arrive over time. Whenever the fabric is
+// idle, the dispatcher drains a batch from the queue: it picks the
+// orientation with more pending requests, greedily builds a maximal
+// *well-nested* subset of that orientation in FIFO order (skipping requests
+// that would cross an accepted one), and runs the paper's algorithm on the
+// batch over the shared crossbars (leftward batches run through the
+// reflection adapter). A batch of width w occupies the fabric for w rounds;
+// arrivals continue to queue meanwhile.
+//
+// Reported metrics: per-request latency (completion round − arrival round),
+// batch shapes, and the cumulative power ledger — which stays small because
+// crossbars are shared across batches and held configurations are free.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cst/internal/comm"
+	"cst/internal/padr"
+	"cst/internal/power"
+	"cst/internal/topology"
+	"cst/internal/xbar"
+)
+
+// Request is one communication arriving at a given round.
+type Request struct {
+	// Comm is the communication (either orientation).
+	Comm comm.Comm
+	// Arrival is the round the request entered the queue.
+	Arrival int
+}
+
+// Completed records one fulfilled request.
+type Completed struct {
+	Request
+	// Dispatched is the round its batch started; Finished the round it
+	// completed.
+	Dispatched, Finished int
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Completed lists fulfilled requests in completion order.
+	Completed []Completed
+	// Batches counts dispatches; Rounds is the total fabric rounds
+	// consumed (busy rounds); IdleRounds counts rounds with an empty queue.
+	Batches, Rounds, IdleRounds int
+	// Report is the cumulative power ledger over the whole run.
+	Report *power.Report
+	// Leftover is the number of requests still queued when the run ended.
+	Leftover int
+}
+
+// MeanLatency returns the average completion latency in rounds.
+func (s *Stats) MeanLatency() float64 {
+	if len(s.Completed) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range s.Completed {
+		total += c.Finished - c.Arrival
+	}
+	return float64(total) / float64(len(s.Completed))
+}
+
+// MaxLatency returns the worst completion latency in rounds.
+func (s *Stats) MaxLatency() int {
+	maxl := 0
+	for _, c := range s.Completed {
+		if l := c.Finished - c.Arrival; l > maxl {
+			maxl = l
+		}
+	}
+	return maxl
+}
+
+// Simulator drives an online run.
+type Simulator struct {
+	tree     *topology.Tree
+	switches map[topology.Node]*xbar.Switch
+	queue    []Request
+	busyPE   []bool
+	now      int
+	stats    Stats
+}
+
+// New builds a simulator over a CST with n leaves.
+func New(n int) (*Simulator, error) {
+	t, err := topology.New(n)
+	if err != nil {
+		return nil, err
+	}
+	sim := &Simulator{
+		tree:     t,
+		switches: map[topology.Node]*xbar.Switch{},
+		busyPE:   make([]bool, n),
+	}
+	t.EachSwitch(func(nd topology.Node) { sim.switches[nd] = xbar.NewSwitch() })
+	return sim, nil
+}
+
+// Now returns the current round.
+func (s *Simulator) Now() int { return s.now }
+
+// QueueLen returns the number of pending requests.
+func (s *Simulator) QueueLen() int { return len(s.queue) }
+
+// Submit enqueues a request at the current round. It rejects requests whose
+// endpoints are already in use by a queued request (a PE sources or
+// receives one transfer at a time).
+func (s *Simulator) Submit(c comm.Comm) error {
+	n := s.tree.Leaves()
+	if c.Src < 0 || c.Src >= n || c.Dst < 0 || c.Dst >= n || c.Src == c.Dst {
+		return fmt.Errorf("online: bad request %s", c)
+	}
+	if s.busyPE[c.Src] || s.busyPE[c.Dst] {
+		return fmt.Errorf("online: endpoint of %s is busy", c)
+	}
+	s.busyPE[c.Src], s.busyPE[c.Dst] = true, true
+	s.queue = append(s.queue, Request{Comm: c, Arrival: s.now})
+	return nil
+}
+
+// SubmitRandom submits up to k random requests over currently free PEs,
+// returning how many were accepted.
+func (s *Simulator) SubmitRandom(rng *rand.Rand, k int) int {
+	accepted := 0
+	n := s.tree.Leaves()
+	for i := 0; i < k; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || s.busyPE[a] || s.busyPE[b] {
+			continue
+		}
+		if err := s.Submit(comm.Comm{Src: a, Dst: b}); err == nil {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// Tick advances one idle round (used when the caller wants time to pass
+// without dispatching).
+func (s *Simulator) Tick() {
+	s.now++
+	s.stats.IdleRounds++
+}
+
+// Dispatch drains one batch: it selects the dominant orientation, builds a
+// maximal FIFO well-nested batch, runs the scheduler, advances time by the
+// batch's round count, and frees the endpoints. It reports whether any work
+// was done.
+func (s *Simulator) Dispatch() (bool, error) {
+	if len(s.queue) == 0 {
+		return false, nil
+	}
+	rightward := 0
+	for _, r := range s.queue {
+		if r.Comm.RightOriented() {
+			rightward++
+		}
+	}
+	wantRight := rightward*2 >= len(s.queue)
+
+	// FIFO greedy well-nested batch of the chosen orientation.
+	var batch []Request
+	var rest []Request
+	for _, r := range s.queue {
+		c := r.Comm
+		if c.RightOriented() != wantRight {
+			rest = append(rest, r)
+			continue
+		}
+		oriented := c
+		if !wantRight {
+			oriented = comm.Comm{Src: s.tree.Leaves() - 1 - c.Src, Dst: s.tree.Leaves() - 1 - c.Dst}
+		}
+		crosses := false
+		for _, acc := range batch {
+			ac := acc.Comm
+			if !wantRight {
+				ac = comm.Comm{Src: s.tree.Leaves() - 1 - ac.Src, Dst: s.tree.Leaves() - 1 - ac.Dst}
+			}
+			if oriented.Crosses(ac) {
+				crosses = true
+				break
+			}
+		}
+		if crosses {
+			rest = append(rest, r)
+			continue
+		}
+		batch = append(batch, r)
+	}
+	if len(batch) == 0 {
+		// Everything of the dominant orientation crosses — cannot happen
+		// since a single request never crosses itself; defensive.
+		return false, fmt.Errorf("online: empty batch with %d pending", len(s.queue))
+	}
+
+	set := &comm.Set{N: s.tree.Leaves()}
+	for _, r := range batch {
+		c := r.Comm
+		if !wantRight {
+			c = comm.Comm{Src: s.tree.Leaves() - 1 - c.Src, Dst: s.tree.Leaves() - 1 - c.Dst}
+		}
+		set.Comms = append(set.Comms, c)
+	}
+	opt := padr.WithCrossbars(s.switches)
+	if !wantRight {
+		opt = padr.WithReflectedCrossbars(s.switches)
+	}
+	e, err := padr.New(s.tree, set, opt)
+	if err != nil {
+		return false, fmt.Errorf("online: batch %s: %v", set, err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		return false, fmt.Errorf("online: batch %s: %v", set, err)
+	}
+
+	dispatched := s.now
+	s.now += res.Rounds
+	s.stats.Rounds += res.Rounds
+	s.stats.Batches++
+	for _, r := range batch {
+		s.busyPE[r.Comm.Src], s.busyPE[r.Comm.Dst] = false, false
+		s.stats.Completed = append(s.stats.Completed, Completed{
+			Request: r, Dispatched: dispatched, Finished: s.now,
+		})
+	}
+	s.queue = rest
+	return true, nil
+}
+
+// Drain dispatches until the queue is empty.
+func (s *Simulator) Drain() error {
+	for len(s.queue) > 0 {
+		if _, err := s.Dispatch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish closes the run and returns the statistics.
+func (s *Simulator) Finish() *Stats {
+	s.stats.Leftover = len(s.queue)
+	s.stats.Report = power.Collect("online-padr", power.Stateful, s.stats.Rounds, s.tree, s.switches)
+	return &s.stats
+}

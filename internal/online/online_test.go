@@ -1,0 +1,179 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+)
+
+func TestSubmitValidation(t *testing.T) {
+	sim, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Submit(comm.Comm{Src: 0, Dst: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Submit(comm.Comm{Src: 5, Dst: 9}); err == nil {
+		t.Error("busy endpoint: want error")
+	}
+	if err := sim.Submit(comm.Comm{Src: 3, Dst: 3}); err == nil {
+		t.Error("self loop: want error")
+	}
+	if err := sim.Submit(comm.Comm{Src: 0, Dst: 99}); err == nil {
+		t.Error("out of range: want error")
+	}
+	if sim.QueueLen() != 1 {
+		t.Fatalf("queue = %d", sim.QueueLen())
+	}
+	if _, err := New(6); err == nil {
+		t.Error("non power of two: want error")
+	}
+}
+
+func TestDispatchSingleBatch(t *testing.T) {
+	sim, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two nested rightward requests: one batch of width 2.
+	mustSubmit(t, sim, comm.Comm{Src: 0, Dst: 15})
+	mustSubmit(t, sim, comm.Comm{Src: 1, Dst: 14})
+	worked, err := sim.Dispatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worked {
+		t.Fatal("dispatch did nothing")
+	}
+	if sim.Now() != 2 {
+		t.Fatalf("time advanced to %d, want 2 (width-2 batch)", sim.Now())
+	}
+	stats := sim.Finish()
+	if len(stats.Completed) != 2 || stats.Batches != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	for _, c := range stats.Completed {
+		if c.Finished != 2 || c.Arrival != 0 {
+			t.Fatalf("completion record: %+v", c)
+		}
+	}
+	if stats.MeanLatency() != 2 || stats.MaxLatency() != 2 {
+		t.Fatalf("latency: mean %v max %v", stats.MeanLatency(), stats.MaxLatency())
+	}
+}
+
+func TestDispatchSplitsOrientations(t *testing.T) {
+	sim, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, sim, comm.Comm{Src: 0, Dst: 3})   // rightward
+	mustSubmit(t, sim, comm.Comm{Src: 15, Dst: 12}) // leftward
+	mustSubmit(t, sim, comm.Comm{Src: 4, Dst: 7})   // rightward
+	if err := sim.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	stats := sim.Finish()
+	if stats.Batches != 2 {
+		t.Fatalf("batches = %d, want 2 (one per orientation)", stats.Batches)
+	}
+	if len(stats.Completed) != 3 || stats.Leftover != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestCrossingRequestsDeferred(t *testing.T) {
+	sim, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, sim, comm.Comm{Src: 0, Dst: 4})
+	mustSubmit(t, sim, comm.Comm{Src: 2, Dst: 6}) // crosses the first
+	worked, err := sim.Dispatch()
+	if err != nil || !worked {
+		t.Fatalf("dispatch: %v/%v", worked, err)
+	}
+	if sim.QueueLen() != 1 {
+		t.Fatalf("crossing request should remain queued, queue=%d", sim.QueueLen())
+	}
+	if err := sim.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	stats := sim.Finish()
+	if stats.Batches != 2 || len(stats.Completed) != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// The deferred request finished later than the first.
+	if stats.Completed[1].Finished <= stats.Completed[0].Finished {
+		t.Fatalf("deferral ordering wrong: %+v", stats.Completed)
+	}
+}
+
+// A random load run: everything submitted eventually completes, endpoints
+// recycle, and the shared crossbars keep per-switch power far below the
+// total round count.
+func TestRandomLoadRun(t *testing.T) {
+	sim, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	submitted := 0
+	for step := 0; step < 200; step++ {
+		submitted += sim.SubmitRandom(rng, 3)
+		if sim.QueueLen() >= 8 {
+			if _, err := sim.Dispatch(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			sim.Tick()
+		}
+	}
+	if err := sim.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	stats := sim.Finish()
+	if len(stats.Completed) != submitted {
+		t.Fatalf("completed %d of %d", len(stats.Completed), submitted)
+	}
+	if stats.Leftover != 0 {
+		t.Fatalf("leftover = %d", stats.Leftover)
+	}
+	if stats.MeanLatency() <= 0 {
+		t.Fatalf("mean latency = %v", stats.MeanLatency())
+	}
+	if stats.Report.MaxUnits() > 3*stats.Rounds {
+		t.Fatalf("power out of range: %s over %d rounds", stats.Report.Summary(), stats.Rounds)
+	}
+	t.Logf("submitted=%d batches=%d busyRounds=%d meanLat=%.1f maxLat=%d power=%s",
+		submitted, stats.Batches, stats.Rounds, stats.MeanLatency(), stats.MaxLatency(),
+		stats.Report.Summary())
+}
+
+func TestDispatchEmptyQueue(t *testing.T) {
+	sim, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worked, err := sim.Dispatch()
+	if err != nil || worked {
+		t.Fatalf("empty dispatch: %v/%v", worked, err)
+	}
+	sim.Tick()
+	if sim.Now() != 1 {
+		t.Fatalf("tick did not advance time")
+	}
+	stats := sim.Finish()
+	if stats.IdleRounds != 1 {
+		t.Fatalf("idle rounds = %d", stats.IdleRounds)
+	}
+}
+
+func mustSubmit(t *testing.T, sim *Simulator, c comm.Comm) {
+	t.Helper()
+	if err := sim.Submit(c); err != nil {
+		t.Fatal(err)
+	}
+}

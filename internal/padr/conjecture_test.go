@@ -1,0 +1,48 @@
+package padr
+
+import (
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+// Empirical conjecture about the conservative rule's round overhead: on
+// every input we have observed, rounds <= width + maxDepth. Intuition: a
+// matched pair waits only behind the outer communications that contain it,
+// and the containment chains have length at most the nesting depth. This is
+// NOT proved — the test pins the behaviour on a deterministic corpus so a
+// regression (or a counterexample found by future fuzzing) surfaces loudly.
+func TestConservativeOverheadConjecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	worstExtra, worstDepth := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 << (2 + rng.Intn(6)) // 4..128
+		tr := topology.MustNew(n)
+		s, err := comm.RandomWellNested(rng, n, rng.Intn(n/2+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth, err := s.MaxDepth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(tr, s, WithSelection(Conservative))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		extra := res.Rounds - res.Width
+		if extra > depth {
+			t.Fatalf("conjecture violated on %s: rounds=%d width=%d depth=%d", s, res.Rounds, res.Width, depth)
+		}
+		if extra > worstExtra {
+			worstExtra, worstDepth = extra, depth
+		}
+	}
+	t.Logf("worst overhead observed: %d extra rounds (set depth %d)", worstExtra, worstDepth)
+}

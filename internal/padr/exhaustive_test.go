@@ -1,0 +1,89 @@
+package padr_test
+
+import (
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/deliver"
+	"cst/internal/padr"
+	"cst/internal/topology"
+)
+
+// Exhaustive verification at small scale: run the engine on EVERY
+// well-nested set over 8 PEs (all 323 of them) and check the full claim
+// stack — exact-width rounds, verifier-approved compatibility, token-level
+// data-plane delivery, and the power bound. Not a sample: the complete
+// instance space.
+func TestExhaustiveAllSetsN8(t *testing.T) {
+	tr := topology.MustNew(8)
+	count := 0
+	err := comm.EnumerateWellNested(8, 4, func(s *comm.Set) error {
+		count++
+		var rec deliver.Recorder
+		e, err := padr.New(tr, s, padr.WithObserver(rec.Observer()))
+		if err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		if err := res.Schedule.VerifyOptimal(tr); err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		if err := rec.Verify(tr); err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		if res.Report.MaxUnits() > 4 {
+			t.Fatalf("set %s: max units %d", s, res.Report.MaxUnits())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 323 {
+		t.Fatalf("verified %d sets, want 323", count)
+	}
+}
+
+// The same stack over every set with up to 3 communications on 16 PEs
+// (~44k instances), both selection rules. Data-plane replay is skipped here
+// for speed; E5 and the N=8 sweep cover it.
+func TestExhaustiveSmallSetsN16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	tr := topology.MustNew(16)
+	count := 0
+	err := comm.EnumerateWellNested(16, 3, func(s *comm.Set) error {
+		count++
+		for _, sel := range []padr.Selection{padr.Greedy, padr.Conservative} {
+			e, err := padr.New(tr, s.Clone(), padr.WithSelection(sel))
+			if err != nil {
+				t.Fatalf("set %s: %v", s, err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("set %s sel=%s: %v", s, sel, err)
+			}
+			if err := res.Schedule.Verify(tr); err != nil {
+				t.Fatalf("set %s sel=%s: %v", s, sel, err)
+			}
+			if sel == padr.Greedy && res.Rounds != res.Width {
+				t.Fatalf("set %s: greedy rounds %d != width %d", s, res.Rounds, res.Width)
+			}
+			if res.Report.MaxUnits() > 4 {
+				t.Fatalf("set %s sel=%s: max units %d", s, sel, res.Report.MaxUnits())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 40000 {
+		t.Fatalf("verified only %d sets", count)
+	}
+	t.Logf("exhaustively verified %d instances under both selection rules", count)
+}

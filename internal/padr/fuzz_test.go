@@ -1,0 +1,52 @@
+package padr
+
+import (
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+// FuzzEngine drives the full engine with parser-accepted expressions: every
+// accepted set must schedule in exactly `width` rounds, pass the
+// independent verifier, and respect the O(1) power bound.
+func FuzzEngine(f *testing.F) {
+	for _, seed := range []string{
+		"()", "(())", "(()())", "((((((()))))))", "(.)(.)(.)(.)",
+		"((.)((.)..).)(.)", "((((....))))....",
+	} {
+		f.Add(seed)
+	}
+	trees := map[int]*topology.Tree{}
+	f.Fuzz(func(t *testing.T, expr string) {
+		if len(expr) > 256 {
+			return
+		}
+		s, err := comm.Parse(expr)
+		if err != nil {
+			return
+		}
+		tr := trees[s.N]
+		if tr == nil {
+			tr, err = topology.New(s.N)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trees[s.N] = tr
+		}
+		e, err := New(tr, s)
+		if err != nil {
+			t.Fatalf("engine rejected a parser-accepted set %q: %v", expr, err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("run failed for %q: %v", expr, err)
+		}
+		if err := res.Schedule.VerifyOptimal(tr); err != nil {
+			t.Fatalf("verification failed for %q: %v", expr, err)
+		}
+		if res.Report.MaxUnits() > 6 {
+			t.Fatalf("power bound violated for %q: %s", expr, res.Report.Summary())
+		}
+	})
+}

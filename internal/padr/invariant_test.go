@@ -1,0 +1,85 @@
+package padr
+
+import (
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+// pathSwitchCount returns how many switches lie on the circuit of c.
+func pathSwitchCount(t *testing.T, tr *topology.Tree, c comm.Comm) int {
+	t.Helper()
+	n, err := tr.HopCount(c.Src, c.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// Conservation: Phase 1 plants, at each switch on a communication's path,
+// exactly one unit of demand for that communication; each round drains
+// exactly one unit per path switch of every communication it performs.
+// Globally the per-switch stored totals start at the sum of path lengths,
+// decrease each round by the path lengths of the scheduled communications,
+// and reach zero.
+func TestDemandConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 << (2 + rng.Intn(5))
+		tr := topology.MustNew(n)
+		s, err := comm.RandomWellNested(rng, n, rng.Intn(n/2+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		expectedTotal := 0
+		for _, c := range s.Comms {
+			expectedTotal += pathSwitchCount(t, tr, c)
+		}
+
+		var eng *Engine
+		storedSum := func() int {
+			sum := 0
+			for _, st := range eng.stored {
+				sum += st.Total()
+			}
+			return sum
+		}
+		remaining := expectedTotal
+		checkedPlanting := false
+		eng, err = New(tr, s, WithObserver(Observer{
+			RoundStart: func(round int) {
+				if round == 0 {
+					// Phase 1 just finished: the planted demand must equal
+					// the sum of path lengths.
+					if got := storedSum(); got != expectedTotal {
+						t.Errorf("set %s: planted %d demand units, path lengths sum to %d", s, got, expectedTotal)
+					}
+					checkedPlanting = true
+				}
+			},
+			RoundDone: func(round int, performed []comm.Comm) {
+				for _, c := range performed {
+					remaining -= pathSwitchCount(t, tr, c)
+				}
+				if got := storedSum(); got != remaining {
+					t.Errorf("set %s round %d: stored total %d, want %d", s, round, got, remaining)
+				}
+			},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		if s.Len() > 0 && !checkedPlanting {
+			t.Fatalf("set %s: planting check never ran", s)
+		}
+		if remaining != 0 {
+			t.Fatalf("set %s: demand not drained: %d", s, remaining)
+		}
+	}
+}

@@ -1,0 +1,816 @@
+// Package padr implements the paper's core contribution: the Configuration
+// and Scheduling Algorithm (CSA) for oriented well-nested communication sets
+// on the circuit switched tree, under the Power-Aware Dynamic
+// Reconfiguration (PADR) technique (paper §3).
+//
+// Phase 1 floats constant-size control words up the tree: every PE reports
+// [1,0] (source), [0,1] (destination) or [0,0]; every switch matches left
+// sources against right destinations (Lemma 1 makes count-only matching
+// sound) and stores C_S = [M, S_L−M, D_L, S_R, D_R−M].
+//
+// Phase 2 repeats for w rounds (w = the set's link width): control words
+// flow down from the root telling every switch which halves of its parent
+// link are in use this round and which pending leaf (x-th leftmost pending
+// source / x-th rightmost pending destination, Definition 2) to hook up.
+// Every switch always extends the *outermost* still-pending communication it
+// is responsible for, which is what pins its total reconfiguration cost to
+// O(1) (Lemmas 6–7, Theorem 8).
+//
+// The engine is a faithful sequential execution of the distributed
+// algorithm: every decision at a switch uses only that switch's stored
+// C_S word and the one control word received from its parent. Package sim
+// re-runs the identical per-switch logic with one goroutine per node and
+// channels for links, and must produce identical results.
+package padr
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/ctrl"
+	"cst/internal/power"
+	"cst/internal/sched"
+	"cst/internal/topology"
+	"cst/internal/xbar"
+)
+
+// MaxRoundsSlack bounds the scheduling loop at width + MaxRoundsSlack
+// rounds; exceeding it means the engine lost a communication and is
+// reported as an error rather than an infinite loop.
+const MaxRoundsSlack = 2
+
+// Observer receives optional callbacks during a run; any field may be nil.
+type Observer struct {
+	// RoundStart fires before each Phase 2 round, 0-based.
+	RoundStart func(round int)
+	// WordSent fires for every Phase 2 control word sent from a switch to a
+	// child (switch or PE).
+	WordSent func(parent, child topology.Node, w ctrl.Down)
+	// Configured fires after a switch establishes this round's connections.
+	Configured func(u topology.Node, cfg xbar.Config)
+	// RoundDone fires after each round with the communications performed.
+	RoundDone func(round int, performed []comm.Comm)
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMode selects the power accounting mode. The default is
+// power.Stateful (hold configurations across rounds; the PADR design
+// point). power.Stateless tears every switch down each round — an ablation
+// that reproduces the Θ(w)-units behaviour the paper attributes to
+// round-by-round reconfiguration.
+func WithMode(m power.Mode) Option {
+	return func(e *Engine) { e.mode = m }
+}
+
+// WithObserver attaches trace callbacks.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) { e.obs = o }
+}
+
+// Selection chooses when a switch starts its own matched pairs. The two
+// rules expose a genuine tension in the paper (see DESIGN.md §6 and
+// experiment E12): Greedy reproduces Theorem 5 exactly (always w rounds)
+// but its per-switch change count grows slowly (≈ log N) on adversarial
+// random well-nested sets; Conservative restores the strict Lemma 7
+// sequence structure (O(1) changes on every input) but can need a few
+// rounds beyond the width.
+type Selection int
+
+const (
+	// Greedy (the default) is the literal Fig. 5 pseudocode: on a
+	// [null,null] round a switch with matched pairs always starts one,
+	// even while outer communications that will need the same ports are
+	// pending. Time-optimal (Theorem 5 holds exactly); on the paper's
+	// chain workloads also power-optimal with at most 2 changes per
+	// switch.
+	Greedy Selection = iota
+	// Conservative starts a matched pair only when no outer communication
+	// that needs the same switch ports (a left up-pass on l_i, a right
+	// down-pass on r_o) is still pending — the paper's prose: "satisfy all
+	// sources from its left subtree, then change configuration". This
+	// keeps every port's demand sequence contiguous (Lemma 7's Q1/Q2
+	// shape, hence O(1) changes per switch on every input) but may
+	// schedule in more than w rounds.
+	Conservative
+)
+
+// String names the selection rule.
+func (s Selection) String() string {
+	if s == Conservative {
+		return "conservative"
+	}
+	return "greedy"
+}
+
+// WithSelection picks the matched-pair selection rule.
+func WithSelection(s Selection) Option {
+	return func(e *Engine) { e.sel = s }
+}
+
+// WithCrossbars makes the engine drive the caller's switches instead of
+// fresh ones. Power meters on them keep accumulating, which is how a
+// sequence of communication sets (e.g. successive segmentable-bus cycles)
+// is billed across runs: configurations held from a previous run stay free.
+// The map must contain one switch per internal node.
+func WithCrossbars(switches map[topology.Node]*xbar.Switch) Option {
+	return func(e *Engine) {
+		for n, sw := range switches {
+			if sw != nil {
+				e.switches[n] = sw
+			}
+		}
+	}
+}
+
+// WithReflectedCrossbars is WithCrossbars for a *mirrored* run: the engine
+// schedules a mirrored (originally left-oriented) set, and every connection
+// is applied to the reflected physical switch with left and right swapped.
+// This bills a left-oriented pass to the same physical crossbars as the
+// right-oriented pass, with physically correct attribution. Do not combine
+// with the data-plane recorder: the recorded configurations are in physical
+// coordinates while the schedule is in mirrored coordinates.
+func WithReflectedCrossbars(switches map[topology.Node]*xbar.Switch) Option {
+	return func(e *Engine) {
+		for n, sw := range switches {
+			if sw != nil {
+				e.switches[n] = sw
+			}
+		}
+		e.reflected = true
+	}
+}
+
+// Engine runs CSA on one communication set. An Engine is single-use: create
+// with New, run with Run.
+type Engine struct {
+	tree      *topology.Tree
+	set       *comm.Set
+	mode      power.Mode
+	obs       Observer
+	sel       Selection
+	reflected bool
+
+	stored   map[topology.Node]ctrl.Stored
+	switches map[topology.Node]*xbar.Switch
+	dstOf    map[int]int // source PE -> destination PE (ground truth pairing)
+	leafRole []ctrl.Up   // what each PE reports in Step 1.1
+	leafDone []bool
+
+	ran bool
+
+	// per-round scratch
+	roundSrcs []int
+	roundDsts map[int]bool
+
+	// stats
+	upWords    int
+	downWords  int
+	upBytes    int
+	downBytes  int
+	activeDown int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Schedule lists the communications performed per round; it has been
+	// produced purely from which PEs were signalled, then checked against
+	// the ground-truth pairing (Theorem 4).
+	Schedule *sched.Schedule
+	// Report is the power ledger (Theorem 8's subject).
+	Report *power.Report
+	// Width is the set's link width; Rounds == Width on success (Theorem 5).
+	Width int
+	// Rounds is the number of Phase 2 rounds executed.
+	Rounds int
+	// InitialStored is a snapshot of every switch's C_S after Phase 1.
+	InitialStored map[topology.Node]ctrl.Stored
+	// UpWords / DownWords count control words sent in Phase 1 / Phase 2.
+	UpWords, DownWords int
+	// UpBytes / DownBytes are the encoded sizes of those words.
+	UpBytes, DownBytes int
+	// ActiveDownWords counts Phase 2 words other than [null,null].
+	ActiveDownWords int
+	// MaxStoredBytes is the encoded size of the largest per-switch state —
+	// constant by Theorem 5.
+	MaxStoredBytes int
+}
+
+// New builds an engine for the given tree and set. The set must validate,
+// be right oriented and well nested, and match the tree's leaf count.
+func New(t *topology.Tree, s *comm.Set, opts ...Option) (*Engine, error) {
+	if t.Leaves() != s.N {
+		return nil, fmt.Errorf("padr: tree has %d leaves, set has N=%d", t.Leaves(), s.N)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.IsWellNested() {
+		return nil, fmt.Errorf("padr: set is not an oriented well-nested set: %s", s.String())
+	}
+	e := &Engine{
+		tree:     t,
+		set:      s.Clone(),
+		stored:   make(map[topology.Node]ctrl.Stored, t.Switches()),
+		switches: make(map[topology.Node]*xbar.Switch, t.Switches()),
+		dstOf:    make(map[int]int, s.Len()),
+		leafRole: make([]ctrl.Up, s.N),
+		leafDone: make([]bool, s.N),
+	}
+	t.EachSwitch(func(n topology.Node) { e.switches[n] = xbar.NewSwitch() })
+	for _, c := range s.Comms {
+		e.dstOf[c.Src] = c.Dst
+		e.leafRole[c.Src] = ctrl.Up{S: 1}
+		e.leafRole[c.Dst] = ctrl.Up{D: 1}
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// prepared holds the state computed by prepare (Phase 1 plus validation).
+type prepared struct {
+	width     int
+	maxRounds int
+	initial   map[topology.Node]ctrl.Stored
+	maxStored int
+	schedule  *sched.Schedule
+	round     int
+}
+
+// prepare runs Phase 1, snapshots the stored words and validates the root.
+func (e *Engine) prepare() (*prepared, error) {
+	if e.ran {
+		return nil, fmt.Errorf("padr: engine is single-use; create a new one")
+	}
+	e.ran = true
+
+	width, err := e.set.Width(e.tree)
+	if err != nil {
+		return nil, err
+	}
+
+	e.phase1()
+
+	initial := make(map[topology.Node]ctrl.Stored, len(e.stored))
+	maxStored := 0
+	for n, st := range e.stored {
+		initial[n] = st
+		b, err := ctrl.EncodeStored(st)
+		if err != nil {
+			return nil, fmt.Errorf("padr: switch %d state not encodable: %v", n, err)
+		}
+		if len(b) > maxStored {
+			maxStored = len(b)
+		}
+	}
+	// Sanity: after matching, nothing may remain unmatched at the root.
+	if up := e.stored[e.tree.Root()].UpWord(); up.S != 0 || up.D != 0 {
+		return nil, fmt.Errorf("padr: root still advertises %s upward; set is not schedulable", up)
+	}
+
+	maxRounds := width + MaxRoundsSlack
+	if e.sel == Conservative {
+		// The conservative rule may run past the width; bound the loop by
+		// the trivial one-communication-per-round schedule instead.
+		maxRounds = e.set.Len() + MaxRoundsSlack
+	}
+	return &prepared{
+		width:     width,
+		maxRounds: maxRounds,
+		initial:   initial,
+		maxStored: maxStored,
+		schedule:  &sched.Schedule{Set: e.set},
+	}, nil
+}
+
+// step executes one Phase 2 round against prepared state; done reports
+// whether all communications have been performed (in which case no round
+// ran).
+func (e *Engine) step(p *prepared) (performed []comm.Comm, done bool, err error) {
+	if !e.pendingWork() {
+		return nil, true, nil
+	}
+	if p.round >= p.maxRounds {
+		return nil, false, fmt.Errorf("padr: exceeded %d rounds for a width-%d set; pending work remains", p.round, p.width)
+	}
+	if e.obs.RoundStart != nil {
+		e.obs.RoundStart(p.round)
+	}
+	if e.mode == power.Stateless {
+		for _, sw := range e.switches {
+			sw.Reset()
+		}
+	}
+	performed, err = e.round()
+	if err != nil {
+		return nil, false, fmt.Errorf("padr: round %d: %v", p.round, err)
+	}
+	if len(performed) == 0 {
+		return nil, false, fmt.Errorf("padr: round %d made no progress but work remains", p.round)
+	}
+	p.schedule.Rounds = append(p.schedule.Rounds, performed)
+	if e.obs.RoundDone != nil {
+		e.obs.RoundDone(p.round, performed)
+	}
+	p.round++
+	return performed, false, nil
+}
+
+// finalize validates the completed schedule and assembles the result.
+func (e *Engine) finalize(p *prepared) (*Result, error) {
+	rounds := p.schedule.NumRounds()
+	if e.sel == Greedy && rounds != p.width {
+		return nil, fmt.Errorf("padr: took %d rounds for a width-%d set (Theorem 5 violated)", rounds, p.width)
+	}
+	return &Result{
+		Schedule:        p.schedule,
+		Report:          power.Collect(e.algorithmName(), e.mode, rounds, e.tree, e.switches),
+		Width:           p.width,
+		Rounds:          rounds,
+		InitialStored:   p.initial,
+		UpWords:         e.upWords,
+		DownWords:       e.downWords,
+		UpBytes:         e.upBytes,
+		DownBytes:       e.downBytes,
+		ActiveDownWords: e.activeDown,
+		MaxStoredBytes:  p.maxStored,
+	}, nil
+}
+
+// Run executes Phase 1 once and Phase 2 until every communication has been
+// performed, then returns the schedule, power report and statistics.
+func (e *Engine) Run() (*Result, error) {
+	p, err := e.prepare()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		_, done, err := e.step(p)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+	return e.finalize(p)
+}
+
+// Stepper drives Phase 2 one round at a time — for embedding the scheduler
+// in an external simulation loop. Build with NewStepper, call Next until
+// done, then Result.
+type Stepper struct {
+	e   *Engine
+	p   *prepared
+	res *Result
+}
+
+// NewStepper builds an engine and runs Phase 1 immediately.
+func NewStepper(t *topology.Tree, s *comm.Set, opts ...Option) (*Stepper, error) {
+	e, err := New(t, s, opts...)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.prepare()
+	if err != nil {
+		return nil, err
+	}
+	return &Stepper{e: e, p: p}, nil
+}
+
+// Width returns the set's link width (the target round count).
+func (st *Stepper) Width() int { return st.p.width }
+
+// Round returns the number of rounds executed so far.
+func (st *Stepper) Round() int { return st.p.round }
+
+// Next executes one round. done=true means all communications were already
+// performed and no round ran.
+func (st *Stepper) Next() (performed []comm.Comm, done bool, err error) {
+	if st.res != nil {
+		return nil, true, nil
+	}
+	return st.e.step(st.p)
+}
+
+// Result finishes any remaining rounds and returns the final result. It is
+// idempotent.
+func (st *Stepper) Result() (*Result, error) {
+	if st.res != nil {
+		return st.res, nil
+	}
+	for {
+		_, done, err := st.e.step(st.p)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+	res, err := st.e.finalize(st.p)
+	if err != nil {
+		return nil, err
+	}
+	st.res = res
+	return res, nil
+}
+
+// algorithmName labels power reports: "padr" for the default rule, since
+// Greedy is the literal paper algorithm, and "padr-conservative" otherwise.
+func (e *Engine) algorithmName() string {
+	if e.sel == Conservative {
+		return "padr-conservative"
+	}
+	return "padr"
+}
+
+// phase1 distributes control information up the tree (Steps 1.1–1.3).
+func (e *Engine) phase1() {
+	e.tree.EachSwitchBottomUp(func(u topology.Node) {
+		left := e.upWordFrom(e.tree.Left(u))
+		right := e.upWordFrom(e.tree.Right(u))
+		e.stored[u] = ctrl.Match(left, right)
+	})
+}
+
+// upWordFrom returns the C_U word the given child sends its parent,
+// counting the message and its encoded size.
+func (e *Engine) upWordFrom(child topology.Node) ctrl.Up {
+	var up ctrl.Up
+	if e.tree.IsLeaf(child) {
+		up = e.leafRole[e.tree.PE(child)]
+	} else {
+		up = e.stored[child].UpWord()
+	}
+	e.upWords++
+	if b, err := ctrl.EncodeUp(up); err == nil {
+		e.upBytes += len(b)
+	}
+	return up
+}
+
+// pendingWork reports whether any switch or PE still has unscheduled
+// demands.
+func (e *Engine) pendingWork() bool {
+	for _, st := range e.stored {
+		if st.Pending() {
+			return true
+		}
+	}
+	for pe := range e.leafRole {
+		if (e.leafRole[pe].S > 0 || e.leafRole[pe].D > 0) && !e.leafDone[pe] {
+			return true
+		}
+	}
+	return false
+}
+
+// round executes one Phase 2 round: words flow top-down from the root
+// (which behaves as if it received [null,null]), every switch configures
+// itself, and the signalled PEs perform their transfers.
+func (e *Engine) round() ([]comm.Comm, error) {
+	e.roundSrcs = e.roundSrcs[:0]
+	e.roundDsts = make(map[int]bool)
+	if err := e.dispatch(e.tree.Root(), ctrl.Down{Use: ctrl.UseNone}); err != nil {
+		return nil, err
+	}
+	// Pair up the signalled PEs using the ground-truth set and check the
+	// algorithm signalled consistent endpoints (Theorem 4's claim is that
+	// the established circuits connect true pairs).
+	if len(e.roundSrcs) != len(e.roundDsts) {
+		return nil, fmt.Errorf("signalled %d sources but %d destinations", len(e.roundSrcs), len(e.roundDsts))
+	}
+	performed := make([]comm.Comm, 0, len(e.roundSrcs))
+	for _, src := range e.roundSrcs {
+		dst, ok := e.dstOf[src]
+		if !ok {
+			return nil, fmt.Errorf("PE %d signalled as source but sources nothing", src)
+		}
+		if !e.roundDsts[dst] {
+			return nil, fmt.Errorf("source %d scheduled without its destination %d", src, dst)
+		}
+		performed = append(performed, comm.Comm{Src: src, Dst: dst})
+	}
+	return performed, nil
+}
+
+// dispatch delivers a Phase 2 word to a node. For a PE it performs Step
+// 2.2's transfer bookkeeping; for a switch it runs CONFIGURE and recurses.
+func (e *Engine) dispatch(n topology.Node, in ctrl.Down) error {
+	if e.tree.IsLeaf(n) {
+		return e.leaf(n, in)
+	}
+	left, right, err := e.configure(n, in)
+	if err != nil {
+		return fmt.Errorf("switch %d: %v", n, err)
+	}
+	e.sendDown(n, e.tree.Left(n), left)
+	e.sendDown(n, e.tree.Right(n), right)
+	if err := e.dispatch(e.tree.Left(n), left); err != nil {
+		return err
+	}
+	return e.dispatch(e.tree.Right(n), right)
+}
+
+// sendDown accounts for one Phase 2 control word on the link parent→child.
+func (e *Engine) sendDown(parent, child topology.Node, w ctrl.Down) {
+	e.downWords++
+	if w.Use != ctrl.UseNone {
+		e.activeDown++
+	}
+	if b, err := ctrl.EncodeDown(w); err == nil {
+		e.downBytes += len(b)
+	}
+	if e.obs.WordSent != nil {
+		e.obs.WordSent(parent, child, w)
+	}
+}
+
+// leaf handles a Phase 2 word arriving at a PE.
+func (e *Engine) leaf(n topology.Node, in ctrl.Down) error {
+	pe := e.tree.PE(n)
+	switch in.Use {
+	case ctrl.UseNone:
+		return nil
+	case ctrl.UseS:
+		if e.leafRole[pe].S != 1 {
+			return fmt.Errorf("PE %d signalled as source but is not one", pe)
+		}
+		if e.leafDone[pe] {
+			return fmt.Errorf("source PE %d signalled twice", pe)
+		}
+		if in.Xs != 0 {
+			return fmt.Errorf("source PE %d received selector xs=%d, want 0", pe, in.Xs)
+		}
+		e.leafDone[pe] = true
+		e.roundSrcs = append(e.roundSrcs, pe)
+		return nil
+	case ctrl.UseD:
+		if e.leafRole[pe].D != 1 {
+			return fmt.Errorf("PE %d signalled as destination but is not one", pe)
+		}
+		if e.leafDone[pe] {
+			return fmt.Errorf("destination PE %d signalled twice", pe)
+		}
+		if in.Xd != 0 {
+			return fmt.Errorf("destination PE %d received selector xd=%d, want 0", pe, in.Xd)
+		}
+		e.leafDone[pe] = true
+		e.roundDsts[pe] = true
+		return nil
+	default:
+		return fmt.Errorf("PE %d received [s,d], which only switches can serve", pe)
+	}
+}
+
+// connect establishes a connection on switch u's crossbar.
+func (e *Engine) connect(u topology.Node, in, out xbar.Side) error {
+	return e.switches[u].Connect(in, out)
+}
+
+// configure applies Step at switch u and fires the Configured observer.
+// In a reflected run the connections land on the mirror-image physical
+// switch with left and right swapped.
+func (e *Engine) configure(u topology.Node, in ctrl.Down) (left, right ctrl.Down, err error) {
+	phys := u
+	if e.reflected {
+		phys = e.tree.Reflect(u)
+	}
+	st := e.stored[u]
+	defer func() {
+		e.stored[u] = st
+		if err == nil && e.obs.Configured != nil {
+			e.obs.Configured(phys, e.switches[phys].Config())
+		}
+	}()
+	if e.reflected {
+		return Step(&st, sideSwapper{e.switches[phys]}, in, e.sel)
+	}
+	return Step(&st, e.switches[phys], in, e.sel)
+}
+
+// sideSwapper applies connections with the left and right sides exchanged —
+// the crossbar-level meaning of running on the mirrored PE line.
+type sideSwapper struct {
+	sw *xbar.Switch
+}
+
+// Connect implements xbar.Connector.
+func (s sideSwapper) Connect(in, out xbar.Side) error {
+	return s.sw.Connect(swapLR(in), swapLR(out))
+}
+
+func swapLR(s xbar.Side) xbar.Side {
+	switch s {
+	case xbar.L:
+		return xbar.R
+	case xbar.R:
+		return xbar.L
+	default:
+		return s
+	}
+}
+
+// Step is the paper's CONFIGURE procedure (Fig. 5) plus its mirrored
+// [d,null] and [s,d] cases (omitted in the paper "for shortage of space").
+// It consumes the word received from the parent, establishes this round's
+// connections on the switch, updates the C_S state in place, and returns
+// the words for the two children. It is exported so that the concurrent
+// simulation (package sim) runs the byte-identical per-switch logic.
+//
+// Selector semantics (Definition 2): a child's pending upward sources are
+// ordered left-to-right; indices 0..SL-1 live in the left subtree because a
+// communication passing above u strictly contains every communication
+// matched at u, so its source lies further left. Destinations mirror this
+// with right-to-left ordering: indices 0..DR-1 live in the right subtree.
+func Step(stp *ctrl.Stored, sw xbar.Connector, in ctrl.Down, sel Selection) (left, right ctrl.Down, err error) {
+	st := *stp
+	defer func() { *stp = st }()
+	connect := func(in, out xbar.Side) error { return sw.Connect(in, out) }
+	// startMatched reports whether this switch may begin one of its own
+	// matched pairs now. A matched pair occupies l_i and r_o; under the
+	// Conservative rule the switch first drains the outer communications
+	// that need those ports (left up-passes on l_i, right down-passes on
+	// r_o), which keeps each port's demand sequence contiguous (Lemma 7).
+	startMatched := func() bool {
+		if st.M == 0 {
+			return false
+		}
+		if sel == Greedy {
+			return true
+		}
+		return st.SL == 0 && st.DR == 0
+	}
+
+	switch in.Use {
+	case ctrl.UseNone:
+		// No demand from above. If pairs are matched here (and, under the
+		// Conservative rule, the ports are not owed to outer
+		// communications), schedule the outermost one: connect l_i→r_o and
+		// direct the children to its endpoints. The pair's source is the
+		// (SL)-th pending left source — exactly the number of still-pending
+		// communications that pass above u, all of which contain it;
+		// mirrored for the destination.
+		if startMatched() {
+			if err = connect(xbar.L, xbar.R); err != nil {
+				return
+			}
+			st.M--
+			left = ctrl.Down{Use: ctrl.UseS, Xs: st.SL}
+			right = ctrl.Down{Use: ctrl.UseD, Xd: st.DR}
+		}
+		return
+
+	case ctrl.UseS:
+		// The parent needs our xs-th pending upward source.
+		xs := in.Xs
+		if xs < 0 || xs >= st.SL+st.SR {
+			err = fmt.Errorf("selector xs=%d out of range (SL=%d SR=%d)", xs, st.SL, st.SR)
+			return
+		}
+		if st.SL > xs {
+			// Source in the left subtree: l_i→p_o. The right link is idle,
+			// but r_o is not available for a matched pair (it would need
+			// l_i, which is busy).
+			if err = connect(xbar.L, xbar.P); err != nil {
+				return
+			}
+			st.SL--
+			left = ctrl.Down{Use: ctrl.UseS, Xs: xs}
+			return
+		}
+		// Source in the right subtree: r_i→p_o; l_i and r_o are free, so u
+		// can simultaneously start its own outermost matched pair (the
+		// pseudocode's upgrade of C_{D-R} to [s,d]).
+		if err = connect(xbar.R, xbar.P); err != nil {
+			return
+		}
+		xsr := xs - st.SL
+		st.SR--
+		right = ctrl.Down{Use: ctrl.UseS, Xs: xsr}
+		if startMatched() {
+			if err = connect(xbar.L, xbar.R); err != nil {
+				return
+			}
+			st.M--
+			left = ctrl.Down{Use: ctrl.UseS, Xs: st.SL}
+			right = ctrl.Down{Use: ctrl.UseSD, Xs: xsr, Xd: st.DR}
+		}
+		return
+
+	case ctrl.UseD:
+		// Mirror of UseS: the parent feeds our xd-th pending downward
+		// destination.
+		xd := in.Xd
+		if xd < 0 || xd >= st.DR+st.DL {
+			err = fmt.Errorf("selector xd=%d out of range (DR=%d DL=%d)", xd, st.DR, st.DL)
+			return
+		}
+		if st.DR > xd {
+			if err = connect(xbar.P, xbar.R); err != nil {
+				return
+			}
+			st.DR--
+			right = ctrl.Down{Use: ctrl.UseD, Xd: xd}
+			return
+		}
+		if err = connect(xbar.P, xbar.L); err != nil {
+			return
+		}
+		xdl := xd - st.DR
+		st.DL--
+		left = ctrl.Down{Use: ctrl.UseD, Xd: xdl}
+		if startMatched() {
+			if err = connect(xbar.L, xbar.R); err != nil {
+				return
+			}
+			st.M--
+			left = ctrl.Down{Use: ctrl.UseSD, Xs: st.SL, Xd: xdl}
+			right = ctrl.Down{Use: ctrl.UseD, Xd: st.DR}
+		}
+		return
+
+	case ctrl.UseSD:
+		// Both halves of the parent link are in use: one pending source
+		// goes up, one pending destination comes down.
+		xs, xd := in.Xs, in.Xd
+		if xs < 0 || xs >= st.SL+st.SR {
+			err = fmt.Errorf("selector xs=%d out of range (SL=%d SR=%d)", xs, st.SL, st.SR)
+			return
+		}
+		if xd < 0 || xd >= st.DR+st.DL {
+			err = fmt.Errorf("selector xd=%d out of range (DR=%d DL=%d)", xd, st.DR, st.DL)
+			return
+		}
+		srcLeft := st.SL > xs
+		dstRight := st.DR > xd
+		switch {
+		case srcLeft && dstRight:
+			if err = connect(xbar.L, xbar.P); err != nil {
+				return
+			}
+			if err = connect(xbar.P, xbar.R); err != nil {
+				return
+			}
+			st.SL--
+			st.DR--
+			left = ctrl.Down{Use: ctrl.UseS, Xs: xs}
+			right = ctrl.Down{Use: ctrl.UseD, Xd: xd}
+		case srcLeft && !dstRight:
+			if err = connect(xbar.L, xbar.P); err != nil {
+				return
+			}
+			if err = connect(xbar.P, xbar.L); err != nil {
+				return
+			}
+			xdl := xd - st.DR
+			st.SL--
+			st.DL--
+			left = ctrl.Down{Use: ctrl.UseSD, Xs: xs, Xd: xdl}
+		case !srcLeft && dstRight:
+			if err = connect(xbar.R, xbar.P); err != nil {
+				return
+			}
+			if err = connect(xbar.P, xbar.R); err != nil {
+				return
+			}
+			xsr := xs - st.SL
+			st.SR--
+			st.DR--
+			right = ctrl.Down{Use: ctrl.UseSD, Xs: xsr, Xd: xd}
+		default: // source from the right, destination to the left
+			if err = connect(xbar.R, xbar.P); err != nil {
+				return
+			}
+			if err = connect(xbar.P, xbar.L); err != nil {
+				return
+			}
+			xsr := xs - st.SL
+			xdl := xd - st.DR
+			st.SR--
+			st.DL--
+			// l_i and r_o are both free: start the outermost matched pair
+			// too, if permitted.
+			if startMatched() {
+				if err = connect(xbar.L, xbar.R); err != nil {
+					return
+				}
+				st.M--
+				left = ctrl.Down{Use: ctrl.UseSD, Xs: st.SL, Xd: xdl}
+				right = ctrl.Down{Use: ctrl.UseSD, Xs: xsr, Xd: st.DR}
+			} else {
+				left = ctrl.Down{Use: ctrl.UseD, Xd: xdl}
+				right = ctrl.Down{Use: ctrl.UseS, Xs: xsr}
+			}
+		}
+		return
+
+	default:
+		err = fmt.Errorf("invalid control word %v", in)
+		return
+	}
+}

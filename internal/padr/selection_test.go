@@ -1,0 +1,186 @@
+package padr
+
+import (
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+func TestSelectionString(t *testing.T) {
+	if Greedy.String() != "greedy" || Conservative.String() != "conservative" {
+		t.Fatal("Selection.String wrong")
+	}
+	var zero Selection
+	if zero != Greedy {
+		t.Fatal("the zero Selection must be Greedy (the literal paper algorithm)")
+	}
+}
+
+// The minimal set on which the two rules diverge: ..(((()(....)))) makes
+// the greedy rule schedule the innermost pair (5,6) in round 0 (fragmenting
+// node 10's demand sequence) while the conservative rule defers it behind
+// the outer (4,13).
+func TestSelectionDivergenceMinimalCase(t *testing.T) {
+	tr := topology.MustNew(16)
+	s := comm.MustParse("..(((()(....))))")
+
+	greedyEng, err := New(tr, s.Clone(), WithSelection(Greedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := greedyEng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Rounds != gres.Width {
+		t.Fatalf("greedy must be width-optimal: %d vs %d", gres.Rounds, gres.Width)
+	}
+	// Greedy schedules (5,6) in round 0 alongside the outermost pair.
+	foundEarly := false
+	for _, c := range gres.Schedule.Rounds[0] {
+		if c == (comm.Comm{Src: 5, Dst: 6}) {
+			foundEarly = true
+		}
+	}
+	if !foundEarly {
+		t.Fatalf("greedy should start (5,6) in round 0: %v", gres.Schedule.Rounds[0])
+	}
+
+	consEng, err := New(tr, s.Clone(), WithSelection(Conservative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := consEng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cres.Schedule.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Conservative defers (5,6) until the outer (4,13) has cleared node 10.
+	for _, c := range cres.Schedule.Rounds[0] {
+		if c == (comm.Comm{Src: 5, Dst: 6}) {
+			t.Fatalf("conservative must defer (5,6): %v", cres.Schedule.Rounds[0])
+		}
+	}
+	if cres.Report.Algorithm != "padr-conservative" {
+		t.Fatalf("report name %q", cres.Report.Algorithm)
+	}
+	if gres.Report.Algorithm != "padr" {
+		t.Fatalf("report name %q", gres.Report.Algorithm)
+	}
+}
+
+// The decoded adversarial instance from DESIGN.md §6a: the switch over
+// [16,24) holds two matched pairs plus down-passes to both children, and
+// the enclosing chain's schedule interleaves the demands on its r_o output.
+// This regression pins the mechanism behind the ≈log N churn growth.
+func TestChurnMechanismInstance(t *testing.T) {
+	tr := topology.MustNew(32)
+	s := comm.MustParse("......(....((...).(()))()......)")
+	e, err := New(tr, s, WithSelection(Greedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.VerifyOptimal(tr); err != nil {
+		t.Fatal(err)
+	}
+	// The hot switch spans [16,24); its units exceed the chain bound of 2.
+	var hot topology.Node
+	tr.EachSwitch(func(n topology.Node) {
+		lo, hi := tr.Span(n)
+		if lo == 16 && hi == 24 {
+			hot = n
+		}
+	})
+	units := 0
+	for _, sw := range res.Report.Switches {
+		if sw.Node == hot {
+			units = sw.Units
+		}
+	}
+	if units < 4 {
+		t.Fatalf("hot switch units = %d; the interleaving mechanism should force >= 4", units)
+	}
+	// The conservative rule tames the same instance.
+	ce, err := New(tr, s.Clone(), WithSelection(Conservative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := ce.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Report.MaxUnits() > 4 {
+		t.Fatalf("conservative max units = %d on the churn instance", cres.Report.MaxUnits())
+	}
+}
+
+// The conservative rule must still produce complete, compatible schedules
+// with bounded overhead and O(1) per-switch power on random inputs.
+func TestConservativeValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 << (2 + rng.Intn(5))
+		tr := topology.MustNew(n)
+		s, err := comm.RandomWellNested(rng, n, rng.Intn(n/2+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(tr, s, WithSelection(Conservative))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		if err := res.Schedule.Verify(tr); err != nil {
+			t.Fatalf("set %s: %v", s, err)
+		}
+		if res.Rounds < res.Width {
+			t.Fatalf("set %s: %d rounds beats the width bound %d", s, res.Rounds, res.Width)
+		}
+		if res.Rounds > res.Width+n {
+			t.Fatalf("set %s: overhead blowup: %d rounds for width %d", s, res.Rounds, res.Width)
+		}
+		if res.Report.MaxUnits() > 4 {
+			t.Fatalf("set %s: conservative max units = %d, want <= 4", s, res.Report.MaxUnits())
+		}
+	}
+}
+
+// On chain workloads the rules coincide exactly.
+func TestSelectionAgreesOnChains(t *testing.T) {
+	for _, w := range []int{1, 8, 32} {
+		s, err := comm.NestedChain(128, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := topology.MustNew(128)
+		run := func(sel Selection) *Result {
+			e, err := New(tr, s.Clone(), WithSelection(sel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		g, c := run(Greedy), run(Conservative)
+		if g.Rounds != c.Rounds || g.Rounds != w {
+			t.Fatalf("w=%d: rounds %d vs %d", w, g.Rounds, c.Rounds)
+		}
+		if g.Report.TotalUnits() != c.Report.TotalUnits() {
+			t.Fatalf("w=%d: units %d vs %d", w, g.Report.TotalUnits(), c.Report.TotalUnits())
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package padr
+
+import (
+	"reflect"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+func TestStepperMatchesRun(t *testing.T) {
+	s := comm.MustParse("((.)((.)..).)(.)")
+	tr := topology.MustNew(16)
+
+	e, err := New(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewStepper(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Width() != ref.Width {
+		t.Fatalf("width %d vs %d", st.Width(), ref.Width)
+	}
+	var rounds [][]comm.Comm
+	for {
+		performed, done, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		rounds = append(rounds, performed)
+	}
+	if len(rounds) != ref.Rounds {
+		t.Fatalf("stepper ran %d rounds, Run ran %d", len(rounds), ref.Rounds)
+	}
+	for i := range rounds {
+		if !reflect.DeepEqual(commKey(rounds[i]), commKey(ref.Schedule.Rounds[i])) {
+			t.Fatalf("round %d differs: %v vs %v", i, rounds[i], ref.Schedule.Rounds[i])
+		}
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalUnits() != ref.Report.TotalUnits() {
+		t.Fatalf("units %d vs %d", res.Report.TotalUnits(), ref.Report.TotalUnits())
+	}
+	if st.Round() != ref.Rounds {
+		t.Fatalf("Round() = %d", st.Round())
+	}
+	// Result is idempotent; Next after Result reports done.
+	again, err := st.Result()
+	if err != nil || again != res {
+		t.Fatal("Result must be idempotent")
+	}
+	if _, done, _ := st.Next(); !done {
+		t.Fatal("Next after Result must report done")
+	}
+}
+
+func TestStepperEarlyFinish(t *testing.T) {
+	s := comm.MustParse("(((())))")
+	tr := topology.MustNew(8)
+	st, err := NewStepper(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take one manual round, then let Result finish the rest.
+	if _, done, err := st.Next(); err != nil || done {
+		t.Fatalf("first round: done=%v err=%v", done, err)
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if err := res.Schedule.VerifyOptimal(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepperEmptySet(t *testing.T) {
+	st, err := NewStepper(topology.MustNew(4), comm.NewSet(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, err := st.Next(); !done || err != nil {
+		t.Fatalf("empty set: done=%v err=%v", done, err)
+	}
+	res, err := st.Result()
+	if err != nil || res.Rounds != 0 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestStepperRejectsReusedEngineInputs(t *testing.T) {
+	s := comm.NewSet(4, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 1, Dst: 3})
+	if _, err := NewStepper(topology.MustNew(4), s); err == nil {
+		t.Fatal("crossing set must be rejected")
+	}
+}
+
+func commKey(cs []comm.Comm) map[comm.Comm]bool {
+	m := map[comm.Comm]bool{}
+	for _, c := range cs {
+		m[c] = true
+	}
+	return m
+}

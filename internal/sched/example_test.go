@@ -1,0 +1,36 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/sched"
+	"cst/internal/topology"
+)
+
+// Verify checks a schedule against the topology alone: compatibility,
+// completeness, no duplicates.
+func ExampleSchedule_Verify() {
+	set := comm.MustParse("(())")
+	tree := topology.MustNew(4)
+	good := &sched.Schedule{
+		Set: set,
+		Rounds: [][]comm.Comm{
+			{{Src: 0, Dst: 3}},
+			{{Src: 1, Dst: 2}},
+		},
+	}
+	fmt.Println("valid:", good.Verify(tree) == nil)
+	fmt.Println("optimal:", good.VerifyOptimal(tree) == nil)
+
+	// The two circuits share links in the same direction: one round fails.
+	bad := &sched.Schedule{
+		Set:    set,
+		Rounds: [][]comm.Comm{{{Src: 0, Dst: 3}, {Src: 1, Dst: 2}}},
+	}
+	fmt.Println("incompatible detected:", bad.Verify(tree) != nil)
+	// Output:
+	// valid: true
+	// optimal: true
+	// incompatible detected: true
+}

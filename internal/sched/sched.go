@@ -1,0 +1,135 @@
+// Package sched represents multi-round schedules of communication sets on
+// the CST and verifies them independently of any scheduling algorithm.
+//
+// A round is a set of communications performed simultaneously; it is
+// *compatible* when no two of its circuits use the same tree link in the
+// same direction (paper §1, citing [3]). A schedule performs every
+// communication of the input set in exactly one round. Theorem 5 states the
+// paper's algorithm needs exactly `width` rounds; Verify checks
+// compatibility and completeness against the topology alone, so an engine
+// bug cannot hide behind its own bookkeeping.
+package sched
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+// Schedule is the outcome of scheduling a communication set: Rounds[i] lists
+// the communications performed in round i.
+type Schedule struct {
+	// Set is the scheduled communication set.
+	Set *comm.Set
+	// Rounds holds one compatible subset per round, in execution order.
+	Rounds [][]comm.Comm
+}
+
+// NumRounds returns the number of rounds.
+func (s *Schedule) NumRounds() int { return len(s.Rounds) }
+
+// TotalScheduled returns the number of communications over all rounds.
+func (s *Schedule) TotalScheduled() int {
+	total := 0
+	for _, r := range s.Rounds {
+		total += len(r)
+	}
+	return total
+}
+
+// RoundSizes returns the per-round communication counts.
+func (s *Schedule) RoundSizes() []int {
+	sizes := make([]int, len(s.Rounds))
+	for i, r := range s.Rounds {
+		sizes[i] = len(r)
+	}
+	return sizes
+}
+
+// String renders one line per round, e.g. "round 0: 0->7 3->4".
+func (s *Schedule) String() string {
+	out := ""
+	for i, r := range s.Rounds {
+		out += fmt.Sprintf("round %d:", i)
+		for _, c := range r {
+			out += " " + c.String()
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Verify checks the schedule against the tree:
+//
+//  1. every round is compatible (no directed tree link used twice),
+//  2. every communication of the set is scheduled exactly once,
+//  3. no communication outside the set appears.
+//
+// It returns nil if and only if all three hold.
+func (s *Schedule) Verify(t *topology.Tree) error {
+	if s.Set == nil {
+		return fmt.Errorf("sched: schedule has no set")
+	}
+	if t.Leaves() != s.Set.N {
+		return fmt.Errorf("sched: tree has %d leaves, set has N=%d", t.Leaves(), s.Set.N)
+	}
+	want := make(map[comm.Comm]int, s.Set.Len())
+	for _, c := range s.Set.Comms {
+		want[c]++
+		if want[c] > 1 {
+			return fmt.Errorf("sched: set contains duplicate communication %s", c)
+		}
+	}
+	seen := make(map[comm.Comm]int, s.Set.Len())
+	congestion := make([]int, t.DirectedEdgeCount())
+	for i, round := range s.Rounds {
+		// Reset congestion per round without reallocating.
+		for j := range congestion {
+			congestion[j] = 0
+		}
+		for _, c := range round {
+			if _, ok := want[c]; !ok {
+				return fmt.Errorf("sched: round %d schedules %s, which is not in the set", i, c)
+			}
+			seen[c]++
+			if seen[c] > 1 {
+				return fmt.Errorf("sched: communication %s scheduled more than once (again in round %d)", c, i)
+			}
+			edges, err := t.PathEdges(c.Src, c.Dst)
+			if err != nil {
+				return fmt.Errorf("sched: round %d: %v", i, err)
+			}
+			for _, e := range edges {
+				idx := t.EdgeIndex(e)
+				congestion[idx]++
+				if congestion[idx] > 1 {
+					return fmt.Errorf("sched: round %d is incompatible: link %s used twice (by %s among others)", i, e, c)
+				}
+			}
+		}
+	}
+	for c := range want {
+		if seen[c] == 0 {
+			return fmt.Errorf("sched: communication %s never scheduled", c)
+		}
+	}
+	return nil
+}
+
+// VerifyOptimal runs Verify and additionally checks the round count equals
+// the set's width (Theorem 5). Schedules from the greedy baseline on
+// non-well-nested sets may legitimately fail only the second check.
+func (s *Schedule) VerifyOptimal(t *topology.Tree) error {
+	if err := s.Verify(t); err != nil {
+		return err
+	}
+	w, err := s.Set.Width(t)
+	if err != nil {
+		return err
+	}
+	if s.NumRounds() != w {
+		return fmt.Errorf("sched: %d rounds for a width-%d set (optimal is exactly the width)", s.NumRounds(), w)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+func set(t *testing.T, expr string) *comm.Set {
+	t.Helper()
+	s, err := comm.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVerifyAcceptsValidSchedule(t *testing.T) {
+	s := set(t, "(())")
+	tr := topology.MustNew(4)
+	sch := &Schedule{
+		Set: s,
+		Rounds: [][]comm.Comm{
+			{{Src: 0, Dst: 3}},
+			{{Src: 1, Dst: 2}},
+		},
+	}
+	if err := sch.Verify(tr); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := sch.VerifyOptimal(tr); err != nil {
+		t.Fatalf("optimal schedule rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsIncompatibleRound(t *testing.T) {
+	s := set(t, "(())")
+	tr := topology.MustNew(4)
+	sch := &Schedule{
+		Set:    s,
+		Rounds: [][]comm.Comm{{{Src: 0, Dst: 3}, {Src: 1, Dst: 2}}},
+	}
+	err := sch.Verify(tr)
+	if err == nil || !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("want incompatibility error, got %v", err)
+	}
+}
+
+func TestVerifyRejectsMissingComm(t *testing.T) {
+	s := set(t, "(())")
+	tr := topology.MustNew(4)
+	sch := &Schedule{Set: s, Rounds: [][]comm.Comm{{{Src: 0, Dst: 3}}}}
+	err := sch.Verify(tr)
+	if err == nil || !strings.Contains(err.Error(), "never scheduled") {
+		t.Fatalf("want missing-comm error, got %v", err)
+	}
+}
+
+func TestVerifyRejectsDuplicate(t *testing.T) {
+	s := set(t, "(.).")
+	tr := topology.MustNew(4)
+	sch := &Schedule{
+		Set:    s,
+		Rounds: [][]comm.Comm{{{Src: 0, Dst: 2}}, {{Src: 0, Dst: 2}}},
+	}
+	err := sch.Verify(tr)
+	if err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("want duplicate error, got %v", err)
+	}
+}
+
+func TestVerifyRejectsForeignComm(t *testing.T) {
+	s := set(t, "(.).")
+	tr := topology.MustNew(4)
+	sch := &Schedule{
+		Set:    s,
+		Rounds: [][]comm.Comm{{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}}},
+	}
+	err := sch.Verify(tr)
+	if err == nil || !strings.Contains(err.Error(), "not in the set") {
+		t.Fatalf("want foreign-comm error, got %v", err)
+	}
+}
+
+func TestVerifyRejectsSizeMismatch(t *testing.T) {
+	s := set(t, "(.).")
+	sch := &Schedule{Set: s, Rounds: nil}
+	if err := sch.Verify(topology.MustNew(8)); err == nil {
+		t.Fatal("tree size mismatch: want error")
+	}
+	empty := &Schedule{}
+	if err := empty.Verify(topology.MustNew(4)); err == nil {
+		t.Fatal("nil set: want error")
+	}
+}
+
+func TestVerifyOppositeDirectionsShareLink(t *testing.T) {
+	// 1->2 and 3->0 use the same links around the root but in opposite
+	// directions; that is compatible.
+	s := comm.NewSet(4, comm.Comm{Src: 1, Dst: 2}, comm.Comm{Src: 3, Dst: 0})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := topology.MustNew(4)
+	sch := &Schedule{
+		Set:    s,
+		Rounds: [][]comm.Comm{{{Src: 1, Dst: 2}, {Src: 3, Dst: 0}}},
+	}
+	if err := sch.Verify(tr); err != nil {
+		t.Fatalf("opposite directions must be compatible: %v", err)
+	}
+}
+
+func TestVerifyOptimalFlagsSlack(t *testing.T) {
+	s := set(t, "()()")
+	tr := topology.MustNew(4)
+	sch := &Schedule{
+		Set: s,
+		Rounds: [][]comm.Comm{
+			{{Src: 0, Dst: 1}},
+			{{Src: 2, Dst: 3}},
+		},
+	}
+	if err := sch.Verify(tr); err != nil {
+		t.Fatalf("schedule is valid, just not optimal: %v", err)
+	}
+	if err := sch.VerifyOptimal(tr); err == nil {
+		t.Fatal("two rounds for a width-1 set must fail VerifyOptimal")
+	}
+}
+
+func TestScheduleStats(t *testing.T) {
+	sch := &Schedule{
+		Set: set(t, "(())"),
+		Rounds: [][]comm.Comm{
+			{{Src: 0, Dst: 3}},
+			{{Src: 1, Dst: 2}},
+		},
+	}
+	if sch.NumRounds() != 2 {
+		t.Errorf("NumRounds = %d", sch.NumRounds())
+	}
+	if sch.TotalScheduled() != 2 {
+		t.Errorf("TotalScheduled = %d", sch.TotalScheduled())
+	}
+	sizes := sch.RoundSizes()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 1 {
+		t.Errorf("RoundSizes = %v", sizes)
+	}
+	str := sch.String()
+	if !strings.Contains(str, "round 0: 0->3") || !strings.Contains(str, "round 1: 1->2") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestVerifyRejectsDuplicateInSet(t *testing.T) {
+	s := comm.NewSet(4, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 0, Dst: 2})
+	sch := &Schedule{Set: s, Rounds: [][]comm.Comm{{{Src: 0, Dst: 2}}}}
+	if err := sch.Verify(topology.MustNew(4)); err == nil {
+		t.Fatal("duplicate comm in set: want error")
+	}
+}

@@ -1,0 +1,29 @@
+package segbus_test
+
+import (
+	"fmt"
+
+	"cst/internal/segbus"
+	"cst/internal/topology"
+)
+
+// A segmentable bus split into two segments carries one transfer per
+// segment per cycle; a whole program runs as PADR rounds over shared
+// crossbars.
+func ExampleRunProgram() {
+	bus, _ := segbus.New(16)
+	_ = bus.Split(7) // two segments: [0,8) and [8,16)
+	cycle := segbus.Cycle{Transfers: []segbus.Transfer{
+		{Writer: 0, Reader: 5},
+		{Writer: 8, Reader: 13},
+	}}
+	res, err := segbus.RunProgram(topology.MustNew(16), bus, []segbus.Cycle{cycle, cycle, cycle})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d cycles, %d CST rounds, max %d units/switch\n",
+		res.Cycles, res.Rounds, res.Report.MaxUnits())
+	// Output:
+	// 3 cycles, 3 CST rounds, max 1 units/switch
+}

@@ -1,0 +1,25 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/sim"
+	"cst/internal/topology"
+)
+
+// Run the algorithm as a real message-passing system: one goroutine per
+// switch and PE, channels as the tree links.
+func ExampleRun() {
+	set := comm.MustParse("(((())))")
+	tree := topology.MustNew(8)
+	res, err := sim.Run(tree, set)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d goroutines, %d phase-1 words, %d rounds\n",
+		res.Goroutines, res.Phase1Messages, res.Rounds)
+	// Output:
+	// 15 goroutines, 14 phase-1 words, 4 rounds
+}

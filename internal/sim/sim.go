@@ -1,0 +1,300 @@
+// Package sim executes the CSA algorithm as a truly concurrent
+// message-passing system: one goroutine per switch and per PE, one pair of
+// channels per tree link (an upward half for C_U words, a downward half for
+// C_{D-L}/C_{D-R} words). No node shares memory with any other; every
+// decision uses only the node's local state and the words on its links,
+// exactly as the distributed algorithm prescribes (paper §2.2).
+//
+// Phase 1 is a single convergecast wave: leaves emit their role words and
+// every switch matches its children's words (ctrl.Match) before forwarding
+// upward. Each Phase 2 round is a broadcast wave: the driver injects
+// [null,null] at the root, every switch runs the identical padr.Step
+// transition, and the leaves report what they were told to a collector
+// channel, which is how the driver detects the end of the round.
+//
+// The sequential engine (package padr) and this simulation must produce
+// identical schedules and identical power ledgers; tests assert this, and
+// experiment E8 measures the message counts.
+package sim
+
+import (
+	"fmt"
+
+	"cst/internal/comm"
+	"cst/internal/ctrl"
+	"cst/internal/padr"
+	"cst/internal/power"
+	"cst/internal/sched"
+	"cst/internal/topology"
+	"cst/internal/xbar"
+)
+
+// Option configures a simulation.
+type Option func(*config)
+
+type config struct {
+	mode power.Mode
+	sel  padr.Selection
+}
+
+// WithMode selects the power accounting mode (default power.Stateful).
+func WithMode(m power.Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// WithSelection picks the matched-pair selection rule (default
+// padr.Conservative), mirroring padr.WithSelection.
+func WithSelection(sel padr.Selection) Option {
+	return func(c *config) { c.sel = sel }
+}
+
+// Result is the outcome of a concurrent run.
+type Result struct {
+	// Schedule lists the communications performed per round.
+	Schedule *sched.Schedule
+	// Report is the power ledger, collected from the switch goroutines'
+	// crossbars after they exit.
+	Report *power.Report
+	// Width is the set's link width; Rounds == Width on success.
+	Width, Rounds int
+	// Phase1Messages counts C_U words carried by channels (one per link).
+	Phase1Messages int
+	// Phase2Messages counts C_{D-*} words carried by channels over all
+	// rounds.
+	Phase2Messages int
+	// Goroutines is the number of node goroutines that ran (2N-1).
+	Goroutines int
+}
+
+// leafReport is what a PE tells the driver at the end of each round.
+type leafReport struct {
+	pe   int
+	word ctrl.Down
+	err  error
+}
+
+// nodeStats is what a switch goroutine hands back when it shuts down.
+type nodeStats struct {
+	node     topology.Node
+	sw       *xbar.Switch
+	downSent int
+}
+
+// Run executes the set on the tree with one goroutine per node.
+func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
+	cfg := config{mode: power.Stateful}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if t.Leaves() != s.N {
+		return nil, fmt.Errorf("sim: tree has %d leaves, set has N=%d", t.Leaves(), s.N)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.IsWellNested() {
+		return nil, fmt.Errorf("sim: set is not an oriented well-nested set: %s", s.String())
+	}
+	width, err := s.Width(t)
+	if err != nil {
+		return nil, err
+	}
+
+	n := t.Leaves()
+	// Channel fabric. up[node] carries the node's C_U word to its parent;
+	// down[node] carries C_{D-*} words from the parent to the node; closing
+	// down[node] tells the node's goroutine to shut down.
+	up := make(map[topology.Node]chan ctrl.Up, 2*n)
+	down := make(map[topology.Node]chan ctrl.Down, 2*n)
+	for node := topology.Node(1); int(node) < 2*n; node++ {
+		up[node] = make(chan ctrl.Up, 1)
+		down[node] = make(chan ctrl.Down, 1)
+	}
+	reports := make(chan leafReport, n)
+	stats := make(chan nodeStats, t.Switches())
+
+	role := make([]ctrl.Up, n)
+	dstOf := make(map[int]int, s.Len())
+	for _, c := range s.Comms {
+		role[c.Src] = ctrl.Up{S: 1}
+		role[c.Dst] = ctrl.Up{D: 1}
+		dstOf[c.Src] = c.Dst
+	}
+
+	// PE goroutines.
+	for pe := 0; pe < n; pe++ {
+		node := t.Leaf(pe)
+		go runLeaf(pe, role[pe], up[node], down[node], reports)
+	}
+	// Switch goroutines.
+	t.EachSwitch(func(u topology.Node) {
+		go runSwitch(u, cfg.mode, cfg.sel,
+			up[t.Left(u)], up[t.Right(u)], up[u],
+			down[u], down[t.Left(u)], down[t.Right(u)],
+			stats)
+	})
+
+	// Phase 1: wait for the root's upward word.
+	rootUp := <-up[t.Root()]
+	if rootUp.S != 0 || rootUp.D != 0 {
+		close(down[t.Root()])
+		drain(t, stats)
+		return nil, fmt.Errorf("sim: root still advertises %s upward; set is not schedulable", rootUp)
+	}
+
+	// Phase 2: one broadcast wave per round.
+	schedule := &sched.Schedule{Set: s.Clone()}
+	remaining := s.Len()
+	rounds := 0
+	var runErr error
+	for remaining > 0 {
+		if rounds >= width+padr.MaxRoundsSlack {
+			runErr = fmt.Errorf("sim: exceeded %d rounds for a width-%d set", rounds, width)
+			break
+		}
+		down[t.Root()] <- ctrl.Down{Use: ctrl.UseNone}
+		var srcs []int
+		dsts := map[int]bool{}
+		for i := 0; i < n; i++ {
+			rep := <-reports
+			if rep.err != nil {
+				runErr = fmt.Errorf("sim: round %d: %v", rounds, rep.err)
+				continue
+			}
+			switch rep.word.Use {
+			case ctrl.UseS:
+				srcs = append(srcs, rep.pe)
+			case ctrl.UseD:
+				dsts[rep.pe] = true
+			}
+		}
+		if runErr != nil {
+			break
+		}
+		performed := make([]comm.Comm, 0, len(srcs))
+		for _, src := range srcs {
+			dst, ok := dstOf[src]
+			if !ok || !dsts[dst] {
+				runErr = fmt.Errorf("sim: round %d: source %d scheduled without its destination", rounds, src)
+				break
+			}
+			performed = append(performed, comm.Comm{Src: src, Dst: dst})
+		}
+		if runErr != nil {
+			break
+		}
+		if len(performed) != len(dsts) {
+			runErr = fmt.Errorf("sim: round %d: %d sources vs %d destinations", rounds, len(performed), len(dsts))
+			break
+		}
+		if len(performed) == 0 {
+			runErr = fmt.Errorf("sim: round %d made no progress", rounds)
+			break
+		}
+		schedule.Rounds = append(schedule.Rounds, performed)
+		remaining -= len(performed)
+		rounds++
+	}
+
+	// Shutdown: close the root's downward channel; switches propagate the
+	// close to their children and hand their crossbars to the stats channel.
+	close(down[t.Root()])
+	switches, downSent := collect(t, stats)
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	if rounds != width {
+		return nil, fmt.Errorf("sim: took %d rounds for a width-%d set", rounds, width)
+	}
+	return &Result{
+		Schedule:       schedule,
+		Report:         power.Collect("padr-sim", cfg.mode, rounds, t, switches),
+		Width:          width,
+		Rounds:         rounds,
+		Phase1Messages: 2*n - 1 - 1, // every non-root node sent one C_U word
+		Phase2Messages: downSent,
+		Goroutines:     2*n - 1,
+	}, nil
+}
+
+func drain(t *topology.Tree, stats chan nodeStats) {
+	collect(t, stats)
+}
+
+// collect waits for every switch goroutine to shut down and returns their
+// crossbars plus the total number of downward words they sent.
+func collect(t *topology.Tree, stats chan nodeStats) (map[topology.Node]*xbar.Switch, int) {
+	switches := make(map[topology.Node]*xbar.Switch, t.Switches())
+	total := 0
+	for i := 0; i < t.Switches(); i++ {
+		st := <-stats
+		switches[st.node] = st.sw
+		total += st.downSent
+	}
+	return switches, total
+}
+
+// runLeaf is the PE goroutine: one role word up, then one report per round.
+func runLeaf(pe int, role ctrl.Up, upCh chan<- ctrl.Up, downCh <-chan ctrl.Down, reports chan<- leafReport) {
+	upCh <- role
+	done := false
+	for word := range downCh {
+		rep := leafReport{pe: pe, word: word}
+		switch word.Use {
+		case ctrl.UseNone:
+			// idle round
+		case ctrl.UseS:
+			if role.S != 1 || done || word.Xs != 0 {
+				rep.err = fmt.Errorf("PE %d: bad source signal %v (role %v, done %v)", pe, word, role, done)
+			}
+			done = true
+		case ctrl.UseD:
+			if role.D != 1 || done || word.Xd != 0 {
+				rep.err = fmt.Errorf("PE %d: bad destination signal %v (role %v, done %v)", pe, word, role, done)
+			}
+			done = true
+		default:
+			rep.err = fmt.Errorf("PE %d: received %v, which only switches can serve", pe, word)
+		}
+		reports <- rep
+	}
+}
+
+// runSwitch is the switch goroutine: match once in Phase 1, then apply
+// padr.Step to every downward word until the parent closes the link.
+func runSwitch(u topology.Node, mode power.Mode, sel padr.Selection,
+	leftUp, rightUp <-chan ctrl.Up, parentUp chan<- ctrl.Up,
+	parentDown <-chan ctrl.Down, leftDown, rightDown chan<- ctrl.Down,
+	stats chan<- nodeStats) {
+
+	sw := xbar.NewSwitch()
+	downSent := 0
+
+	// Phase 1 (Steps 1.2–1.3): receive both children's words, match, send
+	// the remainder upward. The two receives may complete in either order;
+	// each channel carries exactly one Phase 1 word.
+	st := ctrl.Match(<-leftUp, <-rightUp)
+	parentUp <- st.UpWord()
+
+	// Phase 2: every downward word triggers one Step and two forwards.
+	for word := range parentDown {
+		if mode == power.Stateless {
+			sw.Reset()
+		}
+		left, right, err := padr.Step(&st, sw, word, sel)
+		if err != nil {
+			// A corrupted word must not wedge the wave: forward idle words
+			// so every leaf still reports, and surface the failure through
+			// the leaf report of some scheduled PE (the driver also detects
+			// the stall as "no progress").
+			left, right = ctrl.Down{Use: ctrl.UseNone}, ctrl.Down{Use: ctrl.UseNone}
+		}
+		leftDown <- left
+		rightDown <- right
+		downSent += 2
+	}
+	close(leftDown)
+	close(rightDown)
+	stats <- nodeStats{node: u, sw: sw, downSent: downSent}
+}

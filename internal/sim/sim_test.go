@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/padr"
+	"cst/internal/power"
+	"cst/internal/topology"
+)
+
+func TestRejectsBadInputs(t *testing.T) {
+	tr := topology.MustNew(8)
+	if _, err := Run(tr, comm.MustParse("(())")); err == nil {
+		t.Error("size mismatch: want error")
+	}
+	crossing := comm.NewSet(8, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 1, Dst: 3})
+	if _, err := Run(tr, crossing); err == nil {
+		t.Error("crossing set: want error")
+	}
+	invalid := comm.NewSet(8, comm.Comm{Src: 0, Dst: 99})
+	if _, err := Run(tr, invalid); err == nil {
+		t.Error("invalid set: want error")
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	tr := topology.MustNew(8)
+	res, err := Run(tr, comm.NewSet(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.Report.TotalUnits() != 0 {
+		t.Fatalf("empty set: %d rounds, %d units", res.Rounds, res.Report.TotalUnits())
+	}
+	if res.Goroutines != 15 {
+		t.Fatalf("goroutines = %d, want 15", res.Goroutines)
+	}
+	if res.Phase1Messages != 14 {
+		t.Fatalf("phase1 messages = %d, want 14", res.Phase1Messages)
+	}
+}
+
+func TestSimpleSchedules(t *testing.T) {
+	for _, expr := range []string{"(.)", "(())", "(()())..", "(((())))"} {
+		s := comm.MustParse(expr)
+		tr := topology.MustNew(s.N)
+		res, err := Run(tr, s)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		if err := res.Schedule.VerifyOptimal(tr); err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		// Every round broadcasts one word per link: 2N-2 words.
+		if want := res.Rounds * (2*s.N - 2); res.Phase2Messages != want {
+			t.Fatalf("%q: phase2 messages = %d, want %d", expr, res.Phase2Messages, want)
+		}
+	}
+}
+
+// The concurrent simulation must agree with the sequential engine exactly:
+// same rounds, same per-round communication sets, same power ledger.
+func TestEquivalenceWithSequentialEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 << (2 + rng.Intn(5)) // 4..64
+		s, err := comm.RandomWellNested(rng, n, rng.Intn(n/2+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := topology.MustNew(n)
+
+		seqEng, err := padr.New(tr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := seqEng.Run()
+		if err != nil {
+			t.Fatalf("seq %s: %v", s, err)
+		}
+		conc, err := Run(tr, s)
+		if err != nil {
+			t.Fatalf("conc %s: %v", s, err)
+		}
+
+		if seq.Rounds != conc.Rounds {
+			t.Fatalf("%s: rounds %d vs %d", s, seq.Rounds, conc.Rounds)
+		}
+		for r := range seq.Schedule.Rounds {
+			a := commSet(seq.Schedule.Rounds[r])
+			b := commSet(conc.Schedule.Rounds[r])
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s round %d: %v vs %v", s, r, a, b)
+			}
+		}
+		if seq.Report.TotalUnits() != conc.Report.TotalUnits() ||
+			seq.Report.MaxUnits() != conc.Report.MaxUnits() ||
+			seq.Report.MaxAlternations() != conc.Report.MaxAlternations() {
+			t.Fatalf("%s: power ledgers differ: %s vs %s", s, seq.Report.Summary(), conc.Report.Summary())
+		}
+	}
+}
+
+func commSet(cs []comm.Comm) map[comm.Comm]bool {
+	m := make(map[comm.Comm]bool, len(cs))
+	for _, c := range cs {
+		m[c] = true
+	}
+	return m
+}
+
+func TestStatelessMode(t *testing.T) {
+	tr := topology.MustNew(64)
+	s, err := comm.NestedChain(64, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, s, WithMode(power.Stateless))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Mode != power.Stateless {
+		t.Fatal("mode not recorded")
+	}
+	if res.Report.MaxUnits() < 12 {
+		t.Fatalf("stateless chain must cost the root >= w units, got %d", res.Report.MaxUnits())
+	}
+}
+
+func TestLargerConcurrentRun(t *testing.T) {
+	tr := topology.MustNew(512)
+	rng := rand.New(rand.NewSource(9))
+	s, err := comm.RandomWellNested(rng, 512, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.VerifyOptimal(tr); err != nil {
+		t.Fatal(err)
+	}
+	if res.Goroutines != 1023 {
+		t.Fatalf("goroutines = %d, want 1023", res.Goroutines)
+	}
+	if res.Report.MaxUnits() > 6 {
+		t.Fatalf("max units = %d, want O(1)", res.Report.MaxUnits())
+	}
+}

@@ -1,0 +1,21 @@
+package srga_test
+
+import (
+	"fmt"
+
+	"cst/internal/srga"
+)
+
+// Route a uniform shift on an SRGA grid: a pure row-phase pattern.
+func ExampleGrid_Route() {
+	grid, _ := srga.New(4, 8)
+	res, err := grid.Route(srga.RowShift(grid, 2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("row rounds %d, column rounds %d\n",
+		res.RowPhase.MaxRounds, res.ColPhase.MaxRounds)
+	// Output:
+	// row rounds 6, column rounds 0
+}

@@ -1,0 +1,318 @@
+// Package srga models the communication fabric of the Self-Reconfigurable
+// Gate Array (Sidhu et al. [7], the architecture that motivates the CST):
+// a grid of PEs in which every row and every column is connected by its own
+// circuit switched tree.
+//
+// Routing a set of 2D communications uses the classical two-phase scheme:
+// a packet first moves along its source row to its destination column, then
+// along that column to its destination row. Each phase decomposes into
+// per-tree one-dimensional communication sets. Those sets are arbitrary
+// oriented sets (not well-nested in general), so each batch is scheduled
+// with the greedy compatible-set scheduler; when a batch happens to be
+// well-nested — which the paper's class guarantees for segmentable-bus-like
+// traffic — the PADR engine is used instead and its O(1) per-switch power
+// bound applies.
+package srga
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cst/internal/baseline"
+	"cst/internal/comm"
+	"cst/internal/deliver"
+	"cst/internal/padr"
+	"cst/internal/power"
+	"cst/internal/topology"
+)
+
+// Grid is an SRGA PE grid. Rows and Cols must be powers of two >= 2.
+type Grid struct {
+	rows, cols int
+	rowTree    *topology.Tree // shared shape for every row CST (cols leaves)
+	colTree    *topology.Tree // shared shape for every column CST (rows leaves)
+}
+
+// New builds a grid.
+func New(rows, cols int) (*Grid, error) {
+	rt, err := topology.New(cols)
+	if err != nil {
+		return nil, fmt.Errorf("srga: bad column count: %v", err)
+	}
+	ct, err := topology.New(rows)
+	if err != nil {
+		return nil, fmt.Errorf("srga: bad row count: %v", err)
+	}
+	return &Grid{rows: rows, cols: cols, rowTree: rt, colTree: ct}, nil
+}
+
+// Rows returns the number of PE rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols returns the number of PE columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Comm2D is one grid communication from PE (SrcR, SrcC) to PE (DstR, DstC).
+type Comm2D struct {
+	SrcR, SrcC, DstR, DstC int
+}
+
+// String renders e.g. "(1,2)->(3,0)".
+func (c Comm2D) String() string {
+	return fmt.Sprintf("(%d,%d)->(%d,%d)", c.SrcR, c.SrcC, c.DstR, c.DstC)
+}
+
+// PhaseStats aggregates one routing phase (rows or columns).
+type PhaseStats struct {
+	// Batches is the number of 1-D communication sets the phase needed
+	// (conflicting endpoints force extra batches).
+	Batches int
+	// Rounds is the total CST rounds over all trees and batches; trees run
+	// in parallel, so the phase's wall-clock rounds is MaxRounds.
+	Rounds int
+	// MaxRounds is the slowest tree's total rounds.
+	MaxRounds int
+	// WellNested counts batches that qualified for the PADR engine.
+	WellNested int
+	// MaxUnits is the highest per-switch power spend across all trees.
+	MaxUnits int
+}
+
+// Result is the outcome of routing one communication set on the grid.
+type Result struct {
+	// RowPhase and ColPhase are the two phases' statistics.
+	RowPhase, ColPhase PhaseStats
+}
+
+// TotalMaxRounds is the wall-clock round count: the row phase and column
+// phase run sequentially, trees within a phase in parallel.
+func (r *Result) TotalMaxRounds() int { return r.RowPhase.MaxRounds + r.ColPhase.MaxRounds }
+
+// Validate checks endpoints and the one-communication-per-PE rule.
+func (g *Grid) Validate(comms []Comm2D) error {
+	srcs := map[[2]int]bool{}
+	dsts := map[[2]int]bool{}
+	for _, c := range comms {
+		if c.SrcR < 0 || c.SrcR >= g.rows || c.DstR < 0 || c.DstR >= g.rows ||
+			c.SrcC < 0 || c.SrcC >= g.cols || c.DstC < 0 || c.DstC >= g.cols {
+			return fmt.Errorf("srga: %s out of range for %dx%d grid", c, g.rows, g.cols)
+		}
+		if c.SrcR == c.DstR && c.SrcC == c.DstC {
+			return fmt.Errorf("srga: %s is a self loop", c)
+		}
+		s := [2]int{c.SrcR, c.SrcC}
+		d := [2]int{c.DstR, c.DstC}
+		if srcs[s] {
+			return fmt.Errorf("srga: PE (%d,%d) sources two communications", s[0], s[1])
+		}
+		if dsts[d] {
+			return fmt.Errorf("srga: PE (%d,%d) receives two communications", d[0], d[1])
+		}
+		srcs[s] = true
+		dsts[d] = true
+	}
+	return nil
+}
+
+// hop is a 1-D movement on one tree.
+type hop struct {
+	tree int // row index or column index
+	src  int
+	dst  int
+}
+
+// Route performs two-phase routing and returns the aggregate statistics.
+func (g *Grid) Route(comms []Comm2D) (*Result, error) {
+	if err := g.Validate(comms); err != nil {
+		return nil, err
+	}
+	var res Result
+
+	// Row phase: move (SrcR, SrcC) -> (SrcR, DstC).
+	var rowHops []hop
+	for _, c := range comms {
+		if c.SrcC != c.DstC {
+			rowHops = append(rowHops, hop{tree: c.SrcR, src: c.SrcC, dst: c.DstC})
+		}
+	}
+	st, err := g.runPhase(g.rowTree, g.rows, rowHops)
+	if err != nil {
+		return nil, fmt.Errorf("srga: row phase: %v", err)
+	}
+	res.RowPhase = *st
+
+	// Column phase: move (SrcR, DstC) -> (DstR, DstC).
+	var colHops []hop
+	for _, c := range comms {
+		if c.SrcR != c.DstR {
+			colHops = append(colHops, hop{tree: c.DstC, src: c.SrcR, dst: c.DstR})
+		}
+	}
+	st, err = g.runPhase(g.colTree, g.cols, colHops)
+	if err != nil {
+		return nil, fmt.Errorf("srga: column phase: %v", err)
+	}
+	res.ColPhase = *st
+	return &res, nil
+}
+
+// runPhase schedules the per-tree hops of one phase. Hops on one tree are
+// batched so that within a batch every endpoint is used at most once (the
+// CST's one-role-per-PE rule); batches then run one after the other.
+func (g *Grid) runPhase(shape *topology.Tree, trees int, hops []hop) (*PhaseStats, error) {
+	stats := &PhaseStats{}
+	byTree := make([][]hop, trees)
+	for _, h := range hops {
+		byTree[h.tree] = append(byTree[h.tree], h)
+	}
+	for ti, list := range byTree {
+		if len(list) == 0 {
+			continue
+		}
+		batches := batchHops(list)
+		stats.Batches += len(batches)
+		treeRounds := 0
+		for _, batch := range batches {
+			set := &comm.Set{N: shape.Leaves()}
+			for _, h := range batch {
+				set.Comms = append(set.Comms, comm.Comm{Src: h.src, Dst: h.dst})
+			}
+			right, leftM := comm.Decompose(set)
+			for _, oriented := range []*comm.Set{right, leftM} {
+				if oriented.Len() == 0 {
+					continue
+				}
+				rounds, maxUnits, wellNested, err := runOriented(shape, oriented)
+				if err != nil {
+					return nil, fmt.Errorf("tree %d: %v", ti, err)
+				}
+				treeRounds += rounds
+				if wellNested {
+					stats.WellNested++
+				}
+				if maxUnits > stats.MaxUnits {
+					stats.MaxUnits = maxUnits
+				}
+			}
+		}
+		stats.Rounds += treeRounds
+		if treeRounds > stats.MaxRounds {
+			stats.MaxRounds = treeRounds
+		}
+	}
+	return stats, nil
+}
+
+// runOriented schedules one right-oriented set on one tree: PADR when the
+// set is well nested, greedy otherwise. Every schedule is re-verified
+// against the tree, and every round's data plane is replayed with tokens —
+// a routed packet must actually arrive through the configured circuits.
+func runOriented(shape *topology.Tree, s *comm.Set) (rounds, maxUnits int, wellNested bool, err error) {
+	if s.IsWellNested() {
+		var rec deliver.Recorder
+		e, err := padr.New(shape, s, padr.WithObserver(rec.Observer()))
+		if err != nil {
+			return 0, 0, false, err
+		}
+		res, err := e.Run()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if err := res.Schedule.VerifyOptimal(shape); err != nil {
+			return 0, 0, false, err
+		}
+		if err := rec.Verify(shape); err != nil {
+			return 0, 0, false, err
+		}
+		return res.Rounds, res.Report.MaxUnits(), true, nil
+	}
+	res, err := baseline.Greedy(shape, s, power.Stateful)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := res.Schedule.Verify(shape); err != nil {
+		return 0, 0, false, err
+	}
+	for r, round := range res.Schedule.Rounds {
+		if err := deliver.VerifyRound(shape, res.Configs[r], round); err != nil {
+			return 0, 0, false, err
+		}
+	}
+	return res.Rounds, res.Report.MaxUnits(), false, nil
+}
+
+// batchHops splits a tree's hops into endpoint-disjoint batches (first-fit).
+func batchHops(list []hop) [][]hop {
+	var batches [][]hop
+	var used []map[int]bool
+	for _, h := range list {
+		placed := false
+		for i := range batches {
+			if !used[i][h.src] && !used[i][h.dst] {
+				batches[i] = append(batches[i], h)
+				used[i][h.src] = true
+				used[i][h.dst] = true
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			batches = append(batches, []hop{h})
+			used = append(used, map[int]bool{h.src: true, h.dst: true})
+		}
+	}
+	return batches
+}
+
+// RandomPermutation generates a full permutation workload: every PE sends
+// to a distinct random PE (derangement not enforced; self-maps are
+// dropped).
+func RandomPermutation(rng *rand.Rand, g *Grid) []Comm2D {
+	n := g.rows * g.cols
+	perm := rng.Perm(n)
+	var out []Comm2D
+	for i, p := range perm {
+		if i == p {
+			continue
+		}
+		out = append(out, Comm2D{
+			SrcR: i / g.cols, SrcC: i % g.cols,
+			DstR: p / g.cols, DstC: p % g.cols,
+		})
+	}
+	return out
+}
+
+// Transpose generates the matrix-transpose workload on a square grid: PE
+// (r,c) sends to (c,r).
+func Transpose(g *Grid) ([]Comm2D, error) {
+	if g.rows != g.cols {
+		return nil, fmt.Errorf("srga: transpose needs a square grid, got %dx%d", g.rows, g.cols)
+	}
+	var out []Comm2D
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			if r == c {
+				continue
+			}
+			out = append(out, Comm2D{SrcR: r, SrcC: c, DstR: c, DstC: r})
+		}
+	}
+	return out, nil
+}
+
+// RowShift generates the uniform-shift workload: every PE sends k columns
+// to the right within its row (wrapping). A pure row-phase pattern.
+func RowShift(g *Grid, k int) []Comm2D {
+	var out []Comm2D
+	k = ((k % g.cols) + g.cols) % g.cols
+	if k == 0 {
+		return nil
+	}
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			out = append(out, Comm2D{SrcR: r, SrcC: c, DstR: r, DstC: (c + k) % g.cols})
+		}
+	}
+	return out
+}

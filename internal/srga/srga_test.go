@@ -1,0 +1,167 @@
+package srga
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, 4); err == nil {
+		t.Error("non power-of-two rows: want error")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("zero cols: want error")
+	}
+	g, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows() != 4 || g.Cols() != 8 {
+		t.Fatalf("grid %dx%d", g.Rows(), g.Cols())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g, _ := New(4, 4)
+	bad := []struct {
+		name  string
+		comms []Comm2D
+	}{
+		{"out of range", []Comm2D{{SrcR: 0, SrcC: 0, DstR: 4, DstC: 0}}},
+		{"self loop", []Comm2D{{SrcR: 1, SrcC: 1, DstR: 1, DstC: 1}}},
+		{"double source", []Comm2D{{0, 0, 1, 1}, {0, 0, 2, 2}}},
+		{"double dest", []Comm2D{{0, 0, 2, 2}, {1, 1, 2, 2}}},
+	}
+	for _, c := range bad {
+		if err := g.Validate(c.comms); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	if err := g.Validate([]Comm2D{{0, 0, 1, 1}, {1, 1, 0, 0}}); err != nil {
+		t.Errorf("valid swap rejected: %v", err)
+	}
+}
+
+func TestRouteRowShift(t *testing.T) {
+	g, _ := New(4, 8)
+	comms := RowShift(g, 3)
+	if len(comms) != 32 {
+		t.Fatalf("row shift produced %d comms", len(comms))
+	}
+	res, err := g.Route(comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColPhase.Rounds != 0 {
+		t.Fatalf("pure row pattern must not use columns: %+v", res.ColPhase)
+	}
+	if res.RowPhase.Rounds == 0 {
+		t.Fatal("row phase did nothing")
+	}
+	if res.TotalMaxRounds() != res.RowPhase.MaxRounds {
+		t.Fatal("wall clock must equal the row phase alone")
+	}
+}
+
+func TestRowShiftZero(t *testing.T) {
+	g, _ := New(4, 4)
+	if got := RowShift(g, 0); got != nil {
+		t.Fatalf("shift 0 must be empty, got %d", len(got))
+	}
+	if got := RowShift(g, 4); got != nil {
+		t.Fatalf("full wrap must be empty, got %d", len(got))
+	}
+	if got := RowShift(g, -1); len(got) != 16 {
+		t.Fatalf("negative shift must normalize, got %d", len(got))
+	}
+}
+
+func TestRouteTranspose(t *testing.T) {
+	g, _ := New(8, 8)
+	comms, err := Transpose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comms) != 56 {
+		t.Fatalf("transpose produced %d comms", len(comms))
+	}
+	res, err := g.Route(comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowPhase.Rounds == 0 || res.ColPhase.Rounds == 0 {
+		t.Fatalf("transpose needs both phases: %+v", res)
+	}
+	if _, err := Transpose(mustGrid(t, 4, 8)); err == nil {
+		t.Error("non-square transpose: want error")
+	}
+}
+
+func TestRouteRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g, _ := New(8, 8)
+		comms := RandomPermutation(rng, g)
+		if err := g.Validate(comms); err != nil {
+			t.Fatalf("generated workload invalid: %v", err)
+		}
+		res, err := g.Route(comms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalMaxRounds() == 0 {
+			t.Fatal("permutation routed in zero rounds")
+		}
+		// A 64-PE permutation on 8-leaf trees cannot need more rounds than
+		// communications per tree.
+		if res.RowPhase.MaxRounds > 16 || res.ColPhase.MaxRounds > 16 {
+			t.Fatalf("implausible round counts: %+v", res)
+		}
+	}
+}
+
+func TestRouteRejectsInvalid(t *testing.T) {
+	g, _ := New(4, 4)
+	if _, err := g.Route([]Comm2D{{0, 0, 0, 0}}); err == nil {
+		t.Error("self loop: want error")
+	}
+}
+
+func TestBatchHopsDisjoint(t *testing.T) {
+	hops := []hop{
+		{tree: 0, src: 0, dst: 3},
+		{tree: 0, src: 1, dst: 3}, // conflicts with the first on dst
+		{tree: 0, src: 3, dst: 2}, // conflicts on endpoint 3 with both
+		{tree: 0, src: 4, dst: 5},
+	}
+	batches := batchHops(hops)
+	if len(batches) != 3 {
+		t.Fatalf("want 3 batches, got %d: %v", len(batches), batches)
+	}
+	for _, b := range batches {
+		seen := map[int]bool{}
+		for _, h := range b {
+			if seen[h.src] || seen[h.dst] {
+				t.Fatalf("batch reuses an endpoint: %v", b)
+			}
+			seen[h.src] = true
+			seen[h.dst] = true
+		}
+	}
+}
+
+func TestComm2DString(t *testing.T) {
+	c := Comm2D{SrcR: 1, SrcC: 2, DstR: 3, DstC: 0}
+	if c.String() != "(1,2)->(3,0)" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func mustGrid(t *testing.T, r, c int) *Grid {
+	t.Helper()
+	g, err := New(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the tree in Graphviz dot syntax. label, if non-nil, supplies a
+// per-node label (e.g. a live switch configuration); nil uses default labels
+// ("u3" for switches, "PE5" for leaves).
+func (t *Tree) DOT(label func(Node) string) string {
+	var b strings.Builder
+	b.WriteString("digraph cst {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for n := Node(1); int(n) < 2*t.leaves; n++ {
+		lab := t.defaultLabel(n)
+		if label != nil {
+			if s := label(n); s != "" {
+				lab = s
+			}
+		}
+		shape := "box"
+		if t.IsLeaf(n) {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", int(n), lab, shape)
+	}
+	t.EachSwitch(func(n Node) {
+		fmt.Fprintf(&b, "  n%d -> n%d [dir=both];\n", int(n), int(t.Left(n)))
+		fmt.Fprintf(&b, "  n%d -> n%d [dir=both];\n", int(n), int(t.Right(n)))
+	})
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (t *Tree) defaultLabel(n Node) string {
+	if t.IsLeaf(n) {
+		return fmt.Sprintf("PE%d", t.PE(n))
+	}
+	return fmt.Sprintf("u%d", int(n))
+}
+
+// ASCII renders the tree as fixed-width text, one level per line, with an
+// optional per-node annotation. It is the workhorse behind cmd/cstviz and
+// the round-by-round traces. Cells are 6 characters per leaf column; use
+// ASCIIWidth for longer annotations.
+func (t *Tree) ASCII(annotate func(Node) string) string {
+	return t.ASCIIWidth(annotate, 6)
+}
+
+// ASCIIWidth is ASCII with an explicit per-leaf column width.
+func (t *Tree) ASCIIWidth(annotate func(Node) string, width int) string {
+	if width < 2 {
+		width = 2
+	}
+	cols := t.leaves * width
+	var b strings.Builder
+	for depth := 0; depth <= t.levels; depth++ {
+		line := make([]byte, cols)
+		for i := range line {
+			line[i] = ' '
+		}
+		first := Node(1) << depth
+		last := Node(2)<<depth - 1
+		for n := first; n <= last; n++ {
+			lo, hi := t.Span(n)
+			center := (lo + hi) * width / 2
+			lab := t.defaultLabel(n)
+			if annotate != nil {
+				if s := annotate(n); s != "" {
+					lab = s
+				}
+			}
+			placeCentered(line, center, lab)
+		}
+		b.Write(trimRight(line))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func placeCentered(line []byte, center int, s string) {
+	start := center - len(s)/2
+	if start < 0 {
+		start = 0
+	}
+	for i := 0; i < len(s) && start+i < len(line); i++ {
+		line[start+i] = s[i]
+	}
+}
+
+func trimRight(line []byte) []byte {
+	end := len(line)
+	for end > 0 && line[end-1] == ' ' {
+		end--
+	}
+	return line[:end]
+}

@@ -1,0 +1,261 @@
+// Package topology models the circuit switched tree (CST) substrate: a
+// complete binary tree whose leaves are processing elements (PEs) and whose
+// internal nodes are 3-sided switches, connected by full-duplex links.
+//
+// Nodes use heap indexing: the root is node 1, node k has children 2k and
+// 2k+1, and for a tree with N leaves (N a power of two) the leaves are nodes
+// N..2N-1 in left-to-right order. PE i (0-based) therefore lives at node N+i.
+//
+// A tree edge connects a node to its parent. Because every non-root node has
+// exactly one parent edge, edges are identified by their child node. Each
+// edge is full duplex: the Up direction carries data from the child toward
+// the root, the Down direction from the parent toward the leaves.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Node is a heap index into the tree. The root is 1; 0 is never a valid node.
+type Node int
+
+// Direction selects one half of a full-duplex tree link.
+type Direction uint8
+
+const (
+	// Up is the child-to-parent half of a link.
+	Up Direction = iota
+	// Down is the parent-to-child half of a link.
+	Down
+)
+
+// String returns "up" or "down".
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Edge is one directed half of a tree link. Child identifies the link (every
+// non-root node has exactly one parent link); Dir selects the half.
+type Edge struct {
+	Child Node
+	Dir   Direction
+}
+
+// String renders the edge as "child-dir", e.g. "12-up".
+func (e Edge) String() string { return fmt.Sprintf("%d-%s", int(e.Child), e.Dir) }
+
+// Tree is a circuit switched tree with a fixed number of leaves.
+// The zero value is not usable; construct with New.
+type Tree struct {
+	leaves int // N, a power of two
+	levels int // log2(N); leaves are level 0, root is level `levels`
+}
+
+// New returns a CST with n leaves. n must be a power of two and at least 2.
+func New(n int) (*Tree, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 leaves, got %d", n)
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("topology: leaf count must be a power of two, got %d", n)
+	}
+	return &Tree{leaves: n, levels: bits.Len(uint(n)) - 1}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and examples with
+// constant sizes.
+func MustNew(n int) *Tree {
+	t, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Leaves returns N, the number of PEs.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Switches returns the number of internal nodes, N-1.
+func (t *Tree) Switches() int { return t.leaves - 1 }
+
+// Levels returns log2(N). Leaves sit at level 0 and the root at level
+// Levels(), matching the paper's convention in Lemma 7.
+func (t *Tree) Levels() int { return t.levels }
+
+// Root returns the root node (always 1).
+func (t *Tree) Root() Node { return 1 }
+
+// Valid reports whether n is a node of this tree.
+func (t *Tree) Valid(n Node) bool { return n >= 1 && int(n) < 2*t.leaves }
+
+// IsLeaf reports whether n is a PE.
+func (t *Tree) IsLeaf(n Node) bool { return int(n) >= t.leaves && int(n) < 2*t.leaves }
+
+// IsSwitch reports whether n is an internal (switch) node.
+func (t *Tree) IsSwitch(n Node) bool { return n >= 1 && int(n) < t.leaves }
+
+// Parent returns the parent of n. The root has no parent; Parent(root) == 0.
+func (t *Tree) Parent(n Node) Node { return n / 2 }
+
+// Left returns the left child of switch n.
+func (t *Tree) Left(n Node) Node { return 2 * n }
+
+// Right returns the right child of switch n.
+func (t *Tree) Right(n Node) Node { return 2*n + 1 }
+
+// IsLeftChild reports whether n is the left child of its parent.
+func (t *Tree) IsLeftChild(n Node) bool { return n%2 == 0 }
+
+// Leaf returns the node holding PE pe (0-based).
+func (t *Tree) Leaf(pe int) Node { return Node(t.leaves + pe) }
+
+// PE returns the 0-based PE index of a leaf node.
+func (t *Tree) PE(n Node) int { return int(n) - t.leaves }
+
+// Level returns the level of n: leaves are level 0, the root is Levels().
+func (t *Tree) Level(n Node) int { return t.levels - (bits.Len(uint(n)) - 1) }
+
+// Depth returns the distance from the root: root is depth 0, leaves are
+// depth Levels().
+func (t *Tree) Depth(n Node) int { return bits.Len(uint(n)) - 1 }
+
+// Span returns the half-open PE interval [lo, hi) covered by the subtree
+// rooted at n.
+func (t *Tree) Span(n Node) (lo, hi int) {
+	d := t.Depth(n)
+	width := t.leaves >> d
+	first := (int(n) << (t.levels - d)) - t.leaves
+	return first, first + width
+}
+
+// Contains reports whether PE pe lies in the subtree rooted at n.
+func (t *Tree) Contains(n Node, pe int) bool {
+	lo, hi := t.Span(n)
+	return pe >= lo && pe < hi
+}
+
+// LCA returns the lowest common ancestor of PEs a and b.
+func (t *Tree) LCA(a, b int) Node {
+	x, y := uint(t.Leaf(a)), uint(t.Leaf(b))
+	// Leaves share a depth, so the LCA is the longest common bit prefix:
+	// strip exactly the bits in which the two heap indices differ.
+	return Node(x >> bits.Len(x^y))
+}
+
+// PathEdges returns the directed edges used by a circuit from PE src to PE
+// dst: up edges from the source leaf to (but not including) the LCA, then
+// down edges from the LCA to the destination leaf. The source and
+// destination leaf links are included (the PE-to-switch hop is a tree edge
+// like any other). PathEdges returns an error if src == dst or either PE is
+// out of range.
+func (t *Tree) PathEdges(src, dst int) ([]Edge, error) {
+	if src < 0 || src >= t.leaves || dst < 0 || dst >= t.leaves {
+		return nil, fmt.Errorf("topology: PE out of range: src=%d dst=%d n=%d", src, dst, t.leaves)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("topology: src and dst are the same PE %d", src)
+	}
+	lca := t.LCA(src, dst)
+	var edges []Edge
+	for n := t.Leaf(src); n != lca; n = t.Parent(n) {
+		edges = append(edges, Edge{Child: n, Dir: Up})
+	}
+	// Collect the down path from the destination leaf back to the LCA, then
+	// reverse it so the result reads source-to-destination.
+	start := len(edges)
+	for n := t.Leaf(dst); n != lca; n = t.Parent(n) {
+		edges = append(edges, Edge{Child: n, Dir: Down})
+	}
+	down := edges[start:]
+	for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
+		down[i], down[j] = down[j], down[i]
+	}
+	return edges, nil
+}
+
+// PathSwitches returns the switch nodes visited by a circuit from src to dst,
+// in order from the switch above the source leaf, through the LCA, down to
+// the switch above the destination leaf.
+func (t *Tree) PathSwitches(src, dst int) ([]Node, error) {
+	edges, err := t.PathEdges(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	// Every edge touches the parent of its child node; walking the edge list
+	// in order, the distinct parents give the switch sequence (the LCA is the
+	// parent of both the last up edge and the first down edge, hence the
+	// consecutive-duplicate suppression).
+	var sws []Node
+	seen := Node(0)
+	for _, e := range edges {
+		p := t.Parent(e.Child)
+		if p != seen {
+			sws = append(sws, p)
+			seen = p
+		}
+	}
+	return sws, nil
+}
+
+// HopCount returns the number of switches on the circuit from src to dst.
+// The paper bounds this by O(log N); tests assert HopCount <= 2*Levels()-1.
+func (t *Tree) HopCount(src, dst int) (int, error) {
+	sws, err := t.PathSwitches(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(sws), nil
+}
+
+// EachSwitch calls fn for every internal node, in increasing (BFS) order.
+func (t *Tree) EachSwitch(fn func(Node)) {
+	for n := Node(1); int(n) < t.leaves; n++ {
+		fn(n)
+	}
+}
+
+// EachSwitchTopDown is EachSwitch: heap order is already a valid top-down
+// (parents before children) order. It exists for readability at call sites
+// that depend on that property.
+func (t *Tree) EachSwitchTopDown(fn func(Node)) { t.EachSwitch(fn) }
+
+// EachSwitchBottomUp calls fn for every internal node, children before
+// parents.
+func (t *Tree) EachSwitchBottomUp(fn func(Node)) {
+	for n := Node(t.leaves - 1); n >= 1; n-- {
+		fn(n)
+	}
+}
+
+// Reflect returns the mirror image of n: the node in the same level whose
+// subtree covers the reflected PE interval. Reflection maps the tree onto
+// itself with left and right swapped everywhere; it is how a left-oriented
+// communication set (scheduled on the mirrored PE line) maps back onto the
+// physical switches.
+func (t *Tree) Reflect(n Node) Node {
+	d := t.Depth(n)
+	first := Node(1) << d
+	return first + (Node(2)<<d - 1 - n)
+}
+
+// EdgeCount returns the number of tree links, 2N-2 directed halves over
+// N-1 + N-1... precisely: 2N-2 nodes have parents, so there are 2N-2 links
+// and 4N-4 directed edge halves.
+func (t *Tree) EdgeCount() int { return 2*t.leaves - 2 }
+
+// EdgeIndex maps a directed edge to a dense index in [0, 2*EdgeCount()),
+// usable for congestion arrays.
+func (t *Tree) EdgeIndex(e Edge) int {
+	base := int(e.Child) - 2 // children are nodes 2..2N-1, so 0-based is child-2
+	if e.Dir == Down {
+		return base + t.EdgeCount()
+	}
+	return base
+}
+
+// DirectedEdgeCount returns the size of the dense edge-index space.
+func (t *Tree) DirectedEdgeCount() int { return 2 * t.EdgeCount() }

@@ -1,0 +1,376 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{-4, 0, 1, 3, 6, 12, 100} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d): want error, got nil", n)
+		}
+	}
+	for _, n := range []int{2, 4, 8, 1024} {
+		tr, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		if tr.Leaves() != n {
+			t.Errorf("New(%d).Leaves() = %d", n, tr.Leaves())
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(3) did not panic")
+		}
+	}()
+	MustNew(3)
+}
+
+func TestStructureCounts(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64, 256} {
+		tr := MustNew(n)
+		if got := tr.Switches(); got != n-1 {
+			t.Errorf("n=%d: Switches=%d want %d", n, got, n-1)
+		}
+		if got := tr.EdgeCount(); got != 2*n-2 {
+			t.Errorf("n=%d: EdgeCount=%d want %d", n, got, 2*n-2)
+		}
+		if tr.Root() != 1 {
+			t.Errorf("n=%d: Root=%d", n, tr.Root())
+		}
+	}
+}
+
+func TestParentChildInverse(t *testing.T) {
+	tr := MustNew(64)
+	tr.EachSwitch(func(u Node) {
+		if tr.Parent(tr.Left(u)) != u || tr.Parent(tr.Right(u)) != u {
+			t.Fatalf("parent/child mismatch at %d", u)
+		}
+		if !tr.IsLeftChild(tr.Left(u)) {
+			t.Fatalf("Left(%d) not a left child", u)
+		}
+		if tr.IsLeftChild(tr.Right(u)) {
+			t.Fatalf("Right(%d) claims to be a left child", u)
+		}
+	})
+}
+
+func TestLeafPEInverse(t *testing.T) {
+	tr := MustNew(32)
+	for pe := 0; pe < 32; pe++ {
+		leaf := tr.Leaf(pe)
+		if !tr.IsLeaf(leaf) {
+			t.Fatalf("Leaf(%d)=%d not a leaf", pe, leaf)
+		}
+		if tr.IsSwitch(leaf) {
+			t.Fatalf("Leaf(%d)=%d claims to be a switch", pe, leaf)
+		}
+		if got := tr.PE(leaf); got != pe {
+			t.Fatalf("PE(Leaf(%d)) = %d", pe, got)
+		}
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	tr := MustNew(16) // levels = 4
+	if tr.Levels() != 4 {
+		t.Fatalf("Levels = %d, want 4", tr.Levels())
+	}
+	if tr.Level(tr.Root()) != 4 || tr.Depth(tr.Root()) != 0 {
+		t.Errorf("root level/depth wrong: %d/%d", tr.Level(tr.Root()), tr.Depth(tr.Root()))
+	}
+	for pe := 0; pe < 16; pe++ {
+		if tr.Level(tr.Leaf(pe)) != 0 {
+			t.Errorf("leaf %d level = %d, want 0", pe, tr.Level(tr.Leaf(pe)))
+		}
+		if tr.Depth(tr.Leaf(pe)) != 4 {
+			t.Errorf("leaf %d depth = %d, want 4", pe, tr.Depth(tr.Leaf(pe)))
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	tr := MustNew(8)
+	cases := []struct {
+		n      Node
+		lo, hi int
+	}{
+		{1, 0, 8}, {2, 0, 4}, {3, 4, 8}, {4, 0, 2}, {7, 6, 8},
+		{8, 0, 1}, {15, 7, 8},
+	}
+	for _, c := range cases {
+		lo, hi := tr.Span(c.n)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("Span(%d) = [%d,%d), want [%d,%d)", c.n, lo, hi, c.lo, c.hi)
+		}
+	}
+	for pe := 0; pe < 8; pe++ {
+		if !tr.Contains(1, pe) {
+			t.Errorf("root must contain PE %d", pe)
+		}
+	}
+	if tr.Contains(2, 5) {
+		t.Error("node 2 ([0,4)) must not contain PE 5")
+	}
+}
+
+func TestLCAExamples(t *testing.T) {
+	tr := MustNew(8)
+	cases := []struct {
+		a, b int
+		want Node
+	}{
+		{0, 1, 4}, {0, 7, 1}, {2, 3, 5}, {1, 2, 2}, {4, 7, 3}, {3, 4, 1},
+		{5, 5, 13}, // degenerate: LCA of a leaf with itself is the leaf
+	}
+	for _, c := range cases {
+		if got := tr.LCA(c.a, c.b); got != c.want {
+			t.Errorf("LCA(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCAIsCommonAncestorProperty(t *testing.T) {
+	tr := MustNew(128)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%128, int(b)%128
+		l := tr.LCA(x, y)
+		if !tr.Contains(l, x) || !tr.Contains(l, y) {
+			return false
+		}
+		// Lowest: neither child of l contains both (unless x==y at a leaf).
+		if x == y {
+			return tr.IsLeaf(l)
+		}
+		if tr.IsLeaf(l) {
+			return false
+		}
+		for _, c := range []Node{tr.Left(l), tr.Right(l)} {
+			if tr.Contains(c, x) && tr.Contains(c, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathEdgesSimple(t *testing.T) {
+	tr := MustNew(4)
+	edges, err := tr.PathEdges(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{
+		{Child: 4, Dir: Up},   // PE0 leaf up to node 2
+		{Child: 2, Dir: Up},   // node 2 up to root
+		{Child: 3, Dir: Down}, // root down to node 3
+		{Child: 7, Dir: Down}, // node 3 down to PE3 leaf
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("got %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d: got %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestPathEdgesAdjacent(t *testing.T) {
+	tr := MustNew(8)
+	edges, err := tr.PathEdges(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{Child: 10, Dir: Up}, {Child: 11, Dir: Down}}
+	if len(edges) != 2 || edges[0] != want[0] || edges[1] != want[1] {
+		t.Fatalf("got %v, want %v", edges, want)
+	}
+}
+
+func TestPathEdgesErrors(t *testing.T) {
+	tr := MustNew(8)
+	if _, err := tr.PathEdges(3, 3); err == nil {
+		t.Error("same PE: want error")
+	}
+	if _, err := tr.PathEdges(-1, 3); err == nil {
+		t.Error("negative PE: want error")
+	}
+	if _, err := tr.PathEdges(0, 8); err == nil {
+		t.Error("out of range PE: want error")
+	}
+}
+
+func TestPathSwitchesAndHopBound(t *testing.T) {
+	tr := MustNew(64)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(64), rng.Intn(64)
+		if a == b {
+			continue
+		}
+		sws, err := tr.PathSwitches(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops, err := tr.HopCount(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops != len(sws) {
+			t.Fatalf("HopCount=%d, len(switches)=%d", hops, len(sws))
+		}
+		// Paper: a path traverses at most O(log N) switches; exactly
+		// <= 2*levels - 1.
+		if hops > 2*tr.Levels()-1 {
+			t.Fatalf("path %d->%d has %d hops, bound %d", a, b, hops, 2*tr.Levels()-1)
+		}
+		// The LCA must be on the path, and every listed node is a switch.
+		lca := tr.LCA(a, b)
+		found := false
+		for _, s := range sws {
+			if !tr.IsSwitch(s) {
+				t.Fatalf("path node %d is not a switch", s)
+			}
+			if s == lca {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("LCA %d missing from path %v", lca, sws)
+		}
+	}
+}
+
+func TestPathSwitchesDistinct(t *testing.T) {
+	tr := MustNew(32)
+	sws, err := tr.PathSwitches(0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Node]bool{}
+	for _, s := range sws {
+		if seen[s] {
+			t.Fatalf("switch %d repeated on path", s)
+		}
+		seen[s] = true
+	}
+	if len(sws) != 2*tr.Levels()-1 {
+		t.Fatalf("extreme path should touch %d switches, got %d", 2*tr.Levels()-1, len(sws))
+	}
+}
+
+func TestEdgeIndexDense(t *testing.T) {
+	tr := MustNew(16)
+	seen := make([]bool, tr.DirectedEdgeCount())
+	for child := Node(2); int(child) < 2*tr.Leaves(); child++ {
+		for _, d := range []Direction{Up, Down} {
+			idx := tr.EdgeIndex(Edge{Child: child, Dir: d})
+			if idx < 0 || idx >= len(seen) {
+				t.Fatalf("index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d reused", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d unused", i)
+		}
+	}
+}
+
+func TestEachSwitchOrders(t *testing.T) {
+	tr := MustNew(16)
+	var topDown []Node
+	tr.EachSwitchTopDown(func(n Node) { topDown = append(topDown, n) })
+	if len(topDown) != tr.Switches() {
+		t.Fatalf("visited %d switches, want %d", len(topDown), tr.Switches())
+	}
+	seen := map[Node]bool{}
+	for _, n := range topDown {
+		if p := tr.Parent(n); p != 0 && !seen[p] {
+			t.Fatalf("node %d visited before its parent", n)
+		}
+		seen[n] = true
+	}
+	var bottomUp []Node
+	tr.EachSwitchBottomUp(func(n Node) { bottomUp = append(bottomUp, n) })
+	seen = map[Node]bool{}
+	for _, n := range bottomUp {
+		if tr.IsSwitch(tr.Left(n)) && !seen[tr.Left(n)] {
+			t.Fatalf("node %d visited before its left child", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" {
+		t.Errorf("Direction.String: %q %q", Up.String(), Down.String())
+	}
+	e := Edge{Child: 12, Dir: Up}
+	if e.String() != "12-up" {
+		t.Errorf("Edge.String = %q", e.String())
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	tr := MustNew(4)
+	dot := tr.DOT(nil)
+	for _, want := range []string{"digraph cst", "PE0", "PE3", "u1", "n1 -> n2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	custom := tr.DOT(func(n Node) string {
+		if n == 1 {
+			return "ROOT"
+		}
+		return ""
+	})
+	if !strings.Contains(custom, "ROOT") {
+		t.Error("custom label not applied")
+	}
+}
+
+func TestASCIIOutput(t *testing.T) {
+	tr := MustNew(8)
+	out := tr.ASCII(nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != tr.Levels()+1 {
+		t.Fatalf("ASCII has %d lines, want %d", len(lines), tr.Levels()+1)
+	}
+	if !strings.Contains(lines[0], "u1") {
+		t.Errorf("first line should show the root: %q", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], "PE0") || !strings.Contains(lines[len(lines)-1], "PE7") {
+		t.Errorf("last line should show the leaves: %q", lines[len(lines)-1])
+	}
+}
+
+func TestSpanContainsConsistencyProperty(t *testing.T) {
+	tr := MustNew(64)
+	f := func(nRaw uint16, peRaw uint8) bool {
+		n := Node(int(nRaw)%(2*64-1) + 1)
+		pe := int(peRaw) % 64
+		lo, hi := tr.Span(n)
+		return tr.Contains(n, pe) == (pe >= lo && pe < hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"cst/internal/comm"
+	"cst/internal/deliver"
+	"cst/internal/padr"
+	"cst/internal/topology"
+)
+
+// Figure renders one of the paper's illustrative figures (1, 2 or 3/4) as
+// text. cmd/cstviz is a thin wrapper over this.
+func Figure(n int) (string, error) {
+	switch n {
+	case 1:
+		return figure1()
+	case 2:
+		return figure2()
+	case 3, 4:
+		return figure3()
+	default:
+		return "", fmt.Errorf("trace: no figure %d (have 1, 2, 3)", n)
+	}
+}
+
+// figure1 reproduces Fig. 1: compatible communications established
+// simultaneously over an 8-PE CST, drawn as the round-0 circuits.
+func figure1() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 1 — communications over the CST (round-0 circuits):\n\n")
+	set := comm.MustParse("(.)(..).")
+	tree := topology.MustNew(set.N)
+	var rec deliver.Recorder
+	e, err := padr.New(tree, set, padr.WithObserver(rec.Observer()))
+	if err != nil {
+		return "", err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return "", err
+	}
+	for r := 0; r < res.Rounds; r++ {
+		fmt.Fprintf(&b, "--- round %d: %v ---\n", r, res.Schedule.Rounds[r])
+		b.WriteString(RenderTree(tree, rec.Config(r), set))
+		b.WriteString("\n")
+	}
+	if err := rec.Verify(tree); err != nil {
+		return "", err
+	}
+	b.WriteString(res.Report.Summary())
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// figure2 reproduces Fig. 2: a right-oriented well-nested communication
+// set with its span arcs and per-gap congestion.
+func figure2() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 2 — a right-oriented well-nested communication set:\n")
+	b.WriteString(RenderSet(comm.MustParse("((.)((.)..).)(.)")))
+	return b.String(), nil
+}
+
+// figure3 reproduces the teaching content of Figs. 3(b) and 4(a): the C_S
+// control words every switch stores at the end of Phase 1, classifying the
+// five communication types.
+func figure3() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 3/4 — C_S stored at each switch after Phase 1\n")
+	b.WriteString("(five types: M matched, SL/SR sources passing up, DL/DR destinations fed from above):\n\n")
+	set := comm.MustParse("((.)(.))")
+	tree := topology.MustNew(set.N)
+	e, err := padr.New(tree, set)
+	if err != nil {
+		return "", err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderStored(tree, res.InitialStored, set))
+	return b.String(), nil
+}

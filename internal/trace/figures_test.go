@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureGoldens(t *testing.T) {
+	cases := []struct {
+		n     int
+		wants []string
+	}{
+		{1, []string{"Figure 1", "round 0", "l->r", "padr/stateful"}},
+		{2, []string{"Figure 2", "PEs : ((.)((.)..).)(.)", "d=0", "gaps:"}},
+		{3, []string{"Figure 3/4", "M:1", "five types"}},
+		{4, []string{"Figure 3/4", "M:1"}},
+	}
+	for _, c := range cases {
+		out, err := Figure(c.n)
+		if err != nil {
+			t.Fatalf("Figure(%d): %v", c.n, err)
+		}
+		for _, want := range c.wants {
+			if !strings.Contains(out, want) {
+				t.Errorf("Figure(%d) missing %q:\n%s", c.n, want, out)
+			}
+		}
+	}
+	if _, err := Figure(9); err == nil {
+		t.Error("Figure(9): want error")
+	}
+}

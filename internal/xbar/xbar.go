@@ -1,0 +1,198 @@
+// Package xbar models the three-sided circuit switch at every internal node
+// of the CST (paper Fig. 3(a)).
+//
+// A switch has three data inputs {l_i, r_i, p_i} (from the left child, right
+// child and parent) and three data outputs {l_o, r_o, p_o}. A configuration
+// is a partial one-to-one connection of inputs to outputs with the single
+// structural restriction that an input may never be connected to the output
+// of its own side (no turn-back), which is what bounds circuit lengths by
+// O(log N) switches.
+//
+// Power model (paper §2.3): establishing one input→output connection costs
+// one power unit; since a switch has at most three connections, a full
+// reconfiguration costs at most three units. Holding a connection across
+// rounds is free, and so is dropping one. Switch tracks both the total units
+// spent and the per-output alternation counts used by Lemmas 6–7.
+package xbar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Side identifies one of the three sides of the switch, or None for an
+// unconnected output. None is the zero value so that the zero Config is the
+// empty configuration.
+type Side uint8
+
+const (
+	// None marks an unconnected output.
+	None Side = iota
+	// L is the left-child side.
+	L
+	// R is the right-child side.
+	R
+	// P is the parent side.
+	P
+)
+
+// sides lists the three real sides in canonical order.
+var sides = [3]Side{L, R, P}
+
+// String returns "l", "r", "p" or "-".
+func (s Side) String() string {
+	switch s {
+	case L:
+		return "l"
+	case R:
+		return "r"
+	case P:
+		return "p"
+	default:
+		return "-"
+	}
+}
+
+// Valid reports whether s is one of the three real sides.
+func (s Side) Valid() bool { return s >= L && s <= P }
+
+// Conn is a single input→output connection, e.g. {In: L, Out: R} for the
+// paper's l_i → r_o.
+type Conn struct {
+	In, Out Side
+}
+
+// String renders the connection in the paper's notation, e.g. "l->r".
+func (c Conn) String() string { return c.In.String() + "->" + c.Out.String() }
+
+// Legal reports whether the connection respects the no-turn-back rule.
+func (c Conn) Legal() bool {
+	return c.In.Valid() && c.Out.Valid() && c.In != c.Out
+}
+
+// Config is a complete switch configuration: for each output side, the input
+// side driving it (or None). The zero value is the empty configuration.
+type Config struct {
+	drive [4]Side // indexed by output side; [0] (None) is unused
+}
+
+// Driver returns the input driving output out, or None.
+func (c Config) Driver(out Side) Side {
+	if !out.Valid() {
+		return None
+	}
+	return c.drive[out]
+}
+
+// Conns returns the established connections in deterministic (L,R,P output)
+// order.
+func (c Config) Conns() []Conn {
+	var conns []Conn
+	for _, out := range sides {
+		if in := c.drive[out]; in != None {
+			conns = append(conns, Conn{In: in, Out: out})
+		}
+	}
+	return conns
+}
+
+// String renders the configuration, e.g. "[l->r p->l]"; "[]" when empty.
+func (c Config) String() string {
+	conns := c.Conns()
+	parts := make([]string, len(conns))
+	for i, cn := range conns {
+		parts[i] = cn.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Connector is the ability to establish a connection; *Switch implements
+// it, and adapters (e.g. the padr engine's reflection wrapper for mirrored
+// runs) wrap one.
+type Connector interface {
+	Connect(in, out Side) error
+}
+
+// Switch is a stateful three-sided switch with power accounting.
+type Switch struct {
+	cfg Config
+
+	// unitsSpent counts power units: one per newly-established connection
+	// (paper §2.3).
+	unitsSpent int
+	// changes counts, per output side, how many times that output's driving
+	// input changed to a different non-None input (the alternation count of
+	// Lemmas 6 and 7). Index by Side; [0] unused.
+	changes [4]int
+	// everSet records whether an output was ever driven, to distinguish the
+	// first setting from a genuine alternation.
+	everSet [4]bool
+}
+
+// NewSwitch returns a switch in the empty configuration with zeroed meters.
+func NewSwitch() *Switch { return &Switch{} }
+
+// Config returns a copy of the current configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Connect establishes in→out. If out is already driven by in, it is a no-op
+// costing nothing (the power-aware property rests on this). Otherwise the
+// old driver of out (if any) is displaced, any other output previously
+// driven by in is disconnected (inputs are one-to-one), one power unit is
+// spent, and the alternation meter for out advances if out was previously
+// driven by a different input.
+func (s *Switch) Connect(in, out Side) error {
+	c := Conn{In: in, Out: out}
+	if !c.Legal() {
+		return fmt.Errorf("xbar: illegal connection %s", c)
+	}
+	if s.cfg.drive[out] == in {
+		return nil // held connection: free
+	}
+	// One-to-one on inputs: detach in from any other output it drives.
+	for _, o := range sides {
+		if o != out && s.cfg.drive[o] == in {
+			s.cfg.drive[o] = None
+		}
+	}
+	if s.everSet[out] {
+		s.changes[out]++
+	}
+	s.cfg.drive[out] = in
+	s.everSet[out] = true
+	s.unitsSpent++
+	return nil
+}
+
+// Disconnect clears output out. Dropping a connection is free.
+func (s *Switch) Disconnect(out Side) {
+	if out.Valid() {
+		s.cfg.drive[out] = None
+	}
+}
+
+// Reset tears down every connection (free) without clearing the meters.
+func (s *Switch) Reset() { s.cfg = Config{} }
+
+// Units returns the total power units spent (one per established
+// connection).
+func (s *Switch) Units() int { return s.unitsSpent }
+
+// Alternations returns how many times output out switched from one driving
+// input to a *different* one (first establishment not counted).
+func (s *Switch) Alternations(out Side) int {
+	if !out.Valid() {
+		return 0
+	}
+	return s.changes[out]
+}
+
+// TotalAlternations sums Alternations over the three outputs.
+func (s *Switch) TotalAlternations() int {
+	return s.changes[L] + s.changes[R] + s.changes[P]
+}
+
+// ConfigChanges returns the number of configuration changes in the paper's
+// sense: established connections that were not already present, i.e. it
+// equals Units().
+func (s *Switch) ConfigChanges() int { return s.unitsSpent }

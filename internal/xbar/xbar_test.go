@@ -1,0 +1,226 @@
+package xbar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSideString(t *testing.T) {
+	cases := map[Side]string{L: "l", R: "r", P: "p", None: "-"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Side(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestConnLegal(t *testing.T) {
+	legal := []Conn{{L, R}, {L, P}, {R, L}, {R, P}, {P, L}, {P, R}}
+	for _, c := range legal {
+		if !c.Legal() {
+			t.Errorf("%s should be legal", c)
+		}
+	}
+	illegal := []Conn{{L, L}, {R, R}, {P, P}, {None, L}, {L, None}, {None, None}, {Side(9), L}}
+	for _, c := range illegal {
+		if c.Legal() {
+			t.Errorf("%s should be illegal", c)
+		}
+	}
+}
+
+func TestZeroConfigIsEmpty(t *testing.T) {
+	var c Config
+	if got := c.Conns(); len(got) != 0 {
+		t.Fatalf("zero Config has connections: %v", got)
+	}
+	if c.String() != "[]" {
+		t.Fatalf("zero Config.String() = %q", c.String())
+	}
+	for _, s := range []Side{L, R, P, None} {
+		if c.Driver(s) != None {
+			t.Fatalf("zero Config drives %s", s)
+		}
+	}
+}
+
+func TestConnectBasics(t *testing.T) {
+	sw := NewSwitch()
+	if err := sw.Connect(L, R); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Config().Driver(R); got != L {
+		t.Fatalf("driver of R = %s, want l", got)
+	}
+	if sw.Units() != 1 {
+		t.Fatalf("units = %d, want 1", sw.Units())
+	}
+	// Holding the same connection is free.
+	if err := sw.Connect(L, R); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Units() != 1 {
+		t.Fatalf("held connection must be free; units = %d", sw.Units())
+	}
+	if sw.TotalAlternations() != 0 {
+		t.Fatalf("no alternations expected, got %d", sw.TotalAlternations())
+	}
+}
+
+func TestConnectRejectsIllegal(t *testing.T) {
+	sw := NewSwitch()
+	for _, c := range []Conn{{L, L}, {P, P}, {None, R}, {R, None}} {
+		if err := sw.Connect(c.In, c.Out); err == nil {
+			t.Errorf("Connect(%s): want error", c)
+		}
+	}
+	if sw.Units() != 0 {
+		t.Fatalf("failed connects must not spend power; units = %d", sw.Units())
+	}
+}
+
+func TestAlternationCounting(t *testing.T) {
+	sw := NewSwitch()
+	// P output alternates L, R, L: first set free of alternation, then 2.
+	mustConnect(t, sw, L, P)
+	mustConnect(t, sw, R, P)
+	mustConnect(t, sw, L, P)
+	if got := sw.Alternations(P); got != 2 {
+		t.Fatalf("alternations(P) = %d, want 2", got)
+	}
+	if got := sw.Units(); got != 3 {
+		t.Fatalf("units = %d, want 3", got)
+	}
+}
+
+func TestInputOneToOne(t *testing.T) {
+	sw := NewSwitch()
+	mustConnect(t, sw, L, R) // l drives r_o
+	mustConnect(t, sw, L, P) // moving l to p_o must detach it from r_o
+	cfg := sw.Config()
+	if cfg.Driver(P) != L {
+		t.Fatalf("driver of P = %s, want l", cfg.Driver(P))
+	}
+	if cfg.Driver(R) != None {
+		t.Fatalf("input l may drive only one output; R still driven by %s", cfg.Driver(R))
+	}
+}
+
+func TestOutputDisplacement(t *testing.T) {
+	sw := NewSwitch()
+	mustConnect(t, sw, L, P)
+	mustConnect(t, sw, R, P) // displaces l from p_o
+	cfg := sw.Config()
+	if cfg.Driver(P) != R {
+		t.Fatalf("driver of P = %s, want r", cfg.Driver(P))
+	}
+	if got := len(cfg.Conns()); got != 1 {
+		t.Fatalf("want single connection, got %v", cfg.Conns())
+	}
+}
+
+func TestDisconnectAndReset(t *testing.T) {
+	sw := NewSwitch()
+	mustConnect(t, sw, L, R)
+	mustConnect(t, sw, P, L)
+	sw.Disconnect(R)
+	if sw.Config().Driver(R) != None {
+		t.Fatal("Disconnect(R) did not clear R")
+	}
+	if sw.Units() != 2 {
+		t.Fatalf("disconnect must be free; units = %d", sw.Units())
+	}
+	sw.Disconnect(None) // no-op, must not panic
+	sw.Reset()
+	if len(sw.Config().Conns()) != 0 {
+		t.Fatal("Reset did not clear configuration")
+	}
+	if sw.Units() != 2 {
+		t.Fatalf("Reset must not clear meters; units = %d", sw.Units())
+	}
+	// Re-establishing after Reset costs again (the stateless baseline mode
+	// relies on this).
+	mustConnect(t, sw, L, R)
+	if sw.Units() != 3 {
+		t.Fatalf("units = %d, want 3", sw.Units())
+	}
+}
+
+func TestFullConfiguration(t *testing.T) {
+	sw := NewSwitch()
+	// A switch can hold three simultaneous connections: l->r, r->p, p->l is
+	// a legal one-to-one matching with no turn-backs.
+	mustConnect(t, sw, L, R)
+	mustConnect(t, sw, R, P)
+	mustConnect(t, sw, P, L)
+	conns := sw.Config().Conns()
+	if len(conns) != 3 {
+		t.Fatalf("want 3 connections, got %v", conns)
+	}
+	if s := sw.Config().String(); s != "[p->l l->r r->p]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestConfigChangesEqualsUnits(t *testing.T) {
+	sw := NewSwitch()
+	mustConnect(t, sw, L, P)
+	mustConnect(t, sw, R, P)
+	mustConnect(t, sw, R, P) // held, free
+	if sw.ConfigChanges() != sw.Units() {
+		t.Fatalf("ConfigChanges %d != Units %d", sw.ConfigChanges(), sw.Units())
+	}
+}
+
+func TestAlternationsInvalidSide(t *testing.T) {
+	sw := NewSwitch()
+	if sw.Alternations(None) != 0 || sw.Alternations(Side(7)) != 0 {
+		t.Fatal("invalid side must report zero alternations")
+	}
+}
+
+// Property: the switch invariants hold under arbitrary connect sequences:
+// every output driven by a valid different-side input, every input drives at
+// most one output, units never exceed the number of Connect calls, and
+// alternations never exceed units.
+func TestSwitchInvariantsProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		sw := NewSwitch()
+		calls := 0
+		for _, op := range ops {
+			in := Side(op%3 + 1)
+			out := Side((op/3)%3 + 1)
+			if in == out {
+				continue
+			}
+			if err := sw.Connect(in, out); err != nil {
+				return false
+			}
+			calls++
+			cfg := sw.Config()
+			var used [4]int
+			for _, c := range cfg.Conns() {
+				if !c.Legal() {
+					return false
+				}
+				used[c.In]++
+			}
+			for _, n := range used {
+				if n > 1 {
+					return false
+				}
+			}
+		}
+		return sw.Units() <= calls && sw.TotalAlternations() <= sw.Units()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustConnect(t *testing.T, sw *Switch, in, out Side) {
+	t.Helper()
+	if err := sw.Connect(in, out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package cst_test
+
+import (
+	"testing"
+
+	"cst"
+)
+
+// Large-scale end-to-end stress: an 8192-PE tree (8191 switches), a deep
+// random well-nested set, both engines, full verification. Skipped under
+// -short.
+func TestStressLargeTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const n = 8192
+	tree := cst.MustNewTree(n)
+	set, err := cst.RandomWellNested(cst.NewRand(99), n, n/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cst.Run(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.VerifyOptimal(tree); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.MaxUnits() > 12 {
+		t.Fatalf("max units = %d at N=%d", res.Report.MaxUnits(), n)
+	}
+	if res.UpWords != 2*n-2 {
+		t.Fatalf("phase-1 words = %d", res.UpWords)
+	}
+
+	conc, err := cst.RunConcurrent(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Goroutines != 2*n-1 {
+		t.Fatalf("goroutines = %d", conc.Goroutines)
+	}
+	if conc.Rounds != res.Rounds ||
+		conc.Report.TotalUnits() != res.Report.TotalUnits() {
+		t.Fatalf("engines disagree at scale: %d/%d rounds, %d/%d units",
+			conc.Rounds, res.Rounds, conc.Report.TotalUnits(), res.Report.TotalUnits())
+	}
+	t.Logf("N=%d width=%d rounds=%d maxUnits=%d goroutines=%d",
+		n, res.Width, res.Rounds, res.Report.MaxUnits(), conc.Goroutines)
+}
+
+// Stress the chain at large width: Theorems 5 and 8 at w=2048.
+func TestStressWideChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const n, w = 8192, 2048
+	tree := cst.MustNewTree(n)
+	set, err := cst.NestedChain(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cst.Run(tree, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != w {
+		t.Fatalf("rounds = %d, want %d", res.Rounds, w)
+	}
+	if res.Report.MaxUnits() > 2 {
+		t.Fatalf("chain max units = %d, want <= 2 (independent of w)", res.Report.MaxUnits())
+	}
+}
