@@ -122,6 +122,36 @@ func BenchmarkPADRConcurrent(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRunNoop is the concurrent engine with observability fully
+// disabled (nil registry, nil tracer) — the baseline for the pair below.
+func BenchmarkSimRunNoop(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.RunConcurrent(tree, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRunInstrumented is the same run publishing every metric
+// series to a live registry; compare against BenchmarkSimRunNoop to price
+// the instrumentation.
+func BenchmarkSimRunInstrumented(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	reg := cst.NewMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.RunConcurrent(tree, s, cst.WithConcurrentMetrics(reg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBaselineDepthID measures the prior-work reconstruction on the
 // same workload.
 func BenchmarkBaselineDepthID(b *testing.B) {

@@ -33,24 +33,57 @@ func main() {
 		words    = flag.Bool("words", false, "print every non-idle control word (implies -trace)")
 		quiet    = flag.Bool("quiet", false, "print only the summary line")
 		jsonOut  = flag.Bool("json", false, "emit the full run as JSON (padr only) instead of text")
+		maddr    = flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address (e.g. :9090) and keep the process alive after the run")
 	)
 	flag.Parse()
+
+	o := runOpts{
+		setExpr: *setExpr, workload: *workload,
+		n: *n, w: *w, m: *m, seed: *seed,
+		algo: *algo, order: *order, mode: *mode,
+		trace: *showTr, words: *words, quiet: *quiet,
+	}
+	if *maddr != "" {
+		o.reg = cst.NewMetrics()
+		o.tracer = cst.NewTracer(nil, 0)
+		srv, err := cst.ServeMetrics(*maddr, o.reg, o.tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cstsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cstsim: observability endpoint on http://%s (/metrics /trace /debug/pprof/)\n", srv.Addr)
+	}
 
 	if *jsonOut {
 		if err := runJSON(*setExpr, *workload, *n, *w, *m, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "cstsim:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := run(*setExpr, *workload, *n, *w, *m, *seed, *algo, *order, *mode, *showTr, *words, *quiet); err != nil {
+	} else if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "cstsim:", err)
 		os.Exit(1)
 	}
+
+	if *maddr != "" {
+		fmt.Fprintln(os.Stderr, "cstsim: run finished; serving metrics until interrupted (Ctrl-C to exit)")
+		select {}
+	}
 }
 
-func run(setExpr, workload string, n, w, m int, seed int64, algo, order, mode string, showTrace, words, quiet bool) error {
-	set, err := buildSet(setExpr, workload, n, w, m, seed)
+// runOpts bundles the CLI's run parameters; reg and tracer are nil unless
+// -metrics-addr is set.
+type runOpts struct {
+	setExpr, workload   string
+	n, w, m             int
+	seed                int64
+	algo, order, mode   string
+	trace, words, quiet bool
+	reg                 *cst.Metrics
+	tracer              *cst.Tracer
+}
+
+func run(o runOpts) error {
+	set, err := buildSet(o.setExpr, o.workload, o.n, o.w, o.m, o.seed)
 	if err != nil {
 		return err
 	}
@@ -59,11 +92,12 @@ func run(setExpr, workload string, n, w, m int, seed int64, algo, order, mode st
 		return err
 	}
 	pmode := cst.Stateful
-	if mode == "stateless" {
+	if o.mode == "stateless" {
 		pmode = cst.Stateless
-	} else if mode != "stateful" {
-		return fmt.Errorf("unknown mode %q", mode)
+	} else if o.mode != "stateful" {
+		return fmt.Errorf("unknown mode %q", o.mode)
 	}
+	quiet := o.quiet
 
 	if !quiet {
 		fmt.Println(set.Summary())
@@ -71,17 +105,23 @@ func run(setExpr, workload string, n, w, m int, seed int64, algo, order, mode st
 		fmt.Println()
 	}
 
-	switch algo {
+	switch o.algo {
 	case "padr":
 		opts := []cst.Option{cst.WithMode(pmode)}
+		if o.reg != nil {
+			opts = append(opts, cst.WithMetrics(o.reg))
+		}
+		if o.tracer != nil {
+			opts = append(opts, cst.WithTrace(o.tracer))
+		}
 		var logger interface {
 			VerifyDataPlane() error
 			Observer() cst.Observer
 		}
-		if showTrace || words {
+		if o.trace || o.words {
 			l := cst.NewRunLogger(tree, set, os.Stdout)
 			l.Trees = true
-			l.Words = words
+			l.Words = o.words
 			logger = l
 			opts = append(opts, cst.WithObserver(l.Observer()))
 		}
@@ -105,7 +145,14 @@ func run(setExpr, workload string, n, w, m int, seed int64, algo, order, mode st
 		fmt.Printf("%s | width=%d rounds=%d | phase1 words=%d phase2 words=%d\n",
 			res.Report.Summary(), res.Width, res.Rounds, res.UpWords, res.DownWords)
 	case "padr-sim":
-		res, err := cst.RunConcurrent(tree, set)
+		var copts []cst.ConcurrentOption
+		if o.reg != nil {
+			copts = append(copts, cst.WithConcurrentMetrics(o.reg))
+		}
+		if o.tracer != nil {
+			copts = append(copts, cst.WithConcurrentTrace(o.tracer))
+		}
+		res, err := cst.RunConcurrent(tree, set, copts...)
 		if err != nil {
 			return err
 		}
@@ -119,18 +166,18 @@ func run(setExpr, workload string, n, w, m int, seed int64, algo, order, mode st
 			res.Report.Summary(), res.Width, res.Rounds, res.Goroutines,
 			res.Phase1Messages, res.Phase2Messages)
 	case "depth-id":
-		var o cst.BaselineOrder
-		switch order {
+		var ord cst.BaselineOrder
+		switch o.order {
 		case "outermost":
-			o = cst.OutermostFirst
+			ord = cst.OutermostFirst
 		case "innermost":
-			o = cst.InnermostFirst
+			ord = cst.InnermostFirst
 		case "alternating":
-			o = cst.Alternating
+			ord = cst.Alternating
 		default:
-			return fmt.Errorf("unknown order %q", order)
+			return fmt.Errorf("unknown order %q", o.order)
 		}
-		res, err := cst.RunDepthID(tree, set, o, pmode)
+		res, err := cst.RunDepthID(tree, set, ord, pmode)
 		if err != nil {
 			return err
 		}
@@ -154,7 +201,7 @@ func run(setExpr, workload string, n, w, m int, seed int64, algo, order, mode st
 		}
 		fmt.Printf("%s | width=%d rounds=%d\n", res.Report.Summary(), res.Width, res.Rounds)
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown algorithm %q", o.algo)
 	}
 	return nil
 }

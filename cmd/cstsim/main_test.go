@@ -2,6 +2,8 @@ package main
 
 import (
 	"testing"
+
+	"cst"
 )
 
 func TestBuildSetWorkloads(t *testing.T) {
@@ -44,24 +46,24 @@ func TestBuildSetWorkloads(t *testing.T) {
 
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"padr", "padr-sim", "depth-id", "greedy"} {
-		if err := run("", "chain", 32, 4, 8, 1, algo, "outermost", "stateful", false, false, true); err != nil {
+		if err := run(runOpts{workload: "chain", n: 32, w: 4, m: 8, seed: 1, algo: algo, order: "outermost", mode: "stateful", quiet: true}); err != nil {
 			t.Errorf("%s: %v", algo, err)
 		}
 	}
-	if err := run("", "chain", 32, 4, 8, 1, "nope", "outermost", "stateful", false, false, true); err == nil {
+	if err := run(runOpts{workload: "chain", n: 32, w: 4, m: 8, seed: 1, algo: "nope", order: "outermost", mode: "stateful", quiet: true}); err == nil {
 		t.Error("unknown algorithm: want error")
 	}
-	if err := run("", "chain", 32, 4, 8, 1, "depth-id", "nope", "stateful", false, false, true); err == nil {
+	if err := run(runOpts{workload: "chain", n: 32, w: 4, m: 8, seed: 1, algo: "depth-id", order: "nope", mode: "stateful", quiet: true}); err == nil {
 		t.Error("unknown order: want error")
 	}
-	if err := run("", "chain", 32, 4, 8, 1, "padr", "outermost", "nope", false, false, true); err == nil {
+	if err := run(runOpts{workload: "chain", n: 32, w: 4, m: 8, seed: 1, algo: "padr", order: "outermost", mode: "nope", quiet: true}); err == nil {
 		t.Error("unknown mode: want error")
 	}
 	// The crossing bit-reversal workload cannot go through PADR.
-	if err := run("", "bitrev", 32, 4, 8, 1, "padr", "outermost", "stateful", false, false, true); err == nil {
+	if err := run(runOpts{workload: "bitrev", n: 32, w: 4, m: 8, seed: 1, algo: "padr", order: "outermost", mode: "stateful", quiet: true}); err == nil {
 		t.Error("bitrev through padr: want error")
 	}
-	if err := run("", "bitrev", 32, 4, 8, 1, "greedy", "outermost", "stateful", false, false, true); err != nil {
+	if err := run(runOpts{workload: "bitrev", n: 32, w: 4, m: 8, seed: 1, algo: "greedy", order: "outermost", mode: "stateful", quiet: true}); err != nil {
 		t.Errorf("bitrev through greedy: %v", err)
 	}
 }
@@ -72,5 +74,31 @@ func TestRunJSON(t *testing.T) {
 	}
 	if err := runJSON(")(", "chain", 32, 4, 8, 1); err == nil {
 		t.Error("bad expression: want error")
+	}
+}
+
+func TestRunPublishesMetrics(t *testing.T) {
+	reg := cst.NewMetrics()
+	tracer := cst.NewTracer(nil, 1024)
+	for _, algo := range []string{"padr", "padr-sim"} {
+		if err := run(runOpts{workload: "chain", n: 32, w: 4, m: 8, seed: 1,
+			algo: algo, order: "outermost", mode: "stateful", quiet: true,
+			reg: reg, tracer: tracer}); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["cst_padr_runs_total"]; got != 1 {
+		t.Errorf("cst_padr_runs_total = %d, want 1", got)
+	}
+	if got := snap.Counters["cst_sim_runs_total"]; got != 1 {
+		t.Errorf("cst_sim_runs_total = %d, want 1", got)
+	}
+	series := len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms)
+	if series < 10 {
+		t.Errorf("registry exposes %d series, want >= 10", series)
+	}
+	if tracer.Events() == 0 {
+		t.Error("tracer saw no events")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"cst/internal/export"
 	"cst/internal/general"
 	"cst/internal/harness"
+	"cst/internal/obs"
 	"cst/internal/online"
 	"cst/internal/padr"
 	"cst/internal/power"
@@ -218,11 +219,14 @@ func RunBoth(t *Tree, s *Set, opts ...Option) (right, left *Result, err error) {
 // ConcurrentResult is the outcome of a goroutine-per-node run.
 type ConcurrentResult = sim.Result
 
+// ConcurrentOption configures RunConcurrent.
+type ConcurrentOption = sim.Option
+
 // RunConcurrent executes the same algorithm as Run but as a real
 // message-passing system: one goroutine per switch and PE, one channel pair
 // per tree link. Results are identical to Run by construction.
-func RunConcurrent(t *Tree, s *Set) (*ConcurrentResult, error) {
-	return sim.Run(t, s)
+func RunConcurrent(t *Tree, s *Set, opts ...ConcurrentOption) (*ConcurrentResult, error) {
+	return sim.Run(t, s, opts...)
 }
 
 // BaselineOrder selects how the depth-ID baseline plays its rounds.
@@ -391,8 +395,13 @@ var DisjointSet = selfroute.Disjoint
 // OnlineSimulator runs the scheduler against dynamically arriving traffic.
 type OnlineSimulator = online.Simulator
 
+// OnlineOption configures an OnlineSimulator.
+type OnlineOption = online.Option
+
 // NewOnline builds an online simulator over a CST with n leaves.
-func NewOnline(n int) (*OnlineSimulator, error) { return online.New(n) }
+func NewOnline(n int, opts ...OnlineOption) (*OnlineSimulator, error) {
+	return online.New(n, opts...)
+}
 
 // OnlineStats summarizes an online run (latency, batches, power).
 type OnlineStats = online.Stats
@@ -431,6 +440,64 @@ var RunExperiments = harness.RunAll
 
 // RunExperiment executes one experiment with its standard header.
 var RunExperiment = harness.RunOne
+
+// Metrics is the dependency-free metrics registry (counters, gauges,
+// fixed-bucket histograms; Prometheus text exposition). Thread one through
+// engine options to watch runs live; see OBSERVABILITY.md.
+type Metrics = obs.Registry
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
+
+// MetricsSnapshot is a point-in-time copy of a registry; Sub computes
+// per-experiment deltas against an earlier snapshot.
+type MetricsSnapshot = obs.Snapshot
+
+// Tracer serializes structured engine events as JSONL (bounded ring plus
+// optional stream); see OBSERVABILITY.md for the event schema.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured trace record.
+type TraceEvent = obs.Event
+
+// NewTracer builds a tracer; the writer may be nil (ring-only) and
+// ringSize <= 0 selects the default ring capacity.
+var NewTracer = obs.NewTracer
+
+// MetricsServer is a live observability HTTP endpoint (/metrics, /healthz,
+// /trace, /debug/pprof/).
+type MetricsServer = obs.Server
+
+// ServeMetrics binds addr and serves the observability endpoint in the
+// background, returning once the listener is bound.
+var ServeMetrics = obs.Serve
+
+// MetricsHandler builds the observability http.Handler without binding a
+// listener (for embedding in an existing server).
+var MetricsHandler = obs.Handler
+
+// WithMetrics publishes Run's cst_padr_* series to the registry.
+func WithMetrics(r *Metrics) Option { return padr.WithRegistry(r) }
+
+// WithTrace streams Run's structured events to the tracer.
+func WithTrace(t *Tracer) Option { return padr.WithTracer(t) }
+
+// WithConcurrentMetrics publishes RunConcurrent's cst_sim_* series.
+func WithConcurrentMetrics(r *Metrics) ConcurrentOption { return sim.WithRegistry(r) }
+
+// WithConcurrentTrace streams RunConcurrent's structured events.
+func WithConcurrentTrace(t *Tracer) ConcurrentOption { return sim.WithTracer(t) }
+
+// WithOnlineMetrics publishes the online dispatcher's cst_online_* series
+// (and threads the registry into its inner engines).
+func WithOnlineMetrics(r *Metrics) OnlineOption { return online.WithRegistry(r) }
+
+// WithOnlineTrace streams the online dispatcher's batch events.
+func WithOnlineTrace(t *Tracer) OnlineOption { return online.WithTracer(t) }
+
+// MetricsSummary renders a per-engine metrics snapshot (latency quantiles,
+// messages per round, changes per switch) as a markdown table.
+var MetricsSummary = harness.MetricsSummary
 
 // NewRand is a convenience seeded source for the generator APIs.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

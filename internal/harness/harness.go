@@ -19,6 +19,7 @@ import (
 	"cst/internal/energy"
 	"cst/internal/general"
 	"cst/internal/lemma"
+	"cst/internal/obs"
 	"cst/internal/online"
 	"cst/internal/padr"
 	"cst/internal/power"
@@ -37,6 +38,45 @@ type Config struct {
 	Seed int64
 	// Quick shrinks the sweeps (used by `go test` and -bench smoke runs).
 	Quick bool
+	// Obs, when non-nil, receives every engine's metric series: the
+	// experiments thread it through the padr, sim and online constructors,
+	// so a live /metrics endpoint watches the run as it happens.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives the engines' structured JSONL events.
+	Trace *obs.Tracer
+}
+
+// padrOpts appends the config's observability options to extra.
+func (cfg Config) padrOpts(extra ...padr.Option) []padr.Option {
+	if cfg.Obs != nil {
+		extra = append(extra, padr.WithRegistry(cfg.Obs))
+	}
+	if cfg.Trace != nil {
+		extra = append(extra, padr.WithTracer(cfg.Trace))
+	}
+	return extra
+}
+
+// simOpts appends the config's observability options to extra.
+func (cfg Config) simOpts(extra ...sim.Option) []sim.Option {
+	if cfg.Obs != nil {
+		extra = append(extra, sim.WithRegistry(cfg.Obs))
+	}
+	if cfg.Trace != nil {
+		extra = append(extra, sim.WithTracer(cfg.Trace))
+	}
+	return extra
+}
+
+// onlineOpts appends the config's observability options to extra.
+func (cfg Config) onlineOpts(extra ...online.Option) []online.Option {
+	if cfg.Obs != nil {
+		extra = append(extra, online.WithRegistry(cfg.Obs))
+	}
+	if cfg.Trace != nil {
+		extra = append(extra, online.WithTracer(cfg.Trace))
+	}
+	return extra
 }
 
 // Experiment is one registered reproduction.
@@ -146,7 +186,7 @@ func runE1(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			eng, err := padr.New(tr, s)
+			eng, err := padr.New(tr, s, cfg.padrOpts()...)
 			if err != nil {
 				return err
 			}
@@ -198,7 +238,7 @@ func runE2(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		eng, err := padr.New(tr, s)
+		eng, err := padr.New(tr, s, cfg.padrOpts()...)
 		if err != nil {
 			return err
 		}
@@ -246,7 +286,7 @@ func runE3(w io.Writer, cfg Config) error {
 			return err
 		}
 		run := func(mode power.Mode) (*padr.Result, error) {
-			eng, err := padr.New(tr, s.Clone(), padr.WithMode(mode))
+			eng, err := padr.New(tr, s.Clone(), cfg.padrOpts(padr.WithMode(mode))...)
 			if err != nil {
 				return nil, err
 			}
@@ -339,7 +379,7 @@ func runE5(w io.Writer, cfg Config) error {
 			trees[n] = tr
 		}
 		var rec deliver.Recorder
-		eng, err := padr.New(tr, s, padr.WithObserver(rec.Observer()))
+		eng, err := padr.New(tr, s, cfg.padrOpts(padr.WithObserver(rec.Observer()))...)
 		if err != nil {
 			return err
 		}
@@ -470,11 +510,11 @@ func runE8(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		conc, err := sim.Run(tr, s)
+		conc, err := sim.Run(tr, s, cfg.simOpts()...)
 		if err != nil {
 			return err
 		}
-		seqEng, err := padr.New(tr, s)
+		seqEng, err := padr.New(tr, s, cfg.padrOpts()...)
 		if err != nil {
 			return err
 		}
@@ -516,7 +556,7 @@ func runE9(w io.Writer, cfg Config) error {
 		return err
 	}
 	tab := stats.NewTable("scheduler", "order", "mode", "rounds", "max units", "max alternations")
-	eng, err := padr.New(tr, s.Clone())
+	eng, err := padr.New(tr, s.Clone(), cfg.padrOpts()...)
 	if err != nil {
 		return err
 	}
@@ -709,7 +749,7 @@ func runE12(w io.Writer, cfg Config) error {
 			}
 			for _, sel := range []padr.Selection{padr.Greedy, padr.Conservative} {
 				var mon lemma.Monitor
-				e, err := padr.New(tr, s.Clone(), padr.WithSelection(sel), padr.WithObserver(mon.Observer()))
+				e, err := padr.New(tr, s.Clone(), cfg.padrOpts(padr.WithSelection(sel), padr.WithObserver(mon.Observer()))...)
 				if err != nil {
 					return err
 				}
@@ -827,7 +867,7 @@ func runE13(w io.Writer, cfg Config) error {
 		return err
 	}
 	var rec deliver.Recorder
-	eng, err := padr.New(tr, chain, padr.WithObserver(rec.Observer()))
+	eng, err := padr.New(tr, chain, cfg.padrOpts(padr.WithObserver(rec.Observer()))...)
 	if err != nil {
 		return err
 	}
@@ -877,7 +917,7 @@ func runE14(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		consEng, err := padr.New(tr, res.Set.Clone(), padr.WithSelection(padr.Conservative))
+		consEng, err := padr.New(tr, res.Set.Clone(), cfg.padrOpts(padr.WithSelection(padr.Conservative))...)
 		if err != nil {
 			return err
 		}
@@ -926,7 +966,7 @@ func runE15(w io.Writer, cfg Config) error {
 
 	priceEngine := func(s *comm.Set, sel padr.Selection) (changes, rounds int, err error) {
 		var rec deliver.Recorder
-		e, err := padr.New(tr, s.Clone(), padr.WithSelection(sel), padr.WithObserver(rec.Observer()))
+		e, err := padr.New(tr, s.Clone(), cfg.padrOpts(padr.WithSelection(sel), padr.WithObserver(rec.Observer()))...)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -994,7 +1034,7 @@ func runE16(w io.Writer, cfg Config) error {
 	ok := true
 	for _, load := range []int{1, 2, 4, 8} {
 		rng := rand.New(rand.NewSource(cfg.Seed))
-		sim, err := online.New(n)
+		sim, err := online.New(n, cfg.onlineOpts()...)
 		if err != nil {
 			return err
 		}

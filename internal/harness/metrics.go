@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"cst/internal/obs"
+	"cst/internal/stats"
+)
+
+// MetricsSummary renders the per-engine observability snapshot as a
+// markdown table: round-latency quantiles, messages per round and
+// configuration changes per switch. Engines with no runs in the snapshot
+// are omitted; an all-idle snapshot yields an explanatory line instead of
+// an empty table. Pass a Snapshot.Sub delta to scope the table to one
+// experiment while the underlying registry keeps serving /metrics live.
+func MetricsSummary(snap obs.Snapshot) string {
+	tab := stats.NewTable("engine", "runs", "rounds",
+		"p50 round", "p95 round", "p99 round", "msgs/round", "changes/switch")
+	rows := 0
+
+	// Sequential and concurrent engines share a schema modulo the prefix.
+	for _, eng := range []struct {
+		name, runs, rounds, lat, msgs, units, switches string
+	}{
+		{"padr", "cst_padr_runs_total", "cst_padr_rounds_total",
+			"cst_padr_round_latency_seconds", "cst_padr_phase2_words_total",
+			"cst_padr_power_units_total", "cst_padr_switches_total"},
+		{"sim", "cst_sim_runs_total", "cst_sim_rounds_total",
+			"cst_sim_round_latency_seconds", "cst_sim_phase2_messages_total",
+			"cst_sim_power_units_total", "cst_sim_switches_total"},
+	} {
+		runs := snap.Counters[eng.runs]
+		if runs == 0 {
+			continue
+		}
+		rounds := snap.Counters[eng.rounds]
+		lat := snap.Histograms[eng.lat]
+		tab.AddRow(eng.name, runs, rounds,
+			fmtSeconds(lat.Quantile(0.50)),
+			fmtSeconds(lat.Quantile(0.95)),
+			fmtSeconds(lat.Quantile(0.99)),
+			ratio(snap.Counters[eng.msgs], rounds),
+			ratio(snap.Counters[eng.units], snap.Counters[eng.switches]))
+		rows++
+	}
+
+	// The online dispatcher measures latency in fabric rounds, not wall
+	// seconds, and batches rather than runs.
+	if batches := snap.Counters["cst_online_batches_total"]; batches > 0 {
+		lat := snap.Histograms["cst_online_request_latency_rounds"]
+		busy := snap.Counters["cst_online_busy_rounds_total"]
+		tab.AddRow("online", batches, busy,
+			fmt.Sprintf("%.0f rd", lat.Quantile(0.50)),
+			fmt.Sprintf("%.0f rd", lat.Quantile(0.95)),
+			fmt.Sprintf("%.0f rd", lat.Quantile(0.99)),
+			ratio(snap.Counters["cst_online_completed_total"], busy),
+			"-")
+		rows++
+	}
+
+	if rows == 0 {
+		return "(no instrumented engine runs in this snapshot)\n"
+	}
+	return tab.Markdown()
+}
+
+// fmtSeconds renders a histogram quantile (seconds) as a human duration.
+func fmtSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(10 * time.Nanosecond).String()
+	}
+}
+
+// ratio formats a/b to two decimals, guarding b == 0.
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(a)/float64(b))
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the observability HTTP surface:
+//
+//	GET /metrics        Prometheus text exposition of reg
+//	GET /healthz        "ok" (liveness)
+//	GET /trace          JSONL dump of the tracer's retained event ring
+//	GET /debug/pprof/…  the standard net/http/pprof handlers
+//
+// reg and tr may be nil; the endpoints then serve empty bodies. The
+// handler is mounted on its own mux so importing this package never
+// touches http.DefaultServeMux.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tr.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	lis net.Listener
+}
+
+// Serve binds addr (e.g. ":9090") and serves Handler(reg, tr) in a
+// background goroutine. It returns once the listener is bound, so /metrics
+// is immediately curl-able.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(lis) }()
+	return &Server{Addr: lis.Addr().String(), srv: srv, lis: lis}, nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("cst_demo_rounds_total", "demo").Add(3)
+	tr := NewTracer(nil, 16)
+	tr.Emit(Event{Type: "round.start", Engine: "demo", Round: 0})
+	tr.Emit(Event{Type: "round.done", Engine: "demo", Round: 0, N: 2})
+	h := Handler(r, tr)
+
+	code, body := get(t, h, "/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body = get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "cst_demo_rounds_total 3") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, body = get(t, h, "/trace")
+	if code != 200 {
+		t.Fatalf("/trace = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("/trace has %d lines, want 2:\n%s", len(lines), body)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("bad JSONL line %q: %v", lines[1], err)
+	}
+	if e.Type != "round.done" || e.N != 2 || e.Seq != 2 {
+		t.Fatalf("decoded event %+v", e)
+	}
+	code, body = get(t, h, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	code, _ = get(t, h, "/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	h := Handler(nil, nil)
+	if code, _ := get(t, h, "/metrics"); code != 200 {
+		t.Fatalf("/metrics on nil registry = %d", code)
+	}
+	if code, _ := get(t, h, "/trace"); code != 200 {
+		t.Fatalf("/trace on nil tracer = %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := New()
+	r.Counter("cst_demo_live_total", "demo").Inc()
+	srv, err := Serve("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("cst_demo_live_total 1")) {
+		t.Fatalf("live /metrics missing series:\n%s", body)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Type: "e", N: i, Round: -1})
+	}
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(lines))
+	}
+	var first Event
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.N != 6 {
+		t.Fatalf("oldest retained event N = %d, want 6", first.N)
+	}
+	if tr.Events() != 10 {
+		t.Fatalf("Events() = %d, want 10", tr.Events())
+	}
+}
+
+func TestTracerStreams(t *testing.T) {
+	var out bytes.Buffer
+	tr := NewTracer(&out, 8)
+	tr.Emit(Event{Type: "a", Round: -1})
+	tr.Emit(Event{Type: "b", Round: -1})
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("streamed %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"type":"a"`) {
+		t.Fatalf("first streamed line %q", lines[0])
+	}
+}

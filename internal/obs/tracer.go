@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Engines emit one event per Phase 1
+// convergecast wave, per Phase 2 round, per switch reconfiguration, per
+// control-word send and per goroutine lifecycle transition; the schema is
+// documented in OBSERVABILITY.md. Unused fields marshal away.
+type Event struct {
+	// TS is the event time in Unix nanoseconds; Emit stamps it when zero.
+	TS int64 `json:"ts_ns"`
+	// Seq is a per-tracer monotone sequence number, assigned by Emit — the
+	// total order of events even when timestamps tie.
+	Seq int64 `json:"seq"`
+	// Type names the event, e.g. "round.start", "switch.config",
+	// "word.send", "goroutine.start".
+	Type string `json:"type"`
+	// Engine is the emitting engine: "padr", "sim" or "online".
+	Engine string `json:"engine,omitempty"`
+	// Round is the 0-based Phase 2 round, or -1 outside Phase 2.
+	Round int `json:"round"`
+	// Node is the tree node the event concerns (0 when not node-scoped).
+	Node int `json:"node,omitempty"`
+	// Child is the receiving node of a word.send event.
+	Child int `json:"child,omitempty"`
+	// PE is the processing element for leaf-scoped events (-1 elsewhere,
+	// kept explicit because PE 0 is a real leaf).
+	PE int `json:"pe,omitempty"`
+	// Word is the control word rendered in the paper's notation.
+	Word string `json:"word,omitempty"`
+	// Config is a switch configuration, e.g. "[l->r p->l]".
+	Config string `json:"config,omitempty"`
+	// DurNS is the measured duration of span-like events (round.done,
+	// phase1.done, run.done) in nanoseconds.
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// N is a generic count (messages in a wave, comms in a round/batch).
+	N int `json:"n,omitempty"`
+	// Err carries failure text on *.error events.
+	Err string `json:"err,omitempty"`
+}
+
+// Tracer serializes events as JSONL: one JSON object per line, streamed to
+// an optional writer and retained in a bounded ring for later download via
+// the /trace HTTP endpoint. A nil Tracer no-ops, so engines can emit
+// unconditionally.
+type Tracer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	ring    [][]byte
+	next    int
+	wrapped bool
+	seq     int64
+	dropped int64
+}
+
+// DefaultRingSize bounds the tracer's in-memory event ring; ~64k events is
+// minutes of engine activity at a few hundred bytes each.
+const DefaultRingSize = 1 << 16
+
+// NewTracer builds a tracer. w may be nil (ring-only); ringSize <= 0 uses
+// DefaultRingSize.
+func NewTracer(w io.Writer, ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Tracer{w: w, ring: make([][]byte, ringSize)}
+}
+
+// Emit records one event. Safe for concurrent use; nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if e.TS == 0 {
+		e.TS = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	e.Seq = t.seq
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.dropped++
+		return
+	}
+	b = append(b, '\n')
+	t.ring[t.next] = b
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	if t.w != nil {
+		if _, err := t.w.Write(b); err != nil {
+			t.dropped++
+		}
+	}
+}
+
+// Events returns how many events have been emitted.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped returns how many events failed to serialize or stream.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL dumps the retained ring, oldest first, as JSON lines.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var lines [][]byte
+	if t.wrapped {
+		lines = append(lines, t.ring[t.next:]...)
+	}
+	lines = append(lines, t.ring[:t.next]...)
+	// Copy out under the lock so emission can continue while we write.
+	buf := make([]byte, 0, 256*len(lines))
+	for _, l := range lines {
+		buf = append(buf, l...)
+	}
+	t.mu.Unlock()
+	_, err := w.Write(buf)
+	return err
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"cst/internal/comm"
+	"cst/internal/obs"
 	"cst/internal/padr"
 	"cst/internal/power"
 	"cst/internal/topology"
@@ -87,10 +88,69 @@ type Simulator struct {
 	busyPE   []bool
 	now      int
 	stats    Stats
+
+	// observability (all optional; nil means uninstrumented)
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	met    simMetrics
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithRegistry publishes the dispatcher's cst_online_* series to r, and
+// threads the registry through to the inner padr engines so their
+// cst_padr_* series accumulate across batches. A nil registry leaves the
+// simulator uninstrumented.
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *Simulator) { s.reg = r }
+}
+
+// WithTracer streams batch lifecycle events (batch.dispatch, batch.done)
+// to t, and threads the tracer through to the inner padr engines for
+// per-round detail. A nil tracer no-ops.
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *Simulator) { s.tracer = t }
+}
+
+// simMetrics holds the dispatcher's resolved metric handles; the all-nil
+// zero value (nil registry) makes every operation a no-op.
+type simMetrics struct {
+	requests  *obs.Counter
+	rejected  *obs.Counter
+	batches   *obs.Counter
+	completed *obs.Counter
+	busy      *obs.Counter
+	idle      *obs.Counter
+	errs      *obs.Counter
+	units     *obs.Counter
+	queueLen  *obs.Gauge
+	batchSize *obs.Histogram
+	latency   *obs.Histogram
+}
+
+// roundBuckets spans request latencies and batch sizes, both measured in
+// small integer counts: 1, 2, 4, … 512.
+func roundBuckets() []float64 { return obs.ExponentialBuckets(1, 2, 10) }
+
+func newSimMetrics(r *obs.Registry) simMetrics {
+	return simMetrics{
+		requests:  r.Counter("cst_online_requests_total", "requests accepted into the queue"),
+		rejected:  r.Counter("cst_online_rejected_total", "requests rejected (bad endpoints or busy PEs)"),
+		batches:   r.Counter("cst_online_batches_total", "well-nested batches dispatched"),
+		completed: r.Counter("cst_online_completed_total", "requests fulfilled"),
+		busy:      r.Counter("cst_online_busy_rounds_total", "fabric rounds spent executing batches"),
+		idle:      r.Counter("cst_online_idle_rounds_total", "rounds with nothing dispatched"),
+		errs:      r.Counter("cst_online_errors_total", "dispatch failures"),
+		units:     r.Counter("cst_online_power_units_total", "cumulative power units at Finish"),
+		queueLen:  r.Gauge("cst_online_queue_len", "requests currently queued"),
+		batchSize: r.Histogram("cst_online_batch_size", "communications per dispatched batch", roundBuckets()),
+		latency:   r.Histogram("cst_online_request_latency_rounds", "completion round minus arrival round", roundBuckets()),
+	}
 }
 
 // New builds a simulator over a CST with n leaves.
-func New(n int) (*Simulator, error) {
+func New(n int, opts ...Option) (*Simulator, error) {
 	t, err := topology.New(n)
 	if err != nil {
 		return nil, err
@@ -101,6 +161,10 @@ func New(n int) (*Simulator, error) {
 		busyPE:   make([]bool, n),
 	}
 	t.EachSwitch(func(nd topology.Node) { sim.switches[nd] = xbar.NewSwitch() })
+	for _, o := range opts {
+		o(sim)
+	}
+	sim.met = newSimMetrics(sim.reg)
 	return sim, nil
 }
 
@@ -116,13 +180,17 @@ func (s *Simulator) QueueLen() int { return len(s.queue) }
 func (s *Simulator) Submit(c comm.Comm) error {
 	n := s.tree.Leaves()
 	if c.Src < 0 || c.Src >= n || c.Dst < 0 || c.Dst >= n || c.Src == c.Dst {
+		s.met.rejected.Inc()
 		return fmt.Errorf("online: bad request %s", c)
 	}
 	if s.busyPE[c.Src] || s.busyPE[c.Dst] {
+		s.met.rejected.Inc()
 		return fmt.Errorf("online: endpoint of %s is busy", c)
 	}
 	s.busyPE[c.Src], s.busyPE[c.Dst] = true, true
 	s.queue = append(s.queue, Request{Comm: c, Arrival: s.now})
+	s.met.requests.Inc()
+	s.met.queueLen.Set(int64(len(s.queue)))
 	return nil
 }
 
@@ -148,6 +216,7 @@ func (s *Simulator) SubmitRandom(rng *rand.Rand, k int) int {
 func (s *Simulator) Tick() {
 	s.now++
 	s.stats.IdleRounds++
+	s.met.idle.Inc()
 }
 
 // Dispatch drains one batch: it selects the dominant orientation, builds a
@@ -214,12 +283,21 @@ func (s *Simulator) Dispatch() (bool, error) {
 	if !wantRight {
 		opt = padr.WithReflectedCrossbars(s.switches)
 	}
-	e, err := padr.New(s.tree, set, opt)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{
+			Type: "batch.dispatch", Engine: "online", Round: s.now, N: len(batch),
+		})
+	}
+	// The inner engine inherits our registry and tracer, so its cst_padr_*
+	// series and per-round events accumulate across batches.
+	e, err := padr.New(s.tree, set, opt, padr.WithRegistry(s.reg), padr.WithTracer(s.tracer))
 	if err != nil {
+		s.met.errs.Inc()
 		return false, fmt.Errorf("online: batch %s: %v", set, err)
 	}
 	res, err := e.Run()
 	if err != nil {
+		s.met.errs.Inc()
 		return false, fmt.Errorf("online: batch %s: %v", set, err)
 	}
 
@@ -227,13 +305,24 @@ func (s *Simulator) Dispatch() (bool, error) {
 	s.now += res.Rounds
 	s.stats.Rounds += res.Rounds
 	s.stats.Batches++
+	s.met.batches.Inc()
+	s.met.busy.Add(int64(res.Rounds))
+	s.met.batchSize.Observe(float64(len(batch)))
 	for _, r := range batch {
 		s.busyPE[r.Comm.Src], s.busyPE[r.Comm.Dst] = false, false
 		s.stats.Completed = append(s.stats.Completed, Completed{
 			Request: r, Dispatched: dispatched, Finished: s.now,
 		})
+		s.met.completed.Inc()
+		s.met.latency.Observe(float64(s.now - r.Arrival))
 	}
 	s.queue = rest
+	s.met.queueLen.Set(int64(len(s.queue)))
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{
+			Type: "batch.done", Engine: "online", Round: dispatched, N: res.Rounds,
+		})
+	}
 	return true, nil
 }
 
@@ -251,5 +340,10 @@ func (s *Simulator) Drain() error {
 func (s *Simulator) Finish() *Stats {
 	s.stats.Leftover = len(s.queue)
 	s.stats.Report = power.Collect("online-padr", power.Stateful, s.stats.Rounds, s.tree, s.switches)
+	// Counter semantics stay monotone even if Finish is called twice: bill
+	// only the units accrued since the last call.
+	if delta := int64(s.stats.Report.TotalUnits()) - s.met.units.Value(); delta > 0 {
+		s.met.units.Add(delta)
+	}
 	return &s.stats
 }

@@ -25,9 +25,11 @@ package padr
 
 import (
 	"fmt"
+	"time"
 
 	"cst/internal/comm"
 	"cst/internal/ctrl"
+	"cst/internal/obs"
 	"cst/internal/power"
 	"cst/internal/sched"
 	"cst/internal/topology"
@@ -152,6 +154,17 @@ type Engine struct {
 	sel       Selection
 	reflected bool
 
+	// observability (all optional; nil means uninstrumented)
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	met        engineMetrics
+	instr      bool // reg or tracer attached: take timestamps
+	runStart   time.Time
+	roundStart time.Time
+	curRound   int // round being dispatched, -1 outside Phase 2
+	unitsBase  int // cumulative meter baselines at prepare, for
+	altBase    int // delta attribution on shared crossbars
+
 	stored   map[topology.Node]ctrl.Stored
 	switches map[topology.Node]*xbar.Switch
 	dstOf    map[int]int // source PE -> destination PE (ground truth pairing)
@@ -227,6 +240,9 @@ func New(t *topology.Tree, s *comm.Set, opts ...Option) (*Engine, error) {
 	for _, o := range opts {
 		o(e)
 	}
+	e.met = newEngineMetrics(e.reg)
+	e.instr = e.reg != nil || e.tracer != nil
+	e.curRound = -1
 	return e, nil
 }
 
@@ -243,16 +259,34 @@ type prepared struct {
 // prepare runs Phase 1, snapshots the stored words and validates the root.
 func (e *Engine) prepare() (*prepared, error) {
 	if e.ran {
-		return nil, fmt.Errorf("padr: engine is single-use; create a new one")
+		return nil, e.fail(fmt.Errorf("padr: engine is single-use; create a new one"))
 	}
 	e.ran = true
+	e.met.runs.Inc()
+	e.met.comms.Add(int64(e.set.Len()))
+	e.met.switches.Add(int64(len(e.switches)))
+	if e.instr {
+		e.runStart = time.Now()
+		e.unitsBase, e.altBase = e.meterTotals()
+	}
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Type: "run.start", Engine: "padr", Round: -1, N: e.set.Len()})
+	}
 
 	width, err := e.set.Width(e.tree)
 	if err != nil {
-		return nil, err
+		return nil, e.fail(err)
 	}
+	e.met.width.Set(int64(width))
 
 	e.phase1()
+	e.met.upWords.Add(int64(e.upWords))
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{
+			Type: "phase1.done", Engine: "padr", Round: -1,
+			N: e.upWords, DurNS: time.Since(e.runStart).Nanoseconds(),
+		})
+	}
 
 	initial := make(map[topology.Node]ctrl.Stored, len(e.stored))
 	maxStored := 0
@@ -260,7 +294,7 @@ func (e *Engine) prepare() (*prepared, error) {
 		initial[n] = st
 		b, err := ctrl.EncodeStored(st)
 		if err != nil {
-			return nil, fmt.Errorf("padr: switch %d state not encodable: %v", n, err)
+			return nil, e.fail(fmt.Errorf("padr: switch %d state not encodable: %v", n, err))
 		}
 		if len(b) > maxStored {
 			maxStored = len(b)
@@ -268,7 +302,7 @@ func (e *Engine) prepare() (*prepared, error) {
 	}
 	// Sanity: after matching, nothing may remain unmatched at the root.
 	if up := e.stored[e.tree.Root()].UpWord(); up.S != 0 || up.D != 0 {
-		return nil, fmt.Errorf("padr: root still advertises %s upward; set is not schedulable", up)
+		return nil, e.fail(fmt.Errorf("padr: root still advertises %s upward; set is not schedulable", up))
 	}
 
 	maxRounds := width + MaxRoundsSlack
@@ -294,7 +328,14 @@ func (e *Engine) step(p *prepared) (performed []comm.Comm, done bool, err error)
 		return nil, true, nil
 	}
 	if p.round >= p.maxRounds {
-		return nil, false, fmt.Errorf("padr: exceeded %d rounds for a width-%d set; pending work remains", p.round, p.width)
+		return nil, false, e.fail(fmt.Errorf("padr: exceeded %d rounds for a width-%d set; pending work remains", p.round, p.width))
+	}
+	e.curRound = p.round
+	if e.instr {
+		e.roundStart = time.Now()
+	}
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Type: "round.start", Engine: "padr", Round: p.round})
 	}
 	if e.obs.RoundStart != nil {
 		e.obs.RoundStart(p.round)
@@ -306,16 +347,28 @@ func (e *Engine) step(p *prepared) (performed []comm.Comm, done bool, err error)
 	}
 	performed, err = e.round()
 	if err != nil {
-		return nil, false, fmt.Errorf("padr: round %d: %v", p.round, err)
+		return nil, false, e.fail(fmt.Errorf("padr: round %d: %v", p.round, err))
 	}
 	if len(performed) == 0 {
-		return nil, false, fmt.Errorf("padr: round %d made no progress but work remains", p.round)
+		return nil, false, e.fail(fmt.Errorf("padr: round %d made no progress but work remains", p.round))
 	}
 	p.schedule.Rounds = append(p.schedule.Rounds, performed)
+	e.met.rounds.Inc()
+	if e.instr {
+		d := time.Since(e.roundStart)
+		e.met.roundLatency.ObserveDuration(d)
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Event{
+				Type: "round.done", Engine: "padr", Round: p.round,
+				N: len(performed), DurNS: d.Nanoseconds(),
+			})
+		}
+	}
 	if e.obs.RoundDone != nil {
 		e.obs.RoundDone(p.round, performed)
 	}
 	p.round++
+	e.curRound = -1
 	return performed, false, nil
 }
 
@@ -323,7 +376,21 @@ func (e *Engine) step(p *prepared) (performed []comm.Comm, done bool, err error)
 func (e *Engine) finalize(p *prepared) (*Result, error) {
 	rounds := p.schedule.NumRounds()
 	if e.sel == Greedy && rounds != p.width {
-		return nil, fmt.Errorf("padr: took %d rounds for a width-%d set (Theorem 5 violated)", rounds, p.width)
+		return nil, e.fail(fmt.Errorf("padr: took %d rounds for a width-%d set (Theorem 5 violated)", rounds, p.width))
+	}
+	if e.instr {
+		// Diff the cumulative switch meters against the prepare-time
+		// baseline so shared crossbars (WithCrossbars) bill only this run.
+		units, alts := e.meterTotals()
+		e.met.units.Add(int64(units - e.unitsBase))
+		e.met.alternations.Add(int64(alts - e.altBase))
+		e.met.runLatency.ObserveDuration(time.Since(e.runStart))
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Event{
+				Type: "run.done", Engine: "padr", Round: -1,
+				N: rounds, DurNS: time.Since(e.runStart).Nanoseconds(),
+			})
+		}
 	}
 	return &Result{
 		Schedule:        p.schedule,
@@ -519,14 +586,22 @@ func (e *Engine) dispatch(n topology.Node, in ctrl.Down) error {
 // sendDown accounts for one Phase 2 control word on the link parent→child.
 func (e *Engine) sendDown(parent, child topology.Node, w ctrl.Down) {
 	e.downWords++
+	e.met.downWords.Inc()
 	if w.Use != ctrl.UseNone {
 		e.activeDown++
+		e.met.activeDown.Inc()
 	}
 	if b, err := ctrl.EncodeDown(w); err == nil {
 		e.downBytes += len(b)
 	}
 	if e.obs.WordSent != nil {
 		e.obs.WordSent(parent, child, w)
+	}
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{
+			Type: "word.send", Engine: "padr", Round: e.curRound,
+			Node: int(parent), Child: int(child), Word: w.String(),
+		})
 	}
 }
 
@@ -581,10 +656,24 @@ func (e *Engine) configure(u topology.Node, in ctrl.Down) (left, right ctrl.Down
 		phys = e.tree.Reflect(u)
 	}
 	st := e.stored[u]
+	before := e.switches[phys].Config()
 	defer func() {
 		e.stored[u] = st
-		if err == nil && e.obs.Configured != nil {
+		if err != nil {
+			return
+		}
+		if e.obs.Configured != nil {
 			e.obs.Configured(phys, e.switches[phys].Config())
+		}
+		// Trace only genuine reconfigurations: the events are the audit
+		// trail for Theorem 8's O(1)-changes-per-switch claim.
+		if e.tracer != nil {
+			if after := e.switches[phys].Config(); after != before {
+				e.tracer.Emit(obs.Event{
+					Type: "switch.config", Engine: "padr", Round: e.curRound,
+					Node: int(phys), Config: after.String(),
+				})
+			}
 		}
 	}()
 	if e.reflected {

@@ -19,9 +19,13 @@ package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"cst/internal/comm"
 	"cst/internal/ctrl"
+	"cst/internal/obs"
 	"cst/internal/padr"
 	"cst/internal/power"
 	"cst/internal/sched"
@@ -33,8 +37,10 @@ import (
 type Option func(*config)
 
 type config struct {
-	mode power.Mode
-	sel  padr.Selection
+	mode   power.Mode
+	sel    padr.Selection
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // WithMode selects the power accounting mode (default power.Stateful).
@@ -46,6 +52,55 @@ func WithMode(m power.Mode) Option {
 // padr.Conservative), mirroring padr.WithSelection.
 func WithSelection(sel padr.Selection) Option {
 	return func(c *config) { c.sel = sel }
+}
+
+// WithRegistry publishes run metrics (rounds, per-round wall latency,
+// channel messages, reconfiguration units) to the registry under the
+// cst_sim_* names documented in OBSERVABILITY.md. A nil registry keeps the
+// run uninstrumented at effectively zero cost.
+func WithRegistry(r *obs.Registry) Option {
+	return func(c *config) { c.reg = r }
+}
+
+// WithTracer emits structured JSONL events (goroutine lifecycle, Phase 1
+// wave, per-round spans, channel sends) to the tracer. A nil tracer keeps
+// the run silent.
+func WithTracer(t *obs.Tracer) Option {
+	return func(c *config) { c.tracer = t }
+}
+
+// metrics holds the pre-resolved metric handles for one run. The zero
+// value (all-nil handles) is the disabled mode: every method call below
+// no-ops on nil receivers, so the hot path carries only nil checks.
+type metrics struct {
+	runs, rounds, comms   *obs.Counter
+	phase1, phase2        *obs.Counter
+	reports, errs         *obs.Counter
+	units, alternations   *obs.Counter
+	switches              *obs.Counter
+	goroutines            *obs.Gauge
+	roundLatency, runTime *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	if r == nil {
+		return metrics{}
+	}
+	return metrics{
+		runs:         r.Counter("cst_sim_runs_total", "concurrent engine runs started"),
+		rounds:       r.Counter("cst_sim_rounds_total", "Phase 2 rounds executed"),
+		comms:        r.Counter("cst_sim_comms_scheduled_total", "communications performed"),
+		phase1:       r.Counter("cst_sim_phase1_messages_total", "C_U words carried by channels"),
+		phase2:       r.Counter("cst_sim_phase2_messages_total", "C_D words carried by channels"),
+		reports:      r.Counter("cst_sim_leaf_reports_total", "leaf reports received by the driver"),
+		errs:         r.Counter("cst_sim_errors_total", "failed runs"),
+		units:        r.Counter("cst_sim_power_units_total", "power units spent by switch crossbars"),
+		alternations: r.Counter("cst_sim_alternations_total", "output-driver alternations on switch crossbars"),
+		switches:     r.Counter("cst_sim_switches_total", "switch instances driven, summed over runs (for per-switch averages)"),
+		goroutines:   r.Gauge("cst_sim_goroutines", "live node goroutines"),
+		roundLatency: r.Histogram("cst_sim_round_latency_seconds", "wall latency of one Phase 2 broadcast wave", nil),
+		runTime:      r.Histogram("cst_sim_run_duration_seconds", "wall latency of a whole run", nil),
+	}
 }
 
 // Result is the outcome of a concurrent run.
@@ -62,6 +117,14 @@ type Result struct {
 	// Phase2Messages counts C_{D-*} words carried by channels over all
 	// rounds.
 	Phase2Messages int
+	// RoundLatencies is the wall-clock duration of every Phase 2 broadcast
+	// wave, measured from injecting the root word to collecting the last
+	// leaf report; len == Rounds.
+	RoundLatencies []time.Duration
+	// RoundMessages counts the C_{D-*} words carried by channels during
+	// each round (the sum over rounds equals Phase2Messages); len ==
+	// Rounds.
+	RoundMessages []int
 	// Goroutines is the number of node goroutines that ran (2N-1).
 	Goroutines int
 }
@@ -75,9 +138,8 @@ type leafReport struct {
 
 // nodeStats is what a switch goroutine hands back when it shuts down.
 type nodeStats struct {
-	node     topology.Node
-	sw       *xbar.Switch
-	downSent int
+	node topology.Node
+	sw   *xbar.Switch
 }
 
 // Run executes the set on the tree with one goroutine per node.
@@ -86,21 +148,36 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	met := newMetrics(cfg.reg)
 	if t.Leaves() != s.N {
+		met.errs.Inc()
 		return nil, fmt.Errorf("sim: tree has %d leaves, set has N=%d", t.Leaves(), s.N)
 	}
 	if err := s.Validate(); err != nil {
+		met.errs.Inc()
 		return nil, err
 	}
 	if !s.IsWellNested() {
+		met.errs.Inc()
 		return nil, fmt.Errorf("sim: set is not an oriented well-nested set: %s", s.String())
 	}
 	width, err := s.Width(t)
 	if err != nil {
+		met.errs.Inc()
 		return nil, err
+	}
+	met.runs.Inc()
+	runStart := time.Now()
+	if cfg.tracer != nil {
+		cfg.tracer.Emit(obs.Event{Type: "run.start", Engine: "sim", Round: -1, N: s.Len()})
 	}
 
 	n := t.Leaves()
+	// downSent counts every C_{D-*} word put on a tree link; it is shared
+	// by all switch goroutines and read by the driver between rounds (safe:
+	// collecting all n leaf reports means every switch has forwarded both
+	// of its words for the round).
+	var downSent atomic.Int64
 	// Channel fabric. up[node] carries the node's C_U word to its parent;
 	// down[node] carries C_{D-*} words from the parent to the node; closing
 	// down[node] tells the node's goroutine to shut down.
@@ -121,24 +198,38 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 		dstOf[c.Src] = c.Dst
 	}
 
-	// PE goroutines.
+	// PE goroutines, joined before Run returns so no goroutine (or gauge
+	// decrement) outlives the call.
+	var leaves sync.WaitGroup
 	for pe := 0; pe < n; pe++ {
 		node := t.Leaf(pe)
-		go runLeaf(pe, role[pe], up[node], down[node], reports)
+		leaves.Add(1)
+		go func(pe int, node topology.Node) {
+			defer leaves.Done()
+			runLeaf(pe, int(node), role[pe], up[node], down[node], reports, met.goroutines, cfg.tracer)
+		}(pe, node)
 	}
 	// Switch goroutines.
 	t.EachSwitch(func(u topology.Node) {
 		go runSwitch(u, cfg.mode, cfg.sel,
 			up[t.Left(u)], up[t.Right(u)], up[u],
 			down[u], down[t.Left(u)], down[t.Right(u)],
-			stats)
+			stats, &downSent, met.goroutines, cfg.tracer)
 	})
 
 	// Phase 1: wait for the root's upward word.
+	phase1Start := time.Now()
 	rootUp := <-up[t.Root()]
+	met.phase1.Add(int64(2*n - 2))
+	if cfg.tracer != nil {
+		cfg.tracer.Emit(obs.Event{Type: "phase1.done", Engine: "sim", Round: -1,
+			N: 2*n - 2, DurNS: time.Since(phase1Start).Nanoseconds()})
+	}
 	if rootUp.S != 0 || rootUp.D != 0 {
 		close(down[t.Root()])
 		drain(t, stats)
+		leaves.Wait()
+		met.errs.Inc()
 		return nil, fmt.Errorf("sim: root still advertises %s upward; set is not schedulable", rootUp)
 	}
 
@@ -146,17 +237,25 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 	schedule := &sched.Schedule{Set: s.Clone()}
 	remaining := s.Len()
 	rounds := 0
+	var roundLatencies []time.Duration
+	var roundMessages []int
+	prevDown := downSent.Load()
 	var runErr error
 	for remaining > 0 {
 		if rounds >= width+padr.MaxRoundsSlack {
 			runErr = fmt.Errorf("sim: exceeded %d rounds for a width-%d set", rounds, width)
 			break
 		}
+		roundStart := time.Now()
+		if cfg.tracer != nil {
+			cfg.tracer.Emit(obs.Event{Type: "round.start", Engine: "sim", Round: rounds})
+		}
 		down[t.Root()] <- ctrl.Down{Use: ctrl.UseNone}
 		var srcs []int
 		dsts := map[int]bool{}
 		for i := 0; i < n; i++ {
 			rep := <-reports
+			met.reports.Inc()
 			if rep.err != nil {
 				runErr = fmt.Errorf("sim: round %d: %v", rounds, rep.err)
 				continue
@@ -168,6 +267,13 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 				dsts[rep.pe] = true
 			}
 		}
+		// All n leaf reports are in, so every switch has forwarded both of
+		// this round's words: the wave is complete and the shared counter
+		// is quiescent.
+		elapsed := time.Since(roundStart)
+		nowDown := downSent.Load()
+		waveMsgs := int(nowDown - prevDown)
+		prevDown = nowDown
 		if runErr != nil {
 			break
 		}
@@ -193,27 +299,56 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 		}
 		schedule.Rounds = append(schedule.Rounds, performed)
 		remaining -= len(performed)
+		roundLatencies = append(roundLatencies, elapsed)
+		roundMessages = append(roundMessages, waveMsgs)
+		met.rounds.Inc()
+		met.comms.Add(int64(len(performed)))
+		met.phase2.Add(int64(waveMsgs))
+		met.roundLatency.ObserveDuration(elapsed)
+		if cfg.tracer != nil {
+			cfg.tracer.Emit(obs.Event{Type: "round.done", Engine: "sim", Round: rounds,
+				N: len(performed), DurNS: elapsed.Nanoseconds()})
+		}
 		rounds++
 	}
 
 	// Shutdown: close the root's downward channel; switches propagate the
 	// close to their children and hand their crossbars to the stats channel.
 	close(down[t.Root()])
-	switches, downSent := collect(t, stats)
+	switches := collect(t, stats)
+	leaves.Wait()
 
 	if runErr != nil {
+		met.errs.Inc()
+		if cfg.tracer != nil {
+			cfg.tracer.Emit(obs.Event{Type: "run.error", Engine: "sim", Round: rounds, Err: runErr.Error()})
+		}
 		return nil, runErr
 	}
 	if rounds != width {
+		met.errs.Inc()
 		return nil, fmt.Errorf("sim: took %d rounds for a width-%d set", rounds, width)
+	}
+	report := power.Collect("padr-sim", cfg.mode, rounds, t, switches)
+	met.switches.Add(int64(len(report.Switches)))
+	for _, sw := range report.Switches {
+		met.units.Add(int64(sw.Units))
+		met.alternations.Add(int64(sw.Alternations))
+	}
+	met.runTime.ObserveDuration(time.Since(runStart))
+	if cfg.tracer != nil {
+		cfg.tracer.Emit(obs.Event{Type: "run.done", Engine: "sim", Round: rounds,
+			N: s.Len(), DurNS: time.Since(runStart).Nanoseconds()})
 	}
 	return &Result{
 		Schedule:       schedule,
-		Report:         power.Collect("padr-sim", cfg.mode, rounds, t, switches),
+		Report:         report,
 		Width:          width,
 		Rounds:         rounds,
 		Phase1Messages: 2*n - 1 - 1, // every non-root node sent one C_U word
-		Phase2Messages: downSent,
+		Phase2Messages: int(downSent.Load()),
+		RoundLatencies: roundLatencies,
+		RoundMessages:  roundMessages,
 		Goroutines:     2*n - 1,
 	}, nil
 }
@@ -223,20 +358,29 @@ func drain(t *topology.Tree, stats chan nodeStats) {
 }
 
 // collect waits for every switch goroutine to shut down and returns their
-// crossbars plus the total number of downward words they sent.
-func collect(t *topology.Tree, stats chan nodeStats) (map[topology.Node]*xbar.Switch, int) {
+// crossbars.
+func collect(t *topology.Tree, stats chan nodeStats) map[topology.Node]*xbar.Switch {
 	switches := make(map[topology.Node]*xbar.Switch, t.Switches())
-	total := 0
 	for i := 0; i < t.Switches(); i++ {
 		st := <-stats
 		switches[st.node] = st.sw
-		total += st.downSent
 	}
-	return switches, total
+	return switches
 }
 
 // runLeaf is the PE goroutine: one role word up, then one report per round.
-func runLeaf(pe int, role ctrl.Up, upCh chan<- ctrl.Up, downCh <-chan ctrl.Down, reports chan<- leafReport) {
+func runLeaf(pe, node int, role ctrl.Up, upCh chan<- ctrl.Up, downCh <-chan ctrl.Down,
+	reports chan<- leafReport, live *obs.Gauge, tracer *obs.Tracer) {
+	live.Add(1)
+	if tracer != nil {
+		tracer.Emit(obs.Event{Type: "goroutine.start", Engine: "sim", Round: -1, Node: node, PE: pe})
+	}
+	defer func() {
+		live.Add(-1)
+		if tracer != nil {
+			tracer.Emit(obs.Event{Type: "goroutine.exit", Engine: "sim", Round: -1, Node: node, PE: pe})
+		}
+	}()
 	upCh <- role
 	done := false
 	for word := range downCh {
@@ -266,10 +410,19 @@ func runLeaf(pe int, role ctrl.Up, upCh chan<- ctrl.Up, downCh <-chan ctrl.Down,
 func runSwitch(u topology.Node, mode power.Mode, sel padr.Selection,
 	leftUp, rightUp <-chan ctrl.Up, parentUp chan<- ctrl.Up,
 	parentDown <-chan ctrl.Down, leftDown, rightDown chan<- ctrl.Down,
-	stats chan<- nodeStats) {
+	stats chan<- nodeStats, downSent *atomic.Int64, live *obs.Gauge, tracer *obs.Tracer) {
 
+	live.Add(1)
+	if tracer != nil {
+		tracer.Emit(obs.Event{Type: "goroutine.start", Engine: "sim", Round: -1, Node: int(u), PE: -1})
+	}
+	defer func() {
+		live.Add(-1)
+		if tracer != nil {
+			tracer.Emit(obs.Event{Type: "goroutine.exit", Engine: "sim", Round: -1, Node: int(u), PE: -1})
+		}
+	}()
 	sw := xbar.NewSwitch()
-	downSent := 0
 
 	// Phase 1 (Steps 1.2–1.3): receive both children's words, match, send
 	// the remainder upward. The two receives may complete in either order;
@@ -278,10 +431,12 @@ func runSwitch(u topology.Node, mode power.Mode, sel padr.Selection,
 	parentUp <- st.UpWord()
 
 	// Phase 2: every downward word triggers one Step and two forwards.
+	round := 0
 	for word := range parentDown {
 		if mode == power.Stateless {
 			sw.Reset()
 		}
+		before := sw.Config()
 		left, right, err := padr.Step(&st, sw, word, sel)
 		if err != nil {
 			// A corrupted word must not wedge the wave: forward idle words
@@ -290,11 +445,22 @@ func runSwitch(u topology.Node, mode power.Mode, sel padr.Selection,
 			// the stall as "no progress").
 			left, right = ctrl.Down{Use: ctrl.UseNone}, ctrl.Down{Use: ctrl.UseNone}
 		}
+		if tracer != nil {
+			if after := sw.Config(); after != before {
+				tracer.Emit(obs.Event{Type: "switch.config", Engine: "sim", Round: round,
+					Node: int(u), Config: after.String()})
+			}
+			tracer.Emit(obs.Event{Type: "word.send", Engine: "sim", Round: round,
+				Node: int(u), Child: int(2 * u), Word: left.String()})
+			tracer.Emit(obs.Event{Type: "word.send", Engine: "sim", Round: round,
+				Node: int(u), Child: int(2*u + 1), Word: right.String()})
+		}
 		leftDown <- left
 		rightDown <- right
-		downSent += 2
+		downSent.Add(2)
+		round++
 	}
 	close(leftDown)
 	close(rightDown)
-	stats <- nodeStats{node: u, sw: sw, downSent: downSent}
+	stats <- nodeStats{node: u, sw: sw}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cst/internal/comm"
+	"cst/internal/obs"
 	"cst/internal/padr"
 	"cst/internal/power"
 	"cst/internal/topology"
@@ -127,6 +128,97 @@ func TestStatelessMode(t *testing.T) {
 	}
 	if res.Report.MaxUnits() < 12 {
 		t.Fatalf("stateless chain must cost the root >= w units, got %d", res.Report.MaxUnits())
+	}
+}
+
+// Per-round telemetry must be populated on every run, instrumented or not:
+// one latency and one message count per round, message counts summing to
+// the Phase 2 total.
+func TestRoundTelemetry(t *testing.T) {
+	s := comm.MustParse("(((())))")
+	tr := topology.MustNew(s.N)
+	res, err := Run(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundLatencies) != res.Rounds {
+		t.Fatalf("RoundLatencies has %d entries, want %d", len(res.RoundLatencies), res.Rounds)
+	}
+	if len(res.RoundMessages) != res.Rounds {
+		t.Fatalf("RoundMessages has %d entries, want %d", len(res.RoundMessages), res.Rounds)
+	}
+	sum := 0
+	for r, m := range res.RoundMessages {
+		if m != 2*s.N-2 {
+			t.Fatalf("round %d carried %d words, want %d (one per link)", r, m, 2*s.N-2)
+		}
+		sum += m
+	}
+	if sum != res.Phase2Messages {
+		t.Fatalf("RoundMessages sums to %d, Phase2Messages = %d", sum, res.Phase2Messages)
+	}
+	for r, d := range res.RoundLatencies {
+		if d <= 0 {
+			t.Fatalf("round %d latency = %v, want > 0", r, d)
+		}
+	}
+}
+
+// An instrumented run must publish consistent cst_sim_* series and JSONL
+// events; a second uninstrumented run must leave the registry untouched.
+func TestInstrumentedRunMetrics(t *testing.T) {
+	s := comm.MustParse("(()())..")
+	tr := topology.MustNew(s.N)
+	reg := obs.New()
+	tracer := obs.NewTracer(nil, 4096)
+	res, err := Run(tr, s, WithRegistry(reg), WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["cst_sim_rounds_total"]; got != int64(res.Rounds) {
+		t.Fatalf("rounds counter = %d, want %d", got, res.Rounds)
+	}
+	if got := snap.Counters["cst_sim_phase1_messages_total"]; got != int64(res.Phase1Messages) {
+		t.Fatalf("phase1 counter = %d, want %d", got, res.Phase1Messages)
+	}
+	if got := snap.Counters["cst_sim_phase2_messages_total"]; got != int64(res.Phase2Messages) {
+		t.Fatalf("phase2 counter = %d, want %d", got, res.Phase2Messages)
+	}
+	if got := snap.Counters["cst_sim_comms_scheduled_total"]; got != int64(s.Len()) {
+		t.Fatalf("comms counter = %d, want %d", got, s.Len())
+	}
+	if got := snap.Counters["cst_sim_power_units_total"]; got != int64(res.Report.TotalUnits()) {
+		t.Fatalf("units counter = %d, want %d", got, res.Report.TotalUnits())
+	}
+	if got := snap.Gauges["cst_sim_goroutines"]; got != 0 {
+		t.Fatalf("goroutine gauge = %d after shutdown, want 0", got)
+	}
+	hist := snap.Histograms["cst_sim_round_latency_seconds"]
+	if hist.Count != int64(res.Rounds) {
+		t.Fatalf("latency histogram has %d samples, want %d", hist.Count, res.Rounds)
+	}
+	if tracer.Events() == 0 {
+		t.Fatal("tracer saw no events")
+	}
+
+	if _, err := Run(tr, s); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("cst_sim_runs_total", "").Value(); got != 1 {
+		t.Fatalf("uninstrumented run leaked into the registry: runs = %d, want 1", got)
+	}
+}
+
+// A failing run must tick the error counter rather than the success series.
+func TestInstrumentedRunError(t *testing.T) {
+	tr := topology.MustNew(8)
+	reg := obs.New()
+	if _, err := Run(tr, comm.MustParse("(())"), WithRegistry(reg)); err == nil {
+		t.Fatal("size mismatch: want error")
+	}
+	if got := reg.Counter("cst_sim_errors_total", "").Value(); got != 1 {
+		t.Fatalf("errors counter = %d, want 1", got)
 	}
 }
 

@@ -29,6 +29,20 @@ func TestRenderSetArcRows(t *testing.T) {
 	}
 }
 
+func TestRenderSetEmpty(t *testing.T) {
+	s := comm.NewSet(4)
+	out := RenderSet(s)
+	if !strings.Contains(out, "PEs :") {
+		t.Errorf("empty set should still render the PE row:\n%s", out)
+	}
+	if !strings.Contains(out, "gaps: ...") {
+		t.Errorf("empty set should render an all-idle congestion profile:\n%s", out)
+	}
+	if strings.Contains(out, "d=") {
+		t.Errorf("empty set has no arcs, no depth rows expected:\n%s", out)
+	}
+}
+
 func TestRenderSetNotWellNested(t *testing.T) {
 	s := comm.NewSet(4, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 1, Dst: 3})
 	out := RenderSet(s)
