@@ -104,15 +104,23 @@ func BenchmarkPADRSequential(b *testing.B) {
 	}
 }
 
-// BenchmarkPADRConcurrent measures the goroutine-per-node engine on the
-// same workload (2047 goroutines, channel waves).
-func BenchmarkPADRConcurrent(b *testing.B) {
+// BenchmarkPADREngineReused measures the steady-state cost of the reusable
+// engine: one Engine built outside the loop, Reset+Run per iteration. The
+// gap to BenchmarkPADREngineFresh is the price of engine construction.
+func BenchmarkPADREngineReused(b *testing.B) {
 	tree := cst.MustNewTree(1024)
 	s := benchWorkload(b, 1024, 16)
+	e, err := cst.NewEngine(tree, s)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := cst.RunConcurrent(tree, s)
+		if err := e.Reset(s); err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,32 +130,106 @@ func BenchmarkPADRConcurrent(b *testing.B) {
 	}
 }
 
-// BenchmarkSimRunNoop is the concurrent engine with observability fully
-// disabled (nil registry, nil tracer) — the baseline for the pair below.
-func BenchmarkSimRunNoop(b *testing.B) {
+// BenchmarkEngineConstructFresh measures bare engine construction: the
+// arena, crossbar, and scratch allocations a fresh New pays per set.
+func BenchmarkEngineConstructFresh(b *testing.B) {
 	tree := cst.MustNewTree(1024)
 	s := benchWorkload(b, 1024, 16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cst.RunConcurrent(tree, s); err != nil {
+		if _, err := cst.NewEngine(tree, s); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkSimRunInstrumented is the same run publishing every metric
-// series to a live registry; compare against BenchmarkSimRunNoop to price
-// the instrumentation.
-func BenchmarkSimRunInstrumented(b *testing.B) {
+// BenchmarkEngineConstructReset measures re-arming a pooled engine onto a
+// set — the allocation-free path that replaces construction under reuse.
+func BenchmarkEngineConstructReset(b *testing.B) {
 	tree := cst.MustNewTree(1024)
 	s := benchWorkload(b, 1024, 16)
-	reg := cst.NewMetrics()
+	e, err := cst.NewEngine(tree, s)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cst.RunConcurrent(tree, s, cst.WithConcurrentMetrics(reg)); err != nil {
+		if err := e.Reset(s); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPADREngineFresh builds a new engine every iteration — the
+// construction-heavy pattern BenchmarkPADREngineReused avoids.
+func BenchmarkPADREngineFresh(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := cst.NewEngine(tree, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchConcurrentRun is the shared goroutine-per-node loop behind the three
+// concurrent-engine benchmarks; opts selects the instrumentation.
+func benchConcurrentRun(b *testing.B, opts ...cst.ConcurrentOption) {
+	b.Helper()
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cst.RunConcurrent(tree, s, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds != 16 {
+			b.Fatal("wrong rounds")
+		}
+	}
+}
+
+// BenchmarkPADRConcurrent measures the goroutine-per-node engine on the
+// same workload (2047 goroutines, channel waves), spawning a fresh fabric
+// per run and with observability fully disabled — the baseline for
+// BenchmarkSimRunInstrumented and BenchmarkFabricReused.
+func BenchmarkPADRConcurrent(b *testing.B) { benchConcurrentRun(b) }
+
+// BenchmarkSimRunInstrumented is the same run publishing every metric
+// series to a live registry; compare against BenchmarkPADRConcurrent to
+// price the instrumentation.
+func BenchmarkSimRunInstrumented(b *testing.B) {
+	reg := cst.NewMetrics()
+	benchConcurrentRun(b, cst.WithConcurrentMetrics(reg))
+}
+
+// BenchmarkFabricReused runs the same concurrent workload over a persistent
+// fabric whose 2047 goroutines survive across runs; the gap to
+// BenchmarkPADRConcurrent is the per-run spawn/teardown cost.
+func BenchmarkFabricReused(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	f := cst.NewFabric(tree)
+	defer f.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds != 16 {
+			b.Fatal("wrong rounds")
 		}
 	}
 }
@@ -198,10 +280,18 @@ func BenchmarkSelfRoute(b *testing.B) {
 
 // BenchmarkOnlineThroughput measures the online dispatcher under steady
 // random load on a 256-PE fabric.
-func BenchmarkOnlineThroughput(b *testing.B) {
+func BenchmarkOnlineThroughput(b *testing.B) { benchOnline(b) }
+
+// BenchmarkOnlineSharded is the same load with subtree sharding enabled:
+// independent sub-batches schedule concurrently over disjoint crossbar
+// views.
+func BenchmarkOnlineSharded(b *testing.B) { benchOnline(b, cst.WithOnlineSharding()) }
+
+func benchOnline(b *testing.B, opts ...cst.OnlineOption) {
+	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sim, err := cst.NewOnline(256)
+		sim, err := cst.NewOnline(256, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}

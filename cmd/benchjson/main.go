@@ -1,0 +1,194 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document for CI artifacts and regression tracking (BENCH_core.json).
+// It can embed a second bench run as the baseline and reports per-benchmark
+// speedups against it.
+//
+// Examples:
+//
+//	go test -bench=. -run='^$' . | go run ./cmd/benchjson -out BENCH_core.json
+//	go test -bench=. -run='^$' . | go run ./cmd/benchjson -baseline pre.txt -out BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup compares one benchmark across the two runs.
+type Speedup struct {
+	Name        string  `json:"name"`
+	TimeRatio   float64 `json:"time_ratio"`             // baseline ns / current ns; > 1 is faster
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"` // baseline allocs / current allocs
+}
+
+// Document is the emitted JSON schema.
+type Document struct {
+	Label      string      `json:"label,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "bench output file (default stdin)")
+		baseline = flag.String("baseline", "", "optional bench output file to embed as the baseline")
+		out      = flag.String("out", "", "output JSON file (default stdout)")
+		label    = flag.String("label", "", "free-form label stored in the document")
+	)
+	flag.Parse()
+
+	doc := Document{Label: *label}
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	var err error
+	if doc.Benchmarks, err = parse(src, &doc); err != nil {
+		fatal(err)
+	}
+	if *baseline != "" {
+		if doc.Baseline, err = readBaseline(*baseline); err != nil {
+			fatal(err)
+		}
+		doc.Speedups = speedups(doc.Baseline, doc.Benchmarks)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+// readBaseline loads a baseline from either raw `go test -bench` text or a
+// previously emitted benchjson document (its "benchmarks" become the
+// baseline), detected by the leading byte.
+func readBaseline(path string) ([]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		var prev Document
+		if err := json.Unmarshal(data, &prev); err != nil {
+			return nil, fmt.Errorf("baseline %s: %v", path, err)
+		}
+		return prev.Benchmarks, nil
+	}
+	return parse(strings.NewReader(trimmed), nil)
+}
+
+// parse reads `go test -bench` output: benchmark result lines plus the
+// goos/goarch/cpu header (stored into doc when non-nil).
+func parse(r io.Reader, doc *Document) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if doc != nil {
+			if v, ok := strings.CutPrefix(line, "goos: "); ok {
+				doc.Goos = v
+				continue
+			}
+			if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+				doc.Goarch = v
+				continue
+			}
+			if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+				doc.CPU = v
+				continue
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  N  ns/op-value "ns/op"  [B/op-value "B/op"  allocs-value "allocs/op"]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		b := Benchmark{Name: fields[0]}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			continue
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+func speedups(base, cur []Benchmark) []Speedup {
+	byName := map[string]Benchmark{}
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var out []Speedup
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok || c.NsPerOp == 0 {
+			continue
+		}
+		s := Speedup{Name: c.Name, TimeRatio: round2(b.NsPerOp / c.NsPerOp)}
+		if c.AllocsPerOp > 0 {
+			s.AllocsRatio = round2(float64(b.AllocsPerOp) / float64(c.AllocsPerOp))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -186,6 +186,18 @@ func Run(t *Tree, s *Set, opts ...Option) (*Result, error) {
 	return e.Run()
 }
 
+// Engine is a reusable PADR scheduling engine. Construct one with NewEngine,
+// call Run, then Reset it onto the next set: the flat arenas, crossbars, and
+// round scratch are all reused, so steady-state scheduling allocates only
+// the returned Result. A Reset engine's output is bit-identical to a fresh
+// engine's.
+type Engine = padr.Engine
+
+// NewEngine builds a reusable engine for a tree and an initial set.
+func NewEngine(t *Tree, s *Set, opts ...Option) (*Engine, error) {
+	return padr.New(t, s, opts...)
+}
+
 // RunBoth schedules an arbitrary (two-sided) communication set by
 // decomposing it into its two orientations (paper §2.1) and running CSA on
 // each. Both passes drive the same physical crossbars — the left-oriented
@@ -227,6 +239,16 @@ type ConcurrentOption = sim.Option
 // per tree link. Results are identical to Run by construction.
 func RunConcurrent(t *Tree, s *Set, opts ...ConcurrentOption) (*ConcurrentResult, error) {
 	return sim.Run(t, s, opts...)
+}
+
+// Fabric is a persistent concurrent CST: its goroutines and channels are
+// built once and survive across runs, so repeated RunConcurrent-style
+// executions skip the spawn/teardown cost. Close it when done.
+type Fabric = sim.Fabric
+
+// NewFabric spins up a persistent goroutine-per-node fabric.
+func NewFabric(t *Tree, opts ...ConcurrentOption) *Fabric {
+	return sim.NewFabric(t, opts...)
 }
 
 // BaselineOrder selects how the depth-ID baseline plays its rounds.
@@ -494,6 +516,11 @@ func WithOnlineMetrics(r *Metrics) OnlineOption { return online.WithRegistry(r) 
 
 // WithOnlineTrace streams the online dispatcher's batch events.
 func WithOnlineTrace(t *Tracer) OnlineOption { return online.WithTracer(t) }
+
+// WithOnlineSharding lets the online dispatcher split batches into
+// independent subtree shards and schedule them concurrently; results and
+// power ledgers are identical to the unsharded dispatcher.
+func WithOnlineSharding() OnlineOption { return online.WithSharding() }
 
 // MetricsSummary renders a per-engine metrics snapshot (latency quantiles,
 // messages per round, changes per switch) as a markdown table.

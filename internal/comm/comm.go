@@ -268,22 +268,38 @@ func (s *Set) MaxDepth() (int, error) {
 // that edge (paper §1: "if at most w communications require to use the same
 // link in the same direction, the communication set is of width w").
 func (s *Set) Width(t *topology.Tree) (int, error) {
+	return s.WidthInto(t, nil)
+}
+
+// WidthInto is Width with a caller-owned congestion scratch buffer. When
+// scratch has capacity for t.DirectedEdgeCount() counters the computation
+// allocates nothing, so engines that recompute widths per run can keep one
+// warm buffer. A nil or undersized scratch is replaced by a fresh
+// allocation; the buffer's previous contents are always cleared here.
+func (s *Set) WidthInto(t *topology.Tree, scratch []int) (int, error) {
 	if t.Leaves() != s.N {
 		return 0, fmt.Errorf("comm: tree has %d leaves, set has N=%d", t.Leaves(), s.N)
 	}
-	congestion := make([]int, t.DirectedEdgeCount())
+	need := t.DirectedEdgeCount()
+	if cap(scratch) < need {
+		scratch = make([]int, need)
+	} else {
+		scratch = scratch[:need]
+		for i := range scratch {
+			scratch[i] = 0
+		}
+	}
 	maxw := 0
 	for _, c := range s.Comms {
-		edges, err := t.PathEdges(c.Src, c.Dst)
+		err := t.EachPathEdge(c.Src, c.Dst, func(e topology.Edge) {
+			idx := t.EdgeIndex(e)
+			scratch[idx]++
+			if scratch[idx] > maxw {
+				maxw = scratch[idx]
+			}
+		})
 		if err != nil {
 			return 0, err
-		}
-		for _, e := range edges {
-			idx := t.EdgeIndex(e)
-			congestion[idx]++
-			if congestion[idx] > maxw {
-				maxw = congestion[idx]
-			}
 		}
 	}
 	return maxw, nil

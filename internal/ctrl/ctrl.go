@@ -182,16 +182,29 @@ const (
 
 // EncodeUp serializes an Up word into 8 bytes (two uint32 counters).
 func EncodeUp(u Up) ([]byte, error) {
-	if err := checkCounter("S", u.S); err != nil {
+	b := make([]byte, UpWordBytes)
+	if _, err := EncodeUpInto(b, u); err != nil {
 		return nil, err
+	}
+	return b, nil
+}
+
+// EncodeUpInto serializes u into buf, which must hold at least UpWordBytes,
+// and returns the encoded size. It allocates nothing, so engines that only
+// need wire-size accounting can reuse one scratch buffer across every word.
+func EncodeUpInto(buf []byte, u Up) (int, error) {
+	if len(buf) < UpWordBytes {
+		return 0, fmt.Errorf("ctrl: Up buffer needs %d bytes, got %d", UpWordBytes, len(buf))
+	}
+	if err := checkCounter("S", u.S); err != nil {
+		return 0, err
 	}
 	if err := checkCounter("D", u.D); err != nil {
-		return nil, err
+		return 0, err
 	}
-	b := make([]byte, UpWordBytes)
-	binary.BigEndian.PutUint32(b[0:], uint32(u.S))
-	binary.BigEndian.PutUint32(b[4:], uint32(u.D))
-	return b, nil
+	binary.BigEndian.PutUint32(buf[0:], uint32(u.S))
+	binary.BigEndian.PutUint32(buf[4:], uint32(u.D))
+	return UpWordBytes, nil
 }
 
 // DecodeUp reverses EncodeUp.
@@ -208,18 +221,30 @@ func DecodeUp(b []byte) (Up, error) {
 // EncodeStored serializes a Stored word into 20 bytes (five uint32
 // counters).
 func EncodeStored(s Stored) ([]byte, error) {
-	fields := []struct {
+	b := make([]byte, StoredWordBytes)
+	if _, err := EncodeStoredInto(b, s); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// EncodeStoredInto serializes s into buf, which must hold at least
+// StoredWordBytes, and returns the encoded size without allocating.
+func EncodeStoredInto(buf []byte, s Stored) (int, error) {
+	if len(buf) < StoredWordBytes {
+		return 0, fmt.Errorf("ctrl: Stored buffer needs %d bytes, got %d", StoredWordBytes, len(buf))
+	}
+	fields := [5]struct {
 		name string
 		v    int
 	}{{"M", s.M}, {"SL", s.SL}, {"DL", s.DL}, {"SR", s.SR}, {"DR", s.DR}}
-	b := make([]byte, StoredWordBytes)
 	for i, f := range fields {
 		if err := checkCounter(f.name, f.v); err != nil {
-			return nil, err
+			return 0, err
 		}
-		binary.BigEndian.PutUint32(b[4*i:], uint32(f.v))
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(f.v))
 	}
-	return b, nil
+	return StoredWordBytes, nil
 }
 
 // DecodeStored reverses EncodeStored.
@@ -239,20 +264,32 @@ func DecodeStored(b []byte) (Stored, error) {
 // EncodeDown serializes a Down word into 9 bytes (use tag plus two uint32
 // selectors).
 func EncodeDown(d Down) ([]byte, error) {
+	b := make([]byte, DownWordBytes)
+	if _, err := EncodeDownInto(b, d); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// EncodeDownInto serializes d into buf, which must hold at least
+// DownWordBytes, and returns the encoded size without allocating.
+func EncodeDownInto(buf []byte, d Down) (int, error) {
+	if len(buf) < DownWordBytes {
+		return 0, fmt.Errorf("ctrl: Down buffer needs %d bytes, got %d", DownWordBytes, len(buf))
+	}
 	if d.Use > UseSD {
-		return nil, fmt.Errorf("ctrl: invalid use tag %d", d.Use)
+		return 0, fmt.Errorf("ctrl: invalid use tag %d", d.Use)
 	}
 	if err := checkCounter("Xs", d.Xs); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if err := checkCounter("Xd", d.Xd); err != nil {
-		return nil, err
+		return 0, err
 	}
-	b := make([]byte, DownWordBytes)
-	b[0] = byte(d.Use)
-	binary.BigEndian.PutUint32(b[1:], uint32(d.Xs))
-	binary.BigEndian.PutUint32(b[5:], uint32(d.Xd))
-	return b, nil
+	buf[0] = byte(d.Use)
+	binary.BigEndian.PutUint32(buf[1:], uint32(d.Xs))
+	binary.BigEndian.PutUint32(buf[5:], uint32(d.Xd))
+	return DownWordBytes, nil
 }
 
 // DecodeDown reverses EncodeDown.

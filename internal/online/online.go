@@ -19,6 +19,8 @@ package online
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"cst/internal/comm"
 	"cst/internal/obs"
@@ -83,16 +85,36 @@ func (s *Stats) MaxLatency() int {
 // Simulator drives an online run.
 type Simulator struct {
 	tree     *topology.Tree
-	switches map[topology.Node]*xbar.Switch
+	switches []*xbar.Switch // physical crossbars, indexed by node
 	queue    []Request
 	busyPE   []bool
 	now      int
 	stats    Stats
+	shard    bool
+
+	// Pooled scheduling state, reused across Dispatch calls: one engine for
+	// whole batches, one per shard slot, and a scratch Set for the batch.
+	eng      *padr.Engine
+	shards   []*shardCtx
+	batchSet *comm.Set
 
 	// observability (all optional; nil means uninstrumented)
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	met    simMetrics
+}
+
+// shardCtx is one pooled shard slot: an engine plus its crossbar view. The
+// view aliases the simulator's physical switches inside the shard's subtree
+// and private inert crossbars everywhere else, so concurrently running
+// shards never write (or meter-read) each other's switches.
+type shardCtx struct {
+	eng  *padr.Engine
+	view []*xbar.Switch
+	fill []*xbar.Switch
+	set  *comm.Set
+	res  *padr.Result
+	err  error
 }
 
 // Option configures a Simulator.
@@ -149,6 +171,18 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 	}
 }
 
+// WithSharding lets Dispatch split a batch into independent sub-batches
+// whose circuits live in disjoint subtrees and run them through parallel
+// pooled engines. The shards reproduce the unsharded dispatch exactly: no
+// circuit touches a switch above its sub-batch's subtree root, the batch
+// width is the max over shard widths, and the power ledger is bitwise
+// identical. Sharding is silently skipped when a registry or tracer is
+// attached, because the inner engines' shared metric attribution is only
+// well-defined for one engine at a time.
+func WithSharding() Option {
+	return func(s *Simulator) { s.shard = true }
+}
+
 // New builds a simulator over a CST with n leaves.
 func New(n int, opts ...Option) (*Simulator, error) {
 	t, err := topology.New(n)
@@ -157,8 +191,9 @@ func New(n int, opts ...Option) (*Simulator, error) {
 	}
 	sim := &Simulator{
 		tree:     t,
-		switches: map[topology.Node]*xbar.Switch{},
+		switches: make([]*xbar.Switch, n),
 		busyPE:   make([]bool, n),
+		batchSet: &comm.Set{N: n},
 	}
 	t.EachSwitch(func(nd topology.Node) { sim.switches[nd] = xbar.NewSwitch() })
 	for _, o := range opts {
@@ -271,7 +306,8 @@ func (s *Simulator) Dispatch() (bool, error) {
 		return false, fmt.Errorf("online: empty batch with %d pending", len(s.queue))
 	}
 
-	set := &comm.Set{N: s.tree.Leaves()}
+	set := s.batchSet
+	set.Comms = set.Comms[:0]
 	for _, r := range batch {
 		c := r.Comm
 		if !wantRight {
@@ -279,34 +315,23 @@ func (s *Simulator) Dispatch() (bool, error) {
 		}
 		set.Comms = append(set.Comms, c)
 	}
-	opt := padr.WithCrossbars(s.switches)
-	if !wantRight {
-		opt = padr.WithReflectedCrossbars(s.switches)
-	}
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{
 			Type: "batch.dispatch", Engine: "online", Round: s.now, N: len(batch),
 		})
 	}
-	// The inner engine inherits our registry and tracer, so its cst_padr_*
-	// series and per-round events accumulate across batches.
-	e, err := padr.New(s.tree, set, opt, padr.WithRegistry(s.reg), padr.WithTracer(s.tracer))
-	if err != nil {
-		s.met.errs.Inc()
-		return false, fmt.Errorf("online: batch %s: %v", set, err)
-	}
-	res, err := e.Run()
+	rounds, err := s.runBatch(set, !wantRight)
 	if err != nil {
 		s.met.errs.Inc()
 		return false, fmt.Errorf("online: batch %s: %v", set, err)
 	}
 
 	dispatched := s.now
-	s.now += res.Rounds
-	s.stats.Rounds += res.Rounds
+	s.now += rounds
+	s.stats.Rounds += rounds
 	s.stats.Batches++
 	s.met.batches.Inc()
-	s.met.busy.Add(int64(res.Rounds))
+	s.met.busy.Add(int64(rounds))
 	s.met.batchSize.Observe(float64(len(batch)))
 	for _, r := range batch {
 		s.busyPE[r.Comm.Src], s.busyPE[r.Comm.Dst] = false, false
@@ -320,10 +345,172 @@ func (s *Simulator) Dispatch() (bool, error) {
 	s.met.queueLen.Set(int64(len(s.queue)))
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{
-			Type: "batch.done", Engine: "online", Round: dispatched, N: res.Rounds,
+			Type: "batch.done", Engine: "online", Round: dispatched, N: rounds,
 		})
 	}
 	return true, nil
+}
+
+// runBatch schedules one oriented batch over the shared crossbars and
+// returns the rounds it consumed. The whole-batch engine is pooled: the
+// first dispatch builds it, later dispatches Reset it, so steady-state
+// dispatching allocates no engine state. When sharding is enabled (and no
+// registry/tracer is attached) the batch is first split into independent
+// subtree groups that run concurrently.
+func (s *Simulator) runBatch(set *comm.Set, reflected bool) (int, error) {
+	if s.shard && s.reg == nil && s.tracer == nil {
+		if rounds, ok, err := s.runSharded(set, reflected); ok {
+			return rounds, err
+		}
+	}
+	var err error
+	if s.eng == nil {
+		s.eng, err = padr.New(s.tree, set,
+			padr.WithSharedCrossbars(s.switches),
+			padr.WithReflection(reflected),
+			// The inner engine inherits our registry and tracer, so its
+			// cst_padr_* series and per-round events accumulate across
+			// batches.
+			padr.WithRegistry(s.reg),
+			padr.WithTracer(s.tracer))
+	} else {
+		err = s.eng.Reset(set, padr.WithReflection(reflected))
+	}
+	if err != nil {
+		return 0, err
+	}
+	res, err := s.eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Rounds, nil
+}
+
+// runSharded splits the batch into sub-batches with disjoint subtree
+// footprints and runs them through parallel pooled engines. Returns
+// ok=false when the batch has a single group (the pooled whole-batch path
+// is cheaper than one shard plus plan overhead).
+//
+// Correctness: the oriented comms of a well-nested set have laminar LCA
+// spans, so sorting by (lo asc, hi desc) and merging overlapping spans
+// yields groups whose subtrees are pairwise disjoint. Phase 1 above a group
+// root sees only empty up-words (stored state zero, no matches), so the
+// unsharded run never configures or meters a switch above a group root —
+// which is exactly the state the shard views leave untouched.
+func (s *Simulator) runSharded(set *comm.Set, reflected bool) (int, bool, error) {
+	if len(set.Comms) < 2 {
+		return 0, false, nil
+	}
+	// A circuit's switch footprint lives inside the subtree of its
+	// endpoints' LCA, whose PE span is a dyadic interval. Dyadic intervals
+	// are laminar — any two are nested or disjoint — so after sorting by
+	// (lo asc, hi desc) a single merge pass groups the comms into maximal
+	// disjoint subtrees, and each group's root is its first (containing)
+	// comm's LCA.
+	type item struct {
+		lo, hi int // PE span of the comm's LCA subtree, half open
+		lca    topology.Node
+		c      comm.Comm
+	}
+	items := make([]item, len(set.Comms))
+	for i, c := range set.Comms {
+		lca := s.tree.LCA(c.Src, c.Dst)
+		lo, hi := s.tree.Span(lca)
+		items[i] = item{lo: lo, hi: hi, lca: lca, c: c}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].lo != items[j].lo {
+			return items[i].lo < items[j].lo
+		}
+		return items[i].hi > items[j].hi
+	})
+	type groupSpan struct {
+		lo, hi int // item index range [lo, hi)
+		root   topology.Node
+		r      int // group subtree span end
+	}
+	var groups []groupSpan
+	for i, it := range items {
+		if len(groups) > 0 && it.lo < groups[len(groups)-1].r {
+			groups[len(groups)-1].hi = i + 1
+			continue
+		}
+		groups = append(groups, groupSpan{lo: i, hi: i + 1, root: it.lca, r: it.hi})
+	}
+	if len(groups) < 2 {
+		return 0, false, nil
+	}
+
+	for len(s.shards) < len(groups) {
+		ctx := &shardCtx{
+			view: make([]*xbar.Switch, len(s.switches)),
+			fill: make([]*xbar.Switch, len(s.switches)),
+			set:  &comm.Set{N: s.tree.Leaves()},
+		}
+		s.tree.EachSwitch(func(nd topology.Node) { ctx.fill[nd] = xbar.NewSwitch() })
+		s.shards = append(s.shards, ctx)
+	}
+
+	var wg sync.WaitGroup
+	for gi, g := range groups {
+		ctx := s.shards[gi]
+		ctx.set.Comms = ctx.set.Comms[:0]
+		for _, it := range items[g.lo:g.hi] {
+			ctx.set.Comms = append(ctx.set.Comms, it.c)
+		}
+		// The view aliases physical switches only inside the group's
+		// subtree (the reflected subtree when running mirrored), private
+		// inert fillers elsewhere. The fillers are provably never written:
+		// no circuit of this shard leaves its subtree.
+		root := g.root
+		if reflected {
+			root = s.tree.Reflect(root)
+		}
+		copy(ctx.view, ctx.fill)
+		s.graft(ctx.view, root)
+
+		wg.Add(1)
+		go func(ctx *shardCtx) {
+			defer wg.Done()
+			ctx.res, ctx.err = nil, nil
+			var err error
+			if ctx.eng == nil {
+				ctx.eng, err = padr.New(s.tree, ctx.set,
+					padr.WithSharedCrossbars(ctx.view),
+					padr.WithReflection(reflected))
+			} else {
+				err = ctx.eng.Reset(ctx.set, padr.WithReflection(reflected))
+			}
+			if err != nil {
+				ctx.err = err
+				return
+			}
+			ctx.res, ctx.err = ctx.eng.Run()
+		}(ctx)
+	}
+	wg.Wait()
+
+	rounds := 0
+	for _, ctx := range s.shards[:len(groups)] {
+		if ctx.err != nil {
+			return 0, true, ctx.err
+		}
+		if ctx.res.Rounds > rounds {
+			rounds = ctx.res.Rounds
+		}
+	}
+	return rounds, true, nil
+}
+
+// graft points view at the physical switches for every internal node in
+// subtree(root).
+func (s *Simulator) graft(view []*xbar.Switch, root topology.Node) {
+	if s.tree.IsLeaf(root) {
+		return
+	}
+	view[root] = s.switches[root]
+	s.graft(view, s.tree.Left(root))
+	s.graft(view, s.tree.Right(root))
 }
 
 // Drain dispatches until the queue is empty.
@@ -339,7 +526,7 @@ func (s *Simulator) Drain() error {
 // Finish closes the run and returns the statistics.
 func (s *Simulator) Finish() *Stats {
 	s.stats.Leftover = len(s.queue)
-	s.stats.Report = power.Collect("online-padr", power.Stateful, s.stats.Rounds, s.tree, s.switches)
+	s.stats.Report = power.CollectSlice("online-padr", power.Stateful, s.stats.Rounds, s.tree, s.switches)
 	// Counter semantics stay monotone even if Finish is called twice: bill
 	// only the units accrued since the last call.
 	if delta := int64(s.stats.Report.TotalUnits()) - s.met.units.Value(); delta > 0 {

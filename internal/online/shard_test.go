@@ -1,0 +1,115 @@
+package online
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cst/internal/comm"
+)
+
+// driveLoad runs the same deterministic random load through a simulator and
+// returns its final stats.
+func driveLoad(t *testing.T, sim *Simulator, seed int64) *Stats {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for step := 0; step < 60; step++ {
+		sim.SubmitRandom(rng, 5)
+		if sim.QueueLen() >= 6 {
+			if _, err := sim.Dispatch(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			sim.Tick()
+		}
+	}
+	if err := sim.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return sim.Finish()
+}
+
+// TestShardedMatchesUnsharded pins the sharding contract: the sharded
+// dispatcher reproduces the unsharded one exactly — same completions, same
+// timing, same cumulative power ledger — across several random loads.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		plain, err := New(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := New(128, WithSharding())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := driveLoad(t, plain, seed)
+		ss := driveLoad(t, sharded, seed)
+
+		if !reflect.DeepEqual(ps.Completed, ss.Completed) {
+			t.Errorf("seed %d: completions diverged", seed)
+		}
+		if ps.Batches != ss.Batches || ps.Rounds != ss.Rounds || ps.IdleRounds != ss.IdleRounds {
+			t.Errorf("seed %d: shape diverged: plain %d/%d/%d sharded %d/%d/%d",
+				seed, ps.Batches, ps.Rounds, ps.IdleRounds, ss.Batches, ss.Rounds, ss.IdleRounds)
+		}
+		if !reflect.DeepEqual(ps.Report, ss.Report) {
+			t.Errorf("seed %d: power ledgers diverged: plain %d units, sharded %d units",
+				seed, ps.Report.TotalUnits(), ss.Report.TotalUnits())
+		}
+	}
+}
+
+// TestShardingSplitsDisjointPairs checks the planner actually shards: a
+// batch of widely separated pairs has disjoint subtree footprints, so the
+// plan must produce more than one group, and the result must still be a
+// one-round batch.
+func TestShardingSplitsDisjointPairs(t *testing.T) {
+	sim, err := New(64, WithSharding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four pairs in four different 16-leaf subtrees.
+	for _, c := range []comm.Comm{{Src: 1, Dst: 3}, {Src: 17, Dst: 20}, {Src: 33, Dst: 40}, {Src: 50, Dst: 60}} {
+		if err := sim.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sim.Dispatch(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.shards) < 2 {
+		t.Fatalf("expected >= 2 pooled shards after a disjoint batch, got %d", len(sim.shards))
+	}
+	st := sim.Finish()
+	if st.Rounds != 1 {
+		t.Errorf("disjoint width-1 pairs need 1 round, got %d", st.Rounds)
+	}
+	if len(st.Completed) != 4 {
+		t.Errorf("completed %d of 4", len(st.Completed))
+	}
+}
+
+// TestShardingLeftOriented exercises the reflected shard path: left-oriented
+// batches run mirrored, so shard roots must be reflected too.
+func TestShardingLeftOriented(t *testing.T) {
+	plain, _ := New(64)
+	sharded, _ := New(64, WithSharding())
+	for _, sim := range []*Simulator{plain, sharded} {
+		for _, c := range []comm.Comm{{Src: 3, Dst: 1}, {Src: 20, Dst: 17}, {Src: 40, Dst: 33}, {Src: 60, Dst: 50}} {
+			if err := sim.Submit(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sim.Dispatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps, ss := plain.Finish(), sharded.Finish()
+	if !reflect.DeepEqual(ps.Report, ss.Report) {
+		t.Errorf("left-oriented ledgers diverged: plain %d units, sharded %d",
+			ps.Report.TotalUnits(), ss.Report.TotalUnits())
+	}
+	if !reflect.DeepEqual(ps.Completed, ss.Completed) {
+		t.Error("left-oriented completions diverged")
+	}
+}

@@ -66,6 +66,9 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 // this run's spend.
 func (e *Engine) meterTotals() (units, alternations int) {
 	for _, sw := range e.switches {
+		if sw == nil {
+			continue
+		}
 		units += sw.Units()
 		alternations += sw.TotalAlternations()
 	}
@@ -73,9 +76,11 @@ func (e *Engine) meterTotals() (units, alternations int) {
 }
 
 // fail routes an engine error through the error counter and tracer before
-// returning it unchanged.
+// returning it unchanged. Gauges describing the in-flight run are reset so
+// a scrape after a failed run does not report its partial state as live.
 func (e *Engine) fail(err error) error {
 	e.met.errs.Inc()
+	e.met.width.Set(0)
 	if e.tracer != nil {
 		e.tracer.Emit(obs.Event{Type: "run.error", Engine: "padr", Round: -1, Err: err.Error()})
 	}

@@ -119,10 +119,23 @@ func WithSelection(s Selection) Option {
 func WithCrossbars(switches map[topology.Node]*xbar.Switch) Option {
 	return func(e *Engine) {
 		for n, sw := range switches {
-			if sw != nil {
+			if sw != nil && int(n) < len(e.switches) {
 				e.switches[n] = sw
 			}
 		}
+		e.ownXbars = false
+	}
+}
+
+// WithSharedCrossbars is WithCrossbars for callers that already keep their
+// switches in a dense slice indexed by node (len >= Switches()+1 with a
+// non-nil entry per internal node; entry 0 unused). The slice is adopted by
+// reference — no per-entry copying — which makes it the cheap option for
+// pooled engines that swap crossbar views every dispatch.
+func WithSharedCrossbars(switches []*xbar.Switch) Option {
+	return func(e *Engine) {
+		e.switches = switches
+		e.ownXbars = false
 	}
 }
 
@@ -135,17 +148,27 @@ func WithCrossbars(switches map[topology.Node]*xbar.Switch) Option {
 // coordinates while the schedule is in mirrored coordinates.
 func WithReflectedCrossbars(switches map[topology.Node]*xbar.Switch) Option {
 	return func(e *Engine) {
-		for n, sw := range switches {
-			if sw != nil {
-				e.switches[n] = sw
-			}
-		}
+		WithCrossbars(switches)(e)
 		e.reflected = true
 	}
 }
 
-// Engine runs CSA on one communication set. An Engine is single-use: create
-// with New, run with Run.
+// WithReflection toggles the mirrored-run adapter independently of the
+// crossbar source, so a pooled engine can flip orientation between Reset
+// calls without re-copying its switches.
+func WithReflection(on bool) Option {
+	return func(e *Engine) { e.reflected = on }
+}
+
+// Engine runs CSA on one communication set. Each run is one-shot, but the
+// engine itself is reusable: Reset re-arms every internal arena for a new
+// set on the same tree without reallocating, so pooled engines run
+// allocation-free in steady state.
+//
+// All per-node state lives in flat slices indexed directly by
+// topology.Node — the heap numbering is already dense (switches occupy
+// 1..N-1, entry 0 unused), so a node IS its arena index and every hot-path
+// map lookup of the original implementation becomes a bounds-checked load.
 type Engine struct {
 	tree      *topology.Tree
 	set       *comm.Set
@@ -165,17 +188,36 @@ type Engine struct {
 	unitsBase  int // cumulative meter baselines at prepare, for
 	altBase    int // delta attribution on shared crossbars
 
-	stored   map[topology.Node]ctrl.Stored
-	switches map[topology.Node]*xbar.Switch
-	dstOf    map[int]int // source PE -> destination PE (ground truth pairing)
-	leafRole []ctrl.Up   // what each PE reports in Step 1.1
+	// Arenas indexed by topology.Node, len = tree.Leaves() (internal nodes
+	// are 1..Leaves()-1; entry 0 unused).
+	stored     []ctrl.Stored  // per-switch C_S state
+	matchedSub []int          // sum of stored[v].M over v in subtree(u)
+	switches   []*xbar.Switch // per-switch crossbar
+	ownXbars   bool           // engine created the switches (Reset may Zero them)
+
+	// Arenas indexed by PE number, len = set.N.
+	dstOf    []int     // source PE -> destination PE, -1 if not a source
+	leafRole []ctrl.Up // what each PE reports in Step 1.1
 	leafDone []bool
 
-	ran bool
+	ran       bool
+	remaining int  // communications not yet performed
+	prune     bool // active-path pruning enabled this run (no word observers)
 
 	// per-round scratch
-	roundSrcs []int
-	roundDsts map[int]bool
+	roundSrcs    []int
+	roundDsts    []bool // indexed by PE; entries listed in roundDstList
+	roundDstList []int
+	nestStack    []int // arm's well-nestedness scan stack, reused
+
+	// commArena backs every round's performed slice for one run: rounds
+	// partition the set, so set.Len() entries suffice for the whole run.
+	commArena []comm.Comm
+	commUsed  int
+
+	// reusable scratch for Width and the wire-size encoders
+	widthScratch []int
+	encBuf       [ctrl.StoredWordBytes]byte
 
 	// stats
 	upWords    int
@@ -197,8 +239,9 @@ type Result struct {
 	Width int
 	// Rounds is the number of Phase 2 rounds executed.
 	Rounds int
-	// InitialStored is a snapshot of every switch's C_S after Phase 1.
-	InitialStored map[topology.Node]ctrl.Stored
+	// InitialStored is a snapshot of every switch's C_S after Phase 1,
+	// indexed by node (entries 0 and >= Switches()+1 unused).
+	InitialStored []ctrl.Stored
 	// UpWords / DownWords count control words sent in Phase 1 / Phase 2.
 	UpWords, DownWords int
 	// UpBytes / DownBytes are the encoded sizes of those words.
@@ -213,29 +256,21 @@ type Result struct {
 // New builds an engine for the given tree and set. The set must validate,
 // be right oriented and well nested, and match the tree's leaf count.
 func New(t *topology.Tree, s *comm.Set, opts ...Option) (*Engine, error) {
-	if t.Leaves() != s.N {
-		return nil, fmt.Errorf("padr: tree has %d leaves, set has N=%d", t.Leaves(), s.N)
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	if !s.IsWellNested() {
-		return nil, fmt.Errorf("padr: set is not an oriented well-nested set: %s", s.String())
-	}
+	n := t.Leaves()
 	e := &Engine{
-		tree:     t,
-		set:      s.Clone(),
-		stored:   make(map[topology.Node]ctrl.Stored, t.Switches()),
-		switches: make(map[topology.Node]*xbar.Switch, t.Switches()),
-		dstOf:    make(map[int]int, s.Len()),
-		leafRole: make([]ctrl.Up, s.N),
-		leafDone: make([]bool, s.N),
+		tree:       t,
+		stored:     make([]ctrl.Stored, n),
+		matchedSub: make([]int, n),
+		switches:   make([]*xbar.Switch, n),
+		ownXbars:   true,
+		dstOf:      make([]int, n),
+		leafRole:   make([]ctrl.Up, n),
+		leafDone:   make([]bool, n),
+		roundDsts:  make([]bool, n),
 	}
-	t.EachSwitch(func(n topology.Node) { e.switches[n] = xbar.NewSwitch() })
-	for _, c := range s.Comms {
-		e.dstOf[c.Src] = c.Dst
-		e.leafRole[c.Src] = ctrl.Up{S: 1}
-		e.leafRole[c.Dst] = ctrl.Up{D: 1}
+	t.EachSwitch(func(u topology.Node) { e.switches[u] = xbar.NewSwitch() })
+	if err := e.arm(s); err != nil {
+		return nil, err
 	}
 	for _, o := range opts {
 		o(e)
@@ -246,11 +281,113 @@ func New(t *topology.Tree, s *comm.Set, opts ...Option) (*Engine, error) {
 	return e, nil
 }
 
+// arm validates s and loads it into the engine's reusable arenas.
+func (e *Engine) arm(s *comm.Set) error {
+	if e.tree.Leaves() != s.N {
+		return fmt.Errorf("padr: tree has %d leaves, set has N=%d", e.tree.Leaves(), s.N)
+	}
+	// Validate inline over the engine's PE arenas instead of through
+	// Set.Validate/IsWellNested, whose per-call maps and role slices would
+	// be the only allocations left on the Reset path.
+	for pe := range e.dstOf {
+		e.dstOf[pe] = -1
+		e.leafRole[pe] = ctrl.Up{}
+		e.leafDone[pe] = false
+	}
+	for _, c := range s.Comms {
+		if c.Src < 0 || c.Src >= s.N || c.Dst < 0 || c.Dst >= s.N {
+			return fmt.Errorf("padr: %s out of range for N=%d", c, s.N)
+		}
+		if c.Src == c.Dst {
+			return fmt.Errorf("padr: self loop at PE %d", c.Src)
+		}
+		if !c.RightOriented() {
+			return fmt.Errorf("padr: set is not an oriented well-nested set: %s", s.String())
+		}
+		if e.leafRole[c.Src] != (ctrl.Up{}) {
+			return fmt.Errorf("padr: PE %d appears in two communications", c.Src)
+		}
+		e.leafRole[c.Src] = ctrl.Up{S: 1}
+		if e.leafRole[c.Dst] != (ctrl.Up{}) {
+			return fmt.Errorf("padr: PE %d appears in two communications", c.Dst)
+		}
+		e.leafRole[c.Dst] = ctrl.Up{D: 1}
+		e.dstOf[c.Src] = c.Dst
+	}
+	// Well-nestedness: scan the PE line keeping a stack of open
+	// destinations; every destination must close the innermost open span.
+	stack := e.nestStack[:0]
+	for pe := 0; pe < s.N; pe++ {
+		switch {
+		case e.leafRole[pe].S == 1:
+			stack = append(stack, e.dstOf[pe])
+		case e.leafRole[pe].D == 1:
+			if len(stack) == 0 || stack[len(stack)-1] != pe {
+				e.nestStack = stack[:0]
+				return fmt.Errorf("padr: set is not an oriented well-nested set: %s", s.String())
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	e.nestStack = stack[:0]
+	if e.set == nil {
+		e.set = &comm.Set{N: s.N}
+	}
+	e.set.N = s.N
+	e.set.Comms = append(e.set.Comms[:0], s.Comms...)
+	e.remaining = len(e.set.Comms)
+	if cap(e.commArena) < len(e.set.Comms) {
+		e.commArena = make([]comm.Comm, len(e.set.Comms))
+	}
+	e.commArena = e.commArena[:cap(e.commArena)]
+	e.commUsed = 0
+	return nil
+}
+
+// Reset re-arms the engine for a new communication set on the same tree,
+// reusing every arena, so a pooled engine schedules run after run without
+// reallocating. Engine-owned crossbars are returned to factory state
+// (configuration and meters), making a Reset engine observationally
+// identical to a fresh New one; caller-provided crossbars (WithCrossbars /
+// WithSharedCrossbars) are left untouched so cross-run billing keeps
+// accumulating exactly as it would across fresh engines sharing them.
+// Options passed here are applied on top of the engine's existing ones.
+func (e *Engine) Reset(s *comm.Set, opts ...Option) error {
+	if err := e.arm(s); err != nil {
+		return err
+	}
+	for u := range e.stored {
+		e.stored[u] = ctrl.Stored{}
+		e.matchedSub[u] = 0
+	}
+	if e.ownXbars {
+		for _, sw := range e.switches {
+			if sw != nil {
+				sw.Zero()
+			}
+		}
+	}
+	e.ran = false
+	e.curRound = -1
+	e.upWords, e.downWords, e.upBytes, e.downBytes, e.activeDown = 0, 0, 0, 0, 0
+	e.roundSrcs = e.roundSrcs[:0]
+	for _, pe := range e.roundDstList {
+		e.roundDsts[pe] = false
+	}
+	e.roundDstList = e.roundDstList[:0]
+	for _, o := range opts {
+		o(e)
+	}
+	e.met = newEngineMetrics(e.reg)
+	e.instr = e.reg != nil || e.tracer != nil
+	return nil
+}
+
 // prepared holds the state computed by prepare (Phase 1 plus validation).
 type prepared struct {
 	width     int
 	maxRounds int
-	initial   map[topology.Node]ctrl.Stored
+	initial   []ctrl.Stored
 	maxStored int
 	schedule  *sched.Schedule
 	round     int
@@ -264,7 +401,7 @@ func (e *Engine) prepare() (*prepared, error) {
 	e.ran = true
 	e.met.runs.Inc()
 	e.met.comms.Add(int64(e.set.Len()))
-	e.met.switches.Add(int64(len(e.switches)))
+	e.met.switches.Add(int64(e.tree.Switches()))
 	if e.instr {
 		e.runStart = time.Now()
 		e.unitsBase, e.altBase = e.meterTotals()
@@ -272,8 +409,14 @@ func (e *Engine) prepare() (*prepared, error) {
 	if e.tracer != nil {
 		e.tracer.Emit(obs.Event{Type: "run.start", Engine: "padr", Round: -1, N: e.set.Len()})
 	}
+	// Pruning skips per-word and per-switch callbacks inside inert
+	// subtrees, so it must stay off whenever anyone watches those events.
+	e.prune = e.obs.WordSent == nil && e.obs.Configured == nil && e.tracer == nil
 
-	width, err := e.set.Width(e.tree)
+	if e.widthScratch == nil {
+		e.widthScratch = make([]int, e.tree.DirectedEdgeCount())
+	}
+	width, err := e.set.WidthInto(e.tree, e.widthScratch)
 	if err != nil {
 		return nil, e.fail(err)
 	}
@@ -288,16 +431,16 @@ func (e *Engine) prepare() (*prepared, error) {
 		})
 	}
 
-	initial := make(map[topology.Node]ctrl.Stored, len(e.stored))
+	initial := make([]ctrl.Stored, len(e.stored))
+	copy(initial, e.stored)
 	maxStored := 0
-	for n, st := range e.stored {
-		initial[n] = st
-		b, err := ctrl.EncodeStored(st)
+	for u := 1; u < len(e.stored); u++ {
+		sz, err := ctrl.EncodeStoredInto(e.encBuf[:], e.stored[u])
 		if err != nil {
-			return nil, e.fail(fmt.Errorf("padr: switch %d state not encodable: %v", n, err))
+			return nil, e.fail(fmt.Errorf("padr: switch %d state not encodable: %v", u, err))
 		}
-		if len(b) > maxStored {
-			maxStored = len(b)
+		if sz > maxStored {
+			maxStored = sz
 		}
 	}
 	// Sanity: after matching, nothing may remain unmatched at the root.
@@ -316,7 +459,9 @@ func (e *Engine) prepare() (*prepared, error) {
 		maxRounds: maxRounds,
 		initial:   initial,
 		maxStored: maxStored,
-		schedule:  &sched.Schedule{Set: e.set},
+		// The schedule gets its own copy of the set: e.set is an arena that
+		// the next Reset overwrites, while results must stay immutable.
+		schedule: &sched.Schedule{Set: e.set.Clone()},
 	}, nil
 }
 
@@ -342,7 +487,9 @@ func (e *Engine) step(p *prepared) (performed []comm.Comm, done bool, err error)
 	}
 	if e.mode == power.Stateless {
 		for _, sw := range e.switches {
-			sw.Reset()
+			if sw != nil {
+				sw.Reset()
+			}
 		}
 	}
 	performed, err = e.round()
@@ -352,6 +499,7 @@ func (e *Engine) step(p *prepared) (performed []comm.Comm, done bool, err error)
 	if len(performed) == 0 {
 		return nil, false, e.fail(fmt.Errorf("padr: round %d made no progress but work remains", p.round))
 	}
+	e.remaining -= len(performed)
 	p.schedule.Rounds = append(p.schedule.Rounds, performed)
 	e.met.rounds.Inc()
 	if e.instr {
@@ -394,7 +542,7 @@ func (e *Engine) finalize(p *prepared) (*Result, error) {
 	}
 	return &Result{
 		Schedule:        p.schedule,
-		Report:          power.Collect(e.algorithmName(), e.mode, rounds, e.tree, e.switches),
+		Report:          power.CollectSlice(e.algorithmName(), e.mode, rounds, e.tree, e.switches),
 		Width:           p.width,
 		Rounds:          rounds,
 		InitialStored:   p.initial,
@@ -495,12 +643,27 @@ func (e *Engine) algorithmName() string {
 	return "padr"
 }
 
-// phase1 distributes control information up the tree (Steps 1.1–1.3).
+// phase1 distributes control information up the tree (Steps 1.1–1.3) and
+// builds the matchedSub index that Phase 2's active-path pruning reads:
+// matchedSub[u] is the number of still-unscheduled matched pairs anywhere in
+// subtree(u). Bottom-up order guarantees both children's totals exist when a
+// switch is visited, so each entry is computed (not accumulated) and a
+// repeated phase1 on the same engine stays idempotent.
 func (e *Engine) phase1() {
 	e.tree.EachSwitchBottomUp(func(u topology.Node) {
-		left := e.upWordFrom(e.tree.Left(u))
-		right := e.upWordFrom(e.tree.Right(u))
-		e.stored[u] = ctrl.Match(left, right)
+		lc, rc := e.tree.Left(u), e.tree.Right(u)
+		left := e.upWordFrom(lc)
+		right := e.upWordFrom(rc)
+		st := ctrl.Match(left, right)
+		e.stored[u] = st
+		m := st.M
+		if e.tree.IsSwitch(lc) {
+			m += e.matchedSub[lc]
+		}
+		if e.tree.IsSwitch(rc) {
+			m += e.matchedSub[rc]
+		}
+		e.matchedSub[u] = m
 	})
 }
 
@@ -514,55 +677,51 @@ func (e *Engine) upWordFrom(child topology.Node) ctrl.Up {
 		up = e.stored[child].UpWord()
 	}
 	e.upWords++
-	if b, err := ctrl.EncodeUp(up); err == nil {
-		e.upBytes += len(b)
+	if sz, err := ctrl.EncodeUpInto(e.encBuf[:], up); err == nil {
+		e.upBytes += sz
 	}
 	return up
 }
 
-// pendingWork reports whether any switch or PE still has unscheduled
-// demands.
-func (e *Engine) pendingWork() bool {
-	for _, st := range e.stored {
-		if st.Pending() {
-			return true
-		}
-	}
-	for pe := range e.leafRole {
-		if (e.leafRole[pe].S > 0 || e.leafRole[pe].D > 0) && !e.leafDone[pe] {
-			return true
-		}
-	}
-	return false
-}
+// pendingWork reports whether any communication remains unperformed. The
+// remaining counter is maintained by step, replacing the original O(N)
+// sweep over every switch and PE.
+func (e *Engine) pendingWork() bool { return e.remaining > 0 }
 
 // round executes one Phase 2 round: words flow top-down from the root
 // (which behaves as if it received [null,null]), every switch configures
 // itself, and the signalled PEs perform their transfers.
 func (e *Engine) round() ([]comm.Comm, error) {
 	e.roundSrcs = e.roundSrcs[:0]
-	e.roundDsts = make(map[int]bool)
+	for _, pe := range e.roundDstList {
+		e.roundDsts[pe] = false
+	}
+	e.roundDstList = e.roundDstList[:0]
 	if err := e.dispatch(e.tree.Root(), ctrl.Down{Use: ctrl.UseNone}); err != nil {
 		return nil, err
 	}
 	// Pair up the signalled PEs using the ground-truth set and check the
 	// algorithm signalled consistent endpoints (Theorem 4's claim is that
 	// the established circuits connect true pairs).
-	if len(e.roundSrcs) != len(e.roundDsts) {
-		return nil, fmt.Errorf("signalled %d sources but %d destinations", len(e.roundSrcs), len(e.roundDsts))
+	if len(e.roundSrcs) != len(e.roundDstList) {
+		return nil, fmt.Errorf("signalled %d sources but %d destinations", len(e.roundSrcs), len(e.roundDstList))
 	}
-	performed := make([]comm.Comm, 0, len(e.roundSrcs))
+	if e.commUsed+len(e.roundSrcs) > len(e.commArena) {
+		return nil, fmt.Errorf("signalled %d sources with only %d communications outstanding", len(e.roundSrcs), len(e.commArena)-e.commUsed)
+	}
+	base := e.commUsed
 	for _, src := range e.roundSrcs {
-		dst, ok := e.dstOf[src]
-		if !ok {
+		dst := e.dstOf[src]
+		if dst < 0 {
 			return nil, fmt.Errorf("PE %d signalled as source but sources nothing", src)
 		}
 		if !e.roundDsts[dst] {
 			return nil, fmt.Errorf("source %d scheduled without its destination %d", src, dst)
 		}
-		performed = append(performed, comm.Comm{Src: src, Dst: dst})
+		e.commArena[e.commUsed] = comm.Comm{Src: src, Dst: dst}
+		e.commUsed++
 	}
-	return performed, nil
+	return e.commArena[base:e.commUsed:e.commUsed], nil
 }
 
 // dispatch delivers a Phase 2 word to a node. For a PE it performs Step
@@ -575,12 +734,45 @@ func (e *Engine) dispatch(n topology.Node, in ctrl.Down) error {
 	if err != nil {
 		return fmt.Errorf("switch %d: %v", n, err)
 	}
-	e.sendDown(n, e.tree.Left(n), left)
-	e.sendDown(n, e.tree.Right(n), right)
-	if err := e.dispatch(e.tree.Left(n), left); err != nil {
+	lc, rc := e.tree.Left(n), e.tree.Right(n)
+	e.sendDown(n, lc, left)
+	e.sendDown(n, rc, right)
+	if err := e.descend(lc, left); err != nil {
 		return err
 	}
-	return e.dispatch(e.tree.Right(n), right)
+	return e.descend(rc, right)
+}
+
+// descend recurses into child c carrying word w — unless the whole subtree
+// is provably inert this round, in which case the walk is pruned and the
+// words the full recursion would have delivered are accounted arithmetically.
+//
+// Soundness: an idle ([null,null]) word entering a subtree with no matched
+// pairs left (matchedSub == 0) reproduces itself all the way down — every
+// switch below sees st.M == 0, starts nothing, changes no stored state and
+// no crossbar, and every PE ignores [null,null]. Skipping the walk is
+// therefore unobservable except through the per-word/per-switch callbacks,
+// which e.prune guarantees nobody holds. Under the Conservative rule a
+// switch with M > 0 may also decline to start (so matchedSub overestimates
+// activity), but an overestimate only costs a missed prune, never a wrong
+// one.
+func (e *Engine) descend(c topology.Node, w ctrl.Down) error {
+	if e.prune && w.Use == ctrl.UseNone && !e.tree.IsLeaf(c) && e.matchedSub[c] == 0 {
+		e.skipSubtree(c)
+		return nil
+	}
+	return e.dispatch(c, w)
+}
+
+// skipSubtree accounts for the [null,null] words a full dispatch below c
+// would have sent: one per node strictly below c (the word into c itself
+// was already counted by the caller's sendDown). All skipped words are
+// idle, so ActiveDownWords is untouched.
+func (e *Engine) skipSubtree(c topology.Node) {
+	skipped := e.tree.SubtreeNodes(c) - 1
+	e.downWords += skipped
+	e.downBytes += skipped * ctrl.DownWordBytes
+	e.met.downWords.Add(int64(skipped))
 }
 
 // sendDown accounts for one Phase 2 control word on the link parent→child.
@@ -591,8 +783,8 @@ func (e *Engine) sendDown(parent, child topology.Node, w ctrl.Down) {
 		e.activeDown++
 		e.met.activeDown.Inc()
 	}
-	if b, err := ctrl.EncodeDown(w); err == nil {
-		e.downBytes += len(b)
+	if sz, err := ctrl.EncodeDownInto(e.encBuf[:], w); err == nil {
+		e.downBytes += sz
 	}
 	if e.obs.WordSent != nil {
 		e.obs.WordSent(parent, child, w)
@@ -636,15 +828,11 @@ func (e *Engine) leaf(n topology.Node, in ctrl.Down) error {
 		}
 		e.leafDone[pe] = true
 		e.roundDsts[pe] = true
+		e.roundDstList = append(e.roundDstList, pe)
 		return nil
 	default:
 		return fmt.Errorf("PE %d received [s,d], which only switches can serve", pe)
 	}
-}
-
-// connect establishes a connection on switch u's crossbar.
-func (e *Engine) connect(u topology.Node, in, out xbar.Side) error {
-	return e.switches[u].Connect(in, out)
 }
 
 // configure applies Step at switch u and fires the Configured observer.
@@ -656,9 +844,17 @@ func (e *Engine) configure(u topology.Node, in ctrl.Down) (left, right ctrl.Down
 		phys = e.tree.Reflect(u)
 	}
 	st := e.stored[u]
+	mBefore := st.M
 	before := e.switches[phys].Config()
 	defer func() {
 		e.stored[u] = st
+		if dm := mBefore - st.M; dm != 0 {
+			// A matched pair started here: keep the subtree totals on the
+			// root path exact so future rounds prune correctly.
+			for v := u; v >= e.tree.Root(); v = e.tree.Parent(v) {
+				e.matchedSub[v] -= dm
+			}
+		}
 		if err != nil {
 			return
 		}

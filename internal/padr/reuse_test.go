@@ -1,0 +1,195 @@
+package padr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/power"
+	"cst/internal/topology"
+)
+
+// reuseWorkloads returns a spread of workload shapes: chains (dense nesting),
+// split chains (configuration churn), staircases, combs, and random
+// well-nested sets — the same families the E1–E16 experiments sweep.
+func reuseWorkloads(t *testing.T, n int) []*comm.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	sets := []*comm.Set{}
+	add := func(s *comm.Set, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, s)
+	}
+	add(comm.NestedChain(n, 6))
+	add(comm.SplitChain(n, 6))
+	add(comm.Staircase(n, 8))
+	add(comm.DisjointPairs(n, 10))
+	for i := 0; i < 3; i++ {
+		add(comm.RandomWellNested(rng, n, n/4))
+	}
+	sets = append(sets, comm.NewSet(n)) // empty set
+	return sets
+}
+
+// runDigest is everything a Result exposes, flattened for comparison.
+type runDigest struct {
+	rounds                [][]comm.Comm
+	report                *power.Report
+	upWords, downWords    int
+	upBytes, downBytes    int
+	activeDown, maxStored int
+	widthVal, roundsVal   int
+}
+
+func digest(r *Result) runDigest {
+	return runDigest{
+		rounds:     r.Schedule.Rounds,
+		report:     r.Report,
+		upWords:    r.UpWords,
+		downWords:  r.DownWords,
+		upBytes:    r.UpBytes,
+		downBytes:  r.DownBytes,
+		activeDown: r.ActiveDownWords,
+		maxStored:  r.MaxStoredBytes,
+		widthVal:   r.Width,
+		roundsVal:  r.Rounds,
+	}
+}
+
+// TestResetMatchesFresh pins the reuse contract: running three sets through
+// one engine via Reset produces bit-identical results — schedules, power
+// reports, and word counts — to running each through its own fresh engine.
+// Checked for both selection rules crossed with both power modes.
+func TestResetMatchesFresh(t *testing.T) {
+	const n = 64
+	tree := topology.MustNew(n)
+	sets := reuseWorkloads(t, n)
+
+	for _, sel := range []Selection{Greedy, Conservative} {
+		for _, mode := range []power.Mode{power.Stateful, power.Stateless} {
+			opts := []Option{WithSelection(sel), WithMode(mode)}
+			var eng *Engine
+			for i, s := range sets {
+				var err error
+				if eng == nil {
+					eng, err = New(tree, s, opts...)
+				} else {
+					err = eng.Reset(s, opts...)
+				}
+				if err != nil {
+					t.Fatalf("sel=%v mode=%v set %d: reset: %v", sel, mode, i, err)
+				}
+				reused, err := eng.Run()
+				if err != nil {
+					t.Fatalf("sel=%v mode=%v set %d: reused run: %v", sel, mode, i, err)
+				}
+
+				fe, err := New(tree, s, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := fe.Run()
+				if err != nil {
+					t.Fatalf("sel=%v mode=%v set %d: fresh run: %v", sel, mode, i, err)
+				}
+
+				if got, want := digest(reused), digest(fresh); !reflect.DeepEqual(got, want) {
+					t.Errorf("sel=%v mode=%v set %d: reused engine diverged from fresh\nreused: %+v\nfresh:  %+v",
+						sel, mode, i, got, want)
+				}
+				if !reflect.DeepEqual(reused.InitialStored, fresh.InitialStored) {
+					t.Errorf("sel=%v mode=%v set %d: InitialStored diverged", sel, mode, i)
+				}
+				if err := reused.Schedule.Verify(tree); err != nil {
+					t.Errorf("sel=%v mode=%v set %d: reused schedule invalid: %v", sel, mode, i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestResetSurvivesArmFailure pins that a rejected Reset (bad set) leaves
+// the engine usable: the next valid Reset+Run matches a fresh engine.
+func TestResetSurvivesArmFailure(t *testing.T) {
+	tree := topology.MustNew(16)
+	good := comm.MustParse("((.))((.))......")
+	eng, err := New(tree, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Crossing set: arm must reject it.
+	bad := comm.NewSet(16, comm.Comm{Src: 0, Dst: 2}, comm.Comm{Src: 1, Dst: 3})
+	if err := eng.Reset(bad); err == nil {
+		t.Fatal("Reset accepted a crossing set")
+	}
+	if err := eng.Reset(good); err != nil {
+		t.Fatalf("Reset after failure: %v", err)
+	}
+	reused, err := eng.Run()
+	if err != nil {
+		t.Fatalf("run after failed Reset: %v", err)
+	}
+	fe, _ := New(tree, good)
+	fresh, _ := fe.Run()
+	if !reflect.DeepEqual(digest(reused), digest(fresh)) {
+		t.Error("engine diverged from fresh after a failed Reset")
+	}
+}
+
+// TestReusedEngineAllocs pins the steady-state allocation count of a
+// Reset+Run cycle. The flat-arena engine allocates only the Result, its
+// Schedule/Report shells, and the cloned output set — independent of N and
+// rounds. The bound is deliberately loose (2x measured) to absorb runtime
+// jitter without letting an O(N)- or O(rounds)-allocation regression slip
+// through.
+func TestReusedEngineAllocs(t *testing.T) {
+	tree := topology.MustNew(256)
+	s, err := comm.NestedChain(256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(tree, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := eng.Reset(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Measured ~13 allocs/op on the reference platform (Result + schedule
+	// rows + report + set clone). 32 leaves headroom for runtime jitter
+	// while still catching any per-node or per-word allocation creep
+	// (which would be hundreds to thousands).
+	if allocs > 32 {
+		t.Errorf("Reset+Run allocated %.0f times; want <= 32", allocs)
+	}
+}
+
+// TestWidthIntoAllocs pins that comm.Set.WidthInto with warm scratch is
+// allocation-free.
+func TestWidthIntoAllocs(t *testing.T) {
+	tree := topology.MustNew(256)
+	s, err := comm.RandomWellNested(rand.New(rand.NewSource(9)), 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]int, tree.DirectedEdgeCount())
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.WidthInto(tree, scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("WidthInto allocated %.0f times on warm scratch; want 0", allocs)
+	}
+}

@@ -70,9 +70,25 @@ type Report struct {
 // Collect builds a Report by reading the meters of the given switches,
 // indexed by node (switches[node] for node in 1..t.Switches()).
 func Collect(algorithm string, mode Mode, rounds int, t *topology.Tree, switches map[topology.Node]*xbar.Switch) *Report {
+	return collect(algorithm, mode, rounds, t, func(n topology.Node) *xbar.Switch { return switches[n] })
+}
+
+// CollectSlice is Collect for engines that keep their switches in a dense
+// slice indexed by node (len >= t.Switches()+1; entry 0 unused).
+func CollectSlice(algorithm string, mode Mode, rounds int, t *topology.Tree, switches []*xbar.Switch) *Report {
+	return collect(algorithm, mode, rounds, t, func(n topology.Node) *xbar.Switch {
+		if int(n) >= len(switches) {
+			return nil
+		}
+		return switches[n]
+	})
+}
+
+func collect(algorithm string, mode Mode, rounds int, t *topology.Tree, at func(topology.Node) *xbar.Switch) *Report {
 	r := &Report{Algorithm: algorithm, Mode: mode, Rounds: rounds}
+	r.Switches = make([]SwitchReport, 0, t.Switches())
 	t.EachSwitch(func(n topology.Node) {
-		sw := switches[n]
+		sw := at(n)
 		if sw == nil {
 			r.Switches = append(r.Switches, SwitchReport{Node: n})
 			return

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+func sortRounds(rounds [][]comm.Comm) {
+	for _, r := range rounds {
+		sort.Slice(r, func(i, j int) bool { return r[i].Src < r[j].Src })
+	}
+}
+
+// TestFabricReuseMatchesFreshRuns pins the persistent-fabric contract:
+// running several sets back to back through one Fabric produces exactly the
+// results of independent Run calls — schedules, power ledgers, message and
+// goroutine counts.
+func TestFabricReuseMatchesFreshRuns(t *testing.T) {
+	const n = 32
+	tree := topology.MustNew(n)
+	rng := rand.New(rand.NewSource(11))
+	sets := []*comm.Set{}
+	for _, gen := range []func() (*comm.Set, error){
+		func() (*comm.Set, error) { return comm.NestedChain(n, 4) },
+		func() (*comm.Set, error) { return comm.SplitChain(n, 4) },
+		func() (*comm.Set, error) { return comm.RandomWellNested(rng, n, 8) },
+		func() (*comm.Set, error) { return comm.NewSet(n), nil },
+		func() (*comm.Set, error) { return comm.Staircase(n, 5) },
+	} {
+		s, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, s)
+	}
+
+	f := NewFabric(tree)
+	defer f.Close()
+	for i, s := range sets {
+		reused, err := f.Run(s)
+		if err != nil {
+			t.Fatalf("set %d: fabric run: %v", i, err)
+		}
+		fresh, err := Run(tree, s)
+		if err != nil {
+			t.Fatalf("set %d: fresh run: %v", i, err)
+		}
+		// RoundLatencies is wall-clock timing and the order of completions
+		// within one round follows goroutine arrival order; neither is part
+		// of the contract. Everything else must be bit-identical.
+		ru, fr := *reused, *fresh
+		ru.RoundLatencies, fr.RoundLatencies = nil, nil
+		sortRounds(ru.Schedule.Rounds)
+		sortRounds(fr.Schedule.Rounds)
+		if !reflect.DeepEqual(ru, fr) {
+			t.Errorf("set %d: persistent fabric diverged from fresh run\nreused: %+v\nfresh:  %+v",
+				i, ru, fr)
+		}
+	}
+}
+
+// TestFabricRejectsAfterClose pins that a closed fabric fails loudly rather
+// than deadlocking on dead goroutines.
+func TestFabricRejectsAfterClose(t *testing.T) {
+	tree := topology.MustNew(8)
+	f := NewFabric(tree)
+	if _, err := f.Run(comm.MustParse("(.)(.)..")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close() // idempotent
+	if _, err := f.Run(comm.MustParse("(.)(.)..")); err == nil {
+		t.Fatal("Run on a closed fabric must error")
+	}
+}
+
+// TestFabricValidationKeepsFabricLive pins that a rejected set (validation
+// failure) leaves the fabric's goroutines healthy for the next run.
+func TestFabricValidationKeepsFabricLive(t *testing.T) {
+	tree := topology.MustNew(8)
+	f := NewFabric(tree)
+	defer f.Close()
+	bad := comm.NewSet(16) // wrong leaf count
+	if _, err := f.Run(bad); err == nil {
+		t.Fatal("mismatched set must error")
+	}
+	good := comm.MustParse("((.))...")
+	out, err := f.Run(good)
+	if err != nil {
+		t.Fatalf("run after rejection: %v", err)
+	}
+	if out.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", out.Rounds)
+	}
+}

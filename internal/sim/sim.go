@@ -12,6 +12,13 @@
 // transition, and the leaves report what they were told to a collector
 // channel, which is how the driver detects the end of the round.
 //
+// The node goroutines live in a Fabric that persists across runs: spawning
+// 2N-1 goroutines and 4N-2 channels is the dominant cost of short runs, so
+// Run-heavy workloads build one Fabric and feed it set after set. Control
+// ops (begin / end-run / shutdown) ride the same downward channels as the
+// Phase 2 words, so every run is delimited by broadcast waves and the
+// channel FIFO order is the only synchronization the protocol needs.
+//
 // The sequential engine (package padr) and this simulation must produce
 // identical schedules and identical power ledgers; tests assert this, and
 // experiment E8 measures the message counts.
@@ -49,7 +56,7 @@ func WithMode(m power.Mode) Option {
 }
 
 // WithSelection picks the matched-pair selection rule (default
-// padr.Conservative), mirroring padr.WithSelection.
+// padr.Greedy), mirroring padr.WithSelection.
 func WithSelection(sel padr.Selection) Option {
 	return func(c *config) { c.sel = sel }
 }
@@ -69,7 +76,7 @@ func WithTracer(t *obs.Tracer) Option {
 	return func(c *config) { c.tracer = t }
 }
 
-// metrics holds the pre-resolved metric handles for one run. The zero
+// metrics holds the pre-resolved metric handles for one fabric. The zero
 // value (all-nil handles) is the disabled mode: every method call below
 // no-ops on nil receivers, so the hot path carries only nil checks.
 type metrics struct {
@@ -108,7 +115,7 @@ type Result struct {
 	// Schedule lists the communications performed per round.
 	Schedule *sched.Schedule
 	// Report is the power ledger, collected from the switch goroutines'
-	// crossbars after they exit.
+	// crossbars at the end-of-run wave.
 	Report *power.Report
 	// Width is the set's link width; Rounds == Width on success.
 	Width, Rounds int
@@ -125,8 +132,25 @@ type Result struct {
 	// each round (the sum over rounds equals Phase2Messages); len ==
 	// Rounds.
 	RoundMessages []int
-	// Goroutines is the number of node goroutines that ran (2N-1).
+	// Goroutines is the number of node goroutines serving the run (2N-1).
 	Goroutines int
+}
+
+// Control ops carried on the downward channels alongside Phase 2 words.
+// Every op is a broadcast wave rooted at the driver: switches forward it to
+// both children before acting on it, so the wave reaches all 2N-1 nodes in
+// channel FIFO order with no extra synchronization.
+const (
+	opWord     uint8 = iota // deliver a Phase 2 control word
+	opBegin                 // start a run: reset node state, run Phase 1
+	opEndRun                // finish a run: flush stats, await next begin
+	opShutdown              // exit the node goroutine
+)
+
+// downMsg is one element on a downward channel.
+type downMsg struct {
+	word ctrl.Down
+	op   uint8
 }
 
 // leafReport is what a PE tells the driver at the end of each round.
@@ -136,19 +160,98 @@ type leafReport struct {
 	err  error
 }
 
-// nodeStats is what a switch goroutine hands back when it shuts down.
+// nodeStats is what a switch goroutine hands back at the end-of-run wave.
 type nodeStats struct {
 	node topology.Node
 	sw   *xbar.Switch
 }
 
-// Run executes the set on the tree with one goroutine per node.
-func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
+// Fabric is a persistent simulation substrate: the 2N-1 node goroutines and
+// their channels are created once and serve any number of Run calls. A
+// Fabric is not safe for concurrent Run calls; drive it from one goroutine
+// and Close it when done (Close is what terminates the node goroutines).
+type Fabric struct {
+	tree *topology.Tree
+	cfg  config
+	met  metrics
+
+	// Channel fabric, indexed by node. up[node] carries the node's C_U word
+	// to its parent; down[node] carries words and control ops from the
+	// parent to the node.
+	up   []chan ctrl.Up
+	down []chan downMsg
+
+	reports chan leafReport
+	stats   chan nodeStats
+
+	// Per-run state, written by the driver before the begin wave; node
+	// goroutines read it only after receiving opBegin, which the channel
+	// sends order after the writes.
+	roles []ctrl.Up
+	dstOf []int
+
+	// switches collects each run's crossbars at the end-of-run wave,
+	// indexed by node (reused across runs).
+	switches []*xbar.Switch
+
+	downSent atomic.Int64 // cumulative C_{D-*} words across runs
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewFabric spawns the node goroutines for t and returns the ready fabric.
+func NewFabric(t *topology.Tree, opts ...Option) *Fabric {
 	cfg := config{mode: power.Stateful}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	met := newMetrics(cfg.reg)
+	n := t.Leaves()
+	f := &Fabric{
+		tree:     t,
+		cfg:      cfg,
+		met:      newMetrics(cfg.reg),
+		up:       make([]chan ctrl.Up, 2*n),
+		down:     make([]chan downMsg, 2*n),
+		reports:  make(chan leafReport, n),
+		stats:    make(chan nodeStats, t.Switches()),
+		roles:    make([]ctrl.Up, n),
+		dstOf:    make([]int, n),
+		switches: make([]*xbar.Switch, n),
+	}
+	for node := 1; node < 2*n; node++ {
+		f.up[node] = make(chan ctrl.Up, 1)
+		f.down[node] = make(chan downMsg, 1)
+	}
+	for pe := 0; pe < n; pe++ {
+		f.wg.Add(1)
+		go f.leafLoop(pe)
+	}
+	t.EachSwitch(func(u topology.Node) {
+		f.wg.Add(1)
+		go f.switchLoop(u)
+	})
+	return f
+}
+
+// Close shuts the fabric down: the shutdown wave propagates to every node
+// goroutine and Close returns once all of them have exited (so no goroutine
+// or gauge decrement outlives the call). Close is idempotent.
+func (f *Fabric) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.down[f.tree.Root()] <- downMsg{op: opShutdown}
+	f.wg.Wait()
+}
+
+// Run executes the set on the fabric's tree, reusing the live goroutines.
+func (f *Fabric) Run(s *comm.Set) (*Result, error) {
+	t, met, cfg := f.tree, f.met, f.cfg
+	if f.closed {
+		met.errs.Inc()
+		return nil, fmt.Errorf("sim: fabric is closed")
+	}
 	if t.Leaves() != s.N {
 		met.errs.Inc()
 		return nil, fmt.Errorf("sim: tree has %d leaves, set has N=%d", t.Leaves(), s.N)
@@ -173,62 +276,28 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 	}
 
 	n := t.Leaves()
-	// downSent counts every C_{D-*} word put on a tree link; it is shared
-	// by all switch goroutines and read by the driver between rounds (safe:
-	// collecting all n leaf reports means every switch has forwarded both
-	// of its words for the round).
-	var downSent atomic.Int64
-	// Channel fabric. up[node] carries the node's C_U word to its parent;
-	// down[node] carries C_{D-*} words from the parent to the node; closing
-	// down[node] tells the node's goroutine to shut down.
-	up := make(map[topology.Node]chan ctrl.Up, 2*n)
-	down := make(map[topology.Node]chan ctrl.Down, 2*n)
-	for node := topology.Node(1); int(node) < 2*n; node++ {
-		up[node] = make(chan ctrl.Up, 1)
-		down[node] = make(chan ctrl.Down, 1)
-	}
-	reports := make(chan leafReport, n)
-	stats := make(chan nodeStats, t.Switches())
-
-	role := make([]ctrl.Up, n)
-	dstOf := make(map[int]int, s.Len())
-	for _, c := range s.Comms {
-		role[c.Src] = ctrl.Up{S: 1}
-		role[c.Dst] = ctrl.Up{D: 1}
-		dstOf[c.Src] = c.Dst
-	}
-
-	// PE goroutines, joined before Run returns so no goroutine (or gauge
-	// decrement) outlives the call.
-	var leaves sync.WaitGroup
 	for pe := 0; pe < n; pe++ {
-		node := t.Leaf(pe)
-		leaves.Add(1)
-		go func(pe int, node topology.Node) {
-			defer leaves.Done()
-			runLeaf(pe, int(node), role[pe], up[node], down[node], reports, met.goroutines, cfg.tracer)
-		}(pe, node)
+		f.roles[pe] = ctrl.Up{}
+		f.dstOf[pe] = -1
 	}
-	// Switch goroutines.
-	t.EachSwitch(func(u topology.Node) {
-		go runSwitch(u, cfg.mode, cfg.sel,
-			up[t.Left(u)], up[t.Right(u)], up[u],
-			down[u], down[t.Left(u)], down[t.Right(u)],
-			stats, &downSent, met.goroutines, cfg.tracer)
-	})
+	for _, c := range s.Comms {
+		f.roles[c.Src] = ctrl.Up{S: 1}
+		f.roles[c.Dst] = ctrl.Up{D: 1}
+		f.dstOf[c.Src] = c.Dst
+	}
+	phase2Base := f.downSent.Load()
 
-	// Phase 1: wait for the root's upward word.
+	// Begin wave down, Phase 1 convergecast up.
 	phase1Start := time.Now()
-	rootUp := <-up[t.Root()]
+	f.down[t.Root()] <- downMsg{op: opBegin}
+	rootUp := <-f.up[t.Root()]
 	met.phase1.Add(int64(2*n - 2))
 	if cfg.tracer != nil {
 		cfg.tracer.Emit(obs.Event{Type: "phase1.done", Engine: "sim", Round: -1,
 			N: 2*n - 2, DurNS: time.Since(phase1Start).Nanoseconds()})
 	}
 	if rootUp.S != 0 || rootUp.D != 0 {
-		close(down[t.Root()])
-		drain(t, stats)
-		leaves.Wait()
+		f.endRun()
 		met.errs.Inc()
 		return nil, fmt.Errorf("sim: root still advertises %s upward; set is not schedulable", rootUp)
 	}
@@ -239,7 +308,7 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 	rounds := 0
 	var roundLatencies []time.Duration
 	var roundMessages []int
-	prevDown := downSent.Load()
+	prevDown := phase2Base
 	var runErr error
 	for remaining > 0 {
 		if rounds >= width+padr.MaxRoundsSlack {
@@ -250,11 +319,11 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 		if cfg.tracer != nil {
 			cfg.tracer.Emit(obs.Event{Type: "round.start", Engine: "sim", Round: rounds})
 		}
-		down[t.Root()] <- ctrl.Down{Use: ctrl.UseNone}
+		f.down[t.Root()] <- downMsg{word: ctrl.Down{Use: ctrl.UseNone}}
 		var srcs []int
 		dsts := map[int]bool{}
 		for i := 0; i < n; i++ {
-			rep := <-reports
+			rep := <-f.reports
 			met.reports.Inc()
 			if rep.err != nil {
 				runErr = fmt.Errorf("sim: round %d: %v", rounds, rep.err)
@@ -271,7 +340,7 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 		// this round's words: the wave is complete and the shared counter
 		// is quiescent.
 		elapsed := time.Since(roundStart)
-		nowDown := downSent.Load()
+		nowDown := f.downSent.Load()
 		waveMsgs := int(nowDown - prevDown)
 		prevDown = nowDown
 		if runErr != nil {
@@ -279,8 +348,8 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 		}
 		performed := make([]comm.Comm, 0, len(srcs))
 		for _, src := range srcs {
-			dst, ok := dstOf[src]
-			if !ok || !dsts[dst] {
+			dst := f.dstOf[src]
+			if dst < 0 || !dsts[dst] {
 				runErr = fmt.Errorf("sim: round %d: source %d scheduled without its destination", rounds, src)
 				break
 			}
@@ -312,11 +381,9 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 		rounds++
 	}
 
-	// Shutdown: close the root's downward channel; switches propagate the
-	// close to their children and hand their crossbars to the stats channel.
-	close(down[t.Root()])
-	switches := collect(t, stats)
-	leaves.Wait()
+	// End-of-run wave: switches flush their crossbars to the stats channel
+	// and return to the top of their loop, ready for the next begin wave.
+	switches := f.endRun()
 
 	if runErr != nil {
 		met.errs.Inc()
@@ -329,7 +396,7 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 		met.errs.Inc()
 		return nil, fmt.Errorf("sim: took %d rounds for a width-%d set", rounds, width)
 	}
-	report := power.Collect("padr-sim", cfg.mode, rounds, t, switches)
+	report := power.CollectSlice("padr-sim", cfg.mode, rounds, t, switches)
 	met.switches.Add(int64(len(report.Switches)))
 	for _, sw := range report.Switches {
 		met.units.Add(int64(sw.Units))
@@ -346,121 +413,175 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 		Width:          width,
 		Rounds:         rounds,
 		Phase1Messages: 2*n - 1 - 1, // every non-root node sent one C_U word
-		Phase2Messages: int(downSent.Load()),
+		Phase2Messages: int(f.downSent.Load() - phase2Base),
 		RoundLatencies: roundLatencies,
 		RoundMessages:  roundMessages,
 		Goroutines:     2*n - 1,
 	}, nil
 }
 
-func drain(t *topology.Tree, stats chan nodeStats) {
-	collect(t, stats)
-}
-
-// collect waits for every switch goroutine to shut down and returns their
-// crossbars.
-func collect(t *topology.Tree, stats chan nodeStats) map[topology.Node]*xbar.Switch {
-	switches := make(map[topology.Node]*xbar.Switch, t.Switches())
-	for i := 0; i < t.Switches(); i++ {
-		st := <-stats
-		switches[st.node] = st.sw
+// endRun broadcasts the end-of-run wave and gathers every switch's crossbar
+// into f.switches. After it returns, every switch goroutine is parked at
+// the top of its loop and the crossbars are safe for the driver to read
+// (the stats channel handoff orders the reads after the goroutines' last
+// writes).
+func (f *Fabric) endRun() []*xbar.Switch {
+	f.down[f.tree.Root()] <- downMsg{op: opEndRun}
+	for i := 0; i < f.tree.Switches(); i++ {
+		st := <-f.stats
+		f.switches[st.node] = st.sw
 	}
-	return switches
+	return f.switches
 }
 
-// runLeaf is the PE goroutine: one role word up, then one report per round.
-func runLeaf(pe, node int, role ctrl.Up, upCh chan<- ctrl.Up, downCh <-chan ctrl.Down,
-	reports chan<- leafReport, live *obs.Gauge, tracer *obs.Tracer) {
-	live.Add(1)
+// Run executes the set on the tree with one goroutine per node, building a
+// throwaway Fabric for the single run.
+func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
+	f := NewFabric(t, opts...)
+	defer f.Close()
+	return f.Run(s)
+}
+
+// leafLoop is the persistent PE goroutine: per run, one role word up, then
+// one report per round until the end-of-run wave.
+func (f *Fabric) leafLoop(pe int) {
+	defer f.wg.Done()
+	node := f.tree.Leaf(pe)
+	upCh, downCh := f.up[node], f.down[node]
+	tracer := f.cfg.tracer
+	f.met.goroutines.Add(1)
 	if tracer != nil {
-		tracer.Emit(obs.Event{Type: "goroutine.start", Engine: "sim", Round: -1, Node: node, PE: pe})
+		tracer.Emit(obs.Event{Type: "goroutine.start", Engine: "sim", Round: -1, Node: int(node), PE: pe})
 	}
 	defer func() {
-		live.Add(-1)
+		f.met.goroutines.Add(-1)
 		if tracer != nil {
-			tracer.Emit(obs.Event{Type: "goroutine.exit", Engine: "sim", Round: -1, Node: node, PE: pe})
+			tracer.Emit(obs.Event{Type: "goroutine.exit", Engine: "sim", Round: -1, Node: int(node), PE: pe})
 		}
 	}()
-	upCh <- role
-	done := false
-	for word := range downCh {
-		rep := leafReport{pe: pe, word: word}
-		switch word.Use {
-		case ctrl.UseNone:
-			// idle round
-		case ctrl.UseS:
-			if role.S != 1 || done || word.Xs != 0 {
-				rep.err = fmt.Errorf("PE %d: bad source signal %v (role %v, done %v)", pe, word, role, done)
-			}
-			done = true
-		case ctrl.UseD:
-			if role.D != 1 || done || word.Xd != 0 {
-				rep.err = fmt.Errorf("PE %d: bad destination signal %v (role %v, done %v)", pe, word, role, done)
-			}
-			done = true
-		default:
-			rep.err = fmt.Errorf("PE %d: received %v, which only switches can serve", pe, word)
+	for {
+		msg := <-downCh
+		if msg.op == opShutdown {
+			return
 		}
-		reports <- rep
+		if msg.op != opBegin {
+			continue
+		}
+		role := f.roles[pe]
+		upCh <- role
+		done := false
+		for {
+			msg := <-downCh
+			if msg.op == opShutdown {
+				return
+			}
+			if msg.op == opEndRun {
+				break
+			}
+			word := msg.word
+			rep := leafReport{pe: pe, word: word}
+			switch word.Use {
+			case ctrl.UseNone:
+				// idle round
+			case ctrl.UseS:
+				if role.S != 1 || done || word.Xs != 0 {
+					rep.err = fmt.Errorf("PE %d: bad source signal %v (role %v, done %v)", pe, word, role, done)
+				}
+				done = true
+			case ctrl.UseD:
+				if role.D != 1 || done || word.Xd != 0 {
+					rep.err = fmt.Errorf("PE %d: bad destination signal %v (role %v, done %v)", pe, word, role, done)
+				}
+				done = true
+			default:
+				rep.err = fmt.Errorf("PE %d: received %v, which only switches can serve", pe, word)
+			}
+			f.reports <- rep
+		}
 	}
 }
 
-// runSwitch is the switch goroutine: match once in Phase 1, then apply
-// padr.Step to every downward word until the parent closes the link.
-func runSwitch(u topology.Node, mode power.Mode, sel padr.Selection,
-	leftUp, rightUp <-chan ctrl.Up, parentUp chan<- ctrl.Up,
-	parentDown <-chan ctrl.Down, leftDown, rightDown chan<- ctrl.Down,
-	stats chan<- nodeStats, downSent *atomic.Int64, live *obs.Gauge, tracer *obs.Tracer) {
-
-	live.Add(1)
+// switchLoop is the persistent switch goroutine: per run, match once in
+// Phase 1, then apply padr.Step to every downward word until the
+// end-of-run wave, then flush the crossbar to the stats channel.
+func (f *Fabric) switchLoop(u topology.Node) {
+	defer f.wg.Done()
+	leftUp, rightUp, parentUp := f.up[2*u], f.up[2*u+1], f.up[u]
+	parentDown, leftDown, rightDown := f.down[u], f.down[2*u], f.down[2*u+1]
+	mode, sel, tracer := f.cfg.mode, f.cfg.sel, f.cfg.tracer
+	f.met.goroutines.Add(1)
 	if tracer != nil {
 		tracer.Emit(obs.Event{Type: "goroutine.start", Engine: "sim", Round: -1, Node: int(u), PE: -1})
 	}
 	defer func() {
-		live.Add(-1)
+		f.met.goroutines.Add(-1)
 		if tracer != nil {
 			tracer.Emit(obs.Event{Type: "goroutine.exit", Engine: "sim", Round: -1, Node: int(u), PE: -1})
 		}
 	}()
 	sw := xbar.NewSwitch()
-
-	// Phase 1 (Steps 1.2–1.3): receive both children's words, match, send
-	// the remainder upward. The two receives may complete in either order;
-	// each channel carries exactly one Phase 1 word.
-	st := ctrl.Match(<-leftUp, <-rightUp)
-	parentUp <- st.UpWord()
-
-	// Phase 2: every downward word triggers one Step and two forwards.
-	round := 0
-	for word := range parentDown {
-		if mode == power.Stateless {
-			sw.Reset()
+	for {
+		msg := <-parentDown
+		if msg.op == opShutdown {
+			leftDown <- msg
+			rightDown <- msg
+			return
 		}
-		before := sw.Config()
-		left, right, err := padr.Step(&st, sw, word, sel)
-		if err != nil {
-			// A corrupted word must not wedge the wave: forward idle words
-			// so every leaf still reports, and surface the failure through
-			// the leaf report of some scheduled PE (the driver also detects
-			// the stall as "no progress").
-			left, right = ctrl.Down{Use: ctrl.UseNone}, ctrl.Down{Use: ctrl.UseNone}
+		if msg.op != opBegin {
+			continue
 		}
-		if tracer != nil {
-			if after := sw.Config(); after != before {
-				tracer.Emit(obs.Event{Type: "switch.config", Engine: "sim", Round: round,
-					Node: int(u), Config: after.String()})
+		// A recycled crossbar must be indistinguishable from the fresh one a
+		// dedicated per-run goroutine would have built.
+		sw.Zero()
+		leftDown <- msg
+		rightDown <- msg
+
+		// Phase 1 (Steps 1.2–1.3): receive both children's words, match,
+		// send the remainder upward. The two receives may complete in either
+		// order; each channel carries exactly one Phase 1 word per run.
+		st := ctrl.Match(<-leftUp, <-rightUp)
+		parentUp <- st.UpWord()
+
+		// Phase 2: every downward word triggers one Step and two forwards,
+		// until the end-of-run (or shutdown) wave unwinds the run.
+		round := 0
+		for {
+			msg := <-parentDown
+			if msg.op != opWord {
+				leftDown <- msg
+				rightDown <- msg
+				f.stats <- nodeStats{node: u, sw: sw}
+				if msg.op == opShutdown {
+					return
+				}
+				break
 			}
-			tracer.Emit(obs.Event{Type: "word.send", Engine: "sim", Round: round,
-				Node: int(u), Child: int(2 * u), Word: left.String()})
-			tracer.Emit(obs.Event{Type: "word.send", Engine: "sim", Round: round,
-				Node: int(u), Child: int(2*u + 1), Word: right.String()})
+			if mode == power.Stateless {
+				sw.Reset()
+			}
+			before := sw.Config()
+			left, right, err := padr.Step(&st, sw, msg.word, sel)
+			if err != nil {
+				// A corrupted word must not wedge the wave: forward idle
+				// words so every leaf still reports, and surface the failure
+				// through the leaf report of some scheduled PE (the driver
+				// also detects the stall as "no progress").
+				left, right = ctrl.Down{Use: ctrl.UseNone}, ctrl.Down{Use: ctrl.UseNone}
+			}
+			if tracer != nil {
+				if after := sw.Config(); after != before {
+					tracer.Emit(obs.Event{Type: "switch.config", Engine: "sim", Round: round,
+						Node: int(u), Config: after.String()})
+				}
+				tracer.Emit(obs.Event{Type: "word.send", Engine: "sim", Round: round,
+					Node: int(u), Child: int(2 * u), Word: left.String()})
+				tracer.Emit(obs.Event{Type: "word.send", Engine: "sim", Round: round,
+					Node: int(u), Child: int(2*u + 1), Word: right.String()})
+			}
+			leftDown <- downMsg{word: left}
+			rightDown <- downMsg{word: right}
+			f.downSent.Add(2)
+			round++
 		}
-		leftDown <- left
-		rightDown <- right
-		downSent.Add(2)
-		round++
 	}
-	close(leftDown)
-	close(rightDown)
-	stats <- nodeStats{node: u, sw: sw}
 }

@@ -50,9 +50,22 @@ func (e Edge) String() string { return fmt.Sprintf("%d-%s", int(e.Child), e.Dir)
 
 // Tree is a circuit switched tree with a fixed number of leaves.
 // The zero value is not usable; construct with New.
+//
+// Because nodes are heap indices, the node space is already dense: every
+// node is an integer in [1, 2N), so per-node engine state lives naturally in
+// a slice of length NodeCount() indexed by the node itself. New additionally
+// precomputes per-node depth and subtree leaf-range tables so the hot
+// scheduling paths never recompute them bit by bit.
 type Tree struct {
 	leaves int // N, a power of two
 	levels int // log2(N); leaves are level 0, root is level `levels`
+
+	// Dense per-node tables, indexed by Node (entry 0 unused). depth is the
+	// distance from the root; spanLo/spanHi are the half-open PE interval
+	// covered by the node's subtree.
+	depth  []int32
+	spanLo []int32
+	spanHi []int32
 }
 
 // New returns a CST with n leaves. n must be a power of two and at least 2.
@@ -63,7 +76,19 @@ func New(n int) (*Tree, error) {
 	if n&(n-1) != 0 {
 		return nil, fmt.Errorf("topology: leaf count must be a power of two, got %d", n)
 	}
-	return &Tree{leaves: n, levels: bits.Len(uint(n)) - 1}, nil
+	t := &Tree{leaves: n, levels: bits.Len(uint(n)) - 1}
+	t.depth = make([]int32, 2*n)
+	t.spanLo = make([]int32, 2*n)
+	t.spanHi = make([]int32, 2*n)
+	for node := 1; node < 2*n; node++ {
+		d := bits.Len(uint(node)) - 1
+		width := n >> d
+		first := (node << (t.levels - d)) - n
+		t.depth[node] = int32(d)
+		t.spanLo[node] = int32(first)
+		t.spanHi[node] = int32(first + width)
+	}
+	return t, nil
 }
 
 // MustNew is New but panics on error; intended for tests and examples with
@@ -117,19 +142,27 @@ func (t *Tree) Leaf(pe int) Node { return Node(t.leaves + pe) }
 func (t *Tree) PE(n Node) int { return int(n) - t.leaves }
 
 // Level returns the level of n: leaves are level 0, the root is Levels().
-func (t *Tree) Level(n Node) int { return t.levels - (bits.Len(uint(n)) - 1) }
+func (t *Tree) Level(n Node) int { return t.levels - int(t.depth[n]) }
 
 // Depth returns the distance from the root: root is depth 0, leaves are
-// depth Levels().
-func (t *Tree) Depth(n Node) int { return bits.Len(uint(n)) - 1 }
+// depth Levels(). Table lookup, precomputed at construction.
+func (t *Tree) Depth(n Node) int { return int(t.depth[n]) }
 
 // Span returns the half-open PE interval [lo, hi) covered by the subtree
-// rooted at n.
+// rooted at n. Table lookup, precomputed at construction.
 func (t *Tree) Span(n Node) (lo, hi int) {
-	d := t.Depth(n)
-	width := t.leaves >> d
-	first := (int(n) << (t.levels - d)) - t.leaves
-	return first, first + width
+	return int(t.spanLo[n]), int(t.spanHi[n])
+}
+
+// NodeCount returns 2N, the size of the dense node-index space: every node
+// is an integer in [1, NodeCount()), so NodeCount() is the length of a
+// slice indexed directly by Node (entry 0 unused).
+func (t *Tree) NodeCount() int { return 2 * t.leaves }
+
+// SubtreeNodes returns the number of nodes (switches plus leaves) in the
+// subtree rooted at n: 2·span − 1 for a complete subtree over span leaves.
+func (t *Tree) SubtreeNodes(n Node) int {
+	return 2*int(t.spanHi[n]-t.spanLo[n]) - 1
 }
 
 // Contains reports whether PE pe lies in the subtree rooted at n.
@@ -175,6 +208,29 @@ func (t *Tree) PathEdges(src, dst int) ([]Edge, error) {
 		down[i], down[j] = down[j], down[i]
 	}
 	return edges, nil
+}
+
+// EachPathEdge calls fn for every directed edge used by a circuit from PE
+// src to PE dst: the up edges from the source leaf to (but not including)
+// the LCA, then the down edges from the LCA to the destination leaf, the
+// down leg in leaf-to-LCA order. Unlike PathEdges it allocates nothing,
+// which is what keeps width computations off the garbage collector on hot
+// paths.
+func (t *Tree) EachPathEdge(src, dst int, fn func(Edge)) error {
+	if src < 0 || src >= t.leaves || dst < 0 || dst >= t.leaves {
+		return fmt.Errorf("topology: PE out of range: src=%d dst=%d n=%d", src, dst, t.leaves)
+	}
+	if src == dst {
+		return fmt.Errorf("topology: src and dst are the same PE %d", src)
+	}
+	lca := t.LCA(src, dst)
+	for n := t.Leaf(src); n != lca; n = n / 2 {
+		fn(Edge{Child: n, Dir: Up})
+	}
+	for n := t.Leaf(dst); n != lca; n = n / 2 {
+		fn(Edge{Child: n, Dir: Down})
+	}
+	return nil
 }
 
 // PathSwitches returns the switch nodes visited by a circuit from src to dst,

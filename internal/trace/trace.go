@@ -103,8 +103,9 @@ func RenderTree(t *topology.Tree, cfg deliver.RoundConfig, s *comm.Set) string {
 }
 
 // RenderStored annotates each switch with its C_S word, the Fig. 3(b)/4(a)
-// teaching view. Wider cells keep the five-field words readable.
-func RenderStored(t *topology.Tree, stored map[topology.Node]ctrl.Stored, s *comm.Set) string {
+// teaching view; stored is indexed by node (padr.Result.InitialStored).
+// Wider cells keep the five-field words readable.
+func RenderStored(t *topology.Tree, stored []ctrl.Stored, s *comm.Set) string {
 	return t.ASCIIWidth(func(n topology.Node) string {
 		if t.IsLeaf(n) {
 			pe := t.PE(n)
@@ -120,7 +121,10 @@ func RenderStored(t *topology.Tree, stored map[topology.Node]ctrl.Stored, s *com
 			}
 			return "."
 		}
-		st := stored[n]
+		var st ctrl.Stored
+		if int(n) < len(stored) {
+			st = stored[n]
+		}
 		if !st.Pending() {
 			return "·"
 		}

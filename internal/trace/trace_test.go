@@ -83,7 +83,8 @@ func TestRenderTree(t *testing.T) {
 
 func TestRenderStored(t *testing.T) {
 	tr := topology.MustNew(4)
-	stored := map[topology.Node]ctrl.Stored{1: {M: 1}}
+	stored := make([]ctrl.Stored, 4)
+	stored[1] = ctrl.Stored{M: 1}
 	out := RenderStored(tr, stored, comm.MustParse("(())"))
 	if !strings.Contains(out, "M:1") {
 		t.Errorf("RenderStored missing state:\n%s", out)

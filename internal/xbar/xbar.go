@@ -174,6 +174,12 @@ func (s *Switch) Disconnect(out Side) {
 // Reset tears down every connection (free) without clearing the meters.
 func (s *Switch) Reset() { s.cfg = Config{} }
 
+// Zero returns the switch to its factory state: empty configuration AND
+// zeroed meters, exactly as NewSwitch delivers it. Reusable engines call
+// this between runs so a recycled crossbar is indistinguishable from a
+// fresh one.
+func (s *Switch) Zero() { *s = Switch{} }
+
 // Units returns the total power units spent (one per established
 // connection).
 func (s *Switch) Units() int { return s.unitsSpent }
