@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cst"
 )
@@ -34,6 +37,9 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "print only the summary line")
 		jsonOut  = flag.Bool("json", false, "emit the full run as JSON (padr only) instead of text")
 		maddr    = flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address (e.g. :9090) and keep the process alive after the run")
+		faults   = flag.Int("faults", 0, "inject this many random faults (padr and padr-sim only)")
+		faultSd  = flag.Int64("fault-seed", 1, "random seed for the injected fault plan")
+		deadline = flag.Duration("deadline", 0, "abort a padr-sim run after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -42,6 +48,7 @@ func main() {
 		n: *n, w: *w, m: *m, seed: *seed,
 		algo: *algo, order: *order, mode: *mode,
 		trace: *showTr, words: *words, quiet: *quiet,
+		faults: *faults, faultSeed: *faultSd, deadline: *deadline,
 	}
 	if *maddr != "" {
 		o.reg = cst.NewMetrics()
@@ -78,8 +85,44 @@ type runOpts struct {
 	seed                int64
 	algo, order, mode   string
 	trace, words, quiet bool
+	faults              int
+	faultSeed           int64
+	deadline            time.Duration
 	reg                 *cst.Metrics
 	tracer              *cst.Tracer
+}
+
+// buildInjector draws the -faults random fault plan over the run's expected
+// round count and prints it, so a failing run can be replayed exactly.
+func buildInjector(o runOpts, tree *cst.Tree, set *cst.Set) (*cst.FaultInjector, error) {
+	if o.faults <= 0 {
+		return nil, nil
+	}
+	width, err := set.Width(tree)
+	if err != nil {
+		return nil, err
+	}
+	plan := cst.RandomFaults(cst.NewRand(o.faultSeed), tree, width+2, o.faults, 0)
+	if !o.quiet {
+		for _, f := range plan {
+			fmt.Fprintf(os.Stderr, "cstsim: injecting %v\n", f)
+		}
+	}
+	var fopts []cst.FaultOption
+	if o.reg != nil {
+		fopts = append(fopts, cst.WithFaultMetrics(o.reg))
+	}
+	return cst.NewFaultInjector(plan, fopts...), nil
+}
+
+// describeFault renders a typed engine failure for the CLI, including the
+// stall diagnosis on a deadline abort.
+func describeFault(err error) error {
+	var fe *cst.FaultError
+	if !errors.As(err, &fe) {
+		return err
+	}
+	return fmt.Errorf("run killed by fault: %w", err)
 }
 
 func run(o runOpts) error {
@@ -97,6 +140,16 @@ func run(o runOpts) error {
 	} else if o.mode != "stateful" {
 		return fmt.Errorf("unknown mode %q", o.mode)
 	}
+	if o.faults > 0 && o.algo != "padr" && o.algo != "padr-sim" {
+		return fmt.Errorf("-faults requires -algo padr or padr-sim, got %q", o.algo)
+	}
+	if o.deadline > 0 && o.algo != "padr-sim" {
+		return fmt.Errorf("-deadline requires -algo padr-sim, got %q", o.algo)
+	}
+	inj, err := buildInjector(o, tree, set)
+	if err != nil {
+		return err
+	}
 	quiet := o.quiet
 
 	if !quiet {
@@ -108,6 +161,9 @@ func run(o runOpts) error {
 	switch o.algo {
 	case "padr":
 		opts := []cst.Option{cst.WithMode(pmode)}
+		if inj != nil {
+			opts = append(opts, cst.WithFaults(inj))
+		}
 		if o.reg != nil {
 			opts = append(opts, cst.WithMetrics(o.reg))
 		}
@@ -127,7 +183,7 @@ func run(o runOpts) error {
 		}
 		res, err := cst.Run(tree, set, opts...)
 		if err != nil {
-			return err
+			return describeFault(err)
 		}
 		if err := res.Schedule.VerifyOptimal(tree); err != nil {
 			return fmt.Errorf("schedule failed verification: %v", err)
@@ -146,15 +202,24 @@ func run(o runOpts) error {
 			res.Report.Summary(), res.Width, res.Rounds, res.UpWords, res.DownWords)
 	case "padr-sim":
 		var copts []cst.ConcurrentOption
+		if inj != nil {
+			copts = append(copts, cst.WithConcurrentFaults(inj))
+		}
 		if o.reg != nil {
 			copts = append(copts, cst.WithConcurrentMetrics(o.reg))
 		}
 		if o.tracer != nil {
 			copts = append(copts, cst.WithConcurrentTrace(o.tracer))
 		}
-		res, err := cst.RunConcurrent(tree, set, copts...)
+		ctx := context.Background()
+		if o.deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, o.deadline)
+			defer cancel()
+		}
+		res, err := cst.RunConcurrentContext(ctx, tree, set, copts...)
 		if err != nil {
-			return err
+			return describeFault(err)
 		}
 		if err := res.Schedule.VerifyOptimal(tree); err != nil {
 			return fmt.Errorf("schedule failed verification: %v", err)

@@ -52,7 +52,10 @@ func run(fig int, setStr string, rounds, stored, dot bool) error {
 		return err
 	}
 	if dot {
-		tree := cst.MustNewTree(set.N)
+		tree, err := cst.NewTree(set.N)
+		if err != nil {
+			return err
+		}
 		fmt.Print(tree.DOT(nil))
 		return nil
 	}
@@ -61,7 +64,10 @@ func run(fig int, setStr string, rounds, stored, dot bool) error {
 	if rounds {
 		return animate(set)
 	}
-	tree := cst.MustNewTree(set.N)
+	tree, err := cst.NewTree(set.N)
+	if err != nil {
+		return err
+	}
 	if stored {
 		res, err := cst.Run(tree, set)
 		if err != nil {
@@ -77,7 +83,10 @@ func run(fig int, setStr string, rounds, stored, dot bool) error {
 // animate runs PADR on the set and draws the configured tree after every
 // round, then verifies the data plane.
 func animate(set *cst.Set) error {
-	tree := cst.MustNewTree(set.N)
+	tree, err := cst.NewTree(set.N)
+	if err != nil {
+		return err
+	}
 	var rec deliver.Recorder
 	e, err := padr.New(tree, set, padr.WithObserver(rec.Observer()))
 	if err != nil {

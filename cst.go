@@ -30,6 +30,7 @@
 package cst
 
 import (
+	"context"
 	"math/rand"
 
 	"cst/internal/baseline"
@@ -37,6 +38,7 @@ import (
 	"cst/internal/deliver"
 	"cst/internal/energy"
 	"cst/internal/export"
+	"cst/internal/fault"
 	"cst/internal/general"
 	"cst/internal/harness"
 	"cst/internal/obs"
@@ -64,7 +66,9 @@ type Node = topology.Node
 // NewTree builds a CST with n leaves (n a power of two, >= 2).
 func NewTree(n int) (*Tree, error) { return topology.New(n) }
 
-// MustNewTree is NewTree but panics on error.
+// MustNewTree is NewTree but panics on error; intended for tests and
+// examples with constant sizes. Library and CLI code paths use NewTree and
+// propagate the error.
 func MustNewTree(n int) *Tree { return topology.MustNew(n) }
 
 // Comm is one communication: data flows from PE Src to PE Dst.
@@ -79,7 +83,9 @@ func NewSet(n int, comms ...Comm) *Set { return comm.NewSet(n, comms...) }
 // Parse builds a set from a parenthesis expression like "((.)(.))".
 func Parse(expr string) (*Set, error) { return comm.Parse(expr) }
 
-// MustParse is Parse but panics on error.
+// MustParse is Parse but panics on error; intended for tests and examples
+// with constant expressions. Library and CLI code paths use Parse and
+// propagate the error.
 func MustParse(expr string) *Set { return comm.MustParse(expr) }
 
 // Decompose splits an arbitrary set into a right-oriented subset and the
@@ -525,6 +531,106 @@ func WithOnlineSharding() OnlineOption { return online.WithSharding() }
 // MetricsSummary renders a per-engine metrics snapshot (latency quantiles,
 // messages per round, changes per switch) as a markdown table.
 var MetricsSummary = harness.MetricsSummary
+
+// Fault injection and hardening. A FaultInjector carries a deterministic
+// fault plan (drop/corrupt/delay a control word, freeze a switch, fail a
+// link for a window of rounds) that any of the three engines accepts; the
+// hardened engines turn every induced failure into a typed *FaultError
+// carrying the engine, round, and implicated node, matchable against the
+// Err* sentinels with errors.Is. See DESIGN.md §9 for the fault model.
+
+// FaultInjector is a deterministic, run-scoped fault plan shared by all
+// engines. A nil injector is inert.
+type FaultInjector = fault.Injector
+
+// Fault is one entry in an injection plan.
+type Fault = fault.Fault
+
+// FaultKind selects a fault class.
+type FaultKind = fault.Kind
+
+// Injectable fault classes.
+const (
+	// FaultDropWord drops one control word in flight.
+	FaultDropWord = fault.DropWord
+	// FaultCorruptWord deterministically mutates one control word.
+	FaultCorruptWord = fault.CorruptWord
+	// FaultDelayWord stalls a word's delivery (concurrent fabric only).
+	FaultDelayWord = fault.DelayWord
+	// FaultFreezeSwitch makes a switch swallow Phase 2 words for a window.
+	FaultFreezeSwitch = fault.FreezeSwitch
+	// FaultFailLink drops every word on a link for a window of rounds.
+	FaultFailLink = fault.FailLink
+)
+
+// FaultPhase1 is the Fault.Round value addressing the Phase 1 convergecast.
+const FaultPhase1 = fault.Phase1
+
+// FaultError is the typed failure a hardened engine returns when a fault
+// kills a run; errors.As extracts it, errors.Is matches its sentinel Kind.
+type FaultError = fault.Error
+
+// StallReport is the per-node diagnosis attached to a watchdog deadline
+// abort: the silent PEs and the maximal dark subtrees covering them.
+type StallReport = fault.Stall
+
+// Fault taxonomy sentinels (match with errors.Is).
+var (
+	// ErrCorruptWord marks a run killed by an invalid control word.
+	ErrCorruptWord = fault.ErrCorruptWord
+	// ErrWordLost marks a control word dropped in flight.
+	ErrWordLost = fault.ErrWordLost
+	// ErrSwitchDown marks a switch that stopped serving control words.
+	ErrSwitchDown = fault.ErrSwitchDown
+	// ErrLinkDown marks a link failed for a window of rounds.
+	ErrLinkDown = fault.ErrLinkDown
+	// ErrDeadline marks a run aborted by the watchdog or context deadline.
+	ErrDeadline = fault.ErrDeadline
+)
+
+// FaultOption configures a FaultInjector.
+type FaultOption = fault.Option
+
+// NewFaultInjector builds an injector over a fault plan (the plan is
+// copied).
+func NewFaultInjector(faults []Fault, opts ...FaultOption) *FaultInjector {
+	return fault.New(faults, opts...)
+}
+
+// WithFaultMetrics publishes the injector's cst_fault_* series.
+func WithFaultMetrics(r *Metrics) FaultOption { return fault.WithRegistry(r) }
+
+// RandomFaults draws a reproducible fault plan for chaos testing: count
+// faults over a run of about the given round count, with DelayWord faults
+// only when maxDelay > 0.
+var RandomFaults = fault.Random
+
+// WithFaults arms Run/NewEngine with an injector; failures come back as
+// typed *FaultError values.
+func WithFaults(in *FaultInjector) Option { return padr.WithFaults(in) }
+
+// WithConcurrentFaults arms RunConcurrent/NewFabric with an injector and —
+// unless overridden by WithWatchdog — a default per-wave watchdog that
+// aborts a stalled run with ErrDeadline and a StallReport.
+func WithConcurrentFaults(in *FaultInjector) ConcurrentOption {
+	return sim.WithFaults(in)
+}
+
+// WithWatchdog sets the concurrent fabric's per-wave stall budget; zero
+// keeps the default (armed only under injection), negative disables.
+var WithWatchdog = sim.WithWatchdog
+
+// WithOnlineFaults arms the online dispatcher's inner engines with an
+// injector: a failed batch is retried on a fresh engine over restored
+// crossbars and quarantined (with a typed error) when retries are spent.
+func WithOnlineFaults(in *FaultInjector) OnlineOption { return online.WithFaults(in) }
+
+// RunConcurrentContext is RunConcurrent under a context: cancellation or
+// deadline expiry aborts the run with ErrDeadline and tears the circuits
+// down cleanly.
+func RunConcurrentContext(ctx context.Context, t *Tree, s *Set, opts ...ConcurrentOption) (*ConcurrentResult, error) {
+	return sim.RunContext(ctx, t, s, opts...)
+}
 
 // NewRand is a convenience seeded source for the generator APIs.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,136 @@
+package cst_test
+
+import (
+	"strings"
+	"testing"
+
+	"cst"
+)
+
+// TestParseRejectsMalformedExpressions pins the parser's error paths: every
+// malformed expression comes back as a descriptive error, never a panic and
+// never a silently-repaired set.
+func TestParseRejectsMalformedExpressions(t *testing.T) {
+	cases := []struct {
+		name, expr, wantSub string
+	}{
+		{"unbalanced-open", "(()", "unmatched '('"},
+		{"unbalanced-close", "())", "unmatched ')'"},
+		{"close-before-open", ")(", "unmatched ')'"},
+		{"bad-rune", "(x)", "unexpected"},
+		{"deep-unclosed", strings.Repeat("(", 12), "unmatched '('"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := cst.Parse(c.expr)
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted a malformed expression: %v", c.expr, s)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("Parse(%q) error %q does not mention %q", c.expr, err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestEnginesRejectMalformedSets pins the engine-level error paths: a
+// malformed set (duplicate endpoints, out-of-range PEs, self loops, leaf
+// mismatch, crossing pairs) is rejected with a descriptive error by BOTH
+// the sequential engine and the concurrent fabric, and a rejection leaves
+// no residue in the attached metrics registry — two consecutive rejections
+// produce identical snapshots with every gauge at zero.
+func TestEnginesRejectMalformedSets(t *testing.T) {
+	tree, err := cst.NewTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		set     *cst.Set
+		wantSub string
+	}{
+		{"duplicate-source", cst.NewSet(8, cst.Comm{Src: 0, Dst: 3}, cst.Comm{Src: 0, Dst: 5}), "PE 0"},
+		{"shared-endpoint", cst.NewSet(8, cst.Comm{Src: 0, Dst: 3}, cst.Comm{Src: 3, Dst: 5}), "PE 3"},
+		{"out-of-range-dst", cst.NewSet(8, cst.Comm{Src: 0, Dst: 12}), "out of range"},
+		{"negative-src", cst.NewSet(8, cst.Comm{Src: -1, Dst: 2}), "out of range"},
+		{"self-loop", cst.NewSet(8, cst.Comm{Src: 2, Dst: 2}), "self loop"},
+		{"leaf-mismatch", cst.NewSet(16, cst.Comm{Src: 0, Dst: 1}), "leaves"},
+		{"crossing-pairs", cst.NewSet(8, cst.Comm{Src: 0, Dst: 2}, cst.Comm{Src: 1, Dst: 3}), "nested"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reg := cst.NewMetrics()
+
+			if _, err := cst.Run(tree, c.set, cst.WithMetrics(reg)); err == nil {
+				t.Fatal("sequential engine accepted a malformed set")
+			} else if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("padr error %q does not mention %q", err, c.wantSub)
+			}
+			first := reg.Snapshot()
+
+			if _, err := cst.Run(tree, c.set, cst.WithMetrics(reg)); err == nil {
+				t.Fatal("sequential engine accepted a malformed set on retry")
+			}
+			assertRejectionResidue(t, "padr", first, reg.Snapshot())
+
+			creg := cst.NewMetrics()
+			if _, err := cst.RunConcurrent(tree, c.set, cst.WithConcurrentMetrics(creg)); err == nil {
+				t.Fatal("concurrent fabric accepted a malformed set")
+			}
+			cfirst := creg.Snapshot()
+			if _, err := cst.RunConcurrent(tree, c.set, cst.WithConcurrentMetrics(creg)); err == nil {
+				t.Fatal("concurrent fabric accepted a malformed set on retry")
+			}
+			assertRejectionResidue(t, "sim", cfirst, creg.Snapshot())
+		})
+	}
+}
+
+// assertRejectionResidue compares the registry before and after a second
+// identical rejection: the error counter may advance (rejections are
+// counted), but no work counter, gauge, or histogram may move — a rejected
+// run must not bill rounds, words, power, or latency it never performed.
+func assertRejectionResidue(t *testing.T, engine string, first, second cst.MetricsSnapshot) {
+	t.Helper()
+	diff := second.Sub(first)
+	for name, v := range diff.Counters {
+		if strings.HasSuffix(name, "_errors_total") {
+			continue
+		}
+		if v != 0 {
+			t.Errorf("%s: counter %s advanced by %d on a rejected run", engine, name, v)
+		}
+	}
+	for name, v := range second.Gauges {
+		if v != 0 {
+			t.Errorf("%s: gauge %s = %d after rejection, want 0", engine, name, v)
+		}
+	}
+	for name, h := range diff.Histograms {
+		if h.Count != 0 {
+			t.Errorf("%s: histogram %s recorded %d samples on a rejected run", engine, name, h.Count)
+		}
+	}
+}
+
+// TestOnlineRejectsMalformedRequests pins the dispatcher's admission
+// checks: a malformed request is refused at Submit and the queue state is
+// untouched.
+func TestOnlineRejectsMalformedRequests(t *testing.T) {
+	s, err := cst.NewOnline(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []cst.Comm{
+		{Src: -1, Dst: 2},
+		{Src: 0, Dst: 8},
+		{Src: 3, Dst: 3},
+	} {
+		if err := s.Submit(c); err == nil {
+			t.Errorf("Submit(%v) accepted a malformed request", c)
+		}
+	}
+	if s.QueueLen() != 0 {
+		t.Fatalf("queue holds %d requests after rejected submits", s.QueueLen())
+	}
+}

@@ -48,6 +48,38 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzParseSet targets the fixed-size entry point: ParseN must never
+// panic, must reject anything whose PE count disagrees with n, and every
+// accepted set must validate against exactly n PEs.
+func FuzzParseSet(f *testing.F) {
+	for _, seed := range []struct {
+		expr string
+		n    int
+	}{
+		{"", 0}, {"()", 2}, {"()", 4}, {"(())", 4}, {"(.)(.)", 8},
+		{"((.)((.)..).)(.)", 16}, {"()", -1}, {"....", 4}, {")(", 2},
+	} {
+		f.Add(seed.expr, seed.n)
+	}
+	f.Fuzz(func(t *testing.T, expr string, n int) {
+		s, err := ParseN(expr, n)
+		if err != nil {
+			return
+		}
+		if s.N != n {
+			t.Fatalf("ParseN(%q, %d) accepted a set with N=%d", expr, n, s.N)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted set does not validate: %v (%q, n=%d)", err, expr, n)
+		}
+		for _, c := range s.Comms {
+			if c.Src < 0 || c.Src >= n || c.Dst < 0 || c.Dst >= n {
+				t.Fatalf("accepted out-of-range endpoint %v for n=%d (%q)", c, n, expr)
+			}
+		}
+	})
+}
+
 // FuzzWidthDepth checks width <= depth on every accepted expression.
 func FuzzWidthDepth(f *testing.F) {
 	f.Add("((((()))))")

@@ -1,0 +1,363 @@
+package fault_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"cst/internal/comm"
+	"cst/internal/fault"
+	"cst/internal/online"
+	"cst/internal/padr"
+	"cst/internal/sim"
+	"cst/internal/topology"
+)
+
+// The chaos harness: randomized fault schedules against every engine, with
+// the single invariant the hardening layer promises — a clean run is
+// bit-identical to an uninstrumented one; a faulty run either completes
+// with a verifier-approved schedule or returns a typed *fault.Error within
+// the deadline; and nothing ever panics, deadlocks, or leaks a goroutine.
+
+const chaosN = 16
+
+// chaosSeeds returns the per-engine seed count: the full 500 normally,
+// trimmed under -short so `go test -short` stays snappy.
+func chaosSeeds() int {
+	if testing.Short() {
+		return 50
+	}
+	return 500
+}
+
+// saveRepro writes a failure-reproduction artifact (engine, seed, set,
+// fault plan) to $CHAOS_ARTIFACT_DIR when set, so CI uploads exactly what a
+// developer needs to replay the failing schedule.
+func saveRepro(t *testing.T, engine string, seed int, set *comm.Set, faults []fault.Fault) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	type repro struct {
+		Engine string        `json:"engine"`
+		Seed   int           `json:"seed"`
+		N      int           `json:"n"`
+		Set    string        `json:"set"`
+		Faults []fault.Fault `json:"faults"`
+	}
+	blob, err := json.MarshalIndent(repro{
+		Engine: engine, Seed: seed, N: set.N, Set: set.String(), Faults: faults,
+	}, "", "  ")
+	if err != nil {
+		t.Logf("repro marshal failed: %v", err)
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("repro dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos_%s_seed%d.json", engine, seed))
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Logf("repro write: %v", err)
+		return
+	}
+	t.Logf("chaos repro artifact: %s", path)
+}
+
+// requireTyped asserts err is a *fault.Error — the "typed error, never a
+// raw failure" half of the chaos invariant.
+func requireTyped(t *testing.T, engine string, seed int, set *comm.Set, plan []fault.Fault, err error) *fault.Error {
+	t.Helper()
+	var fe *fault.Error
+	if !errors.As(err, &fe) {
+		saveRepro(t, engine, seed, set, plan)
+		t.Fatalf("seed %d: %s returned an untyped error under injection: %v", seed, engine, err)
+	}
+	return fe
+}
+
+func sortRounds(rounds [][]comm.Comm) {
+	for _, r := range rounds {
+		sort.Slice(r, func(i, j int) bool { return r[i].Src < r[j].Src })
+	}
+}
+
+// waitNoExtraGoroutines polls until the goroutine count returns to the
+// baseline (goroutines decrement their WaitGroup before the final returns
+// retire, so a fresh count can transiently overshoot).
+func waitNoExtraGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d live, baseline %d", n, base)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func chaosSet(rng *rand.Rand, t *testing.T) *comm.Set {
+	t.Helper()
+	set, err := comm.RandomWellNested(rng, chaosN, 1+rng.Intn(chaosN/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestChaosPadr sweeps seeded fault schedules through the sequential
+// engine. The engine observes every fault synchronously, so the invariant
+// sharpens: success ⇒ verifier-approved schedule (and bit-identity with the
+// clean run when no fault fired); failure ⇒ typed error carrying the round.
+func TestChaosPadr(t *testing.T) {
+	tree := topology.MustNew(chaosN)
+	seeds := chaosSeeds()
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		set := chaosSet(rng, t)
+		width, err := set.Width(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := fault.Random(rng, tree, width+2, 1+rng.Intn(3), 0)
+		inj := fault.New(plan)
+		eng, err := padr.New(tree, set, padr.WithFaults(inj))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			requireTyped(t, "padr", seed, set, plan, err)
+			continue
+		}
+		if verr := res.Schedule.VerifyOptimal(tree); verr != nil {
+			saveRepro(t, "padr", seed, set, plan)
+			t.Fatalf("seed %d: faulty run claimed success with a bad schedule: %v", seed, verr)
+		}
+		if !inj.Fired() {
+			clean, err := padr.New(tree, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cleanRes, err := clean.Run()
+			if err != nil {
+				t.Fatalf("seed %d: clean run failed: %v", seed, err)
+			}
+			if !reflect.DeepEqual(res, cleanRes) {
+				saveRepro(t, "padr", seed, set, plan)
+				t.Fatalf("seed %d: misfiring plan still changed the result", seed)
+			}
+		}
+	}
+}
+
+// TestChaosPadrCleanInjector pins the zero-cost half of the contract: an
+// armed injector with an empty plan must not change a single result bit
+// (this also exercises the injection path with Phase 2 pruning disabled).
+func TestChaosPadrCleanInjector(t *testing.T) {
+	tree := topology.MustNew(chaosN)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		set := chaosSet(rng, t)
+		inst, err := padr.New(tree, set, padr.WithFaults(fault.New(nil)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := padr.New(tree, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inst.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := plain.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: empty injector changed the result\nwith:    %+v\nwithout: %+v", trial, got, want)
+		}
+	}
+}
+
+// TestChaosSim sweeps seeded fault schedules through the concurrent
+// fabric: every faulty run must finish correctly or abort with a typed
+// error before the watchdog budget, the aborted fabric must stay reusable
+// (a follow-up clean run on the SAME fabric must be bit-identical to a
+// fresh uninstrumented run), and no goroutine may outlive its fabric.
+func TestChaosSim(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tree := topology.MustNew(chaosN)
+	seeds := chaosSeeds()
+	const watchdog = 50 * time.Millisecond
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		set := chaosSet(rng, t)
+		width, err := set.Width(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := fault.Random(rng, tree, width+2, 1+rng.Intn(3), 500*time.Microsecond)
+		inj := fault.New(plan)
+		f := sim.NewFabric(tree, sim.WithFaults(inj), sim.WithWatchdog(watchdog))
+
+		start := time.Now()
+		res, err := f.RunContext(context.Background(), set)
+		if err != nil {
+			fe := requireTyped(t, "sim", seed, set, plan, err)
+			if errors.Is(fe, fault.ErrDeadline) && time.Since(start) > 20*watchdog {
+				saveRepro(t, "sim", seed, set, plan)
+				t.Fatalf("seed %d: deadline abort took %v, far beyond the %v watchdog", seed, time.Since(start), watchdog)
+			}
+		} else if verr := res.Schedule.VerifyOptimal(tree); verr != nil {
+			saveRepro(t, "sim", seed, set, plan)
+			t.Fatalf("seed %d: faulty run claimed success with a bad schedule: %v", seed, verr)
+		}
+
+		// Post-fault reuse: the fault plan is scoped to injector run 0, so a
+		// second run on the same (possibly abort-recovered) fabric is clean
+		// and must match a fresh uninstrumented fabric bit for bit.
+		reused, err := f.Run(set)
+		if err != nil {
+			saveRepro(t, "sim", seed, set, plan)
+			t.Fatalf("seed %d: fabric unusable after faulty run: %v", seed, err)
+		}
+		fresh, err := sim.Run(tree, set)
+		if err != nil {
+			t.Fatalf("seed %d: fresh run: %v", seed, err)
+		}
+		ru, fr := *reused, *fresh
+		ru.RoundLatencies, fr.RoundLatencies = nil, nil
+		sortRounds(ru.Schedule.Rounds)
+		sortRounds(fr.Schedule.Rounds)
+		if !reflect.DeepEqual(ru, fr) {
+			saveRepro(t, "sim", seed, set, plan)
+			t.Fatalf("seed %d: post-fault fabric diverged from fresh run\nreused: %+v\nfresh:  %+v", seed, ru, fr)
+		}
+		f.Close()
+	}
+	waitNoExtraGoroutines(t, base)
+}
+
+// TestChaosOnline sweeps seeded fault schedules through the dispatcher:
+// every Dispatch either completes, or retries and recovers, or quarantines
+// the batch with a typed error — and the queue always drains (no wedged
+// pool), with every request accounted for as completed or quarantined.
+func TestChaosOnline(t *testing.T) {
+	seeds := chaosSeeds()
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		tree := topology.MustNew(chaosN)
+		// Faults across the first few injector runs so retries (which
+		// advance the run index) meet both transient and repeated faults.
+		var plan []fault.Fault
+		for _, f := range fault.Random(rng, tree, 6, 1+rng.Intn(3), 0) {
+			f.Run = rng.Intn(online.MaxDispatchAttempts + 1)
+			plan = append(plan, f)
+		}
+		inj := fault.New(plan)
+		s, err := online.New(chaosN, online.WithFaults(inj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := s.SubmitRandom(rng, 1+rng.Intn(8))
+		for s.QueueLen() > 0 {
+			before := s.QueueLen()
+			_, err := s.Dispatch()
+			if err != nil {
+				var fe *fault.Error
+				if !errors.As(err, &fe) {
+					t.Fatalf("seed %d: untyped dispatch error: %v", seed, err)
+				}
+			}
+			if s.QueueLen() >= before {
+				t.Fatalf("seed %d: dispatch made no progress (%d pending, err=%v)", seed, before, err)
+			}
+		}
+		stats := s.Finish()
+		if got := len(stats.Completed) + len(stats.Quarantined); got != accepted {
+			t.Fatalf("seed %d: %d completed + %d quarantined != %d accepted",
+				seed, len(stats.Completed), len(stats.Quarantined), accepted)
+		}
+	}
+}
+
+// TestChaosOnlineCleanInjector pins that an armed-but-empty injector does
+// not perturb the dispatcher: stats equal the uninstrumented run.
+func TestChaosOnlineCleanInjector(t *testing.T) {
+	run := func(opts ...online.Option) *online.Stats {
+		s, err := online.New(chaosN, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 6; i++ {
+			s.SubmitRandom(rng, 4)
+			if err := s.Drain(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Finish()
+	}
+	got := run(online.WithFaults(fault.New(nil)))
+	want := run()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty injector changed online stats\nwith:    %+v\nwithout: %+v", got, want)
+	}
+}
+
+// FuzzScheduleFaulty drives the sequential engine under fuzzer-chosen
+// fault plans and sets: whatever the bytes say, the engine must never
+// panic, and any failure must be a typed *fault.Error.
+func FuzzScheduleFaulty(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(1), int16(3), int16(0))
+	f.Add(int64(7), uint8(0), uint8(5), int16(-1), int16(1))
+	f.Add(int64(42), uint8(4), uint8(30), int16(2), int16(2))
+	tree := topology.MustNew(chaosN)
+	f.Fuzz(func(t *testing.T, seed int64, kind, node uint8, round, dur int16) {
+		rng := rand.New(rand.NewSource(seed))
+		set, err := comm.RandomWellNested(rng, chaosN, 1+rng.Intn(chaosN/2))
+		if err != nil {
+			t.Skip()
+		}
+		// One fuzzer-shaped fault plus a couple of seeded ones: the raw
+		// values are deliberately NOT sanitized — an out-of-range node or a
+		// negative duration must be survivable, not rejected upstream.
+		plan := append(fault.Random(rng, tree, 6, 2, 0), fault.Fault{
+			Kind:     fault.Kind(kind % 5),
+			Node:     topology.Node(node),
+			Round:    int(round),
+			Duration: int(dur),
+		})
+		eng, err := padr.New(tree, set, padr.WithFaults(fault.New(plan)))
+		if err != nil {
+			t.Fatalf("engine rejected a valid set: %v", err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			var fe *fault.Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("untyped error under injection: %v", err)
+			}
+			return
+		}
+		if verr := res.Schedule.VerifyOptimal(tree); verr != nil {
+			t.Fatalf("bad schedule accepted: %v", verr)
+		}
+	})
+}

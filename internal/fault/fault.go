@@ -1,0 +1,497 @@
+// Package fault is the deterministic fault-injection layer for the CST
+// engines. The paper proves the CSA correct on an ideal tree (Theorems 4/5/8)
+// and the prior CST work it builds on assumes fault-free switches; a
+// production fabric does not get that luxury. This package supplies the
+// non-ideal tree: a seeded Injector that drops, corrupts or delays control
+// words on chosen links, freezes switches, and fails links for a window of
+// rounds — and the shared error taxonomy the hardened engines report when
+// the injected (or real) fault kills a schedule.
+//
+// The design constraint is determinism: a fault plan is an immutable table
+// built up front (by hand or from a seed via Random), and every query is a
+// pure read plus atomic counter updates. The same plan against the same
+// engine therefore reproduces the same failure byte for byte, which is what
+// makes the chaos harness's 500-seed sweeps debuggable, and what lets the
+// concurrent fabric's node goroutines query the injector without locks.
+//
+// Fault semantics differ by host in exactly one way: the sequential engine
+// (padr) observes every fault synchronously and returns a typed error at the
+// round the schedule died, while the concurrent fabric (sim) experiences
+// lost words and frozen switches as a stalled broadcast wave, which its
+// watchdog converts into ErrDeadline plus a per-node stall report. Delays
+// are timing faults and are meaningful only on the timed (sim) fabric; the
+// sequential engine ignores them.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cst/internal/ctrl"
+	"cst/internal/obs"
+	"cst/internal/topology"
+)
+
+// Sentinel errors: the fault taxonomy every hardened engine reports
+// through. Match with errors.Is; the wrapping *Error carries the round and
+// node coordinates.
+var (
+	// ErrCorruptWord marks a schedule killed by a control word that failed
+	// validation (or by the downstream inconsistency a silently corrupted
+	// word produced).
+	ErrCorruptWord = errors.New("corrupted control word")
+	// ErrWordLost marks a control word dropped in flight.
+	ErrWordLost = errors.New("control word lost")
+	// ErrSwitchDown marks a switch that stopped serving control words.
+	ErrSwitchDown = errors.New("switch down")
+	// ErrLinkDown marks a link failed for a window of rounds.
+	ErrLinkDown = errors.New("link down")
+	// ErrDeadline marks a run aborted by the watchdog or context deadline
+	// before the schedule completed.
+	ErrDeadline = errors.New("deadline exceeded")
+)
+
+// Error is the typed failure every hardened engine returns when a fault
+// (injected or real) kills a run. It pins the engine, the Phase 2 round at
+// which the schedule died (Phase1 for the convergecast), and the implicated
+// node when known. Kind is one of the sentinel errors above; Detail is the
+// optional underlying diagnostic. errors.Is matches both.
+type Error struct {
+	// Engine is the reporting host: "padr", "sim" or "online".
+	Engine string
+	// Round is the Phase 2 round at which the schedule died; Phase1 (-1)
+	// for the Phase 1 convergecast.
+	Round int
+	// Node is the implicated tree node, 0 when unknown.
+	Node topology.Node
+	// Kind is the taxonomy sentinel (ErrCorruptWord, ErrSwitchDown, ...).
+	Kind error
+	// Detail is the underlying diagnostic, may be nil.
+	Detail error
+}
+
+// Error renders e.g. `sim: round 3: switch down (node 5): ...detail...`.
+func (e *Error) Error() string {
+	var b strings.Builder
+	if e.Engine != "" {
+		fmt.Fprintf(&b, "%s: ", e.Engine)
+	}
+	if e.Round == Phase1 {
+		b.WriteString("phase 1: ")
+	} else {
+		fmt.Fprintf(&b, "round %d: ", e.Round)
+	}
+	b.WriteString(e.Kind.Error())
+	if e.Node != 0 {
+		fmt.Fprintf(&b, " (node %d)", int(e.Node))
+	}
+	if e.Detail != nil {
+		fmt.Fprintf(&b, ": %v", e.Detail)
+	}
+	return b.String()
+}
+
+// Unwrap exposes both the taxonomy sentinel and the detail to errors.Is/As.
+func (e *Error) Unwrap() []error {
+	if e.Detail == nil {
+		return []error{e.Kind}
+	}
+	return []error{e.Kind, e.Detail}
+}
+
+// Stall is the per-node stall report attached to a watchdog ErrDeadline:
+// which PEs never reported during the stalled broadcast wave, and the
+// maximal fully-dark subtrees covering them (the frontier behind which the
+// wave disappeared — a frozen switch shows up as exactly its subtree).
+type Stall struct {
+	// MissingPEs lists the PEs that failed to report, ascending.
+	MissingPEs []int
+	// DarkSubtrees lists the maximal nodes whose entire leaf span is
+	// missing, ascending by node.
+	DarkSubtrees []topology.Node
+}
+
+// Error renders e.g. "wave stalled: 4 PEs silent [8 9 10 11]; dark subtrees: [5]".
+func (s *Stall) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wave stalled: %d PEs silent %v", len(s.MissingPEs), s.MissingPEs)
+	if len(s.DarkSubtrees) > 0 {
+		fmt.Fprintf(&b, "; dark subtrees: %v", s.DarkSubtrees)
+	}
+	return b.String()
+}
+
+// NewStall builds the stall report for a wave in which reported[pe] marks
+// the PEs heard from: the silent PEs plus the maximal subtrees that are
+// entirely silent (computed bottom-up, reported top-down so nested dark
+// subtrees collapse into their root).
+func NewStall(t *topology.Tree, reported []bool) *Stall {
+	s := &Stall{}
+	n := t.Leaves()
+	dark := make([]bool, t.NodeCount())
+	for pe := 0; pe < n; pe++ {
+		if !reported[pe] {
+			s.MissingPEs = append(s.MissingPEs, pe)
+			dark[t.Leaf(pe)] = true
+		}
+	}
+	t.EachSwitchBottomUp(func(u topology.Node) {
+		dark[u] = dark[t.Left(u)] && dark[t.Right(u)]
+	})
+	for u := topology.Node(1); int(u) < t.NodeCount(); u++ {
+		if dark[u] && (u == t.Root() || !dark[t.Parent(u)]) {
+			s.DarkSubtrees = append(s.DarkSubtrees, u)
+		}
+	}
+	return s
+}
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// DropWord drops the single control word carried on the link identified
+	// by Node (the child end) at the given run and round.
+	DropWord Kind = iota
+	// CorruptWord deterministically mutates the control word on the link at
+	// the given run and round (downward words cycle their Use field, upward
+	// words inflate their source count), so validation either rejects it or
+	// the round-level pairing checks catch the inconsistency.
+	CorruptWord
+	// DelayWord stalls delivery of words arriving at Node by Delay. A
+	// timing fault: only the concurrent fabric observes it (the receiving
+	// node sleeps before serving the word); the sequential engine ignores
+	// it.
+	DelayWord
+	// FreezeSwitch makes switch Node swallow every Phase 2 word for
+	// Duration rounds starting at Round: the broadcast wave never reaches
+	// its subtree. The sequential engine reports ErrSwitchDown at first
+	// touch; the fabric stalls until the watchdog fires.
+	FreezeSwitch
+	// FailLink drops every word on the link to Node (either direction) for
+	// Duration rounds starting at Round.
+	FailLink
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case DropWord:
+		return "drop-word"
+	case CorruptWord:
+		return "corrupt-word"
+	case DelayWord:
+		return "delay-word"
+	case FreezeSwitch:
+		return "freeze-switch"
+	case FailLink:
+		return "fail-link"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Phase1 is the Round value addressing the Phase 1 convergecast (control
+// words flowing up) rather than a Phase 2 broadcast round.
+const Phase1 = -1
+
+// Fault is one entry in an injection plan.
+type Fault struct {
+	// Kind selects the fault class.
+	Kind Kind
+	// Node locates the fault: the switch itself for FreezeSwitch/DelayWord,
+	// the child end of the link for the word and link faults.
+	Node topology.Node
+	// Run is the 0-based engine run (BeginRun call) the fault arms on. A
+	// transient fault hits one run and is gone on the retry.
+	Run int
+	// Round is the 0-based Phase 2 round (or Phase1) the fault fires at;
+	// for FreezeSwitch/FailLink it is the start of the window.
+	Round int
+	// Duration is the window length in rounds for FreezeSwitch/FailLink
+	// (minimum 1; 0 is normalized to 1).
+	Duration int
+	// Delay is the hold time for DelayWord on the timed fabric.
+	Delay time.Duration
+}
+
+// String renders e.g. "freeze-switch node=5 run=0 rounds=[2,4)".
+func (f Fault) String() string {
+	switch f.Kind {
+	case FreezeSwitch, FailLink:
+		return fmt.Sprintf("%s node=%d run=%d rounds=[%d,%d)", f.Kind, int(f.Node), f.Run, f.Round, f.Round+f.window())
+	case DelayWord:
+		return fmt.Sprintf("%s node=%d run=%d round=%d delay=%v", f.Kind, int(f.Node), f.Run, f.Round, f.Delay)
+	default:
+		return fmt.Sprintf("%s node=%d run=%d round=%d", f.Kind, int(f.Node), f.Run, f.Round)
+	}
+}
+
+func (f Fault) window() int {
+	if f.Duration < 1 {
+		return 1
+	}
+	return f.Duration
+}
+
+// covers reports whether the fault's round window contains round.
+func (f Fault) covers(round int) bool {
+	return round >= f.Round && round < f.Round+f.window()
+}
+
+// injMetrics are the injector's cst_fault_* handles; the all-nil zero value
+// (nil registry) no-ops.
+type injMetrics struct {
+	injected  *obs.Counter
+	dropped   *obs.Counter
+	corrupted *obs.Counter
+	delayed   *obs.Counter
+	frozen    *obs.Counter
+	linkDown  *obs.Counter
+	observed  *obs.Counter
+}
+
+func newInjMetrics(r *obs.Registry) injMetrics {
+	return injMetrics{
+		injected:  r.Counter("cst_fault_injected_total", "fault applications of any kind"),
+		dropped:   r.Counter("cst_fault_words_dropped_total", "control words dropped in flight"),
+		corrupted: r.Counter("cst_fault_words_corrupted_total", "control words mutated in flight"),
+		delayed:   r.Counter("cst_fault_words_delayed_total", "control words held by a delay fault"),
+		frozen:    r.Counter("cst_fault_switch_freezes_total", "Phase 2 words swallowed by frozen switches"),
+		linkDown:  r.Counter("cst_fault_link_failures_total", "control words lost to failed links"),
+		observed:  r.Counter("cst_fault_observed_total", "engine failures attributed to injected faults"),
+	}
+}
+
+// Option configures an Injector.
+type Option func(*Injector)
+
+// WithRegistry publishes the injector's cst_fault_* series to r, making
+// injected vs. observed fault counts visible on /metrics next to the engine
+// series they perturb.
+func WithRegistry(r *obs.Registry) Option {
+	return func(in *Injector) { in.met = newInjMetrics(r) }
+}
+
+// Injector is a deterministic fault plan plus its application counters. The
+// plan is immutable after New; every query is a read plus atomic counter
+// updates, so the concurrent fabric's node goroutines share one injector
+// with no locks. The zero run index targets the first BeginRun'd engine
+// run. A nil *Injector is inert: every query reports "no fault".
+type Injector struct {
+	faults []Fault
+	met    injMetrics
+
+	run   atomic.Int64 // current 0-based run index; -1 before the first BeginRun
+	fired atomic.Int64 // fault applications during the current run
+}
+
+// New builds an injector over a fault plan. The plan is copied; later
+// mutation of the argument does not affect the injector.
+func New(faults []Fault, opts ...Option) *Injector {
+	in := &Injector{faults: append([]Fault(nil), faults...)}
+	in.run.Store(-1)
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// Faults returns a copy of the plan (for failure-repro artifacts).
+func (in *Injector) Faults() []Fault {
+	if in == nil {
+		return nil
+	}
+	return append([]Fault(nil), in.faults...)
+}
+
+// BeginRun arms the injector for the next engine run: faults with Run equal
+// to the number of previous BeginRun calls become live. Hosts call it once
+// per run, from the driving goroutine.
+func (in *Injector) BeginRun() {
+	if in == nil {
+		return
+	}
+	in.run.Add(1)
+	in.fired.Store(0)
+}
+
+// Fired reports whether any fault was applied during the current run — the
+// hosts' signal to attribute an otherwise-generic failure to injection.
+func (in *Injector) Fired() bool {
+	return in != nil && in.fired.Load() > 0
+}
+
+// match finds the live fault of the given kinds at (node, round) for the
+// current run, or nil.
+func (in *Injector) match(node topology.Node, round int, kinds ...Kind) *Fault {
+	if in == nil {
+		return nil
+	}
+	run := int(in.run.Load())
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Node != node || f.Run != run {
+			continue
+		}
+		for _, k := range kinds {
+			if f.Kind != k {
+				continue
+			}
+			switch k {
+			case FreezeSwitch, FailLink:
+				if f.covers(round) {
+					return f
+				}
+			default:
+				if f.Round == round {
+					return f
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (in *Injector) applied(c *obs.Counter) {
+	in.fired.Add(1)
+	in.met.injected.Inc()
+	c.Inc()
+}
+
+// WordLost reports whether the control word on the link to child at the
+// given round (Phase1 for the convergecast) is lost — to a one-shot drop or
+// a failed-link window — and counts the loss.
+func (in *Injector) WordLost(child topology.Node, round int) bool {
+	f := in.match(child, round, DropWord, FailLink)
+	if f == nil {
+		return false
+	}
+	if f.Kind == FailLink {
+		in.applied(in.met.linkDown)
+	} else {
+		in.applied(in.met.dropped)
+	}
+	return true
+}
+
+// LinkDownAt reports (without counting) whether a FailLink window covers
+// the link to child at the given round — how the sequential engine
+// distinguishes ErrLinkDown from a one-shot ErrWordLost.
+func (in *Injector) LinkDownAt(child topology.Node, round int) bool {
+	f := in.match(child, round, FailLink)
+	return f != nil
+}
+
+// FrozenAt reports whether switch u is frozen at the given round, counting
+// each swallowed touch.
+func (in *Injector) FrozenAt(u topology.Node, round int) bool {
+	if in.match(u, round, FreezeSwitch) == nil {
+		return false
+	}
+	in.applied(in.met.frozen)
+	return true
+}
+
+// CorruptDown mutates a downward control word on the link to child at the
+// given round. The mutation is deterministic and always changes the word:
+// the Use field cycles to the next value, so an idle word becomes a command
+// and a command changes shape — either failing validation at the receiver
+// or producing a round-level pairing inconsistency.
+func (in *Injector) CorruptDown(child topology.Node, round int, w ctrl.Down) (ctrl.Down, bool) {
+	if in.match(child, round, CorruptWord) == nil {
+		return w, false
+	}
+	in.applied(in.met.corrupted)
+	w.Use = ctrl.Use((uint8(w.Use) + 1) % 4)
+	return w, true
+}
+
+// CorruptUp mutates an upward (Phase 1) control word on the link whose
+// child end is child. The source count is inflated by one, which is always
+// detectable: the root's matched totals no longer cancel, so the root
+// advertises pending demand and the run dies at the Phase 1 sanity check.
+func (in *Injector) CorruptUp(child topology.Node, w ctrl.Up) (ctrl.Up, bool) {
+	if in.match(child, Phase1, CorruptWord) == nil {
+		return w, false
+	}
+	in.applied(in.met.corrupted)
+	w.S++
+	return w, true
+}
+
+// DelayAt returns how long the node should stall before serving a word
+// arriving at the given round (0 = no delay), counting the hold.
+func (in *Injector) DelayAt(node topology.Node, round int) time.Duration {
+	f := in.match(node, round, DelayWord)
+	if f == nil || f.Delay <= 0 {
+		return 0
+	}
+	in.applied(in.met.delayed)
+	return f.Delay
+}
+
+// Observe counts one engine failure attributed to injected faults (the
+// "observed" side of the injected-vs-observed metric pair).
+func (in *Injector) Observe() {
+	if in == nil {
+		return
+	}
+	in.met.observed.Inc()
+}
+
+// Random draws a deterministic fault plan of count faults against run 0 on
+// tree t, with rounds spread over [Phase1, rounds) and small windows. All
+// five kinds are drawn; delays are bounded by maxDelay (a non-positive
+// maxDelay disables DelayWord). The plan is sorted for stable rendering.
+func Random(rng *rand.Rand, t *topology.Tree, rounds, count int, maxDelay time.Duration) []Fault {
+	kinds := []Kind{DropWord, CorruptWord, FreezeSwitch, FailLink}
+	if maxDelay > 0 {
+		kinds = append(kinds, DelayWord)
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	faults := make([]Fault, 0, count)
+	for i := 0; i < count; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		f := Fault{Kind: k, Round: rng.Intn(rounds+1) - 1} // Phase1 .. rounds-1
+		switch k {
+		case FreezeSwitch:
+			// Freezing is a Phase 2 behaviour; pin the window to real rounds.
+			f.Node = topology.Node(1 + rng.Intn(t.Switches()))
+			if f.Round < 0 {
+				f.Round = 0
+			}
+			f.Duration = 1 + rng.Intn(3)
+		case DelayWord:
+			f.Node = topology.Node(1 + rng.Intn(t.NodeCount()-1))
+			if f.Round < 0 {
+				f.Round = 0
+			}
+			f.Delay = time.Duration(1+rng.Int63n(int64(maxDelay))) % maxDelay
+			if f.Delay <= 0 {
+				f.Delay = maxDelay
+			}
+		case FailLink:
+			// Any non-root node identifies a link (its parent edge).
+			f.Node = topology.Node(2 + rng.Intn(t.NodeCount()-2))
+			f.Duration = 1 + rng.Intn(3)
+		default:
+			f.Node = topology.Node(2 + rng.Intn(t.NodeCount()-2))
+		}
+		faults = append(faults, f)
+	}
+	sort.Slice(faults, func(i, j int) bool {
+		if faults[i].Round != faults[j].Round {
+			return faults[i].Round < faults[j].Round
+		}
+		return faults[i].Node < faults[j].Node
+	})
+	return faults
+}

@@ -1,0 +1,202 @@
+package fault_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"cst/internal/ctrl"
+	"cst/internal/fault"
+	"cst/internal/obs"
+	"cst/internal/topology"
+)
+
+func TestErrorRenderingAndUnwrap(t *testing.T) {
+	detail := errors.New("use field mismatch")
+	err := &fault.Error{
+		Engine: "sim", Round: 3, Node: 5,
+		Kind: fault.ErrSwitchDown, Detail: detail,
+	}
+	want := "sim: round 3: switch down (node 5): use field mismatch"
+	if got := err.Error(); got != want {
+		t.Fatalf("rendered %q, want %q", got, want)
+	}
+	if !errors.Is(err, fault.ErrSwitchDown) {
+		t.Fatal("errors.Is missed the taxonomy sentinel")
+	}
+	if !errors.Is(err, detail) {
+		t.Fatal("errors.Is missed the detail")
+	}
+	if errors.Is(err, fault.ErrDeadline) {
+		t.Fatal("errors.Is matched an unrelated sentinel")
+	}
+
+	p1 := &fault.Error{Engine: "padr", Round: fault.Phase1, Kind: fault.ErrCorruptWord}
+	if got, want := p1.Error(), "padr: phase 1: corrupted control word"; got != want {
+		t.Fatalf("rendered %q, want %q", got, want)
+	}
+}
+
+func TestNewStallReportsMaximalDarkSubtrees(t *testing.T) {
+	tree := topology.MustNew(8)
+	// PEs 4..7 silent: the entire right half (switch 3) is dark, and the
+	// report must collapse its nested dark switches (6, 7) into node 3.
+	reported := []bool{true, true, true, true, false, false, false, false}
+	s := fault.NewStall(tree, reported)
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(s.MissingPEs, want) {
+		t.Fatalf("MissingPEs = %v, want %v", s.MissingPEs, want)
+	}
+	if want := []topology.Node{3}; !reflect.DeepEqual(s.DarkSubtrees, want) {
+		t.Fatalf("DarkSubtrees = %v, want %v", s.DarkSubtrees, want)
+	}
+
+	// A single silent PE is its own (leaf) dark subtree.
+	reported = []bool{true, true, false, true, true, true, true, true}
+	s = fault.NewStall(tree, reported)
+	if want := []topology.Node{tree.Leaf(2)}; !reflect.DeepEqual(s.DarkSubtrees, want) {
+		t.Fatalf("DarkSubtrees = %v, want %v", s.DarkSubtrees, want)
+	}
+
+	// Everything silent: the root alone covers the outage.
+	s = fault.NewStall(tree, make([]bool, 8))
+	if want := []topology.Node{tree.Root()}; !reflect.DeepEqual(s.DarkSubtrees, want) {
+		t.Fatalf("DarkSubtrees = %v, want %v", s.DarkSubtrees, want)
+	}
+}
+
+func TestInjectorFaultsAreRunScoped(t *testing.T) {
+	in := fault.New([]fault.Fault{
+		{Kind: fault.DropWord, Node: 9, Run: 1, Round: 2},
+		{Kind: fault.FreezeSwitch, Node: 3, Run: 1, Round: 0, Duration: 2},
+	})
+	in.BeginRun() // run 0: nothing armed
+	if in.WordLost(9, 2) || in.FrozenAt(3, 0) {
+		t.Fatal("run-1 faults fired during run 0")
+	}
+	if in.Fired() {
+		t.Fatal("Fired() true before any fault matched")
+	}
+	in.BeginRun() // run 1: both armed
+	if !in.WordLost(9, 2) {
+		t.Fatal("DropWord did not fire on its run")
+	}
+	if !in.FrozenAt(3, 0) || !in.FrozenAt(3, 1) || in.FrozenAt(3, 2) {
+		t.Fatal("FreezeSwitch window [0,2) not honoured")
+	}
+	if !in.Fired() {
+		t.Fatal("Fired() false after faults matched")
+	}
+	in.BeginRun() // run 2: plan expired, Fired resets
+	if in.WordLost(9, 2) || in.FrozenAt(3, 0) {
+		t.Fatal("run-1 faults leaked into run 2")
+	}
+	if in.Fired() {
+		t.Fatal("Fired() not reset by BeginRun")
+	}
+}
+
+func TestInjectorCorruptionIsDeterministic(t *testing.T) {
+	in := fault.New([]fault.Fault{
+		{Kind: fault.CorruptWord, Node: 8, Run: 0, Round: 1},
+		{Kind: fault.CorruptWord, Node: 9, Run: 0, Round: fault.Phase1},
+	})
+	in.BeginRun()
+	down := ctrl.Down{Use: ctrl.UseS, Xs: 1, Xd: 2}
+	got, hit := in.CorruptDown(8, 1, down)
+	if !hit {
+		t.Fatal("CorruptDown did not fire at its coordinates")
+	}
+	if got.Use == down.Use || got.Xs != down.Xs || got.Xd != down.Xd {
+		t.Fatalf("CorruptDown must cycle Use only: %+v -> %+v", down, got)
+	}
+	if _, hit := in.CorruptDown(8, 2, down); hit {
+		t.Fatal("CorruptDown fired off-round")
+	}
+	up := ctrl.Up{S: 1, D: 1}
+	gotUp, hit := in.CorruptUp(9, up)
+	if !hit || gotUp.S != up.S+1 || gotUp.D != up.D {
+		t.Fatalf("CorruptUp must inflate S by one: %+v -> %+v (hit=%v)", up, gotUp, hit)
+	}
+}
+
+func TestInjectorNilSafety(t *testing.T) {
+	var in *fault.Injector
+	in.BeginRun()
+	in.Observe()
+	if in.Fired() || in.WordLost(2, 0) || in.FrozenAt(1, 0) || in.LinkDownAt(2, 0) {
+		t.Fatal("nil injector reported a fault")
+	}
+	if _, hit := in.CorruptDown(2, 0, ctrl.Down{}); hit {
+		t.Fatal("nil injector corrupted a word")
+	}
+	if d := in.DelayAt(2, 0); d != 0 {
+		t.Fatalf("nil injector delayed by %v", d)
+	}
+}
+
+func TestInjectorMetrics(t *testing.T) {
+	reg := obs.New()
+	in := fault.New([]fault.Fault{
+		{Kind: fault.DropWord, Node: 8, Run: 0, Round: 0},
+	}, fault.WithRegistry(reg))
+	injected := reg.Counter("cst_fault_injected_total", "")
+	dropped := reg.Counter("cst_fault_words_dropped_total", "")
+	observed := reg.Counter("cst_fault_observed_total", "")
+	in.BeginRun()
+	if !in.WordLost(8, 0) {
+		t.Fatal("fault did not fire")
+	}
+	if injected.Value() != 1 {
+		t.Fatalf("cst_fault_injected_total = %d, want 1 (counted per application)", injected.Value())
+	}
+	if dropped.Value() != 1 {
+		t.Fatalf("cst_fault_words_dropped_total = %d, want 1", dropped.Value())
+	}
+	in.Observe()
+	if observed.Value() != 1 {
+		t.Fatalf("cst_fault_observed_total = %d, want 1", observed.Value())
+	}
+}
+
+func TestRandomPlansAreReproducible(t *testing.T) {
+	tree := topology.MustNew(16)
+	gen := func(seed int64) []fault.Fault {
+		return fault.Random(rand.New(rand.NewSource(seed)), tree, 6, 5, 2*time.Millisecond)
+	}
+	a, b := gen(11), gen(11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	for _, f := range a {
+		if f.Run != 0 {
+			t.Fatalf("Random plan must target run 0: %v", f)
+		}
+		if int(f.Node) >= tree.NodeCount() || f.Node < 1 {
+			t.Fatalf("fault targets out-of-tree node: %v", f)
+		}
+		if f.Kind == fault.FreezeSwitch && int(f.Node) > tree.Switches() {
+			t.Fatalf("freeze targets a leaf: %v", f)
+		}
+	}
+	if reflect.DeepEqual(gen(11), gen(12)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	cases := []struct {
+		f    fault.Fault
+		want string
+	}{
+		{fault.Fault{Kind: fault.FreezeSwitch, Node: 5, Round: 2, Duration: 2}, "freeze-switch node=5 run=0 rounds=[2,4)"},
+		{fault.Fault{Kind: fault.DropWord, Node: 9, Round: 1}, "drop-word node=9 run=0 round=1"},
+		{fault.Fault{Kind: fault.DelayWord, Node: 4, Round: 0, Delay: time.Millisecond}, "delay-word node=4 run=0 round=0 delay=1ms"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Fatalf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -953,7 +953,11 @@ func runE15(w io.Writer, cfg Config) error {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	inputs := []*comm.Set{comm.MustParse("..(((()(....))))")} // the divergence example
+	divergence, err := comm.Parse("..(((()(....))))") // the divergence example
+	if err != nil {
+		return err
+	}
+	inputs := []*comm.Set{divergence}
 	for len(inputs) < trials {
 		s, err := comm.RandomWellNested(rng, n, 2+rng.Intn(5))
 		if err != nil {

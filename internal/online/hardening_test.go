@@ -1,0 +1,168 @@
+package online
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/fault"
+	"cst/internal/obs"
+)
+
+// TestDispatchRetryRecoversFromTransientFault pins the retry path: a fault
+// scoped to the first engine run kills attempt one, the retry (a fresh
+// engine over restored crossbars) succeeds, and the batch completes with no
+// quarantine.
+func TestDispatchRetryRecoversFromTransientFault(t *testing.T) {
+	inj := fault.New([]fault.Fault{
+		// Freeze the root on injector run 0 only: attempt 1 dies, the retry
+		// (run 1) sees a clean plan.
+		{Kind: fault.FreezeSwitch, Node: 1, Run: 0, Round: 0, Duration: 64},
+	})
+	s, err := New(8, WithFaults(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(comm.Comm{Src: 0, Dst: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Dispatch()
+	if err != nil {
+		t.Fatalf("dispatch must recover via retry, got: %v", err)
+	}
+	if !ok {
+		t.Fatal("dispatch reported no work done")
+	}
+	stats := s.Finish()
+	if stats.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", stats.Retries)
+	}
+	if len(stats.Quarantined) != 0 {
+		t.Errorf("Quarantined = %v, want none", stats.Quarantined)
+	}
+	if len(stats.Completed) != 1 {
+		t.Errorf("Completed = %d requests, want 1", len(stats.Completed))
+	}
+}
+
+// TestDispatchQuarantinesPoisonedBatch pins the quarantine path: a fault
+// hitting every attempt exhausts the retries, the batch is expelled with a
+// typed error, its endpoints are freed, and — the dirty-pool regression —
+// the next borrower of the pooled engine gets a clean one, so a following
+// healthy batch schedules correctly over the restored crossbars.
+func TestDispatchQuarantinesPoisonedBatch(t *testing.T) {
+	var plan []fault.Fault
+	for run := 0; run < MaxDispatchAttempts; run++ {
+		plan = append(plan, fault.Fault{
+			Kind: fault.FreezeSwitch, Node: 1, Run: run, Round: 0, Duration: 64,
+		})
+	}
+	reg := obs.New()
+	s, err := New(8, WithFaults(fault.New(plan, fault.WithRegistry(reg))), WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := comm.Comm{Src: 0, Dst: 3}
+	if err := s.Submit(poisoned); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Dispatch()
+	if err == nil {
+		t.Fatal("poisoned batch must error")
+	}
+	if ok {
+		t.Fatal("quarantining dispatch reported work done")
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("quarantine error is untyped: %v", err)
+	}
+	if !errors.Is(err, fault.ErrSwitchDown) {
+		t.Fatalf("err = %v, want fault.ErrSwitchDown in the chain", err)
+	}
+	if s.QueueLen() != 0 {
+		t.Fatalf("queue holds %d requests after quarantine, want 0", s.QueueLen())
+	}
+
+	// Endpoints must be free again: resubmitting the same pair is legal.
+	if err := s.Submit(poisoned); err != nil {
+		t.Fatalf("endpoints still busy after quarantine: %v", err)
+	}
+	// The fault plan is spent (runs 0..2); this dispatch borrows the pooled
+	// engine that the failed attempts dirtied — it must have been discarded,
+	// not handed over mid-schedule.
+	if ok, err := s.Dispatch(); err != nil || !ok {
+		t.Fatalf("dispatch after quarantine: ok=%v err=%v", ok, err)
+	}
+
+	stats := s.Finish()
+	if len(stats.Quarantined) != 1 || stats.Quarantined[0].Comm != poisoned {
+		t.Errorf("Quarantined = %v, want exactly %v", stats.Quarantined, poisoned)
+	}
+	if len(stats.Completed) != 1 {
+		t.Errorf("Completed = %d requests, want 1", len(stats.Completed))
+	}
+	if stats.Retries != MaxDispatchAttempts-1 {
+		t.Errorf("Retries = %d, want %d", stats.Retries, MaxDispatchAttempts-1)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["cst_online_quarantined_total"]; got != 1 {
+		t.Errorf("cst_online_quarantined_total = %d, want 1", got)
+	}
+	if got := snap.Counters["cst_online_retries_total"]; got != int64(MaxDispatchAttempts-1) {
+		t.Errorf("cst_online_retries_total = %d, want %d", got, MaxDispatchAttempts-1)
+	}
+}
+
+// TestPoolEngineCleanAfterFailure is the narrow dirty-pool regression: run
+// a faulty batch to failure, then drive many clean batches through the same
+// simulator and check the results against an unfaulted twin fed the same
+// requests — byte-for-byte equal schedules prove the pool never leaked a
+// mid-schedule engine or a half-configured crossbar.
+func TestPoolEngineCleanAfterFailure(t *testing.T) {
+	plan := []fault.Fault{}
+	for run := 0; run < MaxDispatchAttempts; run++ {
+		plan = append(plan, fault.Fault{
+			Kind: fault.FreezeSwitch, Node: 1, Run: run, Round: 0, Duration: 64,
+		})
+	}
+	faulty, err := New(16, WithFaults(fault.New(plan)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1 on the faulty simulator dies and is quarantined; the clean
+	// twin never sees it, so both proceed with identical queues.
+	if err := faulty.Submit(comm.Comm{Src: 0, Dst: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.Dispatch(); err == nil {
+		t.Fatal("poisoned batch must error")
+	}
+
+	rngA, rngB := rand.New(rand.NewSource(5)), rand.New(rand.NewSource(5))
+	for i := 0; i < 8; i++ {
+		if got, want := faulty.SubmitRandom(rngA, 4), clean.SubmitRandom(rngB, 4); got != want {
+			t.Fatalf("step %d: acceptance diverged: %d vs %d", i, got, want)
+		}
+		if err := faulty.Drain(); err != nil {
+			t.Fatalf("step %d: faulty-sim drain: %v", i, err)
+		}
+		if err := clean.Drain(); err != nil {
+			t.Fatalf("step %d: clean-sim drain: %v", i, err)
+		}
+	}
+	a, b := faulty.Finish(), clean.Finish()
+	if len(a.Completed) != len(b.Completed) {
+		t.Fatalf("completions diverged: %d vs %d", len(a.Completed), len(b.Completed))
+	}
+	for i := range a.Completed {
+		if a.Completed[i].Comm != b.Completed[i].Comm {
+			t.Fatalf("completion %d diverged: %v vs %v", i, a.Completed[i].Comm, b.Completed[i].Comm)
+		}
+	}
+}

@@ -23,12 +23,20 @@ import (
 	"sync"
 
 	"cst/internal/comm"
+	"cst/internal/fault"
 	"cst/internal/obs"
 	"cst/internal/padr"
 	"cst/internal/power"
 	"cst/internal/topology"
 	"cst/internal/xbar"
 )
+
+// MaxDispatchAttempts bounds how often Dispatch re-runs a failed batch
+// (first attempt plus retries) before quarantining it. Retries run on a
+// fresh engine over restored crossbars with exponential simulated-round
+// backoff, so a transient fault (gone on the next injector run) recovers,
+// while a poisoned set fails fast and is expelled from the queue.
+const MaxDispatchAttempts = 3
 
 // Request is one communication arriving at a given round.
 type Request struct {
@@ -57,6 +65,12 @@ type Stats struct {
 	Report *power.Report
 	// Leftover is the number of requests still queued when the run ended.
 	Leftover int
+	// Retries counts batch re-runs after a dispatch failure.
+	Retries int
+	// Quarantined lists requests expelled after a batch exhausted its
+	// dispatch attempts; their endpoints were freed so the queue keeps
+	// flowing.
+	Quarantined []Request
 }
 
 // MeanLatency returns the average completion latency in rounds.
@@ -91,12 +105,15 @@ type Simulator struct {
 	now      int
 	stats    Stats
 	shard    bool
+	inj      *fault.Injector
 
 	// Pooled scheduling state, reused across Dispatch calls: one engine for
-	// whole batches, one per shard slot, and a scratch Set for the batch.
+	// whole batches, one per shard slot, a scratch Set for the batch, and a
+	// scratch crossbar snapshot for the failure rollback.
 	eng      *padr.Engine
 	shards   []*shardCtx
 	batchSet *comm.Set
+	cfgSnap  []xbar.Config
 
 	// observability (all optional; nil means uninstrumented)
 	reg    *obs.Registry
@@ -135,20 +152,32 @@ func WithTracer(t *obs.Tracer) Option {
 	return func(s *Simulator) { s.tracer = t }
 }
 
+// WithFaults threads a fault injector into the batch engines: every
+// dispatched batch runs under injection, a failed batch is retried on a
+// fresh engine (the transient-fault recovery path), and a batch that keeps
+// failing is quarantined. Sharding is skipped while faults are armed — the
+// injector's run counter is advanced per engine run and concurrent shard
+// engines would race it. A nil injector is inert.
+func WithFaults(in *fault.Injector) Option {
+	return func(s *Simulator) { s.inj = in }
+}
+
 // simMetrics holds the dispatcher's resolved metric handles; the all-nil
 // zero value (nil registry) makes every operation a no-op.
 type simMetrics struct {
-	requests  *obs.Counter
-	rejected  *obs.Counter
-	batches   *obs.Counter
-	completed *obs.Counter
-	busy      *obs.Counter
-	idle      *obs.Counter
-	errs      *obs.Counter
-	units     *obs.Counter
-	queueLen  *obs.Gauge
-	batchSize *obs.Histogram
-	latency   *obs.Histogram
+	requests    *obs.Counter
+	rejected    *obs.Counter
+	batches     *obs.Counter
+	completed   *obs.Counter
+	busy        *obs.Counter
+	idle        *obs.Counter
+	errs        *obs.Counter
+	retries     *obs.Counter
+	quarantined *obs.Counter
+	units       *obs.Counter
+	queueLen    *obs.Gauge
+	batchSize   *obs.Histogram
+	latency     *obs.Histogram
 }
 
 // roundBuckets spans request latencies and batch sizes, both measured in
@@ -157,17 +186,19 @@ func roundBuckets() []float64 { return obs.ExponentialBuckets(1, 2, 10) }
 
 func newSimMetrics(r *obs.Registry) simMetrics {
 	return simMetrics{
-		requests:  r.Counter("cst_online_requests_total", "requests accepted into the queue"),
-		rejected:  r.Counter("cst_online_rejected_total", "requests rejected (bad endpoints or busy PEs)"),
-		batches:   r.Counter("cst_online_batches_total", "well-nested batches dispatched"),
-		completed: r.Counter("cst_online_completed_total", "requests fulfilled"),
-		busy:      r.Counter("cst_online_busy_rounds_total", "fabric rounds spent executing batches"),
-		idle:      r.Counter("cst_online_idle_rounds_total", "rounds with nothing dispatched"),
-		errs:      r.Counter("cst_online_errors_total", "dispatch failures"),
-		units:     r.Counter("cst_online_power_units_total", "cumulative power units at Finish"),
-		queueLen:  r.Gauge("cst_online_queue_len", "requests currently queued"),
-		batchSize: r.Histogram("cst_online_batch_size", "communications per dispatched batch", roundBuckets()),
-		latency:   r.Histogram("cst_online_request_latency_rounds", "completion round minus arrival round", roundBuckets()),
+		requests:    r.Counter("cst_online_requests_total", "requests accepted into the queue"),
+		rejected:    r.Counter("cst_online_rejected_total", "requests rejected (bad endpoints or busy PEs)"),
+		batches:     r.Counter("cst_online_batches_total", "well-nested batches dispatched"),
+		completed:   r.Counter("cst_online_completed_total", "requests fulfilled"),
+		busy:        r.Counter("cst_online_busy_rounds_total", "fabric rounds spent executing batches"),
+		idle:        r.Counter("cst_online_idle_rounds_total", "rounds with nothing dispatched"),
+		errs:        r.Counter("cst_online_errors_total", "dispatch failures"),
+		retries:     r.Counter("cst_online_retries_total", "batch re-runs after a dispatch failure"),
+		quarantined: r.Counter("cst_online_quarantined_total", "requests expelled after exhausting dispatch attempts"),
+		units:       r.Counter("cst_online_power_units_total", "cumulative power units at Finish"),
+		queueLen:    r.Gauge("cst_online_queue_len", "requests currently queued"),
+		batchSize:   r.Histogram("cst_online_batch_size", "communications per dispatched batch", roundBuckets()),
+		latency:     r.Histogram("cst_online_request_latency_rounds", "completion round minus arrival round", roundBuckets()),
 	}
 }
 
@@ -320,10 +351,53 @@ func (s *Simulator) Dispatch() (bool, error) {
 			Type: "batch.dispatch", Engine: "online", Round: s.now, N: len(batch),
 		})
 	}
-	rounds, err := s.runBatch(set, !wantRight)
+	// Run the batch, retrying a failure on a fresh engine over restored
+	// crossbars. The backoff is exponential in simulated rounds (1, 2, …):
+	// a transient fault (scoped to one injector run) has expired by the
+	// retry, while a poisoned set fails every attempt and is quarantined
+	// below so it cannot wedge the queue.
+	var rounds int
+	var err error
+	for attempt := 0; attempt < MaxDispatchAttempts; attempt++ {
+		if attempt > 0 {
+			backoff := 1 << (attempt - 1)
+			s.now += backoff
+			s.stats.Retries++
+			s.met.retries.Inc()
+			if s.tracer != nil {
+				s.tracer.Emit(obs.Event{
+					Type: "batch.retry", Engine: "online", Round: s.now, N: attempt, Err: err.Error(),
+				})
+			}
+		}
+		snap := s.snapshotCrossbars()
+		rounds, err = s.runBatch(set, !wantRight)
+		if err == nil {
+			break
+		}
+		// The failed run may have left partial circuits on the physical
+		// crossbars and the pooled engine mid-schedule. Restore the
+		// pre-batch configuration (the reconfiguration is metered — undoing
+		// a partial schedule costs real power) and discard the engine so
+		// the next borrower sees a fresh one.
+		s.restoreCrossbars(snap)
+		s.eng = nil
+	}
 	if err != nil {
 		s.met.errs.Inc()
-		return false, fmt.Errorf("online: batch %s: %v", set, err)
+		s.met.quarantined.Add(int64(len(batch)))
+		for _, r := range batch {
+			s.busyPE[r.Comm.Src], s.busyPE[r.Comm.Dst] = false, false
+			s.stats.Quarantined = append(s.stats.Quarantined, r)
+		}
+		s.queue = rest
+		s.met.queueLen.Set(int64(len(s.queue)))
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{
+				Type: "batch.quarantine", Engine: "online", Round: s.now, N: len(batch), Err: err.Error(),
+			})
+		}
+		return false, fmt.Errorf("online: batch %s quarantined after %d attempts: %w", set, MaxDispatchAttempts, err)
 	}
 
 	dispatched := s.now
@@ -351,6 +425,50 @@ func (s *Simulator) Dispatch() (bool, error) {
 	return true, nil
 }
 
+// snapshotCrossbars captures every physical switch's configuration so a
+// failed batch can be rolled back. The snapshot slice is reused across
+// calls (it lives until the next snapshot), so steady-state dispatching
+// does not allocate for it.
+func (s *Simulator) snapshotCrossbars() []xbar.Config {
+	if s.cfgSnap == nil {
+		s.cfgSnap = make([]xbar.Config, len(s.switches))
+	}
+	for n, sw := range s.switches {
+		if sw != nil {
+			s.cfgSnap[n] = sw.Config()
+		}
+	}
+	return s.cfgSnap
+}
+
+// restoreCrossbars reconfigures every physical switch back to the
+// snapshot. Restoration goes through the normal Connect/Disconnect path,
+// so the meters record the recovery reconfiguration — tearing down a
+// partially established schedule is real physical work, not bookkeeping.
+func (s *Simulator) restoreCrossbars(snap []xbar.Config) {
+	outs := [3]xbar.Side{xbar.L, xbar.R, xbar.P}
+	for n, sw := range s.switches {
+		if sw == nil {
+			continue
+		}
+		cur := sw.Config()
+		for _, out := range outs {
+			want := snap[n].Driver(out)
+			if cur.Driver(out) == want {
+				continue
+			}
+			if want == xbar.None {
+				sw.Disconnect(out)
+			} else {
+				// A snapshot is one-to-one on inputs, so each desired driver
+				// is connected exactly once and later Connects cannot detach
+				// an output restored earlier in this loop.
+				sw.Connect(want, out)
+			}
+		}
+	}
+}
+
 // runBatch schedules one oriented batch over the shared crossbars and
 // returns the rounds it consumed. The whole-batch engine is pooled: the
 // first dispatch builds it, later dispatches Reset it, so steady-state
@@ -358,7 +476,7 @@ func (s *Simulator) Dispatch() (bool, error) {
 // registry/tracer is attached) the batch is first split into independent
 // subtree groups that run concurrently.
 func (s *Simulator) runBatch(set *comm.Set, reflected bool) (int, error) {
-	if s.shard && s.reg == nil && s.tracer == nil {
+	if s.shard && s.reg == nil && s.tracer == nil && s.inj == nil {
 		if rounds, ok, err := s.runSharded(set, reflected); ok {
 			return rounds, err
 		}
@@ -368,11 +486,13 @@ func (s *Simulator) runBatch(set *comm.Set, reflected bool) (int, error) {
 		s.eng, err = padr.New(s.tree, set,
 			padr.WithSharedCrossbars(s.switches),
 			padr.WithReflection(reflected),
-			// The inner engine inherits our registry and tracer, so its
-			// cst_padr_* series and per-round events accumulate across
-			// batches.
+			// The inner engine inherits our registry, tracer and fault
+			// injector, so its cst_padr_* series and per-round events
+			// accumulate across batches and every batch runs under the
+			// same fault plan.
 			padr.WithRegistry(s.reg),
-			padr.WithTracer(s.tracer))
+			padr.WithTracer(s.tracer),
+			padr.WithFaults(s.inj))
 	} else {
 		err = s.eng.Reset(set, padr.WithReflection(reflected))
 	}

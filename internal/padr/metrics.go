@@ -1,6 +1,9 @@
 package padr
 
 import (
+	"errors"
+
+	"cst/internal/fault"
 	"cst/internal/obs"
 )
 
@@ -76,9 +79,20 @@ func (e *Engine) meterTotals() (units, alternations int) {
 }
 
 // fail routes an engine error through the error counter and tracer before
-// returning it unchanged. Gauges describing the in-flight run are reset so
-// a scrape after a failed run does not report its partial state as live.
+// returning it. Gauges describing the in-flight run are reset so a scrape
+// after a failed run does not report its partial state as live. When the
+// injector fired this run, the failure is attributed to injection: counted
+// as observed, and — if no earlier layer already pinned a typed fault —
+// wrapped as an ErrCorruptWord that records the round where the downstream
+// inconsistency surfaced.
 func (e *Engine) fail(err error) error {
+	if e.inj.Fired() {
+		e.inj.Observe()
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			err = &fault.Error{Engine: "padr", Round: e.curRound, Kind: fault.ErrCorruptWord, Detail: err}
+		}
+	}
 	e.met.errs.Inc()
 	e.met.width.Set(0)
 	if e.tracer != nil {

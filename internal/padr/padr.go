@@ -29,6 +29,7 @@ import (
 
 	"cst/internal/comm"
 	"cst/internal/ctrl"
+	"cst/internal/fault"
 	"cst/internal/obs"
 	"cst/internal/power"
 	"cst/internal/sched"
@@ -160,6 +161,20 @@ func WithReflection(on bool) Option {
 	return func(e *Engine) { e.reflected = on }
 }
 
+// WithFaults arms deterministic fault injection: the engine consults in
+// before every control-word exchange and either dies with a typed
+// *fault.Error at the exact link/switch/round, or lets a silently corrupted
+// word propagate until validation or the round-level pairing checks catch
+// the inconsistency — in which case the failure is still wrapped typed,
+// because the injector recorded that it fired this run. The sequential
+// engine observes every fault synchronously (it cannot stall), and ignores
+// DelayWord, which is a timing fault only the concurrent fabric feels.
+// Injection disables Phase 2 subtree pruning so every link the physical
+// fabric would traverse is actually exercised. A nil injector is inert.
+func WithFaults(in *fault.Injector) Option {
+	return func(e *Engine) { e.inj = in }
+}
+
 // Engine runs CSA on one communication set. Each run is one-shot, but the
 // engine itself is reusable: Reset re-arms every internal arena for a new
 // set on the same tree without reallocating, so pooled engines run
@@ -176,6 +191,7 @@ type Engine struct {
 	obs       Observer
 	sel       Selection
 	reflected bool
+	inj       *fault.Injector // nil = no fault injection
 
 	// observability (all optional; nil means uninstrumented)
 	reg        *obs.Registry
@@ -409,9 +425,12 @@ func (e *Engine) prepare() (*prepared, error) {
 	if e.tracer != nil {
 		e.tracer.Emit(obs.Event{Type: "run.start", Engine: "padr", Round: -1, N: e.set.Len()})
 	}
+	e.inj.BeginRun()
 	// Pruning skips per-word and per-switch callbacks inside inert
-	// subtrees, so it must stay off whenever anyone watches those events.
-	e.prune = e.obs.WordSent == nil && e.obs.Configured == nil && e.tracer == nil
+	// subtrees, so it must stay off whenever anyone watches those events —
+	// and whenever faults are armed, since a pruned walk would skip the
+	// very links the plan targets.
+	e.prune = e.obs.WordSent == nil && e.obs.Configured == nil && e.tracer == nil && e.inj == nil
 
 	if e.widthScratch == nil {
 		e.widthScratch = make([]int, e.tree.DirectedEdgeCount())
@@ -422,7 +441,9 @@ func (e *Engine) prepare() (*prepared, error) {
 	}
 	e.met.width.Set(int64(width))
 
-	e.phase1()
+	if err := e.phase1(); err != nil {
+		return nil, e.fail(err)
+	}
 	e.met.upWords.Add(int64(e.upWords))
 	if e.tracer != nil {
 		e.tracer.Emit(obs.Event{
@@ -494,7 +515,7 @@ func (e *Engine) step(p *prepared) (performed []comm.Comm, done bool, err error)
 	}
 	performed, err = e.round()
 	if err != nil {
-		return nil, false, e.fail(fmt.Errorf("padr: round %d: %v", p.round, err))
+		return nil, false, e.fail(fmt.Errorf("padr: round %d: %w", p.round, err))
 	}
 	if len(performed) == 0 {
 		return nil, false, e.fail(fmt.Errorf("padr: round %d made no progress but work remains", p.round))
@@ -649,11 +670,23 @@ func (e *Engine) algorithmName() string {
 // subtree(u). Bottom-up order guarantees both children's totals exist when a
 // switch is visited, so each entry is computed (not accumulated) and a
 // repeated phase1 on the same engine stays idempotent.
-func (e *Engine) phase1() {
+func (e *Engine) phase1() error {
+	var ferr error
 	e.tree.EachSwitchBottomUp(func(u topology.Node) {
+		if ferr != nil {
+			return
+		}
 		lc, rc := e.tree.Left(u), e.tree.Right(u)
-		left := e.upWordFrom(lc)
-		right := e.upWordFrom(rc)
+		left, err := e.upWordFrom(lc)
+		if err != nil {
+			ferr = err
+			return
+		}
+		right, err := e.upWordFrom(rc)
+		if err != nil {
+			ferr = err
+			return
+		}
 		st := ctrl.Match(left, right)
 		e.stored[u] = st
 		m := st.M
@@ -665,22 +698,43 @@ func (e *Engine) phase1() {
 		}
 		e.matchedSub[u] = m
 	})
+	return ferr
 }
 
 // upWordFrom returns the C_U word the given child sends its parent,
-// counting the message and its encoded size.
-func (e *Engine) upWordFrom(child topology.Node) ctrl.Up {
+// counting the message and its encoded size. Under fault injection the link
+// may lose or mutate the word; the word is then validated against the
+// child's subtree (a C_U advertising more endpoints than the subtree has
+// PEs is physically impossible), so link-local corruption dies here with a
+// typed error instead of poisoning the matching above.
+func (e *Engine) upWordFrom(child topology.Node) (ctrl.Up, error) {
 	var up ctrl.Up
 	if e.tree.IsLeaf(child) {
 		up = e.leafRole[e.tree.PE(child)]
 	} else {
 		up = e.stored[child].UpWord()
 	}
+	if e.inj != nil {
+		if e.inj.WordLost(child, fault.Phase1) {
+			kind := fault.ErrWordLost
+			if e.inj.LinkDownAt(child, fault.Phase1) {
+				kind = fault.ErrLinkDown
+			}
+			return ctrl.Up{}, &fault.Error{Engine: "padr", Round: fault.Phase1, Node: child, Kind: kind,
+				Detail: fmt.Errorf("convergecast word from node %d never arrived", child)}
+		}
+		up, _ = e.inj.CorruptUp(child, up)
+		leaves := (e.tree.SubtreeNodes(child) + 1) / 2
+		if up.S < 0 || up.D < 0 || up.S+up.D > leaves {
+			return ctrl.Up{}, &fault.Error{Engine: "padr", Round: fault.Phase1, Node: child, Kind: fault.ErrCorruptWord,
+				Detail: fmt.Errorf("up word %s impossible for a %d-leaf subtree", up, leaves)}
+		}
+	}
 	e.upWords++
 	if sz, err := ctrl.EncodeUpInto(e.encBuf[:], up); err == nil {
 		e.upBytes += sz
 	}
-	return up
+	return up, nil
 }
 
 // pendingWork reports whether any communication remains unperformed. The
@@ -730,9 +784,16 @@ func (e *Engine) dispatch(n topology.Node, in ctrl.Down) error {
 	if e.tree.IsLeaf(n) {
 		return e.leaf(n, in)
 	}
+	if e.inj.FrozenAt(n, e.curRound) {
+		// A frozen switch serves nothing; the sequential engine observes the
+		// stall synchronously as a dead switch (the concurrent fabric
+		// instead watches the wave vanish and reports ErrDeadline).
+		return &fault.Error{Engine: "padr", Round: e.curRound, Node: n, Kind: fault.ErrSwitchDown,
+			Detail: fmt.Errorf("switch stopped serving Phase 2 words")}
+	}
 	left, right, err := e.configure(n, in)
 	if err != nil {
-		return fmt.Errorf("switch %d: %v", n, err)
+		return fmt.Errorf("switch %d: %w", n, err)
 	}
 	lc, rc := e.tree.Left(n), e.tree.Right(n)
 	e.sendDown(n, lc, left)
@@ -760,6 +821,20 @@ func (e *Engine) descend(c topology.Node, w ctrl.Down) error {
 	if e.prune && w.Use == ctrl.UseNone && !e.tree.IsLeaf(c) && e.matchedSub[c] == 0 {
 		e.skipSubtree(c)
 		return nil
+	}
+	if e.inj != nil {
+		if e.inj.WordLost(c, e.curRound) {
+			kind := fault.ErrWordLost
+			if e.inj.LinkDownAt(c, e.curRound) {
+				kind = fault.ErrLinkDown
+			}
+			return &fault.Error{Engine: "padr", Round: e.curRound, Node: c, Kind: kind,
+				Detail: fmt.Errorf("broadcast word into node %d never arrived", c)}
+		}
+		// A corrupted word is forwarded, not rejected here: the receiver's
+		// validation (selector ranges, leaf role checks) or the round-end
+		// pairing checks catch the inconsistency, and fail() attributes it.
+		w, _ = e.inj.CorruptDown(c, e.curRound, w)
 	}
 	return e.dispatch(c, w)
 }

@@ -1,12 +1,17 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"cst/internal/comm"
+	"cst/internal/fault"
 	"cst/internal/topology"
 )
 
@@ -76,6 +81,114 @@ func TestFabricRejectsAfterClose(t *testing.T) {
 	f.Close() // idempotent
 	if _, err := f.Run(comm.MustParse("(.)(.)..")); err == nil {
 		t.Fatal("Run on a closed fabric must error")
+	}
+}
+
+// waitGoroutines polls until the live goroutine count reaches want (node
+// goroutines decrement their WaitGroup slightly before their final returns
+// retire, so an instantaneous count can transiently overshoot).
+func waitGoroutines(t *testing.T, want int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d goroutines live, want <= %d", what, n, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFabricGoroutineAccounting pins the fabric's goroutine ledger: NewFabric
+// spawns exactly one goroutine per tree node (leaves + switches), runs add
+// none, and Close — even a double Close, even after a deadline abort —
+// returns every one of them.
+func TestFabricGoroutineAccounting(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tree := topology.MustNew(16)
+	f := NewFabric(tree)
+	spawned := tree.Leaves() + tree.Switches()
+	if n := runtime.NumGoroutine(); n != base+spawned {
+		t.Fatalf("NewFabric: %d goroutines live, want %d + %d nodes", n, base, spawned)
+	}
+	good, err := comm.RandomWellNested(rand.New(rand.NewSource(3)), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Run(good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := runtime.NumGoroutine(); n != base+spawned {
+		t.Fatalf("after runs: %d goroutines live, want %d", n, base+spawned)
+	}
+	f.Close()
+	f.Close()
+	waitGoroutines(t, base, "after Close")
+}
+
+// TestFabricContextCancel pins the deadline path: a canceled context aborts
+// the run with a typed fault.ErrDeadline, and the aborted fabric remains
+// fully usable afterwards.
+func TestFabricContextCancel(t *testing.T) {
+	tree := topology.MustNew(8)
+	// An injector (with an empty plan) arms the watchdog machinery; the
+	// pre-canceled context must still win immediately.
+	f := NewFabric(tree, WithFaults(fault.New(nil)), WithWatchdog(time.Minute))
+	defer f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	set := comm.MustParse("(.)(.)..")
+	if _, err := f.RunContext(ctx, set); !errors.Is(err, fault.ErrDeadline) {
+		t.Fatalf("canceled context: err = %v, want fault.ErrDeadline", err)
+	}
+	out, err := f.Run(set)
+	if err != nil {
+		t.Fatalf("run after context abort: %v", err)
+	}
+	if out.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", out.Rounds)
+	}
+}
+
+// TestFabricWatchdogStallReport pins the watchdog diagnosis: a switch frozen
+// for the whole run starves its subtree, and the resulting ErrDeadline
+// carries a stall report naming exactly the dark subtree and its PEs.
+func TestFabricWatchdogStallReport(t *testing.T) {
+	tree := topology.MustNew(8)
+	inj := fault.New([]fault.Fault{
+		{Kind: fault.FreezeSwitch, Node: 3, Run: 0, Round: 0, Duration: 64},
+	})
+	f := NewFabric(tree, WithFaults(inj), WithWatchdog(30*time.Millisecond))
+	defer f.Close()
+	// A comm inside the left half and one inside the right half: the right
+	// one needs words through frozen switch 3, so PEs 4..7 go silent.
+	set := comm.MustParse("(.).(.).")
+	_, err := f.RunContext(context.Background(), set)
+	if !errors.Is(err, fault.ErrDeadline) {
+		t.Fatalf("err = %v, want fault.ErrDeadline", err)
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *fault.Error", err)
+	}
+	var stall *fault.Stall
+	if !errors.As(err, &stall) {
+		t.Fatalf("deadline error carries no stall report: %v", err)
+	}
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(stall.MissingPEs, want) {
+		t.Errorf("MissingPEs = %v, want %v", stall.MissingPEs, want)
+	}
+	if want := []topology.Node{3}; !reflect.DeepEqual(stall.DarkSubtrees, want) {
+		t.Errorf("DarkSubtrees = %v, want %v", stall.DarkSubtrees, want)
+	}
+	// The watchdog abort must leave the fabric reusable.
+	if _, err := f.Run(set); err != nil {
+		t.Fatalf("run after watchdog abort: %v", err)
 	}
 }
 

@@ -19,12 +19,44 @@
 // Phase 2 words, so every run is delimited by broadcast waves and the
 // channel FIFO order is the only synchronization the protocol needs.
 //
+// # Fault tolerance
+//
+// The fabric survives a lossy tree. With fault injection armed (WithFaults)
+// — or on a real deployment where a switch can wedge — a broadcast wave may
+// simply never complete: a dropped word or a frozen switch leaves a whole
+// subtree dark. The driver therefore supports deadlines (RunContext, plus a
+// per-wave watchdog) and a run-abort protocol that returns the fabric to
+// its parked state without tearing down a single goroutine:
+//
+//   - The end-of-run wave doubles as the abort wave. Control ops are the
+//     management plane and are never subject to injected faults, so the
+//     wave always reaches all 2N-1 nodes: switches forward it even while
+//     still blocked mid-convergecast (their Phase 1 wait is a select over
+//     both children's up-links and the parent's down-link).
+//   - Every leaf acknowledges the end-of-run wave through the report
+//     channel. The channel is a FIFO and the ack is the last thing a leaf
+//     sends for a run, so once the driver has drained stats from every
+//     switch and acks from every leaf, no stale traffic from the aborted
+//     run can be in flight anywhere.
+//   - An aborted Phase 1 can strand one matched up-word per link (sent but
+//     never received). Every switch drains its children's up-channels when
+//     the next begin wave arrives — provably before the children can send
+//     their next word, because the children see that begin only after the
+//     drain — and the driver does the same for the root's up-channel.
+//
+// A wave that misses its deadline surfaces as a typed *fault.Error wrapping
+// fault.ErrDeadline, carrying a per-node stall report: which PEs never
+// reported and the maximal fully-dark subtrees covering them (a frozen
+// switch shows up as exactly its subtree).
+//
 // The sequential engine (package padr) and this simulation must produce
 // identical schedules and identical power ledgers; tests assert this, and
 // experiment E8 measures the message counts.
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,6 +64,7 @@ import (
 
 	"cst/internal/comm"
 	"cst/internal/ctrl"
+	"cst/internal/fault"
 	"cst/internal/obs"
 	"cst/internal/padr"
 	"cst/internal/power"
@@ -40,14 +73,22 @@ import (
 	"cst/internal/xbar"
 )
 
+// DefaultWatchdog bounds every broadcast wave when fault injection is armed
+// and no explicit watchdog was configured: with faults in play a wave may
+// legitimately never complete, and an unbounded wait would turn an injected
+// fault into a real deadlock.
+const DefaultWatchdog = 2 * time.Second
+
 // Option configures a simulation.
 type Option func(*config)
 
 type config struct {
-	mode   power.Mode
-	sel    padr.Selection
-	reg    *obs.Registry
-	tracer *obs.Tracer
+	mode     power.Mode
+	sel      padr.Selection
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	inj      *fault.Injector
+	watchdog time.Duration // 0 = default (only armed with faults), <0 = disabled
 }
 
 // WithMode selects the power accounting mode (default power.Stateful).
@@ -76,6 +117,25 @@ func WithTracer(t *obs.Tracer) Option {
 	return func(c *config) { c.tracer = t }
 }
 
+// WithFaults arms deterministic fault injection on the fabric's links and
+// switches. Word faults apply on the data plane only (Phase 1/2 control
+// words); the begin/end-run/shutdown waves model the driver's reliable
+// management plane and always go through, which is what keeps every abort
+// bounded. Arming faults also arms the DefaultWatchdog unless a watchdog
+// was configured explicitly. A nil injector is inert.
+func WithFaults(in *fault.Injector) Option {
+	return func(c *config) { c.inj = in }
+}
+
+// WithWatchdog bounds every broadcast wave (Phase 1, and each Phase 2
+// round) to d: a wave that fails to complete in time aborts the run and
+// surfaces fault.ErrDeadline with a stall report. d < 0 disables the
+// watchdog even under fault injection (the caller then bounds runs via
+// RunContext, or accepts that a lost wave hangs).
+func WithWatchdog(d time.Duration) Option {
+	return func(c *config) { c.watchdog = d }
+}
+
 // metrics holds the pre-resolved metric handles for one fabric. The zero
 // value (all-nil handles) is the disabled mode: every method call below
 // no-ops on nil receivers, so the hot path carries only nil checks.
@@ -83,6 +143,7 @@ type metrics struct {
 	runs, rounds, comms   *obs.Counter
 	phase1, phase2        *obs.Counter
 	reports, errs         *obs.Counter
+	deadlines             *obs.Counter
 	units, alternations   *obs.Counter
 	switches              *obs.Counter
 	goroutines            *obs.Gauge
@@ -101,6 +162,7 @@ func newMetrics(r *obs.Registry) metrics {
 		phase2:       r.Counter("cst_sim_phase2_messages_total", "C_D words carried by channels"),
 		reports:      r.Counter("cst_sim_leaf_reports_total", "leaf reports received by the driver"),
 		errs:         r.Counter("cst_sim_errors_total", "failed runs"),
+		deadlines:    r.Counter("cst_sim_deadline_aborts_total", "runs aborted by the watchdog or context deadline"),
 		units:        r.Counter("cst_sim_power_units_total", "power units spent by switch crossbars"),
 		alternations: r.Counter("cst_sim_alternations_total", "output-driver alternations on switch crossbars"),
 		switches:     r.Counter("cst_sim_switches_total", "switch instances driven, summed over runs (for per-switch averages)"),
@@ -139,11 +201,12 @@ type Result struct {
 // Control ops carried on the downward channels alongside Phase 2 words.
 // Every op is a broadcast wave rooted at the driver: switches forward it to
 // both children before acting on it, so the wave reaches all 2N-1 nodes in
-// channel FIFO order with no extra synchronization.
+// channel FIFO order with no extra synchronization. Ops are the management
+// plane: fault injection never drops, corrupts or delays them.
 const (
 	opWord     uint8 = iota // deliver a Phase 2 control word
 	opBegin                 // start a run: reset node state, run Phase 1
-	opEndRun                // finish a run: flush stats, await next begin
+	opEndRun                // finish or abort a run: flush stats/acks, await next begin
 	opShutdown              // exit the node goroutine
 )
 
@@ -153,11 +216,15 @@ type downMsg struct {
 	op   uint8
 }
 
-// leafReport is what a PE tells the driver at the end of each round.
+// leafReport is what a PE tells the driver at the end of each round, and —
+// with ack set — how it acknowledges the end-of-run wave. The ack is the
+// last element a leaf enqueues for a run, so draining n acks proves the
+// report channel holds no stale traffic (FIFO).
 type leafReport struct {
 	pe   int
 	word ctrl.Down
 	err  error
+	ack  bool
 }
 
 // nodeStats is what a switch goroutine hands back at the end-of-run wave.
@@ -168,8 +235,9 @@ type nodeStats struct {
 
 // Fabric is a persistent simulation substrate: the 2N-1 node goroutines and
 // their channels are created once and serve any number of Run calls. A
-// Fabric is not safe for concurrent Run calls; drive it from one goroutine
-// and Close it when done (Close is what terminates the node goroutines).
+// Fabric serializes Run calls internally (a second caller blocks, it does
+// not corrupt the waves); Close is idempotent, safe to race with Run, and
+// terminates the node goroutines before returning.
 type Fabric struct {
 	tree *topology.Tree
 	cfg  config
@@ -194,9 +262,15 @@ type Fabric struct {
 	// indexed by node (reused across runs).
 	switches []*xbar.Switch
 
-	downSent atomic.Int64 // cumulative C_{D-*} words across runs
-	wg       sync.WaitGroup
-	closed   bool
+	// reported marks, per wave, which PEs have reported — the input to the
+	// stall report when a wave misses its deadline.
+	reported []bool
+
+	downSent  atomic.Int64 // cumulative C_{D-*} words across runs
+	wg        sync.WaitGroup
+	runMu     sync.Mutex // serializes Run, and orders Close after a run
+	closed    atomic.Bool
+	closeOnce sync.Once
 }
 
 // NewFabric spawns the node goroutines for t and returns the ready fabric.
@@ -217,6 +291,7 @@ func NewFabric(t *topology.Tree, opts ...Option) *Fabric {
 		roles:    make([]ctrl.Up, n),
 		dstOf:    make([]int, n),
 		switches: make([]*xbar.Switch, n),
+		reported: make([]bool, n),
 	}
 	for node := 1; node < 2*n; node++ {
 		f.up[node] = make(chan ctrl.Up, 1)
@@ -235,20 +310,50 @@ func NewFabric(t *topology.Tree, opts ...Option) *Fabric {
 
 // Close shuts the fabric down: the shutdown wave propagates to every node
 // goroutine and Close returns once all of them have exited (so no goroutine
-// or gauge decrement outlives the call). Close is idempotent.
+// or gauge decrement outlives the call). Close is idempotent and safe to
+// call concurrently with Run: it waits for an in-flight run to finish
+// before taking the fabric down.
 func (f *Fabric) Close() {
-	if f.closed {
-		return
+	f.closeOnce.Do(func() {
+		f.runMu.Lock()
+		defer f.runMu.Unlock()
+		f.closed.Store(true)
+		f.down[f.tree.Root()] <- downMsg{op: opShutdown}
+		f.wg.Wait()
+	})
+}
+
+// watchdogFor resolves the effective per-wave deadline: an explicit
+// positive setting wins, fault injection arms the default, and a negative
+// setting disables the watchdog outright.
+func (c *config) watchdogFor() time.Duration {
+	switch {
+	case c.watchdog > 0:
+		return c.watchdog
+	case c.watchdog < 0:
+		return 0
+	case c.inj != nil:
+		return DefaultWatchdog
+	default:
+		return 0
 	}
-	f.closed = true
-	f.down[f.tree.Root()] <- downMsg{op: opShutdown}
-	f.wg.Wait()
 }
 
 // Run executes the set on the fabric's tree, reusing the live goroutines.
 func (f *Fabric) Run(s *comm.Set) (*Result, error) {
+	return f.RunContext(context.Background(), s)
+}
+
+// RunContext is Run bounded by a context: if ctx is cancelled or its
+// deadline passes mid-run, the run aborts (returning the fabric to its
+// parked, reusable state) and a *fault.Error wrapping fault.ErrDeadline is
+// returned. Independent of ctx, a configured (or fault-armed default)
+// watchdog bounds every individual broadcast wave.
+func (f *Fabric) RunContext(ctx context.Context, s *comm.Set) (*Result, error) {
+	f.runMu.Lock()
+	defer f.runMu.Unlock()
 	t, met, cfg := f.tree, f.met, f.cfg
-	if f.closed {
+	if f.closed.Load() {
 		met.errs.Inc()
 		return nil, fmt.Errorf("sim: fabric is closed")
 	}
@@ -286,11 +391,51 @@ func (f *Fabric) Run(s *comm.Set) (*Result, error) {
 		f.dstOf[c.Src] = c.Dst
 	}
 	phase2Base := f.downSent.Load()
+	cfg.inj.BeginRun()
 
-	// Begin wave down, Phase 1 convergecast up.
+	// Per-wave watchdog. One timer serves every wave; resetWD re-arms it at
+	// the start of each wave so the deadline bounds a single wave, not the
+	// whole run.
+	watchdog := cfg.watchdogFor()
+	var wd *time.Timer
+	var wdC <-chan time.Time
+	if watchdog > 0 {
+		wd = time.NewTimer(watchdog)
+		defer wd.Stop()
+		wdC = wd.C
+	}
+	resetWD := func() {
+		if wd == nil {
+			return
+		}
+		if !wd.Stop() {
+			select {
+			case <-wd.C:
+			default:
+			}
+		}
+		wd.Reset(watchdog)
+	}
+
+	// Begin wave down, Phase 1 convergecast up. The root's up-channel was
+	// drained at the end of the previous run, but drain again defensively:
+	// a stale word here would corrupt the root check.
+	select {
+	case <-f.up[t.Root()]:
+	default:
+	}
 	phase1Start := time.Now()
 	f.down[t.Root()] <- downMsg{op: opBegin}
-	rootUp := <-f.up[t.Root()]
+	resetWD()
+	var rootUp ctrl.Up
+	select {
+	case rootUp = <-f.up[t.Root()]:
+	case <-ctx.Done():
+		return nil, f.abort(&fault.Error{Engine: "sim", Round: fault.Phase1, Kind: fault.ErrDeadline, Detail: ctx.Err()})
+	case <-wdC:
+		return nil, f.abort(&fault.Error{Engine: "sim", Round: fault.Phase1, Kind: fault.ErrDeadline,
+			Detail: fmt.Errorf("phase 1 convergecast stalled (watchdog %v)", watchdog)})
+	}
 	met.phase1.Add(int64(2*n - 2))
 	if cfg.tracer != nil {
 		cfg.tracer.Emit(obs.Event{Type: "phase1.done", Engine: "sim", Round: -1,
@@ -298,8 +443,7 @@ func (f *Fabric) Run(s *comm.Set) (*Result, error) {
 	}
 	if rootUp.S != 0 || rootUp.D != 0 {
 		f.endRun()
-		met.errs.Inc()
-		return nil, fmt.Errorf("sim: root still advertises %s upward; set is not schedulable", rootUp)
+		return nil, f.runFailed(fmt.Errorf("sim: root still advertises %s upward; set is not schedulable", rootUp), fault.Phase1)
 	}
 
 	// Phase 2: one broadcast wave per round.
@@ -319,22 +463,60 @@ func (f *Fabric) Run(s *comm.Set) (*Result, error) {
 		if cfg.tracer != nil {
 			cfg.tracer.Emit(obs.Event{Type: "round.start", Engine: "sim", Round: rounds})
 		}
-		f.down[t.Root()] <- downMsg{word: ctrl.Down{Use: ctrl.UseNone}}
+		// The driver is the root's parent: the root link is subject to the
+		// same word faults as any other link. A lost root word stalls the
+		// entire tree and the watchdog reports every PE dark.
+		rootWord := ctrl.Down{Use: ctrl.UseNone}
+		send := true
+		if cfg.inj != nil {
+			if cfg.inj.WordLost(t.Root(), rounds) {
+				send = false
+			} else {
+				rootWord, _ = cfg.inj.CorruptDown(t.Root(), rounds, rootWord)
+			}
+		}
+		resetWD()
+		if send {
+			f.down[t.Root()] <- downMsg{word: rootWord}
+		}
+		for pe := 0; pe < n; pe++ {
+			f.reported[pe] = false
+		}
 		var srcs []int
 		dsts := map[int]bool{}
-		for i := 0; i < n; i++ {
-			rep := <-f.reports
-			met.reports.Inc()
-			if rep.err != nil {
-				runErr = fmt.Errorf("sim: round %d: %v", rounds, rep.err)
-				continue
+		stalled := false
+		for got := 0; got < n && !stalled; {
+			select {
+			case rep := <-f.reports:
+				met.reports.Inc()
+				if rep.ack {
+					// Impossible by the FIFO/ack argument; tolerate rather
+					// than corrupt the wave count.
+					continue
+				}
+				got++
+				f.reported[rep.pe] = true
+				if rep.err != nil {
+					runErr = fmt.Errorf("sim: round %d: %w", rounds, rep.err)
+					continue
+				}
+				switch rep.word.Use {
+				case ctrl.UseS:
+					srcs = append(srcs, rep.pe)
+				case ctrl.UseD:
+					dsts[rep.pe] = true
+				}
+			case <-ctx.Done():
+				runErr = &fault.Error{Engine: "sim", Round: rounds, Kind: fault.ErrDeadline, Detail: ctx.Err()}
+				stalled = true
+			case <-wdC:
+				runErr = &fault.Error{Engine: "sim", Round: rounds, Kind: fault.ErrDeadline,
+					Detail: fault.NewStall(t, f.reported)}
+				stalled = true
 			}
-			switch rep.word.Use {
-			case ctrl.UseS:
-				srcs = append(srcs, rep.pe)
-			case ctrl.UseD:
-				dsts[rep.pe] = true
-			}
+		}
+		if stalled {
+			return nil, f.abort(runErr.(*fault.Error))
 		}
 		// All n leaf reports are in, so every switch has forwarded both of
 		// this round's words: the wave is complete and the shared counter
@@ -386,15 +568,10 @@ func (f *Fabric) Run(s *comm.Set) (*Result, error) {
 	switches := f.endRun()
 
 	if runErr != nil {
-		met.errs.Inc()
-		if cfg.tracer != nil {
-			cfg.tracer.Emit(obs.Event{Type: "run.error", Engine: "sim", Round: rounds, Err: runErr.Error()})
-		}
-		return nil, runErr
+		return nil, f.runFailed(runErr, rounds)
 	}
 	if rounds != width {
-		met.errs.Inc()
-		return nil, fmt.Errorf("sim: took %d rounds for a width-%d set", rounds, width)
+		return nil, f.runFailed(fmt.Errorf("sim: took %d rounds for a width-%d set", rounds, width), rounds)
 	}
 	report := power.CollectSlice("padr-sim", cfg.mode, rounds, t, switches)
 	met.switches.Add(int64(len(report.Switches)))
@@ -420,16 +597,66 @@ func (f *Fabric) Run(s *comm.Set) (*Result, error) {
 	}, nil
 }
 
+// runFailed routes a run error through the metrics/tracer, attributing it
+// to fault injection (typed, with the dying round) when the injector fired.
+func (f *Fabric) runFailed(err error, round int) error {
+	if f.cfg.inj.Fired() {
+		f.cfg.inj.Observe()
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			err = &fault.Error{Engine: "sim", Round: round, Kind: fault.ErrCorruptWord, Detail: err}
+		}
+	}
+	f.met.errs.Inc()
+	if errors.Is(err, fault.ErrDeadline) {
+		f.met.deadlines.Inc()
+	}
+	if f.cfg.tracer != nil {
+		f.cfg.tracer.Emit(obs.Event{Type: "run.error", Engine: "sim", Round: round, Err: err.Error()})
+	}
+	return err
+}
+
+// abort recovers the fabric from a stalled wave and reports the failure.
+// The end-of-run wave doubles as the abort wave: control ops always go
+// through (they are never fault-injected) and every node — including a
+// switch still blocked in its Phase 1 select — forwards the op before
+// parking, so the wave is guaranteed to terminate.
+func (f *Fabric) abort(ferr *fault.Error) error {
+	f.endRun()
+	f.cfg.inj.Observe()
+	f.met.errs.Inc()
+	f.met.deadlines.Inc()
+	if f.cfg.tracer != nil {
+		f.cfg.tracer.Emit(obs.Event{Type: "run.error", Engine: "sim", Round: ferr.Round, Err: ferr.Error()})
+	}
+	return ferr
+}
+
 // endRun broadcasts the end-of-run wave and gathers every switch's crossbar
-// into f.switches. After it returns, every switch goroutine is parked at
-// the top of its loop and the crossbars are safe for the driver to read
-// (the stats channel handoff orders the reads after the goroutines' last
-// writes).
+// into f.switches plus one ack from every leaf. After it returns, every
+// node goroutine is parked at the top of its loop, the crossbars are safe
+// for the driver to read (the stats handoff orders the reads after the
+// goroutines' last writes), and the report channel is empty: an ack is the
+// last element a leaf enqueues for a run, the channel is FIFO, so draining
+// until the n-th ack provably discards every stale report of an aborted
+// wave. Any up-word stranded on the root link by an aborted Phase 1 is
+// drained here; interior links are drained by the switches at the next
+// begin wave.
 func (f *Fabric) endRun() []*xbar.Switch {
 	f.down[f.tree.Root()] <- downMsg{op: opEndRun}
 	for i := 0; i < f.tree.Switches(); i++ {
 		st := <-f.stats
 		f.switches[st.node] = st.sw
+	}
+	for acks := 0; acks < f.tree.Leaves(); {
+		if rep := <-f.reports; rep.ack {
+			acks++
+		}
+	}
+	select {
+	case <-f.up[f.tree.Root()]:
+	default:
 	}
 	return f.switches
 }
@@ -442,13 +669,20 @@ func Run(t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
 	return f.Run(s)
 }
 
+// RunContext is Run with a context bound, on a throwaway Fabric.
+func RunContext(ctx context.Context, t *topology.Tree, s *comm.Set, opts ...Option) (*Result, error) {
+	f := NewFabric(t, opts...)
+	defer f.Close()
+	return f.RunContext(ctx, s)
+}
+
 // leafLoop is the persistent PE goroutine: per run, one role word up, then
-// one report per round until the end-of-run wave.
+// one report per round until the end-of-run wave, which it acknowledges.
 func (f *Fabric) leafLoop(pe int) {
 	defer f.wg.Done()
 	node := f.tree.Leaf(pe)
 	upCh, downCh := f.up[node], f.down[node]
-	tracer := f.cfg.tracer
+	tracer, inj := f.cfg.tracer, f.cfg.inj
 	f.met.goroutines.Add(1)
 	if tracer != nil {
 		tracer.Emit(obs.Event{Type: "goroutine.start", Engine: "sim", Round: -1, Node: int(node), PE: pe})
@@ -468,15 +702,35 @@ func (f *Fabric) leafLoop(pe int) {
 			continue
 		}
 		role := f.roles[pe]
-		upCh <- role
+		if inj != nil && inj.WordLost(node, fault.Phase1) {
+			// Role word lost: the parent's convergecast stalls and the
+			// driver's watchdog turns it into ErrDeadline.
+		} else {
+			up := role
+			if inj != nil {
+				up, _ = inj.CorruptUp(node, up)
+			}
+			upCh <- up
+		}
 		done := false
+		// The leaf's round counter tracks words it actually received; an
+		// upstream fault can make it lag the driver's, which only skews
+		// which local round later faults key on — determinism is unaffected
+		// because the counter is message-driven, not clock-driven.
+		round := 0
 		for {
 			msg := <-downCh
 			if msg.op == opShutdown {
 				return
 			}
 			if msg.op == opEndRun {
+				f.reports <- leafReport{pe: pe, ack: true}
 				break
+			}
+			if inj != nil {
+				if d := inj.DelayAt(node, round); d > 0 {
+					time.Sleep(d)
+				}
 			}
 			word := msg.word
 			rep := leafReport{pe: pe, word: word}
@@ -497,6 +751,7 @@ func (f *Fabric) leafLoop(pe int) {
 				rep.err = fmt.Errorf("PE %d: received %v, which only switches can serve", pe, word)
 			}
 			f.reports <- rep
+			round++
 		}
 	}
 }
@@ -506,9 +761,10 @@ func (f *Fabric) leafLoop(pe int) {
 // end-of-run wave, then flush the crossbar to the stats channel.
 func (f *Fabric) switchLoop(u topology.Node) {
 	defer f.wg.Done()
-	leftUp, rightUp, parentUp := f.up[2*u], f.up[2*u+1], f.up[u]
-	parentDown, leftDown, rightDown := f.down[u], f.down[2*u], f.down[2*u+1]
-	mode, sel, tracer := f.cfg.mode, f.cfg.sel, f.cfg.tracer
+	lc, rc := topology.Node(2*u), topology.Node(2*u+1)
+	leftUp, rightUp, parentUp := f.up[lc], f.up[rc], f.up[u]
+	parentDown, leftDown, rightDown := f.down[u], f.down[lc], f.down[rc]
+	mode, sel, tracer, inj := f.cfg.mode, f.cfg.sel, f.cfg.tracer, f.cfg.inj
 	f.met.goroutines.Add(1)
 	if tracer != nil {
 		tracer.Emit(obs.Event{Type: "goroutine.start", Engine: "sim", Round: -1, Node: int(u), PE: -1})
@@ -533,14 +789,61 @@ func (f *Fabric) switchLoop(u topology.Node) {
 		// A recycled crossbar must be indistinguishable from the fresh one a
 		// dedicated per-run goroutine would have built.
 		sw.Zero()
+		// An aborted previous run can have stranded one up-word per child
+		// link (sent, never received). Drain before forwarding the begin
+		// wave: the children cannot send this run's words until they see
+		// the begin, which happens strictly after this drain.
+		select {
+		case <-leftUp:
+		default:
+		}
+		select {
+		case <-rightUp:
+		default:
+		}
 		leftDown <- msg
 		rightDown <- msg
 
 		// Phase 1 (Steps 1.2–1.3): receive both children's words, match,
 		// send the remainder upward. The two receives may complete in either
-		// order; each channel carries exactly one Phase 1 word per run.
-		st := ctrl.Match(<-leftUp, <-rightUp)
-		parentUp <- st.UpWord()
+		// order; each channel carries exactly one Phase 1 word per run. The
+		// wait also selects on the parent's down-link so an abort wave (the
+		// driver gave up on a convergecast a fault killed below us) can
+		// unwind the run instead of deadlocking against it.
+		var lw, rw ctrl.Up
+		haveL, haveR, unwound := false, false, false
+		for !unwound && !(haveL && haveR) {
+			select {
+			case lw = <-leftUp:
+				haveL = true
+			case rw = <-rightUp:
+				haveR = true
+			case m := <-parentDown:
+				// Mid-convergecast only control ops can arrive (the driver
+				// sends no Phase 2 word before the root's up-word).
+				leftDown <- m
+				rightDown <- m
+				f.stats <- nodeStats{node: u, sw: sw}
+				if m.op == opShutdown {
+					return
+				}
+				unwound = true
+			}
+		}
+		if unwound {
+			continue
+		}
+		st := ctrl.Match(lw, rw)
+		if inj != nil && inj.WordLost(u, fault.Phase1) {
+			// Our matched word vanishes on the parent link: the convergecast
+			// above us never completes and the abort wave unwinds the run.
+		} else {
+			up := st.UpWord()
+			if inj != nil {
+				up, _ = inj.CorruptUp(u, up)
+			}
+			parentUp <- up
+		}
 
 		// Phase 2: every downward word triggers one Step and two forwards,
 		// until the end-of-run (or shutdown) wave unwinds the run.
@@ -555,6 +858,19 @@ func (f *Fabric) switchLoop(u topology.Node) {
 					return
 				}
 				break
+			}
+			if inj != nil {
+				if d := inj.DelayAt(u, round); d > 0 {
+					time.Sleep(d)
+				}
+				if inj.FrozenAt(u, round) {
+					// Frozen: swallow the word — no Step, no forwards. The
+					// subtree goes dark and the driver's watchdog reports it
+					// as exactly this subtree. Control ops above still pass,
+					// so the abort wave gets through.
+					round++
+					continue
+				}
 			}
 			if mode == power.Stateless {
 				sw.Reset()
@@ -574,13 +890,26 @@ func (f *Fabric) switchLoop(u topology.Node) {
 						Node: int(u), Config: after.String()})
 				}
 				tracer.Emit(obs.Event{Type: "word.send", Engine: "sim", Round: round,
-					Node: int(u), Child: int(2 * u), Word: left.String()})
+					Node: int(u), Child: int(lc), Word: left.String()})
 				tracer.Emit(obs.Event{Type: "word.send", Engine: "sim", Round: round,
-					Node: int(u), Child: int(2*u + 1), Word: right.String()})
+					Node: int(u), Child: int(rc), Word: right.String()})
 			}
-			leftDown <- downMsg{word: left}
-			rightDown <- downMsg{word: right}
-			f.downSent.Add(2)
+			sent := int64(0)
+			if inj == nil || !inj.WordLost(lc, round) {
+				if inj != nil {
+					left, _ = inj.CorruptDown(lc, round, left)
+				}
+				leftDown <- downMsg{word: left}
+				sent++
+			}
+			if inj == nil || !inj.WordLost(rc, round) {
+				if inj != nil {
+					right, _ = inj.CorruptDown(rc, round, right)
+				}
+				rightDown <- downMsg{word: right}
+				sent++
+			}
+			f.downSent.Add(sent)
 			round++
 		}
 	}

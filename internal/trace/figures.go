@@ -30,8 +30,14 @@ func Figure(n int) (string, error) {
 func figure1() (string, error) {
 	var b strings.Builder
 	b.WriteString("Figure 1 — communications over the CST (round-0 circuits):\n\n")
-	set := comm.MustParse("(.)(..).")
-	tree := topology.MustNew(set.N)
+	set, err := comm.Parse("(.)(..).")
+	if err != nil {
+		return "", err
+	}
+	tree, err := topology.New(set.N)
+	if err != nil {
+		return "", err
+	}
 	var rec deliver.Recorder
 	e, err := padr.New(tree, set, padr.WithObserver(rec.Observer()))
 	if err != nil {
@@ -59,7 +65,11 @@ func figure1() (string, error) {
 func figure2() (string, error) {
 	var b strings.Builder
 	b.WriteString("Figure 2 — a right-oriented well-nested communication set:\n")
-	b.WriteString(RenderSet(comm.MustParse("((.)((.)..).)(.)")))
+	set, err := comm.Parse("((.)((.)..).)(.)")
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderSet(set))
 	return b.String(), nil
 }
 
@@ -70,8 +80,14 @@ func figure3() (string, error) {
 	var b strings.Builder
 	b.WriteString("Figure 3/4 — C_S stored at each switch after Phase 1\n")
 	b.WriteString("(five types: M matched, SL/SR sources passing up, DL/DR destinations fed from above):\n\n")
-	set := comm.MustParse("((.)(.))")
-	tree := topology.MustNew(set.N)
+	set, err := comm.Parse("((.)(.))")
+	if err != nil {
+		return "", err
+	}
+	tree, err := topology.New(set.N)
+	if err != nil {
+		return "", err
+	}
 	e, err := padr.New(tree, set)
 	if err != nil {
 		return "", err
