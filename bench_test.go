@@ -234,6 +234,104 @@ func BenchmarkFabricReused(b *testing.B) {
 	}
 }
 
+// --- observability & audit overhead ----------------------------------------
+//
+// The series BenchmarkPADRSequential (noop) → BenchmarkPADRSequentialTraced
+// (ring tracer) → BenchmarkPADRSequentialAudited (tracer + live auditor)
+// prices each observability layer on the identical workload; BENCH_obs.json
+// in CI is generated from exactly these names.
+
+// BenchmarkPADRSequentialTraced is BenchmarkPADRSequential with a ring
+// tracer attached (no writer, no sink): the cost of event capture alone.
+func BenchmarkPADRSequentialTraced(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	tracer := cst.NewTracer(nil, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.Run(tree, s, cst.WithTrace(tracer)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPADRSequentialAudited runs with the full audit pipeline live:
+// registry, tracer, and the auditor tapping every event through the sink —
+// ledger replay, monitors, and critical-path tracking included. The gap to
+// BenchmarkPADRSequential is the total price of an audit-enabled run.
+func BenchmarkPADRSequentialAudited(b *testing.B) {
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	reg := cst.NewMetrics()
+	tracer := cst.NewTracer(nil, 0)
+	aud := cst.NewAuditor(cst.AuditConfig{Registry: reg})
+	tracer.SetSink(aud.Observe)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cst.Run(tree, s, cst.WithTrace(tracer), cst.WithMetrics(reg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTraceEvents captures one sequential run's full event stream.
+func benchTraceEvents(b *testing.B) []cst.TraceEvent {
+	b.Helper()
+	tree := cst.MustNewTree(1024)
+	s := benchWorkload(b, 1024, 16)
+	tracer := cst.NewTracer(nil, 0)
+	var events []cst.TraceEvent
+	tracer.SetSink(func(e cst.TraceEvent) { events = append(events, e) })
+	if _, err := cst.Run(tree, s, cst.WithTrace(tracer)); err != nil {
+		b.Fatal(err)
+	}
+	return events
+}
+
+// BenchmarkAuditReplay measures offline replay throughput: a captured run
+// fed through a fresh auditor (ledger + monitors + report aggregation).
+func BenchmarkAuditReplay(b *testing.B) {
+	events := benchTraceEvents(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := cst.ReplayAudit(events, cst.AuditConfig{}).Report(); !rep.Clean() {
+			b.Fatal("replay not clean")
+		}
+	}
+}
+
+// BenchmarkTraceExportJSONL measures trace-export throughput: streaming the
+// retained ring as JSONL, the payload of one /trace?since=0 request.
+func BenchmarkTraceExportJSONL(b *testing.B) {
+	events := benchTraceEvents(b)
+	tracer := cst.NewTracer(nil, len(events))
+	for _, e := range events {
+		tracer.Emit(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tracer.WriteJSONLSince(io.Discard, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfettoExport measures Chrome-trace rendering of a full run.
+func BenchmarkPerfettoExport(b *testing.B) {
+	events := benchTraceEvents(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cst.WritePerfetto(io.Discard, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBaselineDepthID measures the prior-work reconstruction on the
 // same workload.
 func BenchmarkBaselineDepthID(b *testing.B) {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -53,8 +54,17 @@ func main() {
 		baseline = flag.String("baseline", "", "optional bench output file to embed as the baseline")
 		out      = flag.String("out", "", "output JSON file (default stdout)")
 		label    = flag.String("label", "", "free-form label stored in the document")
+		match    = flag.String("match", "", "keep only benchmarks whose name matches this regexp (applied to both runs)")
 	)
 	flag.Parse()
+
+	var keep *regexp.Regexp
+	if *match != "" {
+		var err error
+		if keep, err = regexp.Compile(*match); err != nil {
+			fatal(fmt.Errorf("-match: %v", err))
+		}
+	}
 
 	doc := Document{Label: *label}
 	var src io.Reader = os.Stdin
@@ -70,10 +80,12 @@ func main() {
 	if doc.Benchmarks, err = parse(src, &doc); err != nil {
 		fatal(err)
 	}
+	doc.Benchmarks = filter(doc.Benchmarks, keep)
 	if *baseline != "" {
 		if doc.Baseline, err = readBaseline(*baseline); err != nil {
 			fatal(err)
 		}
+		doc.Baseline = filter(doc.Baseline, keep)
 		doc.Speedups = speedups(doc.Baseline, doc.Benchmarks)
 	}
 
@@ -182,6 +194,20 @@ func speedups(base, cur []Benchmark) []Speedup {
 			s.AllocsRatio = round2(float64(b.AllocsPerOp) / float64(c.AllocsPerOp))
 		}
 		out = append(out, s)
+	}
+	return out
+}
+
+// filter drops benchmarks whose name does not match keep (nil keeps all).
+func filter(in []Benchmark, keep *regexp.Regexp) []Benchmark {
+	if keep == nil {
+		return in
+	}
+	var out []Benchmark
+	for _, b := range in {
+		if keep.MatchString(b.Name) {
+			out = append(out, b)
+		}
 	}
 	return out
 }

@@ -1,0 +1,204 @@
+// Command cstaudit replays a CST observability trace through the power
+// auditor: it rebuilds the per-switch power ledger, checks the paper's
+// theorems (round counts, per-switch spend, port alternations, word
+// budgets), attributes per-round latency along the critical path, and
+// renders the verdict as text, markdown, HTML, or a Perfetto-loadable
+// Chrome trace.
+//
+// Input is either a saved JSONL trace or a live /trace endpoint:
+//
+//	cstsim -workload chain -n 64 -w 8 -trace-out run.jsonl
+//	cstaudit -in run.jsonl -md report.md -perfetto run.trace.json
+//
+//	cstsim -workload random -n 128 -metrics-addr :9090 &
+//	cstaudit -url http://localhost:9090/trace -for 10s
+//
+// Exit status: 0 on a clean audit, 1 on violations when -fail-on-violation
+// is set, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"cst"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// opts carries the parsed CLI flags.
+type opts struct {
+	in       string
+	url      string
+	poll     time.Duration
+	duration time.Duration
+	md       string
+	html     string
+	perfetto string
+	failOn   bool
+	slack    int
+	maxUnits int
+	maxAlts  int
+	quiet    bool
+}
+
+// run executes the CLI and returns its exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cstaudit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o opts
+	fs.StringVar(&o.in, "in", "", "JSONL trace file to replay (\"-\" for stdin)")
+	fs.StringVar(&o.url, "url", "", "live /trace endpoint to poll incrementally (e.g. http://localhost:9090/trace)")
+	fs.DurationVar(&o.poll, "poll", time.Second, "polling interval for -url")
+	fs.DurationVar(&o.duration, "for", 10*time.Second, "how long to follow -url before reporting")
+	fs.StringVar(&o.md, "md", "", "write the markdown report to this file")
+	fs.StringVar(&o.html, "html", "", "write the HTML report to this file")
+	fs.StringVar(&o.perfetto, "perfetto", "", "write a Perfetto/Chrome trace JSON of the input to this file")
+	fs.BoolVar(&o.failOn, "fail-on-violation", false, "exit 1 when the audit raises any violation")
+	fs.IntVar(&o.slack, "round-slack", 0, "rounds beyond the width before the Theorem 4/5 monitor fires")
+	fs.IntVar(&o.maxUnits, "max-units", 0, "per-switch power-unit bound (0 = adaptive default)")
+	fs.IntVar(&o.maxAlts, "max-alternations", 0, "per-port alternation bound (0 = adaptive default)")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress the text summary")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (o.in == "") == (o.url == "") {
+		fmt.Fprintln(stderr, "cstaudit: exactly one of -in or -url is required")
+		return 2
+	}
+
+	events, err := collect(o, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "cstaudit:", err)
+		return 2
+	}
+
+	cfg := cst.AuditConfig{Limits: cst.AuditLimits{
+		RoundSlack:             o.slack,
+		MaxUnitsPerSwitch:      o.maxUnits,
+		MaxAlternationsPerPort: o.maxAlts,
+	}}
+	rep := cst.ReplayAudit(events, cfg).Report()
+
+	if o.perfetto != "" {
+		if err := writeFile(o.perfetto, func(w io.Writer) error {
+			return cst.WritePerfetto(w, events)
+		}); err != nil {
+			fmt.Fprintln(stderr, "cstaudit:", err)
+			return 2
+		}
+	}
+	if o.md != "" {
+		if err := writeFile(o.md, rep.WriteMarkdown); err != nil {
+			fmt.Fprintln(stderr, "cstaudit:", err)
+			return 2
+		}
+	}
+	if o.html != "" {
+		if err := writeFile(o.html, rep.WriteHTML); err != nil {
+			fmt.Fprintln(stderr, "cstaudit:", err)
+			return 2
+		}
+	}
+	if !o.quiet {
+		fmt.Fprint(stdout, rep.Summary())
+	}
+	if o.failOn && !rep.Clean() {
+		return 1
+	}
+	return 0
+}
+
+// collect gathers the input events: one shot from a file/stdin, or an
+// incremental ?since= polling loop against a live /trace endpoint.
+func collect(o opts, stderr io.Writer) ([]cst.TraceEvent, error) {
+	if o.in != "" {
+		r := io.Reader(os.Stdin)
+		if o.in != "-" {
+			f, err := os.Open(o.in)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		return cst.ReadTraceJSONL(r)
+	}
+	return follow(o.url, o.poll, o.duration, stderr)
+}
+
+// follow polls a /trace endpoint with the ?since= cursor until the
+// deadline, accumulating only new events on each round trip.
+func follow(url string, poll, dur time.Duration, stderr io.Writer) ([]cst.TraceEvent, error) {
+	var events []cst.TraceEvent
+	var since int64
+	deadline := time.Now().Add(dur)
+	client := &http.Client{Timeout: 30 * time.Second}
+	for {
+		batch, last, err := fetch(client, url, since)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, batch...)
+		if last > since {
+			since = last
+		}
+		if !time.Now().Add(poll).Before(deadline) {
+			break
+		}
+		time.Sleep(poll)
+	}
+	fmt.Fprintf(stderr, "cstaudit: collected %d events from %s\n", len(events), url)
+	return events, nil
+}
+
+// fetch performs one incremental /trace?since= request, returning the new
+// events and the server's last sequence number (from X-Trace-Last-Seq,
+// falling back to the last event's Seq).
+func fetch(client *http.Client, url string, since int64) ([]cst.TraceEvent, int64, error) {
+	u := url
+	if since > 0 {
+		u = fmt.Sprintf("%s?since=%d", url, since)
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	events, err := cst.ReadTraceJSONL(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	last := since
+	if h := resp.Header.Get("X-Trace-Last-Seq"); h != "" {
+		if v, err := strconv.ParseInt(h, 10, 64); err == nil {
+			last = v
+		}
+	} else if len(events) > 0 {
+		last = events[len(events)-1].Seq
+	}
+	return events, last, nil
+}
+
+// writeFile creates path and streams render into it.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

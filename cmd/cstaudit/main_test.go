@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cst"
+)
+
+// makeTrace runs one sequential engine run into a JSONL file and returns
+// its path.
+func makeTrace(t *testing.T, faulty bool) string {
+	t.Helper()
+	set, err := cst.NestedChain(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cst.NewTree(set.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tracer := cst.NewTracer(f, 0)
+	opts := []cst.Option{cst.WithTrace(tracer)}
+	if faulty {
+		inj := cst.NewFaultInjector([]cst.Fault{
+			{Kind: cst.FaultCorruptWord, Node: 3, Round: 1, Run: 0},
+		})
+		opts = append(opts, cst.WithFaults(inj))
+	}
+	_, err = cst.Run(tree, set, opts...)
+	if faulty && err == nil {
+		t.Fatal("faulty run: want error")
+	}
+	if !faulty && err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A clean trace must audit clean, write all three artifacts, and exit 0
+// even under -fail-on-violation.
+func TestCleanTraceExitsZero(t *testing.T) {
+	in := makeTrace(t, false)
+	dir := t.TempDir()
+	md := filepath.Join(dir, "r.md")
+	html := filepath.Join(dir, "r.html")
+	pf := filepath.Join(dir, "r.trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-in", in, "-md", md, "-html", html, "-perfetto", pf, "-fail-on-violation"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "CLEAN") {
+		t.Errorf("summary missing CLEAN: %q", out.String())
+	}
+	for _, p := range []string{md, html, pf} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty (%v)", p, err)
+		}
+	}
+}
+
+// A faulty trace must exit 1 under -fail-on-violation and name the fault.
+func TestFaultyTraceExitsOne(t *testing.T) {
+	in := makeTrace(t, true)
+	var out, errb bytes.Buffer
+	code := run([]string{"-in", in, "-fail-on-violation"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "run:error") {
+		t.Errorf("summary missing run:error violation: %q", out.String())
+	}
+}
+
+// Reading from stdin ("-in -") is covered by reading a file through the
+// same path; flag validation must reject zero or two inputs.
+func TestFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no input: exit %d, want 2", code)
+	}
+	if code := run([]string{"-in", "x", "-url", "http://y"}, &out, &errb); code != 2 {
+		t.Errorf("both inputs: exit %d, want 2", code)
+	}
+	if code := run([]string{"-in", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}
+
+// The -url mode must poll a live /trace endpoint with the ?since= cursor
+// and audit only the accumulated events once.
+func TestFollowLiveEndpoint(t *testing.T) {
+	reg := cst.NewMetrics()
+	tracer := cst.NewTracer(nil, 0)
+	srv := httptest.NewServer(cst.MetricsHandler(reg, tracer))
+	defer srv.Close()
+
+	set, err := cst.NestedChain(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cst.NewTree(set.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cst.Run(tree, set, cst.WithTrace(tracer), cst.WithMetrics(reg)); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-url", srv.URL + "/trace", "-poll", "10ms", "-for", "50ms"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "CLEAN") {
+		t.Errorf("live audit summary: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "1 runs") {
+		t.Errorf("live audit should see exactly 1 run despite repeated polls: %q", out.String())
+	}
+}
+
+// fetch must honor the incremental cursor: a second fetch from the last
+// sequence returns nothing new.
+func TestFetchIncremental(t *testing.T) {
+	reg := cst.NewMetrics()
+	tracer := cst.NewTracer(nil, 0)
+	srv := httptest.NewServer(cst.MetricsHandler(reg, tracer))
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		tracer.Emit(cst.TraceEvent{Type: "x", Round: -1})
+	}
+	client := &http.Client{}
+	events, last, err := fetch(client, srv.URL+"/trace", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 || last != 5 {
+		t.Fatalf("first fetch: %d events, last=%d, want 5/5", len(events), last)
+	}
+	again, last2, err := fetch(client, srv.URL+"/trace", last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 || last2 != 5 {
+		t.Fatalf("cursor fetch: %d events, last=%d, want 0/5", len(again), last2)
+	}
+	tracer.Emit(cst.TraceEvent{Type: "y", Round: -1})
+	tail, _, err := fetch(client, srv.URL+"/trace", last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].Type != "y" {
+		t.Fatalf("tail fetch: %+v, want the single new event", tail)
+	}
+}

@@ -27,12 +27,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment IDs (E1..E9) or \"all\"")
-		seed    = flag.Int64("seed", 42, "random seed for every experiment")
-		quick   = flag.Bool("quick", false, "reduced sweep sizes")
-		out     = flag.String("out", "", "output file (default stdout)")
-		maddr   = flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address during the run")
-		summary = flag.Bool("metrics-summary", true, "print a per-experiment metrics summary table")
+		exp       = flag.String("exp", "all", "comma-separated experiment IDs (E1..E9) or \"all\"")
+		seed      = flag.Int64("seed", 42, "random seed for every experiment")
+		quick     = flag.Bool("quick", false, "reduced sweep sizes")
+		out       = flag.String("out", "", "output file (default stdout)")
+		maddr     = flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address during the run")
+		summary   = flag.Bool("metrics-summary", true, "print a per-experiment metrics summary table")
+		audit     = flag.Bool("audit", false, "run the power auditor live over the experiments and print its verdict")
+		auditHTML = flag.String("audit-html", "", "write the audit report as HTML to this file (implies -audit)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,11 @@ func main() {
 	reg := cst.NewMetrics()
 	tracer := cst.NewTracer(nil, 0)
 	cfg := cst.ExperimentConfig{Seed: *seed, Quick: *quick, Obs: reg, Trace: tracer}
+	var auditor *cst.Auditor
+	if *audit || *auditHTML != "" {
+		auditor = cst.NewAuditor(cst.AuditConfig{Registry: reg})
+		cfg.Audit = auditor
+	}
 	if *maddr != "" {
 		srv, err := cst.ServeMetrics(*maddr, reg, tracer)
 		if err != nil {
@@ -84,6 +91,33 @@ func main() {
 		}
 		if *summary {
 			fmt.Fprintf(w, "Engine metrics for %s:\n\n%s\n", e.ID, cst.MetricsSummary(reg.Snapshot().Sub(before)))
+		}
+	}
+
+	if auditor != nil {
+		auditor.Flush()
+		rep := auditor.Report()
+		fmt.Fprintf(w, "## Power audit\n\n%s\n", rep.Summary())
+		if *auditHTML != "" {
+			f, err := os.Create(*auditHTML)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cstbench:", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteHTML(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "cstbench:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cstbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cstbench: audit report written to %s\n", *auditHTML)
+		}
+		if !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "cstbench: power audit raised %d violation(s)\n", len(rep.Violations))
+			os.Exit(1)
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -40,6 +41,8 @@ func main() {
 		faults   = flag.Int("faults", 0, "inject this many random faults (padr and padr-sim only)")
 		faultSd  = flag.Int64("fault-seed", 1, "random seed for the injected fault plan")
 		deadline = flag.Duration("deadline", 0, "abort a padr-sim run after this long (0 = no deadline)")
+		audited  = flag.Bool("audit", false, "attach the power auditor: replay every trace event through the theorem monitors and print the verdict")
+		traceOut = flag.String("trace-out", "", "stream the JSONL trace to this file (for later cstaudit replay)")
 	)
 	flag.Parse()
 
@@ -50,9 +53,22 @@ func main() {
 		trace: *showTr, words: *words, quiet: *quiet,
 		faults: *faults, faultSeed: *faultSd, deadline: *deadline,
 	}
-	if *maddr != "" {
+	var traceFile *os.File
+	if *maddr != "" || *audited || *traceOut != "" {
 		o.reg = cst.NewMetrics()
-		o.tracer = cst.NewTracer(nil, 0)
+		var w io.Writer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cstsim:", err)
+				os.Exit(1)
+			}
+			traceFile, w = f, f
+		}
+		o.tracer = cst.NewTracer(w, 0)
+		o.tracer.Instrument(o.reg)
+	}
+	if *maddr != "" {
 		srv, err := cst.ServeMetrics(*maddr, o.reg, o.tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cstsim:", err)
@@ -60,14 +76,41 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "cstsim: observability endpoint on http://%s (/metrics /trace /debug/pprof/)\n", srv.Addr)
 	}
+	if *audited {
+		o.auditor = cst.NewAuditor(cst.AuditConfig{Registry: o.reg})
+		o.tracer.SetSink(o.auditor.Observe)
+	}
 
+	var runErr error
 	if *jsonOut {
-		if err := runJSON(*setExpr, *workload, *n, *w, *m, *seed); err != nil {
+		runErr = runJSON(*setExpr, *workload, *n, *w, *m, *seed)
+	} else {
+		runErr = run(o)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "cstsim:", runErr)
+	}
+
+	// The audit verdict prints even after a failed run: diagnosing chaos
+	// runs is what the monitors are for.
+	if o.auditor != nil {
+		o.auditor.Flush()
+		rep := o.auditor.Report()
+		fmt.Print(rep.Summary())
+		if engine := auditEngine(o.algo); engine != "" && runErr == nil {
+			for _, v := range o.auditor.CrossCheck(engine, o.reg.Snapshot()) {
+				fmt.Printf("  ✗ %s\n", v.Error())
+			}
+		}
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "cstsim:", err)
 			os.Exit(1)
 		}
-	} else if err := run(o); err != nil {
-		fmt.Fprintln(os.Stderr, "cstsim:", err)
+		fmt.Fprintf(os.Stderr, "cstsim: trace written to %s\n", *traceOut)
+	}
+	if runErr != nil {
 		os.Exit(1)
 	}
 
@@ -75,6 +118,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cstsim: run finished; serving metrics until interrupted (Ctrl-C to exit)")
 		select {}
 	}
+}
+
+// auditEngine maps a CLI algorithm to the engine name its meters use, or
+// "" when the algorithm publishes no power meters to cross-check.
+func auditEngine(algo string) string {
+	switch algo {
+	case "padr":
+		return "padr"
+	case "padr-sim":
+		return "sim"
+	}
+	return ""
 }
 
 // runOpts bundles the CLI's run parameters; reg and tracer are nil unless
@@ -90,6 +145,7 @@ type runOpts struct {
 	deadline            time.Duration
 	reg                 *cst.Metrics
 	tracer              *cst.Tracer
+	auditor             *cst.Auditor
 }
 
 // buildInjector draws the -faults random fault plan over the run's expected

@@ -33,6 +33,7 @@ import (
 	"context"
 	"math/rand"
 
+	"cst/internal/audit"
 	"cst/internal/baseline"
 	"cst/internal/comm"
 	"cst/internal/deliver"
@@ -531,6 +532,50 @@ func WithOnlineSharding() OnlineOption { return online.WithSharding() }
 // MetricsSummary renders a per-engine metrics snapshot (latency quantiles,
 // messages per round, changes per switch) as a markdown table.
 var MetricsSummary = harness.MetricsSummary
+
+// Power auditing. An Auditor consumes the tracer's event stream — live via
+// Tracer.SetSink(auditor.Observe), or replayed from saved JSONL — and
+// maintains a per-switch × per-round power ledger, runs the paper's
+// theorems as monitors (round counts, per-switch spend, port alternations,
+// word budgets), and attributes per-round latency along the critical path.
+// See OBSERVABILITY.md and cmd/cstaudit.
+type Auditor = audit.Auditor
+
+// AuditConfig parameterizes an Auditor (registry, monitor limits,
+// retention bounds); the zero value is usable.
+type AuditConfig = audit.Config
+
+// AuditLimits bounds the theorem monitors; the zero value selects adaptive
+// defaults scaled to the audited tree size.
+type AuditLimits = audit.Limits
+
+// AuditViolation is one detected breach of a paper invariant; it
+// implements error.
+type AuditViolation = audit.Violation
+
+// AuditReport is an immutable snapshot of an auditor's findings with
+// markdown/HTML renderers.
+type AuditReport = audit.Report
+
+// AuditRun is the audited record of one engine run: the replayed ledger,
+// critical paths, and any violations.
+type AuditRun = audit.RunAudit
+
+// NewAuditor builds an empty auditor.
+func NewAuditor(cfg AuditConfig) *Auditor { return audit.New(cfg) }
+
+// ReplayAudit feeds a saved trace through a fresh auditor and returns it
+// flushed: every run in the trace has a verdict.
+var ReplayAudit = audit.Replay
+
+// ReadTraceJSONL decodes a JSONL trace stream (Tracer.WriteJSONL or the
+// /trace endpoint) into events.
+var ReadTraceJSONL = audit.ReadJSONL
+
+// WritePerfetto renders a trace as Chrome trace-event JSON loadable in
+// Perfetto or chrome://tracing: one process per engine, one track per tree
+// level.
+var WritePerfetto = audit.WritePerfetto
 
 // Fault injection and hardening. A FaultInjector carries a deterministic
 // fault plan (drop/corrupt/delay a control word, freeze a switch, fail a

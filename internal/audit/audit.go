@@ -1,0 +1,509 @@
+// Package audit turns the observability event stream into verdicts. It
+// consumes internal/obs trace events — live through Tracer.SetSink, or
+// replayed from a saved JSONL file — and maintains a per-switch × per-round
+// power ledger, runs the paper's theorems as live monitors (Theorems 4–5
+// round counts, Theorem 8 per-switch spend, Lemmas 6–7 port alternations,
+// the Phase 1/2 word budgets), attributes per-round latency to tree levels
+// along the critical path, and renders the result as markdown, HTML, or a
+// Perfetto-loadable Chrome trace. It imports only internal/obs: everything
+// is reconstructed from the trace, which is the point — the auditor
+// re-derives the engines' accounting independently and cross-checks it
+// against their own meters.
+package audit
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"cst/internal/obs"
+)
+
+// Config parameterizes an Auditor. The zero value is usable: no metrics,
+// default monitor limits, default run retention.
+type Config struct {
+	// Registry, when non-nil, receives the cst_audit_* metric series.
+	Registry *obs.Registry
+	// Limits bounds the theorem monitors (zero value: adaptive defaults).
+	Limits Limits
+	// KeepRuns bounds how many completed per-run audits are retained
+	// (oldest evicted first); <= 0 selects DefaultKeepRuns. Aggregate
+	// totals and violations survive eviction.
+	KeepRuns int
+	// KeepViolations bounds the retained violation list; <= 0 selects
+	// DefaultKeepViolations. The cst_audit_violations_total counter keeps
+	// the true count.
+	KeepViolations int
+}
+
+// DefaultKeepRuns is the default bound on retained per-run audits.
+const DefaultKeepRuns = 256
+
+// DefaultKeepViolations is the default bound on retained violations.
+const DefaultKeepViolations = 4096
+
+// RunAudit is the audited record of one engine run: identity, the replayed
+// power ledger, the critical-path attribution, and the violations the
+// monitors raised.
+type RunAudit struct {
+	// Index is the auditor-assigned run number (0-based, across engines).
+	Index int64
+	// Engine is the emitting engine ("padr", "sim", "online").
+	Engine string
+	// Mode is the power accounting mode from run.start ("stateful",
+	// "stateless"; empty on traces predating the field).
+	Mode string
+	// Comms is the communication-set size from run.start.
+	Comms int
+	// Width is the set's link width from phase1.done/run.done (0 if the
+	// run died before Phase 1 completed).
+	Width int
+	// Rounds is the number of Phase 2 rounds observed.
+	Rounds int
+	// Leaves is the tree size inferred from the deepest traced node
+	// (pruning is disabled whenever a tracer is attached, so every link
+	// appears); 0 when no node-scoped events were seen.
+	Leaves int
+	// Phase1Words is the convergecast word count from phase1.done.
+	Phase1Words int
+	// Phase1DurNS is the measured Phase 1 duration.
+	Phase1DurNS int64
+	// DurNS is the whole-run duration from run.done (0 on failed runs).
+	DurNS int64
+	// StartTS and EndTS are the run's first and last event timestamps
+	// (Unix ns).
+	StartTS, EndTS int64
+	// Events counts the trace events attributed to this run.
+	Events int
+	// Err, ErrRound and ErrNode mirror the run.error event when the run
+	// died: the engine's failure text plus the fault's round and node
+	// coordinates (-1/0 when the fault carried none).
+	Err      string
+	ErrRound int
+	ErrNode  int
+	// Ledger is the replayed power ledger.
+	Ledger *Ledger
+	// CritPaths holds one critical-path analysis per Phase 2 round.
+	CritPaths []RoundCritPath
+	// LevelNS attributes critical-path time to tree levels: LevelNS[d] is
+	// the total nanoseconds the per-round critical paths spent entering
+	// level d (root = level 0's child hop is level 1).
+	LevelNS []int64
+	// Violations holds what the monitors raised for this run.
+	Violations []Violation
+
+	// live state
+	done    bool
+	maxNode int
+	round   int   // current Phase 2 round, -1 outside
+	roundTS int64 // round.start timestamp
+	// arrivals is the round's word-arrival table indexed by node (0 = none);
+	// lastNode/lastTS track the round's latest arrival incrementally so the
+	// critical path never rescans the table.
+	arrivals []int64
+	lastNode int
+	lastTS   int64
+}
+
+// auditMetrics holds the cst_audit_* metric handles (all nil-safe).
+type auditMetrics struct {
+	events       *obs.Counter
+	runs         *obs.Counter
+	failedRuns   *obs.Counter
+	violations   *obs.Counter
+	units        *obs.Counter
+	alternations *obs.Counter
+	changes      *obs.Counter
+	quiescent    *obs.Counter
+	lastMaxUnits *obs.Gauge
+}
+
+// newAuditMetrics resolves the cst_audit_* series against r (nil-safe).
+func newAuditMetrics(r *obs.Registry) auditMetrics {
+	return auditMetrics{
+		events:       r.Counter("cst_audit_events_total", "trace events consumed by the auditor"),
+		runs:         r.Counter("cst_audit_runs_total", "engine runs audited to completion"),
+		failedRuns:   r.Counter("cst_audit_failed_runs_total", "audited runs that ended in run.error or truncation"),
+		violations:   r.Counter("cst_audit_violations_total", "theorem-monitor violations raised"),
+		units:        r.Counter("cst_audit_power_units_total", "power units billed by the replayed ledger"),
+		alternations: r.Counter("cst_audit_alternations_total", "port alternations billed by the replayed ledger"),
+		changes:      r.Counter("cst_audit_config_changes_total", "switch configuration changes billed by the replayed ledger"),
+		quiescent:    r.Counter("cst_audit_quiescent_rounds_total", "Phase 2 rounds in which no switch reconfigured"),
+		lastMaxUnits: r.Gauge("cst_audit_last_run_max_switch_units", "hottest per-switch unit count of the most recently audited run"),
+	}
+}
+
+// Auditor consumes obs events and maintains ledgers, monitors and
+// aggregates. Observe is safe to install as a Tracer sink (it is called
+// under the tracer lock) and safe for direct concurrent use.
+type Auditor struct {
+	mu  sync.Mutex
+	cfg Config
+	met auditMetrics
+
+	live map[string]*RunAudit // in-flight run per engine
+	runs []*RunAudit          // completed, oldest first, bounded by KeepRuns
+	viol []Violation          // bounded by KeepViolations
+
+	nextIndex   int64
+	totalEvents int64
+	totalRuns   int64
+	failedRuns  int64
+	totalViol   int64
+	droppedViol int64
+
+	// aggregate ledger totals across all audited runs
+	aggUnits, aggAlternations, aggChanges, aggQuiescent int64
+}
+
+// New builds an Auditor.
+func New(cfg Config) *Auditor {
+	if cfg.KeepRuns <= 0 {
+		cfg.KeepRuns = DefaultKeepRuns
+	}
+	if cfg.KeepViolations <= 0 {
+		cfg.KeepViolations = DefaultKeepViolations
+	}
+	return &Auditor{
+		cfg:  cfg,
+		met:  newAuditMetrics(cfg.Registry),
+		live: map[string]*RunAudit{},
+	}
+}
+
+// Observe consumes one trace event. Nil-safe, so callers can hold an
+// optional *Auditor and feed it unconditionally.
+func (a *Auditor) Observe(e obs.Event) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.totalEvents++
+	a.met.events.Inc()
+
+	r := a.live[e.Engine]
+	switch e.Type {
+	case "run.start":
+		if r != nil {
+			// Back-to-back run.start without a terminal event: the previous
+			// run's tail was lost (killed process, evicted ring).
+			a.finishLocked(r)
+		}
+		r = &RunAudit{
+			Index: a.nextIndex, Engine: e.Engine, Mode: e.Mode,
+			Comms: e.N, StartTS: e.TS, EndTS: e.TS,
+			ErrRound: -1, Ledger: newLedger(), round: -1,
+		}
+		a.nextIndex++
+		a.live[e.Engine] = r
+		return
+	}
+	if r == nil {
+		// Events before the first run.start (or for engines we never saw
+		// start, e.g. online's batch bookkeeping): counted, not attributed.
+		return
+	}
+	r.Events++
+	if e.TS > r.EndTS {
+		r.EndTS = e.TS
+	}
+
+	switch e.Type {
+	case "phase1.done":
+		r.Width = e.Width
+		r.Phase1Words = e.N
+		r.Phase1DurNS = e.DurNS
+	case "round.start":
+		a.startRound(r, &e)
+	case "switch.config":
+		a.applyConfig(r, &e)
+	case "word.send":
+		a.applyWord(r, &e)
+	case "round.done":
+		a.finishRound(r, &e)
+	case "run.done":
+		if e.Width > 0 {
+			r.Width = e.Width
+		}
+		r.DurNS = e.DurNS
+		r.done = true
+		a.finishLocked(r)
+	case "run.error":
+		r.Err = e.Err
+		r.ErrRound = e.Round
+		r.ErrNode = e.Node
+		r.done = true
+		a.finishLocked(r)
+	}
+}
+
+// startRound opens a Phase 2 round: a fresh ledger row, a cleared arrival
+// table for the critical path, and — in stateless mode — the free teardown
+// of every replayed crossbar.
+func (a *Auditor) startRound(r *RunAudit, e *obs.Event) {
+	r.round = e.Round
+	r.roundTS = e.TS
+	r.Ledger.Rounds = append(r.Ledger.Rounds, RoundLedger{Round: e.Round})
+	clear(r.arrivals)
+	r.lastNode, r.lastTS = 0, 0
+	if r.Mode == "stateless" {
+		for _, sl := range r.Ledger.Switches {
+			sl.roundReset()
+		}
+	}
+}
+
+// applyConfig bills one traced switch reconfiguration to the ledger.
+func (a *Auditor) applyConfig(r *RunAudit, e *obs.Event) {
+	if e.Node > r.maxNode {
+		r.maxNode = e.Node
+	}
+	next, err := parseConfig(e.Config)
+	if err != nil {
+		// An unparseable configuration cannot be billed; surface it as a
+		// run-scoped violation rather than guessing.
+		a.raise(r, Violation{
+			Kind: KindMeterMismatch, Engine: r.Engine, Run: r.Index,
+			Round: e.Round, Node: e.Node,
+			Msg: fmt.Sprintf("unparseable switch configuration %q: %v", e.Config, err),
+		})
+		return
+	}
+	sl := r.Ledger.switchRow(e.Node)
+	before := sl.Units
+	sl.apply(e.Round, next)
+	if row := r.currentRound(e.Round); row != nil {
+		row.Configs++
+		row.Units += sl.Units - before
+	}
+}
+
+// applyWord counts one traced control word and records its arrival for the
+// round's critical path.
+func (a *Auditor) applyWord(r *RunAudit, e *obs.Event) {
+	if e.Node > r.maxNode {
+		r.maxNode = e.Node
+	}
+	if e.Child > r.maxNode {
+		r.maxNode = e.Child
+	}
+	row := r.currentRound(e.Round)
+	if row == nil {
+		return
+	}
+	row.Words++
+	if len(e.Word) < 11 || e.Word[:11] != "[null,null]" {
+		row.ActiveWords++
+	}
+	if e.Child >= 0 {
+		for e.Child >= len(r.arrivals) {
+			r.arrivals = append(r.arrivals, 0)
+		}
+		if e.TS > r.arrivals[e.Child] {
+			r.arrivals[e.Child] = e.TS
+		}
+		if e.TS > r.lastTS || (e.TS == r.lastTS && e.Child > r.lastNode) {
+			r.lastNode, r.lastTS = e.Child, e.TS
+		}
+	}
+}
+
+// finishRound closes the current round row and computes its critical path.
+func (a *Auditor) finishRound(r *RunAudit, e *obs.Event) {
+	if row := r.currentRound(e.Round); row != nil {
+		row.Comms = e.N
+		row.DurNS = e.DurNS
+	}
+	if e.Round+1 > r.Rounds {
+		r.Rounds = e.Round + 1
+	}
+	if cp, ok := criticalPath(e.Round, r.roundTS, r.arrivals, r.lastNode, r.lastTS); ok {
+		r.CritPaths = append(r.CritPaths, cp)
+		for _, h := range cp.Hops {
+			for len(r.LevelNS) <= h.Level {
+				r.LevelNS = append(r.LevelNS, 0)
+			}
+			r.LevelNS[h.Level] += h.DeltaNS
+		}
+	}
+	r.round = -1
+}
+
+// currentRound returns the ledger row for round, or nil when the trace
+// never opened it (events with Round -1, or a lost round.start).
+func (r *RunAudit) currentRound(round int) *RoundLedger {
+	if round < 0 || len(r.Ledger.Rounds) == 0 {
+		return nil
+	}
+	row := &r.Ledger.Rounds[len(r.Ledger.Rounds)-1]
+	if row.Round != round {
+		return nil
+	}
+	return row
+}
+
+// finishLocked seals a run: infers the tree size, runs the monitors, rolls
+// the run into the aggregates, and retires it from the live table.
+func (a *Auditor) finishLocked(r *RunAudit) {
+	delete(a.live, r.Engine)
+	if r.maxNode > 0 {
+		// Heap numbering: nodes 1..2n−1, leaves n..2n−1, so the deepest
+		// traced node pins n (pruning is off whenever a tracer is attached).
+		r.Leaves = (r.maxNode + 1) / 2
+	}
+	r.arrivals = nil
+
+	for _, v := range checkRun(r, a.cfg.Limits) {
+		a.raise(r, v)
+	}
+
+	a.totalRuns++
+	a.met.runs.Inc()
+	if r.Err != "" || !r.done {
+		a.failedRuns++
+		a.met.failedRuns.Inc()
+	}
+	a.aggUnits += int64(r.Ledger.TotalUnits())
+	a.aggAlternations += int64(r.Ledger.TotalAlternations())
+	a.aggChanges += int64(r.Ledger.TotalChanges())
+	a.aggQuiescent += int64(r.Ledger.QuiescentRounds())
+	a.met.units.Add(int64(r.Ledger.TotalUnits()))
+	a.met.alternations.Add(int64(r.Ledger.TotalAlternations()))
+	a.met.changes.Add(int64(r.Ledger.TotalChanges()))
+	a.met.quiescent.Add(int64(r.Ledger.QuiescentRounds()))
+	a.met.lastMaxUnits.Set(int64(r.Ledger.MaxUnits()))
+
+	a.runs = append(a.runs, r)
+	if len(a.runs) > a.cfg.KeepRuns {
+		a.runs = a.runs[len(a.runs)-a.cfg.KeepRuns:]
+	}
+}
+
+// raise records one violation (bounded by KeepViolations).
+func (a *Auditor) raise(r *RunAudit, v Violation) {
+	r.Violations = append(r.Violations, v)
+	a.totalViol++
+	a.met.violations.Inc()
+	if len(a.viol) < a.cfg.KeepViolations {
+		a.viol = append(a.viol, v)
+	} else {
+		a.droppedViol++
+	}
+}
+
+// Flush seals every in-flight run as truncated. Call it after a replay (or
+// at shutdown) so a trace that ends mid-run still yields a verdict; do not
+// call it on a live auditor mid-run.
+func (a *Auditor) Flush() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range a.live {
+		a.finishLocked(r)
+	}
+}
+
+// Runs returns the retained completed run audits, oldest first.
+func (a *Auditor) Runs() []*RunAudit {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*RunAudit, len(a.runs))
+	copy(out, a.runs)
+	return out
+}
+
+// Violations returns the retained violations in detection order.
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Violation, len(a.viol))
+	copy(out, a.viol)
+	return out
+}
+
+// Totals summarizes the auditor's aggregate counters.
+type Totals struct {
+	// Events is every event consumed; Runs the completed runs; FailedRuns
+	// those ending in run.error or truncation.
+	Events, Runs, FailedRuns int64
+	// Violations counts every violation raised (DroppedViolations of which
+	// were evicted from the retained list).
+	Violations, DroppedViolations int64
+	// Units, Alternations, Changes and QuiescentRounds are the ledger
+	// aggregates across all audited runs.
+	Units, Alternations, Changes, QuiescentRounds int64
+}
+
+// Totals returns the aggregate counters.
+func (a *Auditor) Totals() Totals {
+	if a == nil {
+		return Totals{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Totals{
+		Events: a.totalEvents, Runs: a.totalRuns, FailedRuns: a.failedRuns,
+		Violations: a.totalViol, DroppedViolations: a.droppedViol,
+		Units: a.aggUnits, Alternations: a.aggAlternations,
+		Changes: a.aggChanges, QuiescentRounds: a.aggQuiescent,
+	}
+}
+
+// CrossCheck compares the auditor's aggregate ledger against an engine's
+// own cumulative power meters from an obs snapshot (e.g.
+// cst_padr_power_units_total) and returns a KindMeterMismatch violation
+// per disagreement. engine selects the meter prefix ("padr", "sim"). It
+// only makes sense when the auditor saw every run the registry counted,
+// and — for "sim" — when runs were serial (the shared tracer interleaves
+// concurrent runs' events).
+func (a *Auditor) CrossCheck(engine string, snap obs.Snapshot) []Violation {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	units, alts := int64(0), int64(0)
+	for _, r := range a.runs {
+		if r.Engine != engine || r.Err != "" || !r.done {
+			continue
+		}
+		units += int64(r.Ledger.TotalUnits())
+		alts += int64(r.Ledger.TotalAlternations())
+	}
+	a.mu.Unlock()
+
+	var out []Violation
+	check := func(metric string, ledger int64) {
+		meter, ok := snap.Counters["cst_"+engine+"_"+metric]
+		if !ok {
+			return
+		}
+		if meter != ledger {
+			out = append(out, Violation{
+				Kind: KindMeterMismatch, Engine: engine, Round: -1,
+				Got: ledger, Want: meter,
+				Msg: fmt.Sprintf("replayed ledger bills %d but cst_%s_%s reads %d",
+					ledger, engine, metric, meter),
+			})
+		}
+	}
+	check("power_units_total", units)
+	check("alternations_total", alts)
+	return out
+}
+
+// depth returns a heap-numbered node's tree level (root 1 → 0).
+func depth(node int) int {
+	if node <= 0 {
+		return 0
+	}
+	return bits.Len(uint(node)) - 1
+}

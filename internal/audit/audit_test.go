@@ -1,0 +1,510 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cst/internal/comm"
+	"cst/internal/fault"
+	"cst/internal/obs"
+	"cst/internal/padr"
+	"cst/internal/power"
+	"cst/internal/sim"
+	"cst/internal/topology"
+)
+
+// runPADR executes one traced, instrumented sequential run and returns the
+// trace buffer plus the registry.
+func runPADR(t *testing.T, pattern string, mode power.Mode) (*bytes.Buffer, *obs.Registry) {
+	t.Helper()
+	s := comm.MustParse(pattern)
+	tr := topology.MustNew(s.N)
+	reg := obs.New()
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf, 0)
+	e, err := padr.New(tr, s, padr.WithRegistry(reg), padr.WithTracer(tracer), padr.WithMode(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, reg
+}
+
+// A clean sequential run must audit clean, and the replayed ledger must
+// agree bit-for-bit with the engine's own power meters — the acceptance
+// criterion tying cst_audit_power_units_total to cst_padr_power_units_total.
+func TestCleanPADRRunAuditsClean(t *testing.T) {
+	for _, mode := range []power.Mode{power.Stateful, power.Stateless} {
+		t.Run(mode.String(), func(t *testing.T) {
+			buf, reg := runPADR(t, "((()))(())......", mode)
+			events, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := Replay(events, Config{})
+			rep := a.Report()
+			if !rep.Clean() {
+				t.Fatalf("clean run audited dirty:\n%s", rep.Summary())
+			}
+			runs := a.Runs()
+			if len(runs) != 1 {
+				t.Fatalf("audited %d runs, want 1", len(runs))
+			}
+			run := runs[0]
+			snap := reg.Snapshot()
+			if got, want := int64(run.Ledger.TotalUnits()), snap.Counters["cst_padr_power_units_total"]; got != want {
+				t.Errorf("ledger units = %d, meter = %d", got, want)
+			}
+			if got, want := int64(run.Ledger.TotalAlternations()), snap.Counters["cst_padr_alternations_total"]; got != want {
+				t.Errorf("ledger alternations = %d, meter = %d", got, want)
+			}
+			if got, want := int64(run.Rounds), snap.Counters["cst_padr_rounds_total"]; got != want {
+				t.Errorf("audited rounds = %d, meter = %d", got, want)
+			}
+			if run.Rounds != run.Width {
+				t.Errorf("rounds %d != width %d on a Greedy run", run.Rounds, run.Width)
+			}
+			if run.Mode != mode.String() {
+				t.Errorf("audited mode %q, want %q", run.Mode, mode.String())
+			}
+			if run.Leaves != 16 {
+				t.Errorf("inferred %d leaves, want 16", run.Leaves)
+			}
+			if got, want := int64(run.Phase1Words), snap.Counters["cst_padr_phase1_words_total"]; got != want {
+				t.Errorf("phase 1 words = %d, meter = %d", got, want)
+			}
+			if vs := a.CrossCheck("padr", snap); len(vs) != 0 {
+				t.Errorf("CrossCheck disagrees on a clean run: %v", vs)
+			}
+		})
+	}
+}
+
+// Attaching the auditor as a live tracer sink must yield the identical
+// verdict as replaying the saved JSONL.
+func TestLiveSinkMatchesReplay(t *testing.T) {
+	s := comm.MustParse("(()())..")
+	tr := topology.MustNew(s.N)
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf, 0)
+	live := New(Config{})
+	tracer.SetSink(live.Observe)
+	e, err := padr.New(tr, s, padr.WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	live.Flush()
+
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := Replay(events, Config{})
+
+	lt, rt := live.Totals(), replayed.Totals()
+	if lt != rt {
+		t.Fatalf("live totals %+v != replayed totals %+v", lt, rt)
+	}
+	lr, rr := live.Runs(), replayed.Runs()
+	if len(lr) != 1 || len(rr) != 1 {
+		t.Fatalf("run counts: live %d, replayed %d", len(lr), len(rr))
+	}
+	if lr[0].Ledger.TotalUnits() != rr[0].Ledger.TotalUnits() {
+		t.Errorf("ledger units diverge: live %d, replayed %d",
+			lr[0].Ledger.TotalUnits(), rr[0].Ledger.TotalUnits())
+	}
+}
+
+// A chaos run with a frozen switch must produce a typed violation naming
+// the frozen switch and the dying round — the headline acceptance
+// criterion for fault visibility.
+func TestFrozenSwitchNamesCulprit(t *testing.T) {
+	tree := topology.MustNew(8)
+	inj := fault.New([]fault.Fault{
+		{Kind: fault.FreezeSwitch, Node: 3, Run: 0, Round: 0, Duration: 64},
+	})
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf, 0)
+	f := sim.NewFabric(tree, sim.WithFaults(inj), sim.WithWatchdog(30*time.Millisecond),
+		sim.WithTracer(tracer))
+	defer f.Close()
+	set := comm.MustParse("(.).(.).")
+	if _, err := f.Run(set); !errors.Is(err, fault.ErrDeadline) {
+		t.Fatalf("err = %v, want fault.ErrDeadline", err)
+	}
+
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Replay(events, Config{})
+	var hits []Violation
+	for _, v := range a.Violations() {
+		if v.Kind == KindRunError {
+			hits = append(hits, v)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("got %d run-error violations, want 1: %v", len(hits), a.Violations())
+	}
+	v := hits[0]
+	if v.Node != 3 {
+		t.Errorf("violation names node %d, want frozen switch 3", v.Node)
+	}
+	if v.Round != 0 {
+		t.Errorf("violation names round %d, want 0", v.Round)
+	}
+	if v.Engine != "sim" {
+		t.Errorf("violation names engine %q, want sim", v.Engine)
+	}
+	if !strings.Contains(v.Error(), "node 3") {
+		t.Errorf("rendered violation %q does not name the switch", v.Error())
+	}
+}
+
+// synth builds a minimal synthetic padr trace: run.start, phase1.done,
+// rounds of word/config events, run.done. mutate edits the canned events
+// before replay.
+func synth(rounds, width, leaves int) []obs.Event {
+	ts := int64(1_000_000)
+	var out []obs.Event
+	emit := func(e obs.Event) {
+		ts += 1000
+		e.TS = ts
+		out = append(out, e)
+	}
+	emit(obs.Event{Type: "run.start", Engine: "padr", Round: -1, N: 2, Mode: "stateful"})
+	emit(obs.Event{Type: "phase1.done", Engine: "padr", Round: -1, N: 2*leaves - 2, Width: width, DurNS: 10})
+	for r := 0; r < rounds; r++ {
+		emit(obs.Event{Type: "round.start", Engine: "padr", Round: r})
+		// One word per link: parent node u -> children 2u, 2u+1.
+		for u := 1; u < leaves; u++ {
+			emit(obs.Event{Type: "word.send", Engine: "padr", Round: r, Node: u, Child: 2 * u, Word: "[s,null]"})
+			emit(obs.Event{Type: "word.send", Engine: "padr", Round: r, Node: u, Child: 2*u + 1, Word: "[null,null]"})
+		}
+		emit(obs.Event{Type: "round.done", Engine: "padr", Round: r, N: 1, DurNS: 5000})
+	}
+	emit(obs.Event{Type: "run.done", Engine: "padr", Round: -1, N: rounds, Width: width, DurNS: 50_000})
+	return out
+}
+
+// The Theorem 4/5 monitor must flag a run whose round count disagrees with
+// its width.
+func TestMonitorRoundCount(t *testing.T) {
+	a := Replay(synth(3, 2, 4), Config{})
+	if !hasKind(a.Violations(), KindRoundCount) {
+		t.Fatalf("3 rounds for width 2: no round-count violation: %v", a.Violations())
+	}
+	if a2 := Replay(synth(2, 2, 4), Config{}); hasKind(a2.Violations(), KindRoundCount) {
+		t.Fatalf("2 rounds for width 2 flagged: %v", a2.Violations())
+	}
+	// RoundSlack admits the conservative rule's overshoot.
+	if a3 := Replay(synth(3, 2, 4), Config{Limits: Limits{RoundSlack: 1}}); hasKind(a3.Violations(), KindRoundCount) {
+		t.Fatalf("slack 1 still flags 3 rounds for width 2: %v", a3.Violations())
+	}
+}
+
+// The word-budget monitors must flag Phase 1 and Phase 2 word counts that
+// break the one-word-per-link budget.
+func TestMonitorWordBudgets(t *testing.T) {
+	ev := synth(2, 2, 4)
+	for i := range ev {
+		if ev[i].Type == "phase1.done" {
+			ev[i].N = 99
+		}
+	}
+	if a := Replay(ev, Config{}); !hasKind(a.Violations(), KindPhase1Budget) {
+		t.Fatalf("inflated phase 1 words not flagged: %v", a.Violations())
+	}
+
+	ev = synth(2, 2, 4)
+	extra := obs.Event{Type: "word.send", Engine: "padr", Round: 0, Node: 1, Child: 2,
+		Word: "[null,null]", TS: ev[3].TS + 1}
+	// Splice an extra word into round 0, before its round.done.
+	for i, e := range ev {
+		if e.Type == "round.done" && e.Round == 0 {
+			ev = append(ev[:i], append([]obs.Event{extra}, ev[i:]...)...)
+			break
+		}
+	}
+	if a := Replay(ev, Config{}); !hasKind(a.Violations(), KindPhase2Budget) {
+		t.Fatalf("extra round word not flagged: %v", a.Violations())
+	}
+}
+
+// The Theorem 8 and Lemma 6–7 monitors must flag a switch that thrashes
+// its configuration far past the per-switch envelope.
+func TestMonitorSwitchThrash(t *testing.T) {
+	ev := synth(2, 2, 4)
+	var spliced []obs.Event
+	for _, e := range ev {
+		spliced = append(spliced, e)
+		if e.Type == "round.start" {
+			// 40 alternating reconfigurations of switch 1 in each round:
+			// far beyond any adaptive bound for a 4-leaf tree.
+			for i := 0; i < 40; i++ {
+				cfg := "[l->p]"
+				if i%2 == 1 {
+					cfg = "[r->p]"
+				}
+				spliced = append(spliced, obs.Event{Type: "switch.config", Engine: "padr",
+					Round: e.Round, Node: 1, Config: cfg, TS: e.TS + int64(i) + 1})
+			}
+		}
+	}
+	a := Replay(spliced, Config{})
+	if !hasKind(a.Violations(), KindSwitchUnits) {
+		t.Errorf("thrashed switch not flagged for units: %v", a.Violations())
+	}
+	if !hasKind(a.Violations(), KindPortAlternations) {
+		t.Errorf("thrashed port not flagged for alternations: %v", a.Violations())
+	}
+	for _, v := range a.Violations() {
+		if v.Node != 1 {
+			t.Errorf("violation names node %d, want 1: %v", v.Node, v)
+		}
+	}
+}
+
+// A trace that ends mid-run must yield a truncation verdict on Flush, and
+// a second run.start must seal the first run the same way.
+func TestTruncatedRun(t *testing.T) {
+	ev := synth(2, 2, 4)
+	ev = ev[:len(ev)-1] // drop run.done
+	a := Replay(ev, Config{})
+	if !hasKind(a.Violations(), KindTruncatedRun) {
+		t.Fatalf("truncated trace not flagged: %v", a.Violations())
+	}
+
+	back2back := append(ev, synth(2, 2, 4)...)
+	a2 := Replay(back2back, Config{})
+	if got := a2.Totals().Runs; got != 2 {
+		t.Fatalf("back-to-back runs audited = %d, want 2", got)
+	}
+	if !hasKind(a2.Violations(), KindTruncatedRun) {
+		t.Fatalf("first run of back-to-back pair not flagged truncated: %v", a2.Violations())
+	}
+}
+
+// The ledger replay must bill the xbar semantics: establishment costs a
+// unit, re-driving a port after it was ever set is an alternation, holding
+// and dropping are free.
+func TestLedgerBilling(t *testing.T) {
+	sl := &SwitchLedger{Node: 1, FirstRound: -1, LastRound: -1}
+	mustCfg := func(s string) config {
+		c, err := parseConfig(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	sl.apply(0, mustCfg("[l->r]"))      // establish: 1 unit, 0 alternations
+	sl.apply(1, mustCfg("[l->r]"))      // hold: free
+	sl.apply(2, mustCfg("[p->r]"))      // re-drive r: 1 unit, 1 alternation
+	sl.apply(3, mustCfg("[]"))          // drop: free
+	sl.apply(4, mustCfg("[l->r p->l]")) // r again (+1 alt) and new l
+	if sl.Units != 4 {
+		t.Errorf("Units = %d, want 4", sl.Units)
+	}
+	if sl.Alternations != 2 {
+		t.Errorf("Alternations = %d, want 2", sl.Alternations)
+	}
+	if sl.Changes != 4 {
+		t.Errorf("Changes = %d, want 4 (the hold is not a change)", sl.Changes)
+	}
+	if sl.PortAlternations[SideR] != 2 || sl.PortAlternations[SideL] != 0 {
+		t.Errorf("port alternations = %v, want r=2 l=0", sl.PortAlternations)
+	}
+	if sl.FirstRound != 0 || sl.LastRound != 4 {
+		t.Errorf("round bracket = %d–%d, want 0–4", sl.FirstRound, sl.LastRound)
+	}
+}
+
+// parseConfig must accept the xbar rendering and reject malformed strings.
+func TestParseConfig(t *testing.T) {
+	c, err := parseConfig("[l->r p->l]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[SideR] != SideL || c[SideL] != SideP {
+		t.Errorf("parsed %v, want r<-l and l<-p", c)
+	}
+	if c2, err := parseConfig("[]"); err != nil || c2 != (config{}) {
+		t.Errorf("empty config: %v, %v", c2, err)
+	}
+	for _, bad := range []string{"", "l->r", "[l->]", "[x->r]", "[l=r]"} {
+		if _, err := parseConfig(bad); err == nil {
+			t.Errorf("parseConfig(%q): want error", bad)
+		}
+	}
+}
+
+// criticalPath must chain the latest arrival back to the root and
+// attribute per-hop deltas.
+func TestCriticalPath(t *testing.T) {
+	arr := make([]int64, 8)
+	arr[1] = 100 // root
+	arr[2], arr[3] = 150, 250
+	arr[6], arr[7] = 400, 300
+	cp, ok := criticalPath(5, 50, arr, 6, 400)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if cp.Round != 5 || cp.TotalNS != 350 {
+		t.Errorf("round %d total %d, want 5/350", cp.Round, cp.TotalNS)
+	}
+	wantNodes := []int{1, 3, 6}
+	if len(cp.Hops) != len(wantNodes) {
+		t.Fatalf("hops = %v, want nodes %v", cp.Hops, wantNodes)
+	}
+	wantDelta := []int64{50, 150, 150}
+	for i, h := range cp.Hops {
+		if h.Node != wantNodes[i] || h.DeltaNS != wantDelta[i] {
+			t.Errorf("hop %d = node %d Δ%d, want node %d Δ%d",
+				i, h.Node, h.DeltaNS, wantNodes[i], wantDelta[i])
+		}
+		if h.Level != depth(h.Node) {
+			t.Errorf("hop %d level = %d, want %d", i, h.Level, depth(h.Node))
+		}
+	}
+	if _, ok := criticalPath(0, 0, nil, 0, 0); ok {
+		t.Error("empty arrivals: want ok=false")
+	}
+}
+
+// The Perfetto export of a real trace must be valid Chrome trace JSON with
+// one named track per tree level plus the driver track.
+func TestPerfettoExport(t *testing.T) {
+	buf, _ := runPADR(t, "(()())..", power.Stateful)
+	events, err := ReadJSONL(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := WritePerfetto(&out, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty export")
+	}
+	tracks := map[string]bool{}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "M" && e.Name == "thread_name" {
+			tracks[e.Args["name"].(string)] = true
+		}
+		if e.Phase == "X" {
+			spans++
+			if e.Dur < 0 {
+				t.Errorf("span %q has negative duration", e.Name)
+			}
+		}
+	}
+	// An 8-leaf tree has levels 0..2; every level plus the driver must own
+	// a named track.
+	for _, want := range []string{"driver", "level 0", "level 1", "level 2"} {
+		if !tracks[want] {
+			t.Errorf("missing track %q (have %v)", want, tracks)
+		}
+	}
+	if spans == 0 {
+		t.Error("no duration spans in export")
+	}
+}
+
+// Markdown and HTML reports must render the verdict and the ledger.
+func TestReportRendering(t *testing.T) {
+	buf, _ := runPADR(t, "(())..", power.Stateful)
+	events, err := ReadJSONL(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Replay(events, Config{}).Report()
+	var md bytes.Buffer
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CLEAN", "# CST power-audit report", "| round |", "padr"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	var html bytes.Buffer
+	if err := rep.WriteHTML(&html); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html.String(), "<!DOCTYPE html>") {
+		t.Error("HTML report missing doctype")
+	}
+	if !strings.Contains(rep.Summary(), "CLEAN") {
+		t.Error("summary missing verdict")
+	}
+}
+
+// The auditor must bound retained runs and violations without losing the
+// aggregate counts.
+func TestRetentionBounds(t *testing.T) {
+	var ev []obs.Event
+	for i := 0; i < 5; i++ {
+		ev = append(ev, synth(3, 2, 4)...) // each run raises a round-count violation
+	}
+	a := Replay(ev, Config{KeepRuns: 2, KeepViolations: 3})
+	if got := len(a.Runs()); got != 2 {
+		t.Errorf("retained %d runs, want 2", got)
+	}
+	tot := a.Totals()
+	if tot.Runs != 5 {
+		t.Errorf("total runs = %d, want 5", tot.Runs)
+	}
+	if got := len(a.Violations()); got != 3 {
+		t.Errorf("retained %d violations, want 3", got)
+	}
+	if tot.Violations != 5 || tot.DroppedViolations != 2 {
+		t.Errorf("violation totals = %d/%d dropped, want 5/2", tot.Violations, tot.DroppedViolations)
+	}
+}
+
+// A nil auditor must be safe to feed and query.
+func TestNilAuditor(t *testing.T) {
+	var a *Auditor
+	a.Observe(obs.Event{Type: "run.start"})
+	a.Flush()
+	if a.Runs() != nil || a.Violations() != nil {
+		t.Error("nil auditor returned non-nil slices")
+	}
+	if a.Totals() != (Totals{}) {
+		t.Error("nil auditor returned non-zero totals")
+	}
+}
+
+// hasKind reports whether vs contains a violation of kind k.
+func hasKind(vs []Violation, k Kind) bool {
+	for _, v := range vs {
+		if v.Kind == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package audit
+
+// CritHop is one hop of a round's critical path: the word arrival that
+// gated the wave's progress into one tree level.
+type CritHop struct {
+	// Node is the receiving node.
+	Node int
+	// Level is the node's tree level (root = 0).
+	Level int
+	// TS is the arrival time (Unix ns).
+	TS int64
+	// DeltaNS is the time spent on this hop: arrival here minus arrival at
+	// the parent (or minus round start for the first hop).
+	DeltaNS int64
+}
+
+// RoundCritPath is the critical-path analysis of one Phase 2 round: the
+// root-to-latest chain of word arrivals that bounded the round's latency.
+// In the goroutine simulator the deltas are real concurrent wave latency;
+// in the sequential engine they reflect traversal order, which still
+// localizes where a round's time went.
+type RoundCritPath struct {
+	// Round is the 0-based Phase 2 round.
+	Round int
+	// Hops is the path, shallowest first.
+	Hops []CritHop
+	// TotalNS is the span from round start to the last arrival on the path.
+	TotalNS int64
+}
+
+// criticalPath reconstructs a round's critical path from its word-arrival
+// table (indexed by node, 0 = no arrival). The terminal node is the round's
+// latest arrival — last/lastTS, tracked incrementally by the caller so no
+// rescan of the table is needed; the path walks heap parents back to the
+// root, attributing to each hop the delta from its parent's arrival
+// (missing parents inherit the round start). Returns ok=false when the
+// round carried no words.
+func criticalPath(round int, startTS int64, arrivals []int64, last int, lastTS int64) (RoundCritPath, bool) {
+	if last <= 0 {
+		return RoundCritPath{}, false
+	}
+	// Walk root-ward collecting the chain of arrivals feeding the terminal
+	// node. A parent with no recorded arrival (the root, whose word comes
+	// from the driver) ends the walk.
+	var chain []CritHop
+	for n := last; n >= 1; n /= 2 {
+		if n >= len(arrivals) || arrivals[n] == 0 {
+			break
+		}
+		chain = append(chain, CritHop{Node: n, Level: depth(n), TS: arrivals[n]})
+	}
+	// Reverse into shallowest-first order and compute per-hop deltas.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	prev := startTS
+	for i := range chain {
+		d := chain[i].TS - prev
+		if d < 0 {
+			d = 0
+		}
+		chain[i].DeltaNS = d
+		prev = chain[i].TS
+	}
+	total := lastTS - startTS
+	if total < 0 {
+		total = 0
+	}
+	return RoundCritPath{Round: round, Hops: chain, TotalNS: total}, true
+}

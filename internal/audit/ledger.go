@@ -1,0 +1,246 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Side indexes a crossbar port in the ledger's replayed switch model; the
+// values mirror internal/xbar (0 = unconnected) without importing it, so the
+// audit layer stays a pure trace consumer.
+type Side uint8
+
+// Port sides of the replayed crossbar model.
+const (
+	// SideNone marks an undriven output.
+	SideNone Side = iota
+	// SideL is the left-child port.
+	SideL
+	// SideR is the right-child port.
+	SideR
+	// SideP is the parent port.
+	SideP
+)
+
+// parseSide maps the paper's one-letter port names back to sides.
+func parseSide(s string) (Side, bool) {
+	switch s {
+	case "l":
+		return SideL, true
+	case "r":
+		return SideR, true
+	case "p":
+		return SideP, true
+	}
+	return SideNone, false
+}
+
+// config is a replayed switch configuration: the input driving each output,
+// indexed by output Side ([0] unused) — the audit-side mirror of
+// xbar.Config reconstructed from the traced "[l->r p->l]" strings.
+type config [4]Side
+
+// parseConfig decodes a traced configuration string such as "[l->r p->l]"
+// ("[]" when empty) into the driver table.
+func parseConfig(s string) (config, error) {
+	var c config
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return c, fmt.Errorf("audit: config %q: want [...]", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		return c, nil
+	}
+	for _, part := range strings.Fields(body) {
+		in, out, ok := strings.Cut(part, "->")
+		if !ok {
+			return c, fmt.Errorf("audit: config %q: bad connection %q", s, part)
+		}
+		is, ok1 := parseSide(in)
+		os, ok2 := parseSide(out)
+		if !ok1 || !ok2 || os == SideNone || is == SideNone {
+			return c, fmt.Errorf("audit: config %q: bad connection %q", s, part)
+		}
+		c[os] = is
+	}
+	return c, nil
+}
+
+// SwitchLedger is the per-switch row of the power-audit ledger: what one
+// switch spent over one run, reconstructed purely from its switch.config
+// trace events. On a clean stateful run Units and Alternations must equal
+// the engine's own xbar meters (cst_padr_power_units_total /
+// cst_padr_alternations_total); tests and Auditor.CrossCheck pin this.
+type SwitchLedger struct {
+	// Node is the switch's tree node.
+	Node int
+	// Changes counts switch.config events: configurations that actually
+	// changed (the Theorem 8 quantity).
+	Changes int
+	// Units counts power units: connections established that were not
+	// already held (§2.3 model, one unit each).
+	Units int
+	// Alternations counts output-driver changes after the first
+	// establishment, summed over the three outputs (the Lemma 6–7 quantity).
+	Alternations int
+	// PortAlternations holds the per-output alternation counts behind
+	// Alternations, indexed by Side ([0] unused) — what the Lemma 6–7
+	// monitor bounds per port.
+	PortAlternations [4]int
+	// FirstRound and LastRound bracket the rounds in which this switch
+	// reconfigured (-1 when it never did; Phase 1 counts as -1).
+	FirstRound, LastRound int
+
+	// replay state
+	cur     config
+	everSet [4]bool
+}
+
+// apply diffs the switch's traced configuration against the previous one,
+// billing units and alternations exactly as xbar.Switch.Connect does:
+// establishing a connection costs one unit; re-driving an output that was
+// ever driven before by a different input is one alternation; dropping a
+// connection is free.
+func (sl *SwitchLedger) apply(round int, next config) {
+	changed := false
+	for out := SideL; out <= SideP; out++ {
+		was, now := sl.cur[out], next[out]
+		if was == now {
+			continue
+		}
+		changed = true
+		if now != SideNone {
+			sl.Units++
+			if sl.everSet[out] {
+				sl.Alternations++
+				sl.PortAlternations[out]++
+			}
+			sl.everSet[out] = true
+		}
+	}
+	if changed {
+		sl.Changes++
+		if sl.FirstRound == -1 {
+			sl.FirstRound = round
+		}
+		sl.LastRound = round
+	}
+	sl.cur = next
+}
+
+// roundReset models a Stateless engine's free teardown at the start of each
+// round: the configuration clears, the meters and everSet memory persist.
+func (sl *SwitchLedger) roundReset() { sl.cur = config{} }
+
+// RoundLedger is the per-round row of the ledger: what one Phase 2 round
+// cost across the whole tree.
+type RoundLedger struct {
+	// Round is the 0-based Phase 2 round.
+	Round int
+	// Comms is the number of communications performed (round.done's count).
+	Comms int
+	// Words and ActiveWords count the round's Phase 2 control words and the
+	// non-[null,null] subset.
+	Words, ActiveWords int
+	// Configs counts switch.config events in the round; Units the power
+	// units they spent. A round with Configs == 0 is quiescent: the fabric
+	// held every circuit for free.
+	Configs, Units int
+	// DurNS is the round's wall time (round.done's measurement).
+	DurNS int64
+}
+
+// Quiescent reports whether the round reconfigured nothing.
+func (r RoundLedger) Quiescent() bool { return r.Configs == 0 }
+
+// Ledger is the complete power-audit ledger of one run: per-switch and
+// per-round attribution of every configuration change the trace recorded.
+type Ledger struct {
+	// Switches maps tree node → per-switch ledger row.
+	Switches map[int]*SwitchLedger
+	// Rounds holds one row per Phase 2 round, in order.
+	Rounds []RoundLedger
+}
+
+// newLedger builds an empty ledger.
+func newLedger() *Ledger {
+	return &Ledger{Switches: map[int]*SwitchLedger{}}
+}
+
+// switchRow returns (creating on first use) the row for node.
+func (l *Ledger) switchRow(node int) *SwitchLedger {
+	sl := l.Switches[node]
+	if sl == nil {
+		sl = &SwitchLedger{Node: node, FirstRound: -1, LastRound: -1}
+		l.Switches[node] = sl
+	}
+	return sl
+}
+
+// TotalUnits sums power units over all switches.
+func (l *Ledger) TotalUnits() int {
+	total := 0
+	for _, sl := range l.Switches {
+		total += sl.Units
+	}
+	return total
+}
+
+// TotalAlternations sums alternations over all switches.
+func (l *Ledger) TotalAlternations() int {
+	total := 0
+	for _, sl := range l.Switches {
+		total += sl.Alternations
+	}
+	return total
+}
+
+// TotalChanges sums configuration changes over all switches.
+func (l *Ledger) TotalChanges() int {
+	total := 0
+	for _, sl := range l.Switches {
+		total += sl.Changes
+	}
+	return total
+}
+
+// MaxUnits returns the hottest per-switch unit count — the number Theorem 8
+// bounds by O(1).
+func (l *Ledger) MaxUnits() int {
+	maxu := 0
+	for _, sl := range l.Switches {
+		if sl.Units > maxu {
+			maxu = sl.Units
+		}
+	}
+	return maxu
+}
+
+// QuiescentRounds counts rounds in which no switch reconfigured.
+func (l *Ledger) QuiescentRounds() int {
+	n := 0
+	for _, r := range l.Rounds {
+		if r.Quiescent() {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedSwitches returns the per-switch rows sorted by units descending,
+// then node ascending — the rendering order of the ledger tables.
+func (l *Ledger) SortedSwitches() []*SwitchLedger {
+	out := make([]*SwitchLedger, 0, len(l.Switches))
+	for _, sl := range l.Switches {
+		out = append(out, sl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Units != out[j].Units {
+			return out[i].Units > out[j].Units
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -1,0 +1,123 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cst/internal/obs"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Array
+// Format"), the subset Perfetto and chrome://tracing both load.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// enginePID maps engines to stable Perfetto process IDs.
+func enginePID(engine string) int {
+	switch engine {
+	case "padr":
+		return 1
+	case "sim":
+		return 2
+	case "online":
+		return 3
+	default:
+		return 9
+	}
+}
+
+// WritePerfetto renders a trace as Chrome trace-event JSON loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each engine becomes a
+// process; thread 0 carries the driver's spans (Phase 1, rounds, runs) and
+// thread d+1 carries level-d switch instants — one track per tree level, so
+// a wave reads as a diagonal cascade down the track list. Word sends and
+// switch reconfigurations are instant events; spans derive from the *.done
+// events' measured durations.
+func WritePerfetto(w io.Writer, events []obs.Event) error {
+	var out []chromeEvent
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+
+	type track struct{ pid, tid int }
+	named := map[track]string{}
+	procs := map[int]string{}
+	add := func(ev chromeEvent) { out = append(out, ev) }
+	ensure := func(engine string, tid int, name string) track {
+		t := track{enginePID(engine), tid}
+		if _, ok := procs[t.pid]; !ok {
+			procs[t.pid] = engine
+		}
+		if _, ok := named[t]; !ok {
+			named[t] = name
+		}
+		return t
+	}
+
+	runIdx := map[string]int{}
+	for _, e := range events {
+		switch e.Type {
+		case "run.start":
+			runIdx[e.Engine]++
+			t := ensure(e.Engine, 0, "driver")
+			add(chromeEvent{Name: fmt.Sprintf("run %d start", runIdx[e.Engine]-1),
+				Phase: "i", TS: us(e.TS), PID: t.pid, TID: t.tid, Scope: "p",
+				Args: map[string]any{"comms": e.N, "mode": e.Mode}})
+		case "phase1.done":
+			t := ensure(e.Engine, 0, "driver")
+			add(chromeEvent{Name: "phase1", Phase: "X",
+				TS: us(e.TS - e.DurNS), Dur: us(e.DurNS), PID: t.pid, TID: t.tid,
+				Args: map[string]any{"words": e.N, "width": e.Width}})
+		case "round.done":
+			t := ensure(e.Engine, 0, "driver")
+			add(chromeEvent{Name: fmt.Sprintf("round %d", e.Round), Phase: "X",
+				TS: us(e.TS - e.DurNS), Dur: us(e.DurNS), PID: t.pid, TID: t.tid,
+				Args: map[string]any{"comms": e.N}})
+		case "run.done":
+			t := ensure(e.Engine, 0, "driver")
+			add(chromeEvent{Name: fmt.Sprintf("run %d", runIdx[e.Engine]-1), Phase: "X",
+				TS: us(e.TS - e.DurNS), Dur: us(e.DurNS), PID: t.pid, TID: t.tid,
+				Args: map[string]any{"width": e.Width}})
+		case "run.error":
+			t := ensure(e.Engine, 0, "driver")
+			add(chromeEvent{Name: "run.error", Phase: "i", TS: us(e.TS),
+				PID: t.pid, TID: t.tid, Scope: "p",
+				Args: map[string]any{"err": e.Err, "round": e.Round, "node": e.Node}})
+		case "switch.config":
+			d := depth(e.Node)
+			t := ensure(e.Engine, d+1, fmt.Sprintf("level %d", d))
+			add(chromeEvent{Name: "config " + e.Config, Phase: "i", TS: us(e.TS),
+				PID: t.pid, TID: t.tid, Scope: "t",
+				Args: map[string]any{"node": e.Node, "round": e.Round}})
+		case "word.send":
+			d := depth(e.Node)
+			t := ensure(e.Engine, d+1, fmt.Sprintf("level %d", d))
+			add(chromeEvent{Name: "word " + e.Word, Phase: "i", TS: us(e.TS),
+				PID: t.pid, TID: t.tid, Scope: "t",
+				Args: map[string]any{"node": e.Node, "child": e.Child, "round": e.Round}})
+		}
+	}
+
+	// Metadata last: name every process and track we actually emitted to.
+	for pid, name := range procs {
+		add(chromeEvent{Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": name}})
+	}
+	for t, name := range named {
+		add(chromeEvent{Name: "thread_name", Phase: "M", PID: t.pid, TID: t.tid,
+			Args: map[string]any{"name": name}})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{out, "ms"})
+}

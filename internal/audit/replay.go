@@ -1,0 +1,49 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cst/internal/obs"
+)
+
+// ReadJSONL decodes a JSONL trace stream (the format Tracer.WriteJSONL and
+// the /trace endpoint produce) into events, in order. Blank lines are
+// skipped; a malformed line aborts with its line number so a truncated
+// download fails loudly instead of auditing half a trace.
+func ReadJSONL(r io.Reader) ([]obs.Event, error) {
+	var out []obs.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("audit: trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("audit: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// Replay feeds a saved trace through a fresh auditor and returns it,
+// flushed: every run in the trace — including one the trace truncates —
+// has a verdict.
+func Replay(events []obs.Event, cfg Config) *Auditor {
+	a := New(cfg)
+	for _, e := range events {
+		a.Observe(e)
+	}
+	a.Flush()
+	return a
+}

@@ -1,0 +1,193 @@
+package audit
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is an immutable snapshot of an auditor's findings, ready to
+// render. Build one with Auditor.Report.
+type Report struct {
+	// Totals holds the aggregate counters.
+	Totals Totals
+	// Runs holds the retained per-run audits, oldest first.
+	Runs []*RunAudit
+	// Violations holds the retained violations in detection order.
+	Violations []Violation
+}
+
+// Report snapshots the auditor.
+func (a *Auditor) Report() *Report {
+	return &Report{Totals: a.Totals(), Runs: a.Runs(), Violations: a.Violations()}
+}
+
+// Clean reports whether the audit raised no violations at all.
+func (r *Report) Clean() bool { return r.Totals.Violations == 0 }
+
+// Summary renders a terse one-screen text verdict (the cstaudit default
+// output).
+func (r *Report) Summary() string {
+	var b strings.Builder
+	t := r.Totals
+	verdict := "CLEAN"
+	if t.Violations > 0 {
+		verdict = fmt.Sprintf("%d VIOLATIONS", t.Violations)
+	}
+	fmt.Fprintf(&b, "audit: %s — %d events, %d runs (%d failed)\n",
+		verdict, t.Events, t.Runs, t.FailedRuns)
+	fmt.Fprintf(&b, "ledger: %d power units, %d alternations, %d config changes, %d quiescent rounds\n",
+		t.Units, t.Alternations, t.Changes, t.QuiescentRounds)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  ✗ %s\n", v.Error())
+	}
+	if t.DroppedViolations > 0 {
+		fmt.Fprintf(&b, "  … %d more violations not retained\n", t.DroppedViolations)
+	}
+	return b.String()
+}
+
+// WriteMarkdown renders the full audit report as markdown: verdict,
+// aggregate ledger, per-run tables (hottest switches, per-round costs,
+// critical-path level attribution) and the violation list.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	t := r.Totals
+	b.WriteString("# CST power-audit report\n\n")
+	if r.Clean() {
+		b.WriteString("**Verdict: CLEAN** — every monitored theorem held.\n\n")
+	} else {
+		fmt.Fprintf(&b, "**Verdict: %d violation(s)** — details below.\n\n", t.Violations)
+	}
+	fmt.Fprintf(&b, "| events | runs | failed | power units | alternations | config changes | quiescent rounds |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %d |\n\n",
+		t.Events, t.Runs, t.FailedRuns, t.Units, t.Alternations, t.Changes, t.QuiescentRounds)
+
+	if len(r.Violations) > 0 {
+		b.WriteString("## Violations\n\n")
+		b.WriteString("| kind | engine | run | round | node | got | bound |\n|---|---|---|---|---|---|---|\n")
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %d | %d |\n",
+				v.Kind, v.Engine, v.Run, v.Round, v.Node, v.Got, v.Want)
+		}
+		b.WriteString("\n")
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "- %s\n", v.Error())
+		}
+		b.WriteString("\n")
+		if t.DroppedViolations > 0 {
+			fmt.Fprintf(&b, "…plus %d violation(s) not retained.\n\n", t.DroppedViolations)
+		}
+	}
+
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "## Run %d — %s\n\n", run.Index, run.Engine)
+		status := "ok"
+		if run.Err != "" {
+			status = "FAILED: " + run.Err
+		} else if !runDone(run) {
+			status = "TRUNCATED"
+		}
+		fmt.Fprintf(&b, "- status: %s\n- mode: %s, comms: %d, width: %d, rounds: %d, leaves: %d\n",
+			status, orDash(run.Mode), run.Comms, run.Width, run.Rounds, run.Leaves)
+		fmt.Fprintf(&b, "- phase 1: %d words in %v; run: %v\n",
+			run.Phase1Words, time.Duration(run.Phase1DurNS), time.Duration(run.DurNS))
+		fmt.Fprintf(&b, "- ledger: %d units, %d alternations, %d changes, max %d units/switch, %d quiescent round(s)\n\n",
+			run.Ledger.TotalUnits(), run.Ledger.TotalAlternations(),
+			run.Ledger.TotalChanges(), run.Ledger.MaxUnits(), run.Ledger.QuiescentRounds())
+
+		if sw := run.Ledger.SortedSwitches(); len(sw) > 0 {
+			b.WriteString("| switch | units | changes | alternations | l/r/p | rounds |\n|---|---|---|---|---|---|\n")
+			for i, sl := range sw {
+				if i == 10 {
+					fmt.Fprintf(&b, "| … %d more | | | | | |\n", len(sw)-i)
+					break
+				}
+				fmt.Fprintf(&b, "| %d | %d | %d | %d | %d/%d/%d | %d–%d |\n",
+					sl.Node, sl.Units, sl.Changes, sl.Alternations,
+					sl.PortAlternations[SideL], sl.PortAlternations[SideR], sl.PortAlternations[SideP],
+					sl.FirstRound, sl.LastRound)
+			}
+			b.WriteString("\n")
+		}
+		if len(run.Ledger.Rounds) > 0 {
+			b.WriteString("| round | comms | words | active | configs | units | dur | critical path |\n|---|---|---|---|---|---|---|---|\n")
+			for _, rl := range run.Ledger.Rounds {
+				fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %v | %s |\n",
+					rl.Round, rl.Comms, rl.Words, rl.ActiveWords, rl.Configs, rl.Units,
+					time.Duration(rl.DurNS), critPathFor(run, rl.Round))
+			}
+			b.WriteString("\n")
+		}
+		if len(run.LevelNS) > 0 {
+			b.WriteString("Critical-path time by tree level: ")
+			parts := make([]string, 0, len(run.LevelNS))
+			for lvl, ns := range run.LevelNS {
+				parts = append(parts, fmt.Sprintf("L%d %v", lvl, time.Duration(ns)))
+			}
+			b.WriteString(strings.Join(parts, ", ") + "\n\n")
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteHTML renders the report as a self-contained HTML page (the CI chaos
+// artifact): the markdown content wrapped in minimal styling, with the
+// verdict color-coded.
+func (r *Report) WriteHTML(w io.Writer) error {
+	var md strings.Builder
+	if err := r.WriteMarkdown(&md); err != nil {
+		return err
+	}
+	color := "#0a0"
+	if !r.Clean() {
+		color = "#c00"
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<title>CST power-audit report</title>\n<style>\n")
+	b.WriteString("body{font-family:monospace;max-width:72rem;margin:2rem auto;padding:0 1rem;background:#fafafa}\n")
+	fmt.Fprintf(&b, "h1{border-bottom:3px solid %s}\n", color)
+	b.WriteString("pre{background:#fff;border:1px solid #ddd;padding:1rem;overflow-x:auto}\n")
+	b.WriteString("</style></head><body>\n<h1>CST power-audit report</h1>\n<pre>")
+	b.WriteString(html.EscapeString(md.String()))
+	b.WriteString("</pre>\n</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// runDone reports whether the run saw a terminal event (exported state is
+// needed by the renderer; the field itself stays private to the auditor).
+func runDone(r *RunAudit) bool { return r.done }
+
+// Done reports whether the run reached a terminal run.done or run.error
+// event (false = truncated trace).
+func (r *RunAudit) Done() bool { return r.done }
+
+// critPathFor renders a run's critical path for one round as
+// "1→3→6 (1.2µs)", or "-" when none was recorded.
+func critPathFor(run *RunAudit, round int) string {
+	for _, cp := range run.CritPaths {
+		if cp.Round != round {
+			continue
+		}
+		nodes := make([]string, len(cp.Hops))
+		for i, h := range cp.Hops {
+			nodes[i] = fmt.Sprintf("%d", h.Node)
+		}
+		return fmt.Sprintf("%s (%v)", strings.Join(nodes, "→"), time.Duration(cp.TotalNS))
+	}
+	return "-"
+}
+
+// orDash substitutes "-" for an empty string in report cells.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"cst/internal/adversary"
+	"cst/internal/audit"
 	"cst/internal/baseline"
 	"cst/internal/circuit"
 	"cst/internal/comm"
@@ -44,6 +45,11 @@ type Config struct {
 	Obs *obs.Registry
 	// Trace, when non-nil, receives the engines' structured JSONL events.
 	Trace *obs.Tracer
+	// Audit, when non-nil, follows the run live: RunOne installs it as the
+	// tracer's sink, so the power ledger and theorem monitors replay every
+	// experiment's event stream as it happens. Requires Trace to be set —
+	// the auditor taps the same stream the tracer records.
+	Audit *audit.Auditor
 }
 
 // padrOpts appends the config's observability options to extra.
@@ -151,6 +157,9 @@ func RunAll(w io.Writer, cfg Config) error {
 
 // RunOne executes a single experiment with its standard header.
 func RunOne(w io.Writer, e Experiment, cfg Config) error {
+	if cfg.Audit != nil && cfg.Trace != nil {
+		cfg.Trace.SetSink(cfg.Audit.Observe)
+	}
 	fmt.Fprintf(w, "## %s — %s\n\nClaim: %s.\n\n", e.ID, e.Title, e.Claim)
 	if err := e.Run(w, cfg); err != nil {
 		return fmt.Errorf("%s: %v", e.ID, err)

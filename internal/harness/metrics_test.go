@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cst/internal/obs"
+)
+
+// MetricsSummary must render one row per engine that ran, derive the
+// per-round and per-switch ratios, and omit idle engines.
+func TestMetricsSummary(t *testing.T) {
+	r := obs.New()
+	r.Counter("cst_padr_runs_total", "").Add(2)
+	r.Counter("cst_padr_rounds_total", "").Add(10)
+	r.Counter("cst_padr_phase2_words_total", "").Add(140)
+	r.Counter("cst_padr_power_units_total", "").Add(66)
+	r.Counter("cst_padr_switches_total", "").Add(33)
+	h := r.Histogram("cst_padr_round_latency_seconds", "", []float64{0.001, 0.01})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.0005)
+	}
+
+	out := MetricsSummary(r.Snapshot())
+	if !strings.HasPrefix(out, "|") {
+		t.Errorf("summary is not a markdown table:\n%s", out)
+	}
+	for _, want := range []string{
+		"| padr ", "| 2 ", "| 10 ",
+		"14.00", // 140 phase-2 words over 10 rounds
+		"2.00",  // 66 units over 33 switches
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "| sim ") || strings.Contains(out, "| online ") {
+		t.Errorf("idle engines must be omitted:\n%s", out)
+	}
+}
+
+// The online dispatcher row measures latency in rounds and throughput per
+// busy round.
+func TestMetricsSummaryOnlineRow(t *testing.T) {
+	r := obs.New()
+	r.Counter("cst_online_batches_total", "").Add(4)
+	r.Counter("cst_online_busy_rounds_total", "").Add(20)
+	r.Counter("cst_online_completed_total", "").Add(30)
+	h := r.Histogram("cst_online_request_latency_rounds", "", []float64{1, 8, 64})
+	for i := 0; i < 8; i++ {
+		h.Observe(4)
+	}
+	out := MetricsSummary(r.Snapshot())
+	if !strings.Contains(out, "| online ") {
+		t.Fatalf("missing online row:\n%s", out)
+	}
+	if !strings.Contains(out, "rd") {
+		t.Errorf("online latency must be in rounds:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50") { // 30 completed over 20 busy rounds
+		t.Errorf("missing completions-per-round ratio:\n%s", out)
+	}
+}
+
+// An all-idle snapshot yields the explanatory line, not an empty table.
+func TestMetricsSummaryEmpty(t *testing.T) {
+	out := MetricsSummary(obs.New().Snapshot())
+	if !strings.Contains(out, "no instrumented engine runs") {
+		t.Errorf("empty snapshot summary = %q", out)
+	}
+}

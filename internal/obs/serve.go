@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -12,7 +13,10 @@ import (
 //
 //	GET /metrics        Prometheus text exposition of reg
 //	GET /healthz        "ok" (liveness)
-//	GET /trace          JSONL dump of the tracer's retained event ring
+//	GET /trace          NDJSON dump of the tracer's retained event ring;
+//	                    ?since=<seq> returns only events newer than seq, and
+//	                    the X-Trace-Last-Seq response header carries the
+//	                    cursor for the next incremental poll
 //	GET /debug/pprof/…  the standard net/http/pprof handlers
 //
 // reg and tr may be nil; the endpoints then serve empty bodies. The
@@ -29,8 +33,18 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var since int64
+		if v := r.URL.Query().Get("since"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				http.Error(w, "bad since parameter: want a non-negative event seq", http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = tr.WriteJSONL(w)
+		w.Header().Set("X-Trace-Last-Seq", strconv.FormatInt(tr.Events(), 10))
+		_ = tr.WriteJSONLSince(w, since)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -40,6 +40,13 @@ type Event struct {
 	DurNS int64 `json:"dur_ns,omitempty"`
 	// N is a generic count (messages in a wave, comms in a round/batch).
 	N int `json:"n,omitempty"`
+	// Width is the communication set's link width, stamped on phase1.done
+	// and run.done events so trace consumers (internal/audit) can check the
+	// round-count theorems without access to the engine.
+	Width int `json:"width,omitempty"`
+	// Mode is the power accounting mode ("stateful"/"stateless"), stamped
+	// on run.start so a replayed ledger bills reconfigurations correctly.
+	Mode string `json:"mode,omitempty"`
 	// Err carries failure text on *.error events.
 	Err string `json:"err,omitempty"`
 }
@@ -56,6 +63,14 @@ type Tracer struct {
 	wrapped bool
 	seq     int64
 	dropped int64
+	evicted int64
+	// evictedC, when attached via Instrument, mirrors evicted as the
+	// cst_obs_trace_dropped_total series so ring overwrites are visible on
+	// /metrics instead of silent.
+	evictedC *Counter
+	// sink, when set, receives every event synchronously after sequence
+	// assignment — the live tap the audit layer consumes.
+	sink func(Event)
 }
 
 // DefaultRingSize bounds the tracer's in-memory event ring; ~64k events is
@@ -83,12 +98,21 @@ func (t *Tracer) Emit(e Event) {
 	defer t.mu.Unlock()
 	t.seq++
 	e.Seq = t.seq
+	if t.sink != nil {
+		t.sink(e)
+	}
 	b, err := json.Marshal(e)
 	if err != nil {
 		t.dropped++
 		return
 	}
 	b = append(b, '\n')
+	if t.ring[t.next] != nil {
+		// Overwriting an event nobody downloaded yet: count the eviction so
+		// a scraper polling /trace can tell its view has holes.
+		t.evicted++
+		t.evictedC.Inc()
+	}
 	t.ring[t.next] = b
 	t.next++
 	if t.next == len(t.ring) {
@@ -100,6 +124,33 @@ func (t *Tracer) Emit(e Event) {
 			t.dropped++
 		}
 	}
+}
+
+// SetSink installs fn as the tracer's live event tap: every Emit calls it
+// synchronously (under the tracer lock, with Seq and TS assigned) in
+// emission order. Pass nil to detach. The audit layer attaches its Observe
+// method here; fn must not call back into the tracer.
+func (t *Tracer) SetSink(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = fn
+}
+
+// Instrument publishes the tracer's ring-eviction count to r as
+// cst_obs_trace_dropped_total. Nil-safe on both sides.
+func (t *Tracer) Instrument(r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	c := r.Counter("cst_obs_trace_dropped_total",
+		"trace events evicted from the ring buffer before being downloaded")
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.Add(t.evicted)
+	t.evictedC = c
 }
 
 // Events returns how many events have been emitted.
@@ -122,8 +173,26 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
+// Evicted returns how many events the ring overwrote before they were ever
+// downloaded (the cst_obs_trace_dropped_total quantity).
+func (t *Tracer) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
 // WriteJSONL dumps the retained ring, oldest first, as JSON lines.
-func (t *Tracer) WriteJSONL(w io.Writer) error {
+func (t *Tracer) WriteJSONL(w io.Writer) error { return t.WriteJSONLSince(w, 0) }
+
+// WriteJSONLSince dumps the retained events with Seq > since, oldest first,
+// as JSON lines — the incremental-polling contract behind /trace?since=N: a
+// scraper remembers the last seq it saw and asks only for the tail. since
+// <= 0 dumps the whole ring. Events older than the ring are gone; the
+// cst_obs_trace_dropped_total counter says how many.
+func (t *Tracer) WriteJSONLSince(w io.Writer, since int64) error {
 	if t == nil {
 		return nil
 	}
@@ -133,6 +202,18 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		lines = append(lines, t.ring[t.next:]...)
 	}
 	lines = append(lines, t.ring[:t.next]...)
+	// The ring is sequential: the retained events are exactly seqs
+	// t.seq-len(lines)+1 .. t.seq, oldest first, so "Seq > since" is a
+	// prefix skip — no per-line decoding needed.
+	if since > 0 {
+		oldest := t.seq - int64(len(lines)) + 1
+		skip := since - oldest + 1
+		if skip >= int64(len(lines)) {
+			lines = nil
+		} else if skip > 0 {
+			lines = lines[skip:]
+		}
+	}
 	// Copy out under the lock so emission can continue while we write.
 	buf := make([]byte, 0, 256*len(lines))
 	for _, l := range lines {

@@ -96,7 +96,16 @@ func (e *Engine) fail(err error) error {
 	e.met.errs.Inc()
 	e.met.width.Set(0)
 	if e.tracer != nil {
-		e.tracer.Emit(obs.Event{Type: "run.error", Engine: "padr", Round: -1, Err: err.Error()})
+		// A typed fault carries the dying round and implicated node; stamp
+		// them on the event so a replayed audit can name the culprit without
+		// parsing the error text.
+		ev := obs.Event{Type: "run.error", Engine: "padr", Round: -1, Err: err.Error()}
+		var fe *fault.Error
+		if errors.As(err, &fe) {
+			ev.Round = fe.Round
+			ev.Node = int(fe.Node)
+		}
+		e.tracer.Emit(ev)
 	}
 	return err
 }

@@ -423,7 +423,7 @@ func (e *Engine) prepare() (*prepared, error) {
 		e.unitsBase, e.altBase = e.meterTotals()
 	}
 	if e.tracer != nil {
-		e.tracer.Emit(obs.Event{Type: "run.start", Engine: "padr", Round: -1, N: e.set.Len()})
+		e.tracer.Emit(obs.Event{Type: "run.start", Engine: "padr", Round: -1, N: e.set.Len(), Mode: e.mode.String()})
 	}
 	e.inj.BeginRun()
 	// Pruning skips per-word and per-switch callbacks inside inert
@@ -448,7 +448,7 @@ func (e *Engine) prepare() (*prepared, error) {
 	if e.tracer != nil {
 		e.tracer.Emit(obs.Event{
 			Type: "phase1.done", Engine: "padr", Round: -1,
-			N: e.upWords, DurNS: time.Since(e.runStart).Nanoseconds(),
+			N: e.upWords, DurNS: time.Since(e.runStart).Nanoseconds(), Width: width,
 		})
 	}
 
@@ -557,7 +557,7 @@ func (e *Engine) finalize(p *prepared) (*Result, error) {
 		if e.tracer != nil {
 			e.tracer.Emit(obs.Event{
 				Type: "run.done", Engine: "padr", Round: -1,
-				N: rounds, DurNS: time.Since(e.runStart).Nanoseconds(),
+				N: rounds, DurNS: time.Since(e.runStart).Nanoseconds(), Width: p.width,
 			})
 		}
 	}

@@ -377,7 +377,7 @@ func (f *Fabric) RunContext(ctx context.Context, s *comm.Set) (*Result, error) {
 	met.runs.Inc()
 	runStart := time.Now()
 	if cfg.tracer != nil {
-		cfg.tracer.Emit(obs.Event{Type: "run.start", Engine: "sim", Round: -1, N: s.Len()})
+		cfg.tracer.Emit(obs.Event{Type: "run.start", Engine: "sim", Round: -1, N: s.Len(), Mode: cfg.mode.String()})
 	}
 
 	n := t.Leaves()
@@ -439,7 +439,7 @@ func (f *Fabric) RunContext(ctx context.Context, s *comm.Set) (*Result, error) {
 	met.phase1.Add(int64(2*n - 2))
 	if cfg.tracer != nil {
 		cfg.tracer.Emit(obs.Event{Type: "phase1.done", Engine: "sim", Round: -1,
-			N: 2*n - 2, DurNS: time.Since(phase1Start).Nanoseconds()})
+			N: 2*n - 2, DurNS: time.Since(phase1Start).Nanoseconds(), Width: width})
 	}
 	if rootUp.S != 0 || rootUp.D != 0 {
 		f.endRun()
@@ -510,8 +510,15 @@ func (f *Fabric) RunContext(ctx context.Context, s *comm.Set) (*Result, error) {
 				runErr = &fault.Error{Engine: "sim", Round: rounds, Kind: fault.ErrDeadline, Detail: ctx.Err()}
 				stalled = true
 			case <-wdC:
-				runErr = &fault.Error{Engine: "sim", Round: rounds, Kind: fault.ErrDeadline,
-					Detail: fault.NewStall(t, f.reported)}
+				stall := fault.NewStall(t, f.reported)
+				fe := &fault.Error{Engine: "sim", Round: rounds, Kind: fault.ErrDeadline, Detail: stall}
+				if len(stall.DarkSubtrees) > 0 {
+					// A single dark frontier node is the prime suspect (a
+					// frozen switch shows up as exactly its subtree); pin it
+					// so the audit trail names the switch, not just the wave.
+					fe.Node = stall.DarkSubtrees[0]
+				}
+				runErr = fe
 				stalled = true
 			}
 		}
@@ -582,7 +589,7 @@ func (f *Fabric) RunContext(ctx context.Context, s *comm.Set) (*Result, error) {
 	met.runTime.ObserveDuration(time.Since(runStart))
 	if cfg.tracer != nil {
 		cfg.tracer.Emit(obs.Event{Type: "run.done", Engine: "sim", Round: rounds,
-			N: s.Len(), DurNS: time.Since(runStart).Nanoseconds()})
+			N: s.Len(), DurNS: time.Since(runStart).Nanoseconds(), Width: width})
 	}
 	return &Result{
 		Schedule:       schedule,
@@ -612,7 +619,13 @@ func (f *Fabric) runFailed(err error, round int) error {
 		f.met.deadlines.Inc()
 	}
 	if f.cfg.tracer != nil {
-		f.cfg.tracer.Emit(obs.Event{Type: "run.error", Engine: "sim", Round: round, Err: err.Error()})
+		ev := obs.Event{Type: "run.error", Engine: "sim", Round: round, Err: err.Error()}
+		var fe *fault.Error
+		if errors.As(err, &fe) {
+			ev.Round = fe.Round
+			ev.Node = int(fe.Node)
+		}
+		f.cfg.tracer.Emit(ev)
 	}
 	return err
 }
@@ -628,7 +641,8 @@ func (f *Fabric) abort(ferr *fault.Error) error {
 	f.met.errs.Inc()
 	f.met.deadlines.Inc()
 	if f.cfg.tracer != nil {
-		f.cfg.tracer.Emit(obs.Event{Type: "run.error", Engine: "sim", Round: ferr.Round, Err: ferr.Error()})
+		f.cfg.tracer.Emit(obs.Event{Type: "run.error", Engine: "sim", Round: ferr.Round,
+			Node: int(ferr.Node), Err: ferr.Error()})
 	}
 	return ferr
 }
