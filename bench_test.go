@@ -314,7 +314,7 @@ func BenchmarkTraceExportJSONL(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := tracer.WriteJSONLSince(io.Discard, 0); err != nil {
+		if _, err := tracer.WriteJSONLSince(io.Discard, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,235 @@
+// Command cstload drives a running cstserved with closed-loop clients and
+// reports throughput and latency. Each client posts one request, waits for
+// its answer, and immediately posts the next; 429 responses count as
+// backpressure (with a short backoff), anything outside {2xx, 429} fails
+// the run. The human-readable report goes to stderr; stdout carries
+// `go test -bench`-style lines so the output pipes straight into
+// cmd/benchjson for BENCH_serve.json.
+//
+// Examples:
+//
+//	cstload -addr http://127.0.0.1:8080 -clients 8 -duration 5s
+//	cstload -addr http://127.0.0.1:8080 -requests 500 | benchjson -out BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type loadOptions struct {
+	addr       string
+	clients    int
+	duration   time.Duration
+	requests   int
+	pes        int
+	deadlineMS int64
+	seed       int64
+}
+
+func parseFlags(args []string) (loadOptions, error) {
+	fs := flag.NewFlagSet("cstload", flag.ContinueOnError)
+	o := loadOptions{}
+	fs.StringVar(&o.addr, "addr", "http://127.0.0.1:8080", "cstserved base URL")
+	fs.IntVar(&o.clients, "clients", 4, "closed-loop clients")
+	fs.DurationVar(&o.duration, "duration", 3*time.Second, "run length (ignored when -requests > 0)")
+	fs.IntVar(&o.requests, "requests", 0, "total request budget across clients (0 = run for -duration)")
+	fs.IntVar(&o.pes, "pes", 0, "fabric size for request generation (0 = discover via /statusz)")
+	fs.Int64Var(&o.deadlineMS, "deadline-ms", 0, "per-request deadline forwarded to the server (0 = server default)")
+	fs.Int64Var(&o.seed, "seed", 1, "request-pattern seed")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.clients <= 0 {
+		return o, fmt.Errorf("cstload: -clients must be positive (got %d)", o.clients)
+	}
+	o.addr = strings.TrimRight(o.addr, "/")
+	return o, nil
+}
+
+// report aggregates one load run.
+type report struct {
+	Elapsed    time.Duration
+	Scheduled  int // 2xx answers
+	Rejected   int // 429 backpressure
+	Unexpected map[int]int
+	Latencies  []time.Duration // 2xx wall-clock latencies
+}
+
+func (r *report) throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Scheduled) / r.Elapsed.Seconds()
+}
+
+// quantile returns the nearest-rank q-quantile of the (sorted) 2xx
+// latencies.
+func (r *report) quantile(q float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(r.Latencies)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return r.Latencies[i]
+}
+
+// discoverPEs asks the server's /statusz for its fabric size.
+func discoverPEs(client *http.Client, addr string) (int, error) {
+	resp, err := client.Get(addr + "/statusz")
+	if err != nil {
+		return 0, fmt.Errorf("cstload: /statusz: %w", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		PEs int `json:"pes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, fmt.Errorf("cstload: /statusz: %w", err)
+	}
+	if st.PEs < 2 {
+		return 0, fmt.Errorf("cstload: /statusz reports %d PEs", st.PEs)
+	}
+	return st.PEs, nil
+}
+
+// run executes the load and returns the aggregate report. An error means
+// the run itself failed (unreachable server); unexpected statuses are
+// reported in the result for the caller to judge.
+func run(o loadOptions) (*report, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if o.pes == 0 {
+		pes, err := discoverPEs(client, o.addr)
+		if err != nil {
+			return nil, err
+		}
+		o.pes = pes
+	}
+
+	var budget chan struct{}
+	if o.requests > 0 {
+		budget = make(chan struct{}, o.requests)
+		for i := 0; i < o.requests; i++ {
+			budget <- struct{}{}
+		}
+		close(budget)
+	}
+	deadline := time.Now().Add(o.duration)
+	reports := make([]report, o.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < o.clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(g)))
+			r := &reports[g]
+			r.Unexpected = make(map[int]int)
+			for {
+				if budget != nil {
+					if _, ok := <-budget; !ok {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				src := rng.Intn(o.pes)
+				dst := rng.Intn(o.pes)
+				if src == dst {
+					dst = (dst + 1) % o.pes
+				}
+				body, _ := json.Marshal(map[string]any{
+					"src": src, "dst": dst, "deadline_ms": o.deadlineMS,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(o.addr+"/schedule", "application/json", bytes.NewReader(body))
+				if err != nil {
+					r.Unexpected[-1]++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					r.Scheduled++
+					r.Latencies = append(r.Latencies, time.Since(t0))
+				case resp.StatusCode == http.StatusTooManyRequests:
+					r.Rejected++
+					time.Sleep(200 * time.Microsecond) // brief backoff under backpressure
+				default:
+					r.Unexpected[resp.StatusCode]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := &report{Elapsed: time.Since(start), Unexpected: make(map[int]int)}
+	for i := range reports {
+		total.Scheduled += reports[i].Scheduled
+		total.Rejected += reports[i].Rejected
+		for code, n := range reports[i].Unexpected {
+			total.Unexpected[code] += n
+		}
+		total.Latencies = append(total.Latencies, reports[i].Latencies...)
+	}
+	sort.Slice(total.Latencies, func(i, j int) bool { return total.Latencies[i] < total.Latencies[j] })
+	return total, nil
+}
+
+// writeBench emits the report as `go test -bench` result lines, the format
+// cmd/benchjson ingests.
+func writeBench(w io.Writer, r *report) {
+	n := r.Scheduled
+	if n == 0 {
+		return
+	}
+	perOp := float64(r.Elapsed.Nanoseconds()) / float64(n)
+	fmt.Fprintf(w, "BenchmarkServeThroughput %d %.1f ns/op\n", n, perOp)
+	fmt.Fprintf(w, "BenchmarkServeLatencyP50 %d %d ns/op\n", n, r.quantile(0.50).Nanoseconds())
+	fmt.Fprintf(w, "BenchmarkServeLatencyP99 %d %d ns/op\n", n, r.quantile(0.99).Nanoseconds())
+}
+
+func writeSummary(w io.Writer, r *report) {
+	fmt.Fprintf(w, "cstload: %d scheduled, %d backpressured (429) in %v\n",
+		r.Scheduled, r.Rejected, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "cstload: %.1f req/s, p50 %v, p99 %v\n",
+		r.throughput(), r.quantile(0.50).Round(time.Microsecond), r.quantile(0.99).Round(time.Microsecond))
+	for code, count := range r.Unexpected {
+		fmt.Fprintf(w, "cstload: %d unexpected responses with status %d\n", count, code)
+	}
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r, err := run(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	writeSummary(os.Stderr, r)
+	writeBench(os.Stdout, r)
+	if len(r.Unexpected) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cst"
+)
+
+func startPool(t *testing.T) (*cst.ServePool, *httptest.Server) {
+	t.Helper()
+	reg := cst.NewMetrics()
+	pool, err := cst.NewServePool(cst.ServeConfig{PEs: 16, Shards: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Start()
+	srv := httptest.NewServer(cst.NewServeHandler(pool, reg, nil))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = pool.Drain(ctx)
+	})
+	return pool, srv
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", "http://x:1/", "-clients", "2", "-requests", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "http://x:1" {
+		t.Errorf("addr not trimmed: %q", o.addr)
+	}
+	if o.clients != 2 || o.requests != 10 {
+		t.Errorf("parsed %+v", o)
+	}
+	if _, err := parseFlags([]string{"-clients", "0"}); err == nil {
+		t.Error("-clients 0: want error")
+	}
+}
+
+// TestRunAgainstPool drives a real pool end to end: PE discovery via
+// /statusz, a fixed request budget, and a report with only expected
+// statuses and sane latency quantiles.
+func TestRunAgainstPool(t *testing.T) {
+	_, srv := startPool(t)
+	r, err := run(loadOptions{addr: srv.URL, clients: 3, requests: 60, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Scheduled + r.Rejected; got != 60 {
+		t.Fatalf("scheduled %d + rejected %d != 60", r.Scheduled, r.Rejected)
+	}
+	if len(r.Unexpected) != 0 {
+		t.Fatalf("unexpected statuses: %v", r.Unexpected)
+	}
+	if r.Scheduled == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	if len(r.Latencies) != r.Scheduled {
+		t.Fatalf("%d latencies for %d scheduled", len(r.Latencies), r.Scheduled)
+	}
+	if r.quantile(0.99) < r.quantile(0.50) {
+		t.Fatalf("p99 %v < p50 %v", r.quantile(0.99), r.quantile(0.50))
+	}
+	if r.throughput() <= 0 {
+		t.Fatalf("throughput %f", r.throughput())
+	}
+}
+
+// TestWriteBench pins the stdout format cmd/benchjson ingests.
+func TestWriteBench(t *testing.T) {
+	r := &report{
+		Elapsed:   time.Second,
+		Scheduled: 2,
+		Latencies: []time.Duration{time.Millisecond, 3 * time.Millisecond},
+	}
+	var b bytes.Buffer
+	writeBench(&b, r)
+	for _, line := range []string{
+		"BenchmarkServeThroughput 2 500000000.0 ns/op",
+		"BenchmarkServeLatencyP50 2 1000000 ns/op",
+		"BenchmarkServeLatencyP99 2 3000000 ns/op",
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("bench output missing %q:\n%s", line, b.String())
+		}
+	}
+	b.Reset()
+	writeBench(&b, &report{Elapsed: time.Second})
+	if b.Len() != 0 {
+		t.Errorf("empty run emitted bench lines: %q", b.String())
+	}
+}
+
+func TestDiscoverPEsFailure(t *testing.T) {
+	if _, err := run(loadOptions{addr: "http://127.0.0.1:1", clients: 1, requests: 1}); err == nil {
+		t.Error("unreachable server: want error")
+	}
+}

@@ -1,0 +1,212 @@
+// Command cstserved serves CST scheduling over HTTP/JSON: a batching
+// request service built on the online dispatcher, with bounded admission
+// queues, 429 backpressure, per-request deadlines, and a graceful drain on
+// SIGTERM/SIGINT that answers every admitted request before exiting. The
+// same listener carries the observability surface (/metrics, /healthz,
+// /trace, /debug/pprof) and an optional live power auditor.
+//
+// Examples:
+//
+//	cstserved -addr :8080 -pes 64 -shards 4
+//	cstserved -addr :8080 -batch-max 64 -batch-wait 5ms -deadline 250ms
+//	cstserved -addr :8080 -audit -chaos 8 -seed 7   # fault-injected soak
+//
+// See SERVING.md for the API and drain protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cst"
+)
+
+type options struct {
+	addr          string
+	pes           int
+	shards        int
+	queueDepth    int
+	batchMax      int
+	batchWait     time.Duration
+	deadline      time.Duration
+	drainGrace    time.Duration
+	traceRing     int
+	traceOut      string
+	audit         bool
+	engineMetrics bool
+	shardSubtrees bool
+	chaos         int
+	chaosRounds   int
+	seed          int64
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("cstserved", flag.ContinueOnError)
+	o := options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.pes, "pes", 64, "processing elements per shard fabric (power of two)")
+	fs.IntVar(&o.shards, "shards", 2, "independent CST fabrics, one dispatcher worker each")
+	fs.IntVar(&o.queueDepth, "queue-depth", 64, "admission queue depth per shard (full queues answer 429)")
+	fs.IntVar(&o.batchMax, "batch-max", 32, "flush a batch at this many requests")
+	fs.DurationVar(&o.batchWait, "batch-wait", 2*time.Millisecond, "flush a partial batch this long after its first request")
+	fs.DurationVar(&o.deadline, "deadline", 0, "default per-request deadline (0 = none; requests may override)")
+	fs.DurationVar(&o.drainGrace, "drain-grace", 10*time.Second, "drain budget on SIGTERM before giving up")
+	fs.IntVar(&o.traceRing, "trace-ring", 4096, "trace ring capacity for /trace")
+	fs.StringVar(&o.traceOut, "trace-out", "", "also stream trace events to this JSONL file")
+	fs.BoolVar(&o.audit, "audit", false, "attach a live power auditor to the trace stream; report on drain")
+	fs.BoolVar(&o.engineMetrics, "engine-metrics", false, "thread metrics/trace into the shard engines (cst_online_*/cst_padr_* series)")
+	fs.BoolVar(&o.shardSubtrees, "shard-subtrees", false, "enable subtree sharding inside each fabric")
+	fs.IntVar(&o.chaos, "chaos", 0, "inject this many random faults per shard (0 = none)")
+	fs.IntVar(&o.chaosRounds, "chaos-rounds", 64, "simulated-round window the chaos plan spans")
+	fs.Int64Var(&o.seed, "seed", 1, "chaos plan seed")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.shards <= 0 {
+		return o, fmt.Errorf("cstserved: -shards must be positive (got %d)", o.shards)
+	}
+	if o.chaos < 0 {
+		return o, fmt.Errorf("cstserved: -chaos must be non-negative (got %d)", o.chaos)
+	}
+	return o, nil
+}
+
+// server bundles the pool, the HTTP listener and the observability
+// backends so drain can tear everything down in order.
+type server struct {
+	opts      options
+	pool      *cst.ServePool
+	srv       *http.Server
+	ln        net.Listener
+	reg       *cst.Metrics
+	tracer    *cst.Tracer
+	auditor   *cst.Auditor
+	traceFile *os.File
+	out       io.Writer
+}
+
+// newServer builds the pool and binds the listener; serving starts with
+// (*server).serve.
+func newServer(o options, out io.Writer) (*server, error) {
+	s := &server{opts: o, reg: cst.NewMetrics(), out: out}
+	var sink io.Writer
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return nil, fmt.Errorf("cstserved: -trace-out: %w", err)
+		}
+		s.traceFile = f
+		sink = f
+	}
+	s.tracer = cst.NewTracer(sink, o.traceRing)
+	if o.audit {
+		s.auditor = cst.NewAuditor(cst.AuditConfig{Registry: s.reg})
+		s.tracer.SetSink(s.auditor.Observe)
+	}
+	var faults []cst.Fault
+	if o.chaos > 0 {
+		tree, err := cst.NewTree(o.pes)
+		if err != nil {
+			return nil, fmt.Errorf("cstserved: -pes: %w", err)
+		}
+		faults = cst.RandomFaults(cst.NewRand(o.seed), tree, o.chaosRounds, o.chaos, 0)
+	}
+	pool, err := cst.NewServePool(cst.ServeConfig{
+		PEs:             o.pes,
+		Shards:          o.shards,
+		QueueDepth:      o.queueDepth,
+		BatchMax:        o.batchMax,
+		BatchWait:       o.batchWait,
+		DefaultDeadline: o.deadline,
+		Registry:        s.reg,
+		Tracer:          s.tracer,
+		Faults:          faults,
+		EngineMetrics:   o.engineMetrics,
+		Sharding:        o.shardSubtrees,
+	})
+	if err != nil {
+		if s.traceFile != nil {
+			s.traceFile.Close()
+		}
+		return nil, err
+	}
+	s.pool = pool
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		if s.traceFile != nil {
+			s.traceFile.Close()
+		}
+		return nil, fmt.Errorf("cstserved: listen %s: %w", o.addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: cst.NewServeHandler(pool, s.reg, s.tracer)}
+	return s, nil
+}
+
+func (s *server) addr() string { return s.ln.Addr().String() }
+
+// serve launches the workers and the HTTP loop in the background.
+func (s *server) serve() {
+	s.pool.Start()
+	go func() { _ = s.srv.Serve(s.ln) }()
+}
+
+// drain runs the shutdown protocol: stop admitting and flush every queue
+// (bounded by the drain grace), then let in-flight HTTP responses finish,
+// then close the trace file and report. A drain that loses a request or
+// exceeds its budget returns an error.
+func (s *server) drain() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.drainGrace)
+	defer cancel()
+	drainErr := s.pool.Drain(ctx)
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+	}
+	if s.traceFile != nil {
+		_ = s.traceFile.Close()
+	}
+	st := s.pool.Snapshot()
+	fmt.Fprintf(s.out, "cstserved: drained: admitted=%d responded=%d shards=%d\n",
+		st.Admitted, st.Responded, st.Shards)
+	if s.auditor != nil {
+		s.auditor.Flush()
+		fmt.Fprintln(s.out, s.auditor.Report().Summary())
+	}
+	return drainErr
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	s, err := newServer(o, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.serve()
+	fmt.Printf("cstserved: serving on %s (pes=%d shards=%d queue=%d batch=%d/%v)\n",
+		s.addr(), o.pes, o.shards, o.queueDepth, o.batchMax, o.batchWait)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	fmt.Println("cstserved: signal received, draining")
+	if err := s.drain(); err != nil {
+		fmt.Fprintln(os.Stderr, "cstserved:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testOptions(t *testing.T) options {
+	t.Helper()
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.addr = "127.0.0.1:0"
+	o.pes = 16
+	o.shards = 1
+	o.drainGrace = 30 * time.Second
+	return o
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", ":9999", "-pes", "32", "-batch-wait", "5ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9999" || o.pes != 32 || o.batchWait != 5*time.Millisecond {
+		t.Fatalf("parsed %+v", o)
+	}
+	if _, err := parseFlags([]string{"-shards", "0"}); err == nil {
+		t.Error("-shards 0: want error")
+	}
+	if _, err := parseFlags([]string{"-chaos", "-1"}); err == nil {
+		t.Error("-chaos -1: want error")
+	}
+}
+
+// TestServeScheduleAndDrain runs the binary's full lifecycle in-process:
+// bind, schedule over HTTP, scrape /metrics, drain, and verify the drain
+// summary balances.
+func TestServeScheduleAndDrain(t *testing.T) {
+	var out bytes.Buffer
+	s, err := newServer(testOptions(t), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.serve()
+	base := "http://" + s.addr()
+
+	resp, err := http.Post(base+"/schedule", "application/json",
+		strings.NewReader(`{"src":0,"dst":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /schedule = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	_, _ = body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(body.String(), "cst_serve_requests_total 1") {
+		t.Fatalf("/metrics missing serve series:\n%s", body.String())
+	}
+
+	if err := s.drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !strings.Contains(out.String(), "admitted=1 responded=1") {
+		t.Fatalf("drain summary: %q", out.String())
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestServeAuditAndTraceOut exercises the optional sinks: the live auditor
+// reports on drain and the JSONL trace stream lands on disk.
+func TestServeAuditAndTraceOut(t *testing.T) {
+	o := testOptions(t)
+	o.audit = true
+	o.engineMetrics = true
+	o.traceOut = filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	s, err := newServer(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.serve()
+	base := "http://" + s.addr()
+	for _, payload := range []string{`{"src":0,"dst":3}`, `{"src":8,"dst":15}`} {
+		resp, err := http.Post(base+"/schedule", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /schedule = %d", resp.StatusCode)
+		}
+	}
+	if err := s.drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !strings.Contains(out.String(), "runs") {
+		t.Fatalf("audit summary missing from drain output: %q", out.String())
+	}
+	data, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"type":"serve.flush"`) {
+		t.Fatalf("trace stream missing serve events:\n%.400s", data)
+	}
+}
+
+// TestServeChaos boots with a fault plan armed; requests must still get
+// terminal answers (scheduled or quarantined) and drain must balance.
+func TestServeChaos(t *testing.T) {
+	o := testOptions(t)
+	o.chaos = 6
+	var out bytes.Buffer
+	s, err := newServer(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.serve()
+	base := "http://" + s.addr()
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(base+"/schedule", "application/json",
+			strings.NewReader(`{"src":`+strconv.Itoa(i*2)+`,"dst":`+strconv.Itoa(i*2+1)+`}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if err := s.drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !strings.Contains(out.String(), "admitted=6 responded=6") {
+		t.Fatalf("drain summary: %q", out.String())
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cst"
@@ -33,8 +35,8 @@ func main() {
 		algo     = flag.String("algo", "padr", "scheduler: padr | padr-sim | depth-id | greedy")
 		order    = flag.String("order", "outermost", "depth-id round order: outermost | innermost | alternating")
 		mode     = flag.String("mode", "stateful", "power accounting: stateful | stateless")
-		showTr   = flag.Bool("trace", false, "print a round-by-round trace with live switch configurations")
-		words    = flag.Bool("words", false, "print every non-idle control word (implies -trace)")
+		showTr   = flag.Bool("trace", false, "print a round-by-round trace with live switch configurations (padr only, conflicts with -quiet)")
+		words    = flag.Bool("words", false, "print every non-idle control word (implies -trace; padr only, conflicts with -quiet)")
 		quiet    = flag.Bool("quiet", false, "print only the summary line")
 		jsonOut  = flag.Bool("json", false, "emit the full run as JSON (padr only) instead of text")
 		maddr    = flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof/ on this address (e.g. :9090) and keep the process alive after the run")
@@ -54,6 +56,7 @@ func main() {
 		faults: *faults, faultSeed: *faultSd, deadline: *deadline,
 	}
 	var traceFile *os.File
+	var srv *cst.MetricsServer
 	if *maddr != "" || *audited || *traceOut != "" {
 		o.reg = cst.NewMetrics()
 		var w io.Writer
@@ -69,7 +72,8 @@ func main() {
 		o.tracer.Instrument(o.reg)
 	}
 	if *maddr != "" {
-		srv, err := cst.ServeMetrics(*maddr, o.reg, o.tracer)
+		var err error
+		srv, err = cst.ServeMetrics(*maddr, o.reg, o.tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cstsim:", err)
 			os.Exit(1)
@@ -116,7 +120,15 @@ func main() {
 
 	if *maddr != "" {
 		fmt.Fprintln(os.Stderr, "cstsim: run finished; serving metrics until interrupted (Ctrl-C to exit)")
-		select {}
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		// Graceful teardown: in-flight /metrics scrapes and /trace
+		// downloads finish before the process exits.
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cstsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -195,6 +207,17 @@ func run(o runOpts) error {
 		pmode = cst.Stateless
 	} else if o.mode != "stateful" {
 		return fmt.Errorf("unknown mode %q", o.mode)
+	}
+	// The round-by-round console trace (and the per-word view riding on it)
+	// is produced by the sequential engine's observer, which only the padr
+	// path wires up — reject the flags elsewhere rather than silently
+	// ignoring them. -quiet promises "only the summary line", which the
+	// trace would contradict.
+	if (o.trace || o.words) && o.algo != "padr" {
+		return fmt.Errorf("-trace/-words require -algo padr (got %q); use -trace-out for the JSONL event stream of other engines", o.algo)
+	}
+	if o.quiet && (o.trace || o.words) {
+		return fmt.Errorf("-quiet conflicts with -trace and -words")
 	}
 	if o.faults > 0 && o.algo != "padr" && o.algo != "padr-sim" {
 		return fmt.Errorf("-faults requires -algo padr or padr-sim, got %q", o.algo)

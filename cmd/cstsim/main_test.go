@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"testing"
 
 	"cst"
@@ -65,6 +66,64 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 	if err := run(runOpts{workload: "bitrev", n: 32, w: 4, m: 8, seed: 1, algo: "greedy", order: "outermost", mode: "stateful", quiet: true}); err != nil {
 		t.Errorf("bitrev through greedy: %v", err)
+	}
+}
+
+// TestTraceFlagInteractions pins the -trace/-words/-quiet contract: -words
+// implies -trace (both produce the observer-driven console trace), the
+// console trace exists only on the padr path (other algorithms must reject
+// the flags instead of silently ignoring them), and -quiet ("only the
+// summary line") contradicts both.
+func TestTraceFlagInteractions(t *testing.T) {
+	base := runOpts{workload: "chain", n: 16, w: 2, m: 4, seed: 1,
+		order: "outermost", mode: "stateful"}
+
+	// -words alone works on padr: the implied trace machinery comes up.
+	for _, o := range []runOpts{
+		{algo: "padr", words: true},
+		{algo: "padr", trace: true},
+		{algo: "padr", trace: true, words: true},
+	} {
+		o.workload, o.n, o.w, o.m, o.seed, o.order, o.mode =
+			base.workload, base.n, base.w, base.m, base.seed, base.order, base.mode
+		// Silence the trace output during the test run.
+		old := os.Stdout
+		null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = null
+		err = run(o)
+		os.Stdout = old
+		null.Close()
+		if err != nil {
+			t.Errorf("padr trace=%v words=%v: %v", o.trace, o.words, err)
+		}
+	}
+
+	// Non-padr algorithms must reject the console-trace flags.
+	for _, algo := range []string{"padr-sim", "depth-id", "greedy"} {
+		o := base
+		o.algo, o.words = algo, true
+		if err := run(o); err == nil {
+			t.Errorf("%s with -words: want error, got nil", algo)
+		}
+		o.words, o.trace = false, true
+		if err := run(o); err == nil {
+			t.Errorf("%s with -trace: want error, got nil", algo)
+		}
+	}
+
+	// -quiet contradicts -trace and -words.
+	for _, o := range []runOpts{
+		{algo: "padr", quiet: true, trace: true},
+		{algo: "padr", quiet: true, words: true},
+	} {
+		o.workload, o.n, o.w, o.m, o.seed, o.order, o.mode =
+			base.workload, base.n, base.w, base.m, base.seed, base.order, base.mode
+		if err := run(o); err == nil {
+			t.Errorf("quiet with trace=%v words=%v: want error, got nil", o.trace, o.words)
+		}
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"cst/internal/sched"
 	"cst/internal/segbus"
 	"cst/internal/selfroute"
+	"cst/internal/serve"
 	"cst/internal/sim"
 	"cst/internal/srga"
 	"cst/internal/timing"
@@ -676,6 +677,50 @@ func WithOnlineFaults(in *FaultInjector) OnlineOption { return online.WithFaults
 func RunConcurrentContext(ctx context.Context, t *Tree, s *Set, opts ...ConcurrentOption) (*ConcurrentResult, error) {
 	return sim.RunContext(ctx, t, s, opts...)
 }
+
+// Serving. A ServePool turns the online dispatcher into a long-running
+// scheduling service: a worker per CST shard (each owning one simulator),
+// bounded admission queues with 429-style backpressure, deadline- and
+// size-triggered batch flushing, per-request deadlines reported through the
+// fault taxonomy, and a graceful drain that answers every admitted request.
+// See SERVING.md and cmd/cstserved.
+
+// ServePool is the scheduling service: admission across a pool of shard
+// workers, each goroutine-confined to its own online simulator.
+type ServePool = serve.Pool
+
+// ServeConfig parameterizes a ServePool (fabric size, shard count, queue
+// depth, batch shape, deadlines, observability and fault plan); the zero
+// value selects workable defaults.
+type ServeConfig = serve.Config
+
+// ServeResult is the terminal answer for one scheduling request, carrying
+// the HTTP status mapping the service uses.
+type ServeResult = serve.Result
+
+// ServeStats is a point-in-time snapshot of a pool's admission state.
+type ServeStats = serve.Stats
+
+// ServeScheduleRequest is the POST /schedule payload.
+type ServeScheduleRequest = serve.ScheduleRequest
+
+// NewServePool builds a scheduling pool; call Start to launch its workers
+// and Drain to shut it down without losing admitted requests.
+func NewServePool(cfg ServeConfig) (*ServePool, error) { return serve.New(cfg) }
+
+// NewServeHandler mounts the scheduling API (POST /schedule, GET /statusz)
+// next to the observability surface (/metrics, /healthz, /trace,
+// /debug/pprof) on one http.Handler.
+var NewServeHandler = serve.Handler
+
+// Serving error sentinels.
+var (
+	// ErrServeDraining rejects admissions after a drain has begun (503).
+	ErrServeDraining = serve.ErrDraining
+	// ErrServeQueueFull is the backpressure signal: every shard's
+	// admission queue is at capacity (429).
+	ErrServeQueueFull = serve.ErrQueueFull
+)
 
 // NewRand is a convenience seeded source for the generator APIs.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -93,8 +93,18 @@ func TestWriteJSONLSince(t *testing.T) {
 	}
 	dump := func(since int64) []string {
 		var b bytes.Buffer
-		if err := tr.WriteJSONLSince(&b, since); err != nil {
+		last, err := tr.WriteJSONLSince(&b, since)
+		if err != nil {
 			t.Fatal(err)
+		}
+		// The returned cursor is the newest seq written, or since itself
+		// when the tail is empty.
+		if b.Len() > 0 {
+			if last != 6 {
+				t.Errorf("since %d: cursor = %d, want 6", since, last)
+			}
+		} else if last != since {
+			t.Errorf("since %d: empty-tail cursor = %d, want %d", since, last, since)
 		}
 		s := strings.TrimSpace(b.String())
 		if s == "" {

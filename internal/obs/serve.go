@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -42,9 +43,14 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 			}
 			since = n
 		}
+		// Capture the tail and its cursor in one atomic step: computing the
+		// header from Events() here would advertise a cursor that trails
+		// events emitted before the ring capture, and the next ?since= poll
+		// would re-deliver them as duplicates.
+		buf, last := tr.TailSince(since)
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.Header().Set("X-Trace-Last-Seq", strconv.FormatInt(tr.Events(), 10))
-		_ = tr.WriteJSONLSince(w, since)
+		w.Header().Set("X-Trace-Last-Seq", strconv.FormatInt(last, 10))
+		_, _ = w.Write(buf)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -76,10 +82,31 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 	return &Server{Addr: lis.Addr().String(), srv: srv, lis: lis}, nil
 }
 
-// Close shuts the server down.
+// ShutdownGrace bounds how long Close waits for in-flight scrapes and
+// trace downloads before aborting their connections.
+const ShutdownGrace = 5 * time.Second
+
+// Shutdown gracefully stops the server: the listener closes immediately
+// (no new scrapes are accepted) while in-flight responses run to
+// completion, bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// Close gracefully shuts the server down, letting in-flight /metrics
+// scrapes and /trace downloads finish (bounded by ShutdownGrace). Only if
+// the grace period expires are the remaining connections aborted.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }

@@ -6,7 +6,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -92,6 +95,126 @@ func TestServe(t *testing.T) {
 	}
 	if !bytes.Contains(body, []byte("cst_demo_live_total 1")) {
 		t.Fatalf("live /metrics missing series:\n%s", body)
+	}
+}
+
+// TestTraceCursorNoDuplicatesUnderEmit pins the /trace?since= resume
+// contract while events are being emitted concurrently: every poll resumes
+// from the X-Trace-Last-Seq cursor of the previous one, and no event may be
+// delivered twice. Computing the cursor from Events() before capturing the
+// ring (the pre-fix code) hands out a cursor that trails events already in
+// the body, which this test detects as duplicate seqs across polls. Several
+// pollers run at once: ring captures hold the tracer lock long enough that
+// a poller blocks between its two lock acquisitions, so emitters interleave
+// into the (pre-fix) header/body window even on a single-CPU runner.
+func TestTraceCursorNoDuplicatesUnderEmit(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	tr := NewTracer(nil, 1<<16)
+	h := Handler(nil, tr)
+
+	var emitters sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		emitters.Add(1)
+		go func() {
+			defer emitters.Done()
+			for i := 0; i < 20000; i++ {
+				tr.Emit(Event{Type: "e", Engine: "demo", Round: -1})
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	var pollers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		pollers.Add(1)
+		go func(id int) {
+			defer pollers.Done()
+			seen := make(map[int64]bool)
+			var since int64
+			for poll := 0; poll < 200; poll++ {
+				req := httptest.NewRequest("GET", "/trace?since="+strconv.FormatInt(since, 10), nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					t.Errorf("poller %d: /trace = %d", id, rec.Code)
+					return
+				}
+				cursor, err := strconv.ParseInt(rec.Header().Get("X-Trace-Last-Seq"), 10, 64)
+				if err != nil {
+					t.Errorf("poller %d: bad X-Trace-Last-Seq %q", id, rec.Header().Get("X-Trace-Last-Seq"))
+					return
+				}
+				body := strings.TrimSpace(rec.Body.String())
+				var lastInBody int64
+				if body != "" {
+					for _, line := range strings.Split(body, "\n") {
+						var e Event
+						if err := json.Unmarshal([]byte(line), &e); err != nil {
+							t.Errorf("poller %d: bad line %q: %v", id, line, err)
+							return
+						}
+						if seen[e.Seq] {
+							t.Errorf("poller %d poll %d: seq %d delivered twice across ?since= resume (cursor race)", id, poll, e.Seq)
+							return
+						}
+						seen[e.Seq] = true
+						lastInBody = e.Seq
+					}
+					if cursor != lastInBody {
+						t.Errorf("poller %d poll %d: X-Trace-Last-Seq = %d but body ends at seq %d", id, poll, cursor, lastInBody)
+						return
+					}
+				}
+				since = cursor
+			}
+		}(g)
+	}
+	emitters.Wait()
+	pollers.Wait()
+}
+
+// TestServerCloseGraceful pins the shutdown contract: a /trace download in
+// flight when Close is called runs to completion instead of being aborted
+// mid-body (the pre-fix http.Server.Close behaviour).
+func TestServerCloseGraceful(t *testing.T) {
+	tr := NewTracer(nil, 1<<16)
+	// Enough events that the response body far exceeds the socket buffers,
+	// so the server write genuinely blocks on the reading client below.
+	const events = 40000
+	for i := 0; i < events; i++ {
+		tr.Emit(Event{Type: "round.start", Engine: "demo", Round: i, N: i})
+	}
+	srv, err := Serve("127.0.0.1:0", nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read a first chunk to make sure the response is underway, then shut
+	// the server down while the rest of the body is still in flight.
+	chunk := make([]byte, 4096)
+	if _, err := io.ReadFull(resp.Body, chunk); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("in-flight /trace aborted by Close: %v", err)
+	}
+	body := string(chunk) + string(rest)
+	if got := strings.Count(body, "\n"); got != events {
+		t.Fatalf("in-flight /trace truncated: %d lines, want %d", got, events)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close = %v", err)
 	}
 }
 

@@ -185,16 +185,36 @@ func (t *Tracer) Evicted() int64 {
 }
 
 // WriteJSONL dumps the retained ring, oldest first, as JSON lines.
-func (t *Tracer) WriteJSONL(w io.Writer) error { return t.WriteJSONLSince(w, 0) }
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	_, err := t.WriteJSONLSince(w, 0)
+	return err
+}
 
 // WriteJSONLSince dumps the retained events with Seq > since, oldest first,
 // as JSON lines — the incremental-polling contract behind /trace?since=N: a
 // scraper remembers the last seq it saw and asks only for the tail. since
-// <= 0 dumps the whole ring. Events older than the ring are gone; the
-// cst_obs_trace_dropped_total counter says how many.
-func (t *Tracer) WriteJSONLSince(w io.Writer, since int64) error {
+// <= 0 dumps the whole ring. It returns the cursor for the next poll: the
+// Seq of the newest event written, or since itself when nothing qualified.
+// Events older than the ring are gone; the cst_obs_trace_dropped_total
+// counter says how many.
+func (t *Tracer) WriteJSONLSince(w io.Writer, since int64) (int64, error) {
+	buf, last := t.TailSince(since)
+	_, err := w.Write(buf)
+	return last, err
+}
+
+// TailSince returns the retained events with Seq > since, oldest first and
+// concatenated as JSON lines, plus the resume cursor: the Seq of the newest
+// event included, or since itself when nothing qualified. The capture is
+// atomic with respect to Emit, so the cursor never trails the returned
+// lines — an event emitted concurrently either appears in the tail (and the
+// cursor covers it) or waits whole for the next poll. Computing the cursor
+// from Events() instead would race: events landing between that read and
+// the ring capture would be delivered beyond the advertised cursor and then
+// re-delivered on the next poll.
+func (t *Tracer) TailSince(since int64) ([]byte, int64) {
 	if t == nil {
-		return nil
+		return nil, since
 	}
 	t.mu.Lock()
 	var lines [][]byte
@@ -214,12 +234,17 @@ func (t *Tracer) WriteJSONLSince(w io.Writer, since int64) error {
 			lines = lines[skip:]
 		}
 	}
-	// Copy out under the lock so emission can continue while we write.
+	last := since
+	if len(lines) > 0 {
+		// The tail always ends at the newest retained event.
+		last = t.seq
+	}
+	// Copy out under the lock so emission can continue while the caller
+	// writes.
 	buf := make([]byte, 0, 256*len(lines))
 	for _, l := range lines {
 		buf = append(buf, l...)
 	}
 	t.mu.Unlock()
-	_, err := w.Write(buf)
-	return err
+	return buf, last
 }

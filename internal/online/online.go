@@ -119,6 +119,11 @@ type Simulator struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	met    simMetrics
+
+	// Take cursors: how far TakeCompleted/TakeQuarantined have consumed the
+	// stats' append-only record lists.
+	takenCompleted   int
+	takenQuarantined int
 }
 
 // shardCtx is one pooled shard slot: an engine plus its crossbar view. The
@@ -631,6 +636,40 @@ func (s *Simulator) graft(view []*xbar.Switch, root topology.Node) {
 	view[root] = s.switches[root]
 	s.graft(view, s.tree.Left(root))
 	s.graft(view, s.tree.Right(root))
+}
+
+// TakeCompleted returns the completion records appended since the previous
+// TakeCompleted call, in completion order. The records stay in Stats — the
+// cursor only tracks how far this incremental view has read — so Finish
+// reporting is unaffected. The serving layer consumes this after each
+// flush to map fulfilled requests back to their waiters.
+func (s *Simulator) TakeCompleted() []Completed {
+	out := s.stats.Completed[s.takenCompleted:]
+	s.takenCompleted = len(s.stats.Completed)
+	return out
+}
+
+// TakeQuarantined returns the quarantine records appended since the
+// previous TakeQuarantined call — the requests expelled by failed
+// dispatches that the serving layer must answer with an error rather than
+// leave hanging.
+func (s *Simulator) TakeQuarantined() []Request {
+	out := s.stats.Quarantined[s.takenQuarantined:]
+	s.takenQuarantined = len(s.stats.Quarantined)
+	return out
+}
+
+// BusyPEs returns how many processing elements are currently reserved by
+// queued requests. After a successful Drain it must be zero: every
+// completion and every quarantine frees its endpoints.
+func (s *Simulator) BusyPEs() int {
+	n := 0
+	for _, b := range s.busyPE {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 // Drain dispatches until the queue is empty.

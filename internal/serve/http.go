@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"cst/internal/obs"
+)
+
+// ScheduleRequest is the POST /schedule payload.
+type ScheduleRequest struct {
+	// Src and Dst are PE indices on the shard fabric.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// DeadlineMS optionally bounds the request's wall-clock time in the
+	// service, overriding the pool's default. Zero uses the default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Handler mounts the scheduling API next to the observability surface on
+// one mux: POST /schedule and GET /statusz from this package, plus
+// /metrics, /healthz, /trace and /debug/pprof from obs.Handler — one
+// listener serves both traffic and introspection.
+func Handler(p *Pool, reg *obs.Registry, tr *obs.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(reg, tr))
+	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req ScheduleRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		res := p.Schedule(req.Src, req.Dst, time.Duration(req.DeadlineMS)*time.Millisecond)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.Status)
+		_ = json.NewEncoder(w).Encode(res)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(p.Snapshot())
+	})
+	return mux
+}

@@ -1,0 +1,534 @@
+// Package serve turns the online dispatcher into a long-running scheduling
+// service: a pool of CST shards (one online.Simulator per shard, each
+// goroutine-confined to its dispatcher worker), an admission queue with
+// bounded depth and explicit backpressure, deadline- and size-triggered
+// batch flushing, per-request deadlines reported through the fault
+// package's error taxonomy, and a graceful drain that stops admission,
+// flushes every queue and loses no accepted request.
+//
+// The simulator is synchronous and not safe for concurrent use, so the
+// service never shares one across goroutines. Each worker owns its shard's
+// simulator outright; the HTTP layer only ever touches the admission
+// channels and the (atomic) counters. Scheduling work batches naturally:
+// a worker collects requests until the batch is full or the batch timer
+// fires, submits the wave, and dispatches until its fabric is idle — the
+// same quiesce loop pinned by the online package's drain tests.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cst/internal/comm"
+	"cst/internal/fault"
+	"cst/internal/obs"
+	"cst/internal/online"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultPEs        = 64
+	DefaultQueueDepth = 64
+	DefaultBatchMax   = 32
+	DefaultBatchWait  = 2 * time.Millisecond
+)
+
+// ErrDraining rejects admissions after Drain has begun.
+var ErrDraining = errors.New("serve: draining, not admitting")
+
+// ErrQueueFull is the backpressure signal: every shard's admission queue
+// is at capacity. Clients should back off and retry (HTTP 429).
+var ErrQueueFull = errors.New("serve: all admission queues full")
+
+// errUnschedulable marks the defensive wedge guard: a flush wave where no
+// deferred request could be submitted even though the fabric was idle.
+var errUnschedulable = errors.New("serve: request endpoints permanently unavailable")
+
+// Config parameterizes a Pool.
+type Config struct {
+	// PEs is the number of processing elements per shard fabric.
+	PEs int
+	// Shards is the number of independent CST fabrics, each with its own
+	// dispatcher worker and admission queue.
+	Shards int
+	// QueueDepth bounds each shard's admission queue; a request that finds
+	// every queue full is rejected with ErrQueueFull.
+	QueueDepth int
+	// BatchMax flushes a batch once it holds this many requests.
+	BatchMax int
+	// BatchWait flushes a partial batch this long after its first request
+	// arrived. Zero or negative flushes immediately (no batching delay
+	// beyond what is already queued).
+	BatchWait time.Duration
+	// DefaultDeadline bounds each request's wall-clock time in the service
+	// unless the request carries its own; zero means no default deadline.
+	DefaultDeadline time.Duration
+	// Registry receives the cst_serve_* series; nil leaves the pool
+	// uninstrumented.
+	Registry *obs.Registry
+	// Tracer receives request lifecycle events; nil no-ops.
+	Tracer *obs.Tracer
+	// Faults is a fault plan installed into every shard (each shard gets
+	// its own injector — injectors are not safe across concurrent
+	// engines). Nil runs fault-free.
+	Faults []fault.Fault
+	// EngineMetrics threads Registry/Tracer into the shard simulators so
+	// the inner cst_online_*/cst_padr_* series and per-round trace events
+	// accumulate too. It disables subtree sharding inside each simulator
+	// (the inner engines' shared metric attribution is only well-defined
+	// one engine at a time).
+	EngineMetrics bool
+	// Sharding enables subtree sharding inside each shard's simulator
+	// (ignored when EngineMetrics or Faults are set; see online.WithSharding).
+	Sharding bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.PEs <= 0 {
+		out.PEs = DefaultPEs
+	}
+	if out.Shards <= 0 {
+		out.Shards = 1
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = DefaultQueueDepth
+	}
+	if out.BatchMax <= 0 {
+		out.BatchMax = DefaultBatchMax
+	}
+	return out
+}
+
+// Result is the terminal answer for one scheduling request. Status carries
+// the HTTP mapping the service uses: 200 scheduled, 400 bad endpoints,
+// 429 queue full, 500 quarantined, 503 draining, 504 deadline exceeded.
+type Result struct {
+	Src   int `json:"src"`
+	Dst   int `json:"dst"`
+	Shard int `json:"shard"`
+	// Arrival, Dispatched and Finished are simulated fabric rounds on the
+	// shard that scheduled the request; LatencyRounds is Finished−Arrival.
+	Arrival       int `json:"arrival"`
+	Dispatched    int `json:"dispatched"`
+	Finished      int `json:"finished"`
+	LatencyRounds int `json:"latency_rounds"`
+	// Status is the HTTP status the outcome maps to; Err is the error
+	// string for non-200 outcomes.
+	Status int    `json:"status"`
+	Err    string `json:"error,omitempty"`
+}
+
+// call is one in-flight request: the admission payload plus its response
+// channel (buffered so the worker's settle never blocks on a slow client).
+type call struct {
+	src, dst int
+	deadline time.Time
+	enq      time.Time
+	resp     chan Result
+}
+
+// poolMetrics holds the cst_serve_* handles; the zero value (nil registry)
+// no-ops every operation.
+type poolMetrics struct {
+	requests    *obs.Counter
+	scheduled   *obs.Counter
+	rejected    *obs.Counter
+	unavailable *obs.Counter
+	badRequest  *obs.Counter
+	deadline    *obs.Counter
+	quarantined *obs.Counter
+	flushes     *obs.Counter
+	queueDepth  *obs.Gauge
+	inflight    *obs.Gauge
+	batchSize   *obs.Histogram
+	latency     *obs.Histogram
+}
+
+func newPoolMetrics(r *obs.Registry) poolMetrics {
+	return poolMetrics{
+		requests:    r.Counter("cst_serve_requests_total", "scheduling requests received"),
+		scheduled:   r.Counter("cst_serve_scheduled_total", "requests scheduled and completed"),
+		rejected:    r.Counter("cst_serve_rejected_total", "admissions rejected with backpressure (429)"),
+		unavailable: r.Counter("cst_serve_unavailable_total", "admissions refused while draining (503)"),
+		badRequest:  r.Counter("cst_serve_bad_requests_total", "requests with invalid endpoints (400)"),
+		deadline:    r.Counter("cst_serve_deadline_total", "requests expired before dispatch (504)"),
+		quarantined: r.Counter("cst_serve_quarantined_total", "requests expelled by failed dispatches (500)"),
+		flushes:     r.Counter("cst_serve_flushes_total", "batch flushes executed"),
+		queueDepth:  r.Gauge("cst_serve_queue_depth", "requests sitting in admission queues"),
+		inflight:    r.Gauge("cst_serve_inflight", "requests admitted and not yet answered"),
+		batchSize:   r.Histogram("cst_serve_batch_size", "requests per flushed batch", obs.ExponentialBuckets(1, 2, 10)),
+		latency:     r.Histogram("cst_serve_request_seconds", "wall-clock request latency", obs.ExponentialBuckets(0.0001, 2, 16)),
+	}
+}
+
+// Pool is the scheduling service: admission across a set of shard workers,
+// each owning one online.Simulator.
+type Pool struct {
+	cfg     Config
+	workers []*worker
+	met     poolMetrics
+	tracer  *obs.Tracer
+
+	next      atomic.Uint64 // round-robin admission cursor
+	admitted  atomic.Int64
+	responded atomic.Int64
+
+	// admission guards the draining flag against the channel close in
+	// Drain: Schedule sends only under RLock with draining unset, so no
+	// send can race the close.
+	admission sync.RWMutex
+	draining  bool
+
+	startOnce sync.Once
+	drainOnce sync.Once
+	wg        sync.WaitGroup
+	done      chan struct{} // closed when every worker has exited
+	drainErr  error
+}
+
+// worker owns one shard: the simulator, the admission channel and the
+// waiter map keyed by (src, dst) — unique among in-queue requests because
+// Submit rejects busy endpoints.
+type worker struct {
+	id   int
+	pool *Pool
+	sim  *online.Simulator
+	ch   chan *call
+	wait map[[2]int]*call
+}
+
+// New builds a pool; workers do not run until Start.
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:    cfg,
+		met:    newPoolMetrics(cfg.Registry),
+		tracer: cfg.Tracer,
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		var opts []online.Option
+		if cfg.Faults != nil {
+			// Each shard gets a private injector: the run counter is
+			// advanced per engine run and cannot be shared across workers.
+			opts = append(opts, online.WithFaults(fault.New(cfg.Faults)))
+		}
+		if cfg.EngineMetrics {
+			opts = append(opts, online.WithRegistry(cfg.Registry), online.WithTracer(cfg.Tracer))
+		}
+		if cfg.Sharding {
+			opts = append(opts, online.WithSharding())
+		}
+		sim, err := online.New(cfg.PEs, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		p.workers = append(p.workers, &worker{
+			id:   i,
+			pool: p,
+			sim:  sim,
+			ch:   make(chan *call, cfg.QueueDepth),
+			wait: make(map[[2]int]*call),
+		})
+	}
+	return p, nil
+}
+
+// PEs returns the fabric size each shard schedules over.
+func (p *Pool) PEs() int { return p.cfg.PEs }
+
+// Start launches the shard workers. It is idempotent.
+func (p *Pool) Start() {
+	p.startOnce.Do(func() {
+		for _, w := range p.workers {
+			p.wg.Add(1)
+			go func(w *worker) {
+				defer p.wg.Done()
+				w.run()
+			}(w)
+		}
+	})
+}
+
+// Schedule admits one request and blocks until its terminal Result: the
+// request was scheduled on some shard, expired, quarantined, or refused at
+// admission (queue full, draining, bad endpoints — these return without
+// blocking). Safe for arbitrary concurrent callers.
+func (p *Pool) Schedule(src, dst int, deadline time.Duration) Result {
+	p.met.requests.Inc()
+	if src < 0 || src >= p.cfg.PEs || dst < 0 || dst >= p.cfg.PEs || src == dst {
+		p.met.badRequest.Inc()
+		return Result{Src: src, Dst: dst, Shard: -1, Status: http.StatusBadRequest,
+			Err: fmt.Sprintf("serve: bad endpoints (%d -> %d) on a %d-PE fabric", src, dst, p.cfg.PEs)}
+	}
+	if deadline == 0 {
+		deadline = p.cfg.DefaultDeadline
+	}
+	c := &call{src: src, dst: dst, enq: time.Now(), resp: make(chan Result, 1)}
+	if deadline > 0 {
+		c.deadline = c.enq.Add(deadline)
+	}
+
+	p.admission.RLock()
+	if p.draining {
+		p.admission.RUnlock()
+		p.met.unavailable.Inc()
+		return Result{Src: src, Dst: dst, Shard: -1, Status: http.StatusServiceUnavailable, Err: ErrDraining.Error()}
+	}
+	// Round-robin with fallback: try every shard once, non-blocking. A
+	// request only lands where there is room; if nowhere has room, that is
+	// the backpressure signal.
+	enqueued := false
+	start := int(p.next.Add(1))
+	for i := 0; i < len(p.workers) && !enqueued; i++ {
+		w := p.workers[(start+i)%len(p.workers)]
+		select {
+		case w.ch <- c:
+			enqueued = true
+		default:
+		}
+	}
+	if enqueued {
+		p.admitted.Add(1)
+		p.met.inflight.Add(1)
+		p.met.queueDepth.Add(1)
+	}
+	p.admission.RUnlock()
+	if !enqueued {
+		p.met.rejected.Inc()
+		return Result{Src: src, Dst: dst, Shard: -1, Status: http.StatusTooManyRequests, Err: ErrQueueFull.Error()}
+	}
+	return <-c.resp
+}
+
+// Drain gracefully shuts the pool down: admission stops (new requests get
+// 503), every queued and in-flight request is flushed to a terminal
+// answer, and the workers exit. It returns an error if ctx expires first
+// or if accounting finds a lost request. Later calls wait for the first
+// drain and return its result.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.drainOnce.Do(func() {
+		p.Start() // a never-started pool must still drain its queues
+		p.admission.Lock()
+		p.draining = true
+		p.admission.Unlock()
+		// No Schedule can be mid-send now: sends happen under RLock with
+		// draining unset. Closing the channels releases the workers once
+		// they finish draining the buffered requests.
+		for _, w := range p.workers {
+			close(w.ch)
+		}
+		go func() {
+			p.wg.Wait()
+			close(p.done)
+		}()
+	})
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+	if a, r := p.admitted.Load(), p.responded.Load(); a != r {
+		p.drainErr = fmt.Errorf("serve: drain lost requests: admitted %d, responded %d", a, r)
+	}
+	return p.drainErr
+}
+
+// Stats is a point-in-time snapshot of the pool for /statusz and tests.
+type Stats struct {
+	PEs        int   `json:"pes"`
+	Shards     int   `json:"shards"`
+	Draining   bool  `json:"draining"`
+	Admitted   int64 `json:"admitted"`
+	Responded  int64 `json:"responded"`
+	QueueDepth []int `json:"queue_depth"`
+}
+
+// Snapshot reports the pool's live admission state.
+func (p *Pool) Snapshot() Stats {
+	p.admission.RLock()
+	draining := p.draining
+	p.admission.RUnlock()
+	st := Stats{
+		PEs:       p.cfg.PEs,
+		Shards:    len(p.workers),
+		Draining:  draining,
+		Admitted:  p.admitted.Load(),
+		Responded: p.responded.Load(),
+	}
+	for _, w := range p.workers {
+		st.QueueDepth = append(st.QueueDepth, len(w.ch))
+	}
+	return st
+}
+
+// run is the worker loop: collect a batch, flush it, repeat until the
+// admission channel is closed and drained.
+func (w *worker) run() {
+	for {
+		c, ok := <-w.ch
+		if !ok {
+			return
+		}
+		batch := w.collect(c)
+		w.flush(batch)
+	}
+}
+
+// collect gathers a batch starting from first: up to BatchMax requests,
+// waiting at most BatchWait after the first arrival for stragglers.
+func (w *worker) collect(first *call) []*call {
+	batch := []*call{first}
+	if w.pool.cfg.BatchWait <= 0 {
+		for len(batch) < w.pool.cfg.BatchMax {
+			select {
+			case c, ok := <-w.ch:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, c)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(w.pool.cfg.BatchWait)
+	defer timer.Stop()
+	for len(batch) < w.pool.cfg.BatchMax {
+		select {
+		case c, ok := <-w.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, c)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush answers every request in the batch. It submits requests in waves
+// (requests that conflict on endpoints within the batch are deferred to
+// the next wave), dispatches the fabric to idle between waves, and maps
+// completion and quarantine records back to their waiters. The fabric is
+// idle with no reservations on entry and on exit, so waves always make
+// progress: after a dispatch-to-idle the first deferred request cannot be
+// refused for a busy endpoint.
+func (w *worker) flush(batch []*call) {
+	met := &w.pool.met
+	met.flushes.Inc()
+	met.batchSize.Observe(float64(len(batch)))
+	met.queueDepth.Add(-int64(len(batch)))
+	if w.pool.tracer != nil {
+		w.pool.tracer.Emit(obs.Event{Type: "serve.flush", Engine: "serve", Round: w.sim.Now(), N: len(batch)})
+	}
+	pending := batch
+	for len(pending) > 0 {
+		var deferred []*call
+		submitted := 0
+		now := time.Now()
+		for _, c := range pending {
+			if !c.deadline.IsZero() && now.After(c.deadline) {
+				// The per-request deadline reuses the fault taxonomy: the
+				// watchdog's ErrDeadline is what a stalled fabric would
+				// have reported.
+				met.deadline.Inc()
+				w.settle(c, Result{Status: http.StatusGatewayTimeout,
+					Err: fmt.Sprintf("serve: %v before dispatch", fault.ErrDeadline)})
+				continue
+			}
+			if err := w.sim.Submit(comm.Comm{Src: c.src, Dst: c.dst}); err != nil {
+				// Endpoints validated at admission, queue idle between
+				// waves: the only Submit failure is an endpoint conflict
+				// within this batch. Defer to the next wave.
+				deferred = append(deferred, c)
+				continue
+			}
+			w.wait[[2]int{c.src, c.dst}] = c
+			submitted++
+		}
+		if submitted > 0 {
+			w.quiesce()
+			w.settleRecords()
+		} else if len(deferred) > 0 {
+			// Defensive wedge guard: the fabric is idle yet nothing could
+			// be submitted — endpoint reservations leaked (cannot happen
+			// per the online drain invariants). Fail the stragglers
+			// rather than spin.
+			for _, c := range deferred {
+				w.settle(c, Result{Status: http.StatusInternalServerError, Err: errUnschedulable.Error()})
+			}
+			return
+		}
+		pending = deferred
+	}
+}
+
+// quiesce dispatches until the shard's queue is empty, tolerating
+// quarantine errors (the expelled requests surface via TakeQuarantined).
+// The progress guard breaks the loop if a dispatch error ever leaves the
+// queue unshrunk, so a defect below cannot wedge the worker.
+func (w *worker) quiesce() {
+	for w.sim.QueueLen() > 0 {
+		before := w.sim.QueueLen()
+		if _, err := w.sim.Dispatch(); err != nil && w.sim.QueueLen() >= before {
+			return
+		}
+	}
+}
+
+// settleRecords maps the simulator's new completion and quarantine records
+// back to their waiting calls.
+func (w *worker) settleRecords() {
+	met := &w.pool.met
+	for _, rec := range w.sim.TakeCompleted() {
+		key := [2]int{rec.Comm.Src, rec.Comm.Dst}
+		c, ok := w.wait[key]
+		if !ok {
+			continue // defensive: record without a waiter
+		}
+		delete(w.wait, key)
+		met.scheduled.Inc()
+		w.settle(c, Result{
+			Status:        http.StatusOK,
+			Arrival:       rec.Arrival,
+			Dispatched:    rec.Dispatched,
+			Finished:      rec.Finished,
+			LatencyRounds: rec.Finished - rec.Arrival,
+		})
+	}
+	for _, rec := range w.sim.TakeQuarantined() {
+		key := [2]int{rec.Comm.Src, rec.Comm.Dst}
+		c, ok := w.wait[key]
+		if !ok {
+			continue
+		}
+		delete(w.wait, key)
+		met.quarantined.Inc()
+		w.settle(c, Result{Status: http.StatusInternalServerError,
+			Err: "serve: batch quarantined after exhausting dispatch attempts"})
+	}
+}
+
+// settle delivers the terminal result for one admitted call. Every
+// admitted call is settled exactly once; the buffered response channel
+// means a departed client cannot block the worker.
+func (w *worker) settle(c *call, res Result) {
+	res.Src, res.Dst, res.Shard = c.src, c.dst, w.id
+	w.pool.responded.Add(1)
+	w.pool.met.inflight.Add(-1)
+	w.pool.met.latency.ObserveDuration(time.Since(c.enq))
+	if w.pool.tracer != nil {
+		w.pool.tracer.Emit(obs.Event{Type: "serve.done", Engine: "serve",
+			Round: w.sim.Now(), N: res.Status})
+	}
+	c.resp <- res
+}
