@@ -3,10 +3,19 @@
 // It can embed a second bench run as the baseline and reports per-benchmark
 // speedups against it.
 //
+// With -ledger the parsed benchmarks are additionally appended to the
+// perf lab's JSONL ledger (internal/lab schema), so ad-hoc bench runs and
+// cstload output feed the same regression gate as cstlab sweeps. With
+// -convert the positional arguments are previously emitted benchjson
+// documents whose benchmarks are normalized into the ledger — the one-shot
+// migration path for the committed BENCH_*.json files.
+//
 // Examples:
 //
 //	go test -bench=. -run='^$' . | go run ./cmd/benchjson -out BENCH_core.json
 //	go test -bench=. -run='^$' . | go run ./cmd/benchjson -baseline pre.txt -out BENCH_core.json
+//	cstload -requests 500 | benchjson -ledger BENCH_ledger.jsonl -out BENCH_serve.json
+//	benchjson -convert -ledger BENCH_ledger.jsonl BENCH_core.json BENCH_obs.json
 package main
 
 import (
@@ -19,6 +28,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"cst/internal/lab"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -55,8 +66,22 @@ func main() {
 		out      = flag.String("out", "", "output JSON file (default stdout)")
 		label    = flag.String("label", "", "free-form label stored in the document")
 		match    = flag.String("match", "", "keep only benchmarks whose name matches this regexp (applied to both runs)")
+		ledger   = flag.String("ledger", "", "also append parsed benchmarks to this JSONL ledger")
+		convert  = flag.Bool("convert", false, "positional args are benchjson documents to normalize into -ledger; nothing else is emitted")
 	)
 	flag.Parse()
+
+	if *convert {
+		if *ledger == "" {
+			fatal(fmt.Errorf("-convert requires -ledger"))
+		}
+		n, err := convertDocs(*ledger, flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: appended %d entries to %s\n", n, *ledger)
+		return
+	}
 
 	var keep *regexp.Regexp
 	if *match != "" {
@@ -103,6 +128,65 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fatal(err)
 	}
+
+	if *ledger != "" {
+		entries := ledgerEntries(doc, "benchjson")
+		if err := lab.Append(*ledger, entries); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: appended %d entries to %s\n", len(entries), *ledger)
+	}
+}
+
+// ledgerEntries normalizes a document's benchmarks into lab ledger entries:
+// one ns/op entry per benchmark, plus B/op and allocs/op entries when the
+// run recorded them. The machine fingerprint comes from the document's
+// goos/goarch/cpu header when present (converted historical documents keep
+// their original machine), falling back to the local machine.
+func ledgerEntries(doc Document, source string) []lab.Entry {
+	st := lab.NewStamp(source, doc.Label)
+	if doc.Goos != "" {
+		st.Machine = lab.Machine{Goos: doc.Goos, Goarch: doc.Goarch, CPU: doc.CPU}
+	}
+	var out []lab.Entry
+	for _, b := range doc.Benchmarks {
+		out = append(out, st.Apply(lab.Entry{Bench: b.Name, Unit: "ns/op",
+			Value: b.NsPerOp, Samples: int(b.Iterations)}))
+		if b.BytesPerOp > 0 {
+			out = append(out, st.Apply(lab.Entry{Bench: b.Name, Unit: "B/op",
+				Value: float64(b.BytesPerOp)}))
+		}
+		if b.AllocsPerOp > 0 {
+			out = append(out, st.Apply(lab.Entry{Bench: b.Name, Unit: "allocs/op",
+				Value: float64(b.AllocsPerOp)}))
+		}
+	}
+	return out
+}
+
+// convertDocs reads benchjson documents and appends their benchmarks to the
+// ledger, returning how many entries were written.
+func convertDocs(ledger string, paths []string) (int, error) {
+	if len(paths) == 0 {
+		return 0, fmt.Errorf("-convert: no documents given")
+	}
+	total := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return total, err
+		}
+		var doc Document
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return total, fmt.Errorf("%s: %v", path, err)
+		}
+		entries := ledgerEntries(doc, "convert:"+path)
+		if err := lab.Append(ledger, entries); err != nil {
+			return total, err
+		}
+		total += len(entries)
+	}
+	return total, nil
 }
 
 // readBaseline loads a baseline from either raw `go test -bench` text or a

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cst/internal/lab"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+cpu: TestCPU
+BenchmarkA 1000 1234.5 ns/op 64 B/op 3 allocs/op
+BenchmarkB 500 99 ns/op
+not a bench line
+`
+	var doc Document
+	bs, err := parse(strings.NewReader(in), &doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.CPU != "TestCPU" {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(bs) != 2 || bs[0].NsPerOp != 1234.5 || bs[0].BytesPerOp != 64 || bs[0].AllocsPerOp != 3 {
+		t.Errorf("parsed: %+v", bs)
+	}
+}
+
+func TestLedgerEntriesNormalization(t *testing.T) {
+	doc := Document{
+		Label: "historic run", Goos: "linux", Goarch: "arm64", CPU: "OldCPU",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", Iterations: 1000, NsPerOp: 1234.5, BytesPerOp: 64, AllocsPerOp: 3},
+			{Name: "BenchmarkB", Iterations: 500, NsPerOp: 99},
+		},
+	}
+	entries := ledgerEntries(doc, "convert:test")
+	// A yields ns/op + B/op + allocs/op; B yields ns/op only.
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d, want 4", len(entries))
+	}
+	e := entries[0]
+	if e.Schema != lab.SchemaVersion || e.Source != "convert:test" || e.Label != "historic run" {
+		t.Errorf("provenance: %+v", e)
+	}
+	if e.Bench != "BenchmarkA" || e.Unit != "ns/op" || e.Value != 1234.5 || e.Samples != 1000 {
+		t.Errorf("ns/op entry: %+v", e)
+	}
+	// The historic document's machine header wins over the local machine.
+	if e.Machine.Goarch != "arm64" || e.Machine.CPU != "OldCPU" {
+		t.Errorf("machine: %+v", e.Machine)
+	}
+	if entries[1].Unit != "B/op" || entries[1].Value != 64 ||
+		entries[2].Unit != "allocs/op" || entries[2].Value != 3 {
+		t.Errorf("memory entries: %+v %+v", entries[1], entries[2])
+	}
+}
+
+// TestConvertDocs round-trips a committed-style BENCH_*.json document into
+// the ledger — the migration path for the historical bench artifacts.
+func TestConvertDocs(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "BENCH_x.json")
+	doc := `{
+  "label": "seed",
+  "goos": "linux",
+  "goarch": "amd64",
+  "cpu": "TestCPU",
+  "benchmarks": [
+    {"name": "BenchmarkA", "iterations": 10, "ns_per_op": 100, "bytes_per_op": 8, "allocs_per_op": 1}
+  ]
+}`
+	if err := os.WriteFile(docPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ledger := filepath.Join(dir, "ledger.jsonl")
+	n, err := convertDocs(ledger, []string{docPath})
+	if err != nil || n != 3 {
+		t.Fatalf("convert: n=%d err=%v", n, err)
+	}
+	entries, err := lab.ReadLedger(ledger)
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("ledger: %d entries, err=%v", len(entries), err)
+	}
+	if entries[0].Source != "convert:"+docPath || entries[0].Label != "seed" {
+		t.Errorf("entry: %+v", entries[0])
+	}
+	if _, err := convertDocs(ledger, nil); err == nil {
+		t.Error("no documents must error")
+	}
+	if _, err := convertDocs(ledger, []string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing document must error")
+	}
+}

@@ -1,0 +1,204 @@
+// Command cstlab is the perf lab's front end. It sweeps the scheduling
+// engines over a parameter grid, compares every measurement against the
+// analytical twin (theorem-exact rounds and word counts, power envelopes,
+// fitted latency models with noise bands), appends the results to a
+// schema-versioned JSONL ledger, and replays that ledger as a CI
+// regression gate.
+//
+// Subcommands:
+//
+//	cstlab sweep   -n 32,64,128 -w 2,8 -engines padr,sim,online -ledger BENCH_ledger.jsonl
+//	cstlab check   -ledger BENCH_ledger.jsonl
+//	cstlab predict -engine padr -workload chain -n 256 -w 16
+//
+// Exit codes: 0 pass, 1 measured-vs-predicted mismatch or gate failure,
+// 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"cst/internal/lab"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var code int
+	switch os.Args[1] {
+	case "sweep":
+		code = runSweep(os.Args[2:], os.Stdout, os.Stderr)
+	case "check":
+		code = runCheck(os.Args[2:], os.Stdout, os.Stderr)
+	case "predict":
+		code = runPredict(os.Args[2:], os.Stdout, os.Stderr)
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "cstlab: unknown subcommand %q\n", os.Args[1])
+		usage(os.Stderr)
+		code = 2
+	}
+	os.Exit(code)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: cstlab <subcommand> [flags]
+
+  sweep    run a parameter sweep, compare measured vs predicted, append to the ledger
+  check    replay the ledger and gate on regressions, exact mismatches and bound excesses
+  predict  print the analytical twin's closed forms for one grid point
+`)
+}
+
+// parseInts parses a comma-separated integer list ("32,64,128").
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cstlab sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ns       = fs.String("n", "32,64,128", "comma-separated leaf counts (powers of two)")
+		ws       = fs.String("w", "2,8", "comma-separated set widths")
+		engines  = fs.String("engines", "padr,sim,online", "comma-separated engines (padr, sim, online, online-sharded)")
+		workload = fs.String("workload", lab.WorkloadChain, "set family: chain, split or random")
+		reps     = fs.Int("reps", 5, "timed runs per grid point (median is reported)")
+		seed     = fs.Int64("seed", 1, "random-workload seed")
+		ledger   = fs.String("ledger", "", "append results to this JSONL ledger")
+		label    = fs.String("label", "", "free-form label stamped onto ledger entries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	nList, err := parseInts(*ns)
+	if err != nil {
+		fmt.Fprintf(stderr, "cstlab: -n: %v\n", err)
+		return 2
+	}
+	wList, err := parseInts(*ws)
+	if err != nil {
+		fmt.Fprintf(stderr, "cstlab: -w: %v\n", err)
+		return 2
+	}
+
+	res, err := lab.RunSweep(lab.SweepConfig{
+		Ns: nList, Ws: wList, Engines: splitList(*engines),
+		Workload: *workload, Reps: *reps, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "cstlab:", err)
+		return 2
+	}
+	fmt.Fprintln(stdout, res.Table())
+
+	if *ledger != "" {
+		stamp := lab.NewStamp("cstlab", *label)
+		entries := make([]lab.Entry, 0)
+		for _, e := range res.Entries() {
+			entries = append(entries, stamp.Apply(e))
+		}
+		if err := lab.Append(*ledger, entries); err != nil {
+			fmt.Fprintln(stderr, "cstlab:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cstlab: appended %d entries to %s\n", len(entries), *ledger)
+	}
+
+	if !res.Ok() {
+		fmt.Fprintln(stderr, "cstlab: sweep FAILED — measured values deviate from the analytical twin")
+		return 1
+	}
+	fmt.Fprintln(stderr, "cstlab: sweep ok — all measurements match the analytical twin")
+	return 0
+}
+
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cstlab check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ledger     = fs.String("ledger", "BENCH_ledger.jsonl", "JSONL ledger to replay")
+		k          = fs.Float64("k", 0, "MAD multiplier for the noise band (0 = default)")
+		slack      = fs.Float64("slack", 0, "minimum relative band half-width (0 = default)")
+		minHistory = fs.Int("min-history", 0, "runs required before the band is trusted (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	entries, err := lab.ReadLedger(*ledger)
+	if err != nil {
+		fmt.Fprintln(stderr, "cstlab:", err)
+		return 2
+	}
+	if len(entries) == 0 {
+		fmt.Fprintf(stderr, "cstlab: ledger %s is empty — nothing to gate\n", *ledger)
+		return 0
+	}
+	vs, ok := lab.Check(entries, lab.CheckOptions{K: *k, SlackRel: *slack, MinHistory: *minHistory})
+	if err := lab.WriteVerdicts(stdout, vs, ok); err != nil {
+		fmt.Fprintln(stderr, "cstlab:", err)
+		return 2
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func runPredict(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cstlab predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		engine   = fs.String("engine", lab.EnginePADR, "engine the prediction is for")
+		workload = fs.String("workload", lab.WorkloadChain, "set family: chain, split or random")
+		n        = fs.Int("n", 64, "leaf count (power of two)")
+		w        = fs.Int("w", 4, "set width")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n < 2 || *w < 1 {
+		fmt.Fprintln(stderr, "cstlab: -n must be >= 2 and -w >= 1")
+		return 2
+	}
+	p := lab.Predict(*engine, *workload, *n, *w)
+	fmt.Fprintf(stdout, "engine=%s workload=%s N=%d w=%d\n", *engine, *workload, *n, *w)
+	fmt.Fprintf(stdout, "rounds        %d   (Theorems 4/5: width-w sets schedule in exactly w rounds)\n", p.Rounds)
+	if p.Phase1Words > 0 {
+		fmt.Fprintf(stdout, "phase1 words  %d   (2N-2 control words up the tree)\n", p.Phase1Words)
+		fmt.Fprintf(stdout, "phase2 words  %d   (2N-2 words per round, w rounds)\n", p.Phase2Words)
+	} else {
+		fmt.Fprintf(stdout, "phase words   n/a  (engine does not expose word counts)\n")
+	}
+	fmt.Fprintf(stdout, "power units   <= %d (envelope)\n", p.MaxUnitsBound)
+	return 0
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cst/internal/lab"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("32, 64,128")
+	if err != nil || len(got) != 3 || got[0] != 32 || got[2] != 128 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list must error")
+	}
+	if _, err := parseInts("32,x"); err == nil {
+		t.Error("bad integer must error")
+	}
+}
+
+// TestSweepAppendsAndCheckPasses drives the lab end to end through the CLI:
+// a small sweep appends to a fresh ledger, and check replays it cleanly.
+func TestSweepAppendsAndCheckPasses(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "ledger.jsonl")
+	var out, errw bytes.Buffer
+	code := runSweep([]string{"-n", "16,32", "-w", "2", "-engines", "padr",
+		"-reps", "2", "-ledger", ledger, "-label", "cli test"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("sweep exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "Fitted models") {
+		t.Errorf("sweep table missing models:\n%s", out.String())
+	}
+	entries, err := lab.ReadLedger(ledger)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("ledger after sweep: %d entries, err=%v", len(entries), err)
+	}
+	if entries[0].Label != "cli test" || entries[0].Source != "cstlab" {
+		t.Errorf("provenance not stamped: %+v", entries[0])
+	}
+
+	out.Reset()
+	errw.Reset()
+	code = runCheck([]string{"-ledger", ledger}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("check exit %d on a clean ledger\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "check: PASS") {
+		t.Errorf("check output:\n%s", out.String())
+	}
+}
+
+// TestCheckExitCodesInjectedRegression is the acceptance criterion at the
+// CLI boundary: an artificially injected slowdown must flip the exit code.
+func TestCheckExitCodesInjectedRegression(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "ledger.jsonl")
+	st := lab.Stamp{Time: time.Now().UTC(), Source: "test",
+		Machine: lab.Machine{Goos: "linux", Goarch: "amd64", NumCPU: 4}}
+	var entries []lab.Entry
+	for _, v := range []float64{100, 102, 98, 101} {
+		entries = append(entries, st.Apply(lab.Entry{Bench: "BenchmarkX", Unit: "ns/op", Value: v}))
+	}
+	entries = append(entries, st.Apply(lab.Entry{Bench: "BenchmarkX", Unit: "ns/op", Value: 250}))
+	if err := lab.Append(ledger, entries); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := runCheck([]string{"-ledger", ledger}, &out, &errw); code != 1 {
+		t.Fatalf("injected regression: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "check: FAIL") {
+		t.Errorf("check output:\n%s", out.String())
+	}
+}
+
+func TestCheckExitCodesExactMismatch(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "ledger.jsonl")
+	st := lab.Stamp{Time: time.Now().UTC(), Source: "test",
+		Machine: lab.Machine{Goos: "linux", Goarch: "amd64", NumCPU: 4}}
+	e := st.Apply(lab.Entry{Bench: "lab/padr/chain/N=64/w=4/rounds", Unit: "rounds",
+		Value: 5, Predicted: 4, Exact: true})
+	if err := lab.Append(ledger, []lab.Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := runCheck([]string{"-ledger", ledger}, &out, &errw); code != 1 {
+		t.Fatalf("exact mismatch: exit %d, want 1\n%s", code, out.String())
+	}
+}
+
+func TestCheckEmptyLedgerPasses(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := runCheck([]string{"-ledger", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("missing ledger must pass (first run): exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "nothing to gate") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+}
+
+func TestPredictClosedForms(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := runPredict([]string{"-engine", "padr", "-workload", "chain", "-n", "256", "-w", "16"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("predict exit %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"rounds        16", "phase1 words  510", "phase2 words  8160", "<= 6"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("predict output missing %q:\n%s", want, out.String())
+		}
+	}
+	if code := runPredict([]string{"-n", "0"}, &out, &errw); code != 2 {
+		t.Errorf("bad -n: exit %d, want 2", code)
+	}
+}
+
+func TestSweepUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := runSweep([]string{"-n", "nope"}, &out, &errw); code != 2 {
+		t.Errorf("bad -n: exit %d, want 2", code)
+	}
+	if code := runSweep([]string{"-n", "16", "-w", "2", "-engines", "warp"}, &out, &errw); code != 2 {
+		t.Errorf("unknown engine: exit %d, want 2", code)
+	}
+}

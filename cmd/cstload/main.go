@@ -18,14 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"cst/internal/stats"
 )
 
 type loadOptions struct {
@@ -74,17 +74,25 @@ func (r *report) throughput() float64 {
 	return float64(r.Scheduled) / r.Elapsed.Seconds()
 }
 
-// quantile returns the nearest-rank q-quantile of the (sorted) 2xx
-// latencies.
+// nanos returns the 2xx latencies as float64 nanoseconds for the shared
+// quantile implementation in internal/stats.
+func (r *report) nanos() []float64 {
+	xs := make([]float64, len(r.Latencies))
+	for i, d := range r.Latencies {
+		xs[i] = float64(d.Nanoseconds())
+	}
+	return xs
+}
+
+// quantile returns the nearest-rank q-quantile of the 2xx latencies (0 when
+// nothing was scheduled).
 func (r *report) quantile(q float64) time.Duration {
-	if len(r.Latencies) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(q*float64(len(r.Latencies)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	return r.Latencies[i]
+	return time.Duration(stats.Quantile(r.nanos(), q))
+}
+
+// max returns the slowest 2xx latency.
+func (r *report) max() time.Duration {
+	return r.quantile(1)
 }
 
 // discoverPEs asks the server's /statusz for its fabric size.
@@ -186,7 +194,6 @@ func run(o loadOptions) (*report, error) {
 		}
 		total.Latencies = append(total.Latencies, reports[i].Latencies...)
 	}
-	sort.Slice(total.Latencies, func(i, j int) bool { return total.Latencies[i] < total.Latencies[j] })
 	return total, nil
 }
 
@@ -200,14 +207,18 @@ func writeBench(w io.Writer, r *report) {
 	perOp := float64(r.Elapsed.Nanoseconds()) / float64(n)
 	fmt.Fprintf(w, "BenchmarkServeThroughput %d %.1f ns/op\n", n, perOp)
 	fmt.Fprintf(w, "BenchmarkServeLatencyP50 %d %d ns/op\n", n, r.quantile(0.50).Nanoseconds())
+	fmt.Fprintf(w, "BenchmarkServeLatencyP90 %d %d ns/op\n", n, r.quantile(0.90).Nanoseconds())
 	fmt.Fprintf(w, "BenchmarkServeLatencyP99 %d %d ns/op\n", n, r.quantile(0.99).Nanoseconds())
+	fmt.Fprintf(w, "BenchmarkServeLatencyMax %d %d ns/op\n", n, r.max().Nanoseconds())
 }
 
 func writeSummary(w io.Writer, r *report) {
 	fmt.Fprintf(w, "cstload: %d scheduled, %d backpressured (429) in %v\n",
 		r.Scheduled, r.Rejected, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "cstload: %.1f req/s, p50 %v, p99 %v\n",
-		r.throughput(), r.quantile(0.50).Round(time.Microsecond), r.quantile(0.99).Round(time.Microsecond))
+	fmt.Fprintf(w, "cstload: %.1f req/s over %d samples, p50 %v, p90 %v, p99 %v, max %v\n",
+		r.throughput(), len(r.Latencies),
+		r.quantile(0.50).Round(time.Microsecond), r.quantile(0.90).Round(time.Microsecond),
+		r.quantile(0.99).Round(time.Microsecond), r.max().Round(time.Microsecond))
 	for code, count := range r.Unexpected {
 		fmt.Fprintf(w, "cstload: %d unexpected responses with status %d\n", count, code)
 	}

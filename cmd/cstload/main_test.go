@@ -74,19 +74,23 @@ func TestRunAgainstPool(t *testing.T) {
 	}
 }
 
-// TestWriteBench pins the stdout format cmd/benchjson ingests.
+// TestWriteBench pins the stdout format cmd/benchjson ingests. The
+// latencies are deliberately unsorted: the quantiles route through
+// internal/stats, which sorts its own copy.
 func TestWriteBench(t *testing.T) {
 	r := &report{
 		Elapsed:   time.Second,
 		Scheduled: 2,
-		Latencies: []time.Duration{time.Millisecond, 3 * time.Millisecond},
+		Latencies: []time.Duration{3 * time.Millisecond, time.Millisecond},
 	}
 	var b bytes.Buffer
 	writeBench(&b, r)
 	for _, line := range []string{
 		"BenchmarkServeThroughput 2 500000000.0 ns/op",
 		"BenchmarkServeLatencyP50 2 1000000 ns/op",
+		"BenchmarkServeLatencyP90 2 3000000 ns/op",
 		"BenchmarkServeLatencyP99 2 3000000 ns/op",
+		"BenchmarkServeLatencyMax 2 3000000 ns/op",
 	} {
 		if !strings.Contains(b.String(), line) {
 			t.Errorf("bench output missing %q:\n%s", line, b.String())
@@ -96,6 +100,27 @@ func TestWriteBench(t *testing.T) {
 	writeBench(&b, &report{Elapsed: time.Second})
 	if b.Len() != 0 {
 		t.Errorf("empty run emitted bench lines: %q", b.String())
+	}
+}
+
+// TestQuantilesUnsorted pins the bug the stats routing fixed: quantiles on
+// latencies that arrive unsorted (clients finish interleaved) must still be
+// order statistics, and the summary must expose sample count and max.
+func TestQuantilesUnsorted(t *testing.T) {
+	r := &report{Elapsed: time.Second, Scheduled: 4}
+	for _, ms := range []int{40, 10, 30, 20} {
+		r.Latencies = append(r.Latencies, time.Duration(ms)*time.Millisecond)
+	}
+	if got := r.quantile(0.50); got != 20*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.max(); got != 40*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	var b bytes.Buffer
+	writeSummary(&b, r)
+	if !strings.Contains(b.String(), "over 4 samples") || !strings.Contains(b.String(), "max 40ms") {
+		t.Errorf("summary missing count/max:\n%s", b.String())
 	}
 }
 

@@ -1,0 +1,229 @@
+package lab
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cst/internal/stats"
+)
+
+// CheckOptions tunes the regression gate.
+type CheckOptions struct {
+	// K scales the MAD-derived band half-width; <= 0 selects 4 (wall
+	// clocks on shared CI runners are long-tailed; a tight band would
+	// cry wolf).
+	K float64
+	// SlackRel is the minimum relative half-width; <= 0 selects 0.25.
+	SlackRel float64
+	// MinHistory is how many prior runs a series needs before the band
+	// is trusted; <= 0 selects 3. Younger series pass as "new".
+	MinHistory int
+}
+
+func (o CheckOptions) withDefaults() CheckOptions {
+	if o.K <= 0 {
+		o.K = 4
+	}
+	if o.SlackRel <= 0 {
+		o.SlackRel = 0.25
+	}
+	if o.MinHistory <= 0 {
+		o.MinHistory = 3
+	}
+	return o
+}
+
+// Status classifies one series' latest entry.
+type Status string
+
+const (
+	// StatusOK: inside the noise band fitted from history.
+	StatusOK Status = "ok"
+	// StatusImproved: beyond the band in the good direction.
+	StatusImproved Status = "improved"
+	// StatusRegression: beyond the band in the bad direction.
+	StatusRegression Status = "REGRESSION"
+	// StatusNew: not enough history to fit a band.
+	StatusNew Status = "new"
+	// StatusExactOK: a theorem-exact quantity matches the twin's prediction.
+	StatusExactOK Status = "exact-ok"
+	// StatusExactMismatch: a theorem-exact quantity deviates from the twin.
+	StatusExactMismatch Status = "EXACT-MISMATCH"
+	// StatusBoundOK: the measured value sits under its analytical envelope.
+	StatusBoundOK Status = "bound-ok"
+	// StatusBoundExceeded: the measured value exceeds its envelope.
+	StatusBoundExceeded Status = "BOUND-EXCEEDED"
+	// StatusUntracked: a unit the gate has no direction for.
+	StatusUntracked Status = "untracked"
+)
+
+// Failed reports whether the status must fail the gate.
+func (s Status) Failed() bool {
+	return s == StatusRegression || s == StatusExactMismatch || s == StatusBoundExceeded
+}
+
+// Verdict is the gate's judgement of one series.
+type Verdict struct {
+	Bench   string
+	Unit    string
+	Machine string
+	Status  Status
+	// Value is the latest entry; Center and Band describe the fitted
+	// noise band (when Status is band-based); History counts the prior
+	// entries the band was fitted from.
+	Value   float64
+	Center  float64
+	Band    float64
+	History int
+	// Detail carries the human-readable account for failures.
+	Detail string
+}
+
+// String renders one verdict line, stable for golden tests.
+func (v Verdict) String() string {
+	s := fmt.Sprintf("%-15s %s [%s]", v.Status, v.Bench, v.Unit)
+	switch v.Status {
+	case StatusOK, StatusImproved, StatusRegression:
+		s += fmt.Sprintf(" value=%.6g band=[%.6g, %.6g] history=%d",
+			v.Value, v.Center-v.Band, v.Center+v.Band, v.History)
+	case StatusNew:
+		s += fmt.Sprintf(" value=%.6g history=%d", v.Value, v.History)
+	case StatusExactOK, StatusExactMismatch, StatusBoundOK, StatusBoundExceeded:
+		s += fmt.Sprintf(" value=%.6g predicted=%.6g", v.Value, v.Center)
+	}
+	if v.Detail != "" {
+		s += ": " + v.Detail
+	}
+	return s
+}
+
+// lowerIsBetter resolves a unit's good direction; the second return is
+// false for units with no direction (counts are gated by Exact/Bound
+// flags, not bands).
+func lowerIsBetter(unit string) (lower, directional bool) {
+	switch unit {
+	case "ns/op", "ns", "s", "seconds", "B/op", "allocs/op":
+		return true, true
+	case "req/s", "ops/s":
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// Check replays a ledger: for every series (bench × unit × machine
+// fingerprint) the latest entry is judged — theorem-exact entries against
+// their prediction, bounded entries against their envelope, directional
+// units against a noise band fitted from the series' history (median ±
+// max(K·MAD, SlackRel·median)). It returns the verdicts (sorted by series
+// key, failures first within equal keys never happen — one verdict per
+// series) and whether the gate passes.
+func Check(entries []Entry, opts CheckOptions) ([]Verdict, bool) {
+	o := opts.withDefaults()
+	order := []string{}
+	groups := map[string][]Entry{}
+	for _, e := range entries {
+		k := e.Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+	sort.Strings(order)
+
+	var out []Verdict
+	ok := true
+	for _, k := range order {
+		g := groups[k]
+		latest := g[len(g)-1]
+		v := Verdict{Bench: latest.Bench, Unit: latest.Unit,
+			Machine: latest.Machine.Fingerprint(), Value: latest.Value,
+			History: len(g) - 1}
+
+		switch {
+		case latest.Exact:
+			v.Center = latest.Predicted
+			if latest.Value == latest.Predicted {
+				v.Status = StatusExactOK
+			} else {
+				v.Status = StatusExactMismatch
+				v.Detail = "theorem-exact quantity deviates from the analytical twin"
+			}
+		case latest.Bound:
+			v.Center = latest.Predicted
+			if latest.Value <= latest.Predicted {
+				v.Status = StatusBoundOK
+			} else {
+				v.Status = StatusBoundExceeded
+				v.Detail = "measurement exceeds the analytical envelope"
+			}
+		default:
+			lower, directional := lowerIsBetter(latest.Unit)
+			if !directional {
+				v.Status = StatusUntracked
+				break
+			}
+			if len(g)-1 < o.MinHistory {
+				v.Status = StatusNew
+				break
+			}
+			hist := make([]float64, 0, len(g)-1)
+			for _, e := range g[:len(g)-1] {
+				hist = append(hist, e.Value)
+			}
+			center := stats.Median(hist)
+			band := o.K * stats.MAD(hist)
+			if rel := o.SlackRel * center; rel > band {
+				band = rel
+			}
+			v.Center, v.Band = center, band
+			switch {
+			case lower && latest.Value > center+band:
+				v.Status = StatusRegression
+				v.Detail = fmt.Sprintf("%.1f%% above the band ceiling",
+					100*(latest.Value-(center+band))/(center+band))
+			case !lower && latest.Value < center-band:
+				v.Status = StatusRegression
+				v.Detail = fmt.Sprintf("%.1f%% below the band floor",
+					100*((center-band)-latest.Value)/(center-band))
+			case lower && latest.Value < center-band:
+				v.Status = StatusImproved
+			case !lower && latest.Value > center+band:
+				v.Status = StatusImproved
+			default:
+				v.Status = StatusOK
+			}
+		}
+		if v.Status.Failed() {
+			ok = false
+		}
+		out = append(out, v)
+	}
+	return out, ok
+}
+
+// WriteVerdicts renders verdicts with a trailing pass/fail summary line.
+func WriteVerdicts(w io.Writer, vs []Verdict, ok bool) error {
+	counts := map[Status]int{}
+	for _, v := range vs {
+		if _, err := fmt.Fprintln(w, v); err != nil {
+			return err
+		}
+		counts[v.Status]++
+	}
+	var parts []string
+	for _, s := range []Status{StatusOK, StatusImproved, StatusExactOK, StatusBoundOK,
+		StatusNew, StatusUntracked, StatusRegression, StatusExactMismatch, StatusBoundExceeded} {
+		if counts[s] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", counts[s], s))
+		}
+	}
+	verdict := "PASS"
+	if !ok {
+		verdict = "FAIL"
+	}
+	_, err := fmt.Fprintf(w, "check: %s (%s)\n", verdict, strings.Join(parts, ", "))
+	return err
+}

@@ -1,0 +1,138 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+)
+
+// series builds n history entries plus one latest entry for one bench key.
+func series(bench, unit string, history []float64, latest float64) []Entry {
+	st := testStamp()
+	var out []Entry
+	for _, v := range history {
+		out = append(out, st.Apply(Entry{Bench: bench, Unit: unit, Value: v}))
+	}
+	out = append(out, st.Apply(Entry{Bench: bench, Unit: unit, Value: latest}))
+	return out
+}
+
+func TestCheckStableSeriesPasses(t *testing.T) {
+	entries := series("BenchmarkX", "ns/op", []float64{100, 102, 98, 101}, 103)
+	vs, ok := Check(entries, CheckOptions{})
+	if !ok || len(vs) != 1 || vs[0].Status != StatusOK {
+		t.Fatalf("verdicts = %v ok=%v", vs, ok)
+	}
+	if vs[0].History != 4 {
+		t.Errorf("history = %d", vs[0].History)
+	}
+}
+
+// TestCheckFlagsInjectedRegression is the acceptance criterion: an
+// artificially injected slowdown beyond the noise band must fail the gate.
+func TestCheckFlagsInjectedRegression(t *testing.T) {
+	entries := series("BenchmarkX", "ns/op", []float64{100, 102, 98, 101, 99}, 210)
+	vs, ok := Check(entries, CheckOptions{})
+	if ok {
+		t.Fatal("2x slowdown must fail the gate")
+	}
+	if vs[0].Status != StatusRegression {
+		t.Fatalf("status = %v", vs[0].Status)
+	}
+	if !vs[0].Status.Failed() {
+		t.Error("regression must report Failed")
+	}
+}
+
+func TestCheckDirections(t *testing.T) {
+	// Throughput: higher is better, a drop regresses.
+	entries := series("BenchmarkThroughput", "req/s", []float64{1000, 990, 1010}, 500)
+	if _, ok := Check(entries, CheckOptions{}); ok {
+		t.Error("halved throughput must fail")
+	}
+	// An improvement in the good direction passes, marked improved.
+	vs, ok := Check(series("BenchmarkX", "ns/op", []float64{100, 101, 99}, 40), CheckOptions{})
+	if !ok || vs[0].Status != StatusImproved {
+		t.Errorf("improvement: %v ok=%v", vs, ok)
+	}
+	// Unknown units are untracked, never gated.
+	vs, ok = Check(series("weird", "florps", []float64{1, 1, 1}, 99), CheckOptions{})
+	if !ok || vs[0].Status != StatusUntracked {
+		t.Errorf("untracked: %v ok=%v", vs, ok)
+	}
+}
+
+func TestCheckYoungSeriesIsNew(t *testing.T) {
+	vs, ok := Check(series("BenchmarkX", "ns/op", []float64{100}, 500), CheckOptions{})
+	if !ok || vs[0].Status != StatusNew {
+		t.Errorf("young series: %v ok=%v", vs, ok)
+	}
+}
+
+func TestCheckExactAndBound(t *testing.T) {
+	st := testStamp()
+	good := st.Apply(Entry{Bench: "lab/padr/chain/N=64/w=4/rounds", Unit: "rounds",
+		Value: 4, Predicted: 4, Exact: true})
+	bad := st.Apply(Entry{Bench: "lab/padr/chain/N=64/w=8/rounds", Unit: "rounds",
+		Value: 9, Predicted: 8, Exact: true})
+	underBound := st.Apply(Entry{Bench: "lab/padr/chain/N=64/w=4/max_units", Unit: "units",
+		Value: 6, Predicted: 6, Bound: true})
+	overBound := st.Apply(Entry{Bench: "lab/padr/chain/N=64/w=8/max_units", Unit: "units",
+		Value: 9, Predicted: 6, Bound: true})
+
+	// Verdicts come back sorted by series key: max_units before rounds.
+	vs, ok := Check([]Entry{good, underBound}, CheckOptions{})
+	if !ok || vs[0].Status != StatusBoundOK || vs[1].Status != StatusExactOK {
+		t.Fatalf("clean run: %v ok=%v", vs, ok)
+	}
+	if _, ok := Check([]Entry{good, bad}, CheckOptions{}); ok {
+		t.Error("exact mismatch must fail")
+	}
+	if _, ok := Check([]Entry{underBound, overBound}, CheckOptions{}); ok {
+		t.Error("bound excess must fail")
+	}
+}
+
+func TestCheckSplitsSeriesByMachine(t *testing.T) {
+	st := testStamp()
+	other := st
+	other.Machine.CPU = "OtherCPU"
+	var entries []Entry
+	// Fast machine history at ~100, slow machine history at ~1000; the
+	// slow machine's 1000 must not read as a regression of the fast one.
+	for _, v := range []float64{100, 101, 99, 100} {
+		entries = append(entries, st.Apply(Entry{Bench: "B", Unit: "ns/op", Value: v}))
+	}
+	for _, v := range []float64{1000, 1010, 990, 1005} {
+		entries = append(entries, other.Apply(Entry{Bench: "B", Unit: "ns/op", Value: v}))
+	}
+	vs, ok := Check(entries, CheckOptions{})
+	if !ok || len(vs) != 2 {
+		t.Fatalf("per-machine series: %v ok=%v", vs, ok)
+	}
+	for _, v := range vs {
+		if v.Status != StatusOK {
+			t.Errorf("cross-machine bleed: %v", v)
+		}
+	}
+}
+
+// TestCheckVerdictGolden pins the human-readable verdict output the CI
+// log (and the cstlab golden tests) depend on.
+func TestCheckVerdictGolden(t *testing.T) {
+	st := testStamp()
+	entries := series("BenchmarkX", "ns/op", []float64{100, 100, 100, 100}, 200)
+	entries = append(entries, st.Apply(Entry{Bench: "lab/padr/chain/N=64/w=4/rounds",
+		Unit: "rounds", Value: 4, Predicted: 4, Exact: true}))
+	vs, ok := Check(entries, CheckOptions{})
+	var b strings.Builder
+	if err := WriteVerdicts(&b, vs, ok); err != nil {
+		t.Fatal(err)
+	}
+	want := `REGRESSION      BenchmarkX [ns/op] value=200 band=[75, 125] history=4: 60.0% above the band ceiling
+exact-ok        lab/padr/chain/N=64/w=4/rounds [rounds] value=4 predicted=4
+check: FAIL (1 exact-ok, 1 REGRESSION)
+`
+	if b.String() != want {
+		t.Errorf("verdict output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}

@@ -1,0 +1,220 @@
+package lab
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SchemaVersion tags every ledger entry. Readers accept any "cst-lab/"
+// schema and error on anything else, so a future v2 can migrate in place.
+const SchemaVersion = "cst-lab/v1"
+
+// Machine fingerprints the hardware a measurement ran on. Noise bands are
+// only fitted within one fingerprint: a laptop's p50 says nothing about a
+// CI runner's.
+type Machine struct {
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	NumCPU int    `json:"num_cpu"`
+	Host   string `json:"host,omitempty"`
+	Go     string `json:"go,omitempty"`
+}
+
+// Fingerprint is the grouping key for noise bands: hardware identity
+// without the hostname (CI runners are ephemeral but homogeneous).
+func (m Machine) Fingerprint() string {
+	return fmt.Sprintf("%s/%s/%s/%d", m.Goos, m.Goarch, m.CPU, m.NumCPU)
+}
+
+// LocalMachine fingerprints the current host.
+func LocalMachine() Machine {
+	host, _ := os.Hostname()
+	return Machine{
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		CPU:    cpuModel(),
+		NumCPU: runtime.NumCPU(),
+		Host:   host,
+		Go:     runtime.Version(),
+	}
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo (Linux); empty
+// elsewhere — the fingerprint then falls back to goos/goarch/numcpu.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// Entry is one measurement in the bench ledger: a (bench, unit, value)
+// triple plus the provenance needed to trend it. One sweep run appends
+// several entries (rounds, words, units, latency per point); one benchjson
+// conversion appends one entry per benchmark.
+type Entry struct {
+	// Schema is SchemaVersion.
+	Schema string `json:"schema"`
+	// Time is RFC3339; GitSHA the commit the measurement ran at. Both are
+	// injected by the harness (NewStamp), never by the measurement code.
+	Time   string `json:"time"`
+	GitSHA string `json:"git_sha,omitempty"`
+	// Source names the producer: "cstlab", "benchjson", "cstload",
+	// "harness" or "convert:<file>".
+	Source string `json:"source"`
+	// Label is the producer's free-form run label.
+	Label string `json:"label,omitempty"`
+	// Machine fingerprints where the run happened.
+	Machine Machine `json:"machine"`
+	// Bench is the series key, e.g. "lab/padr/chain/N=256/w=16/latency"
+	// or "BenchmarkServeLatencyP50".
+	Bench string `json:"bench"`
+	// Unit is the value's unit: "ns/op", "rounds", "words", "units",
+	// "allocs/op", "req/s".
+	Unit string `json:"unit"`
+	// Value is the measurement (a median over Samples runs when > 1).
+	Value float64 `json:"value"`
+	// Samples is how many raw runs Value aggregates.
+	Samples int `json:"samples,omitempty"`
+	// Predicted is the analytical twin's forecast, when one exists.
+	Predicted float64 `json:"predicted,omitempty"`
+	// Exact marks a theorem-exact quantity: Value must equal Predicted,
+	// on every machine, always. Any mismatch is a bug.
+	Exact bool `json:"exact,omitempty"`
+	// Bound marks an envelope: Value must be <= Predicted.
+	Bound bool `json:"bound,omitempty"`
+}
+
+// Key is the series identity an entry trends under: bench + unit + the
+// machine fingerprint (noise is hardware-specific).
+func (e Entry) Key() string {
+	return e.Bench + "|" + e.Unit + "|" + e.Machine.Fingerprint()
+}
+
+// Stamp is the provenance injected into every entry of one run.
+type Stamp struct {
+	Time    time.Time
+	GitSHA  string
+	Machine Machine
+	Source  string
+	Label   string
+}
+
+// NewStamp builds the provenance for one run: current time, local machine
+// and the repository's HEAD (CST_GIT_SHA overrides; empty when git is
+// unavailable).
+func NewStamp(source, label string) Stamp {
+	return Stamp{
+		Time:    time.Now().UTC(),
+		GitSHA:  gitSHA(),
+		Machine: LocalMachine(),
+		Source:  source,
+		Label:   label,
+	}
+}
+
+// gitSHA resolves the current commit: the CST_GIT_SHA environment variable
+// (CI injects it) or `git rev-parse --short HEAD`.
+func gitSHA() string {
+	if sha := os.Getenv("CST_GIT_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Apply fills an entry's provenance fields from the stamp.
+func (st Stamp) Apply(e Entry) Entry {
+	e.Schema = SchemaVersion
+	e.Time = st.Time.Format(time.RFC3339)
+	e.GitSHA = st.GitSHA
+	e.Machine = st.Machine
+	e.Source = st.Source
+	if e.Label == "" {
+		e.Label = st.Label
+	}
+	return e
+}
+
+// WriteEntries emits entries as JSONL.
+func WriteEntries(w io.Writer, entries []Entry) error {
+	enc := json.NewEncoder(w)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append appends entries to the ledger file, creating it if needed.
+func Append(path string, entries []Entry) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := WriteEntries(f, entries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEntries parses a JSONL ledger stream. Blank lines are skipped; a
+// malformed line or a non-"cst-lab/" schema is an error naming the line.
+func ReadEntries(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("lab: ledger line %d: %v", line, err)
+		}
+		if !strings.HasPrefix(e.Schema, "cst-lab/") {
+			return nil, fmt.Errorf("lab: ledger line %d: unknown schema %q", line, e.Schema)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadLedger reads a ledger file; a missing file is an empty ledger (the
+// trajectory has to start somewhere).
+func ReadLedger(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEntries(f)
+}

@@ -1,0 +1,129 @@
+package lab
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testStamp() Stamp {
+	return Stamp{
+		Time:   time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		GitSHA: "abc1234",
+		Machine: Machine{Goos: "linux", Goarch: "amd64", CPU: "TestCPU",
+			NumCPU: 8, Host: "host1", Go: "go1.22"},
+		Source: "cstlab",
+		Label:  "unit test",
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	st := testStamp()
+	batch1 := []Entry{
+		st.Apply(Entry{Bench: "lab/padr/chain/N=64/w=4/rounds", Unit: "rounds",
+			Value: 4, Predicted: 4, Exact: true}),
+		st.Apply(Entry{Bench: "lab/padr/chain/N=64/w=4/latency", Unit: "ns/op",
+			Value: 52000, Samples: 5, Predicted: 50000}),
+	}
+	if err := Append(path, batch1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, []Entry{st.Apply(Entry{Bench: "b2", Unit: "ns/op", Value: 1})}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d entries, want 3", len(got))
+	}
+	if got[0] != batch1[0] || got[1] != batch1[1] {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", got[0], batch1[0])
+	}
+	if got[0].Schema != SchemaVersion || got[0].Time != "2026-08-08T12:00:00Z" || got[0].GitSHA != "abc1234" {
+		t.Errorf("stamp not applied: %+v", got[0])
+	}
+}
+
+func TestLedgerMissingFileIsEmpty(t *testing.T) {
+	got, err := ReadLedger(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || got != nil {
+		t.Fatalf("missing ledger: entries=%v err=%v", got, err)
+	}
+}
+
+func TestLedgerRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadEntries(strings.NewReader(`{"schema":"other/v9","bench":"x"}`)); err == nil {
+		t.Error("foreign schema must be rejected")
+	}
+	if _, err := ReadEntries(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed line must be rejected")
+	}
+	// Blank lines are fine; future cst-lab minor versions are accepted.
+	in := `
+{"schema":"cst-lab/v2","source":"x","machine":{"goos":"linux","goarch":"amd64","num_cpu":1},"bench":"b","unit":"ns/op","value":1,"time":"t"}
+`
+	got, err := ReadEntries(strings.NewReader(in))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("forward-compatible read: %v %v", got, err)
+	}
+}
+
+// TestLedgerSchemaGolden pins the wire format: renaming or dropping a
+// field breaks every committed BENCH_ledger.jsonl, so this test must only
+// ever change alongside a schema version bump.
+func TestLedgerSchemaGolden(t *testing.T) {
+	e := testStamp().Apply(Entry{Bench: "lab/padr/chain/N=64/w=4/rounds",
+		Unit: "rounds", Value: 4, Samples: 5, Predicted: 4, Exact: true})
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"cst-lab/v1","time":"2026-08-08T12:00:00Z","git_sha":"abc1234",` +
+		`"source":"cstlab","label":"unit test",` +
+		`"machine":{"goos":"linux","goarch":"amd64","cpu":"TestCPU","num_cpu":8,"host":"host1","go":"go1.22"},` +
+		`"bench":"lab/padr/chain/N=64/w=4/rounds","unit":"rounds","value":4,"samples":5,"predicted":4,"exact":true}`
+	if string(b) != want {
+		t.Errorf("schema drift:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestMachineFingerprint(t *testing.T) {
+	m := Machine{Goos: "linux", Goarch: "amd64", CPU: "X", NumCPU: 4, Host: "h1"}
+	same := m
+	same.Host = "h2" // hostname must not split the series
+	if m.Fingerprint() != same.Fingerprint() {
+		t.Error("hostname must not affect the fingerprint")
+	}
+	diff := m
+	diff.NumCPU = 8
+	if m.Fingerprint() == diff.Fingerprint() {
+		t.Error("core count must affect the fingerprint")
+	}
+	local := LocalMachine()
+	if local.Goos == "" || local.Goarch == "" || local.NumCPU == 0 || local.Go == "" {
+		t.Errorf("LocalMachine incomplete: %+v", local)
+	}
+}
+
+func TestNewStampInjectsProvenance(t *testing.T) {
+	t.Setenv("CST_GIT_SHA", "deadbee")
+	st := NewStamp("cstlab", "l")
+	if st.GitSHA != "deadbee" {
+		t.Errorf("CST_GIT_SHA override ignored: %q", st.GitSHA)
+	}
+	if time.Since(st.Time) > time.Minute || st.Time.Location() != time.UTC {
+		t.Errorf("stamp time: %v", st.Time)
+	}
+	e := st.Apply(Entry{Bench: "b", Unit: "ns/op", Value: 1, Label: "own"})
+	if e.Label != "own" {
+		t.Error("entry's own label must win")
+	}
+	if e.Schema != SchemaVersion || e.Source != "cstlab" {
+		t.Errorf("apply: %+v", e)
+	}
+}

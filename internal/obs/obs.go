@@ -201,10 +201,11 @@ var DefLatencyBuckets = ExponentialBuckets(1e-6, 2, 24)
 type metric struct {
 	name string
 	help string
-	kind string // "counter", "gauge", "histogram"
+	kind string // "counter", "gauge", "histogram", "summary"
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	s    *Summary
 }
 
 // Registry is a named collection of metrics. A nil *Registry is the
@@ -331,6 +332,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", m.name, s.Sum, m.name, s.Count); err != nil {
 				return err
 			}
+		case "summary":
+			if err := writeSummary(w, m.name, m.s); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -416,6 +421,8 @@ type Snapshot struct {
 	Gauges   map[string]int64
 	// Histograms maps metric name to a full bucket snapshot.
 	Histograms map[string]HistogramSnapshot
+	// Summaries maps metric name to a window snapshot.
+	Summaries map[string]SummarySnapshot
 }
 
 // Snapshot copies every metric's current value. A nil registry yields an
@@ -425,6 +432,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
+		Summaries:  map[string]SummarySnapshot{},
 	}
 	if r == nil {
 		return s
@@ -440,6 +448,8 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges[m.name] = m.g.Value()
 		case "histogram":
 			s.Histograms[m.name] = m.h.snapshot()
+		case "summary":
+			s.Summaries[m.name] = m.s.snapshot()
 		}
 	}
 	return s
@@ -454,6 +464,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
+		Summaries:  map[string]SummarySnapshot{},
 	}
 	for name, v := range s.Counters {
 		out.Counters[name] = v - prev.Counters[name]
@@ -477,6 +488,16 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			d.Counts[i] = h.Counts[i] - p.Counts[i]
 		}
 		out.Histograms[name] = d
+	}
+	// A summary's window is not subtractable sample-by-sample; keep the
+	// current window and delta only the lifetime count/sum.
+	for name, s := range s.Summaries {
+		p := s
+		if prev, ok := prev.Summaries[name]; ok {
+			p.Count = s.Count - prev.Count
+			p.Sum = s.Sum - prev.Sum
+		}
+		out.Summaries[name] = p
 	}
 	return out
 }

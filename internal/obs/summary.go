@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"cst/internal/stats"
+)
+
+// Summary is a bounded-reservoir quantile metric: it retains the most
+// recent capacity samples in a fixed ring and reports exact (nearest-rank)
+// quantiles over that window, plus a whole-lifetime count, sum and max.
+// Unlike Histogram it needs no bucket layout chosen up front and its
+// quantiles carry no interpolation error — the tradeoff is that they
+// describe a sliding window, not all of history, which is exactly what a
+// latency metric wants. Memory is bounded at capacity × 8 bytes.
+//
+// The update path is lock-free (one ring store + three atomic adds); like
+// Histogram, a concurrent reader may observe a sample mid-window, which is
+// accepted. A nil Summary no-ops.
+type Summary struct {
+	ring  []atomic.Uint64 // math.Float64bits of each sample
+	next  atomic.Uint64   // total inserts; ring slot is next % len(ring)
+	sum   atomic.Uint64   // math.Float64bits of the running sum
+	max   atomic.Uint64   // math.Float64bits of the lifetime max
+	count atomic.Int64
+}
+
+// DefSummaryCapacity is the default sample window when a registration
+// passes capacity <= 0: large enough that p99 over the window rests on
+// ~40 samples, small enough to stay under 32 KiB per metric.
+const DefSummaryCapacity = 4096
+
+// SummaryQuantiles are the quantiles every summary exposes on /metrics.
+// {quantile="1"} is the exact max over the window.
+var SummaryQuantiles = []float64{0.5, 0.9, 0.99, 1}
+
+// Observe records one sample. NaN samples are dropped (they would poison
+// every quantile downstream).
+func (s *Summary) Observe(v float64) {
+	if s == nil || math.IsNaN(v) {
+		return
+	}
+	slot := (s.next.Add(1) - 1) % uint64(len(s.ring))
+	s.ring[slot].Store(math.Float64bits(v))
+	s.count.Add(1)
+	for {
+		old := s.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := s.max.Load()
+		if v <= math.Float64frombits(old) && s.count.Load() > 1 {
+			break
+		}
+		if s.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (s *Summary) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// Count returns the lifetime sample count (0 on nil).
+func (s *Summary) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Sum returns the lifetime sample sum (0 on nil).
+func (s *Summary) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.sum.Load())
+}
+
+// Max returns the lifetime maximum sample (0 on nil or empty).
+func (s *Summary) Max() float64 {
+	if s == nil || s.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(s.max.Load())
+}
+
+// Quantile returns the q-th quantile (0..1) over the retained window
+// (0 with no samples).
+func (s *Summary) Quantile(q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	return stats.Quantile(s.window(), q)
+}
+
+// window copies out the currently retained samples.
+func (s *Summary) window() []float64 {
+	n := s.next.Load()
+	retained := int(n)
+	if retained > len(s.ring) {
+		retained = len(s.ring)
+	}
+	out := make([]float64, retained)
+	for i := 0; i < retained; i++ {
+		out[i] = math.Float64frombits(s.ring[i].Load())
+	}
+	return out
+}
+
+func (s *Summary) snapshot() SummarySnapshot {
+	return SummarySnapshot{
+		Samples: s.window(),
+		Count:   s.count.Load(),
+		Sum:     math.Float64frombits(s.sum.Load()),
+		Max:     s.Max(),
+	}
+}
+
+// SummarySnapshot is a point-in-time copy of one summary.
+type SummarySnapshot struct {
+	// Samples is the retained window (unordered).
+	Samples []float64
+	// Count and Sum aggregate all samples ever observed; Max is the
+	// lifetime maximum.
+	Count int64
+	Sum   float64
+	Max   float64
+}
+
+// Quantile returns the q-th quantile of the snapshot's window.
+func (s SummarySnapshot) Quantile(q float64) float64 { return stats.Quantile(s.Samples, q) }
+
+// Mean returns the lifetime mean sample (0 with no samples).
+func (s SummarySnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Summary returns (registering on first use) the named summary. The
+// capacity is kept from the first registration; pass <= 0 for
+// DefSummaryCapacity. Nil registry → nil handle.
+func (r *Registry) Summary(name, help string, capacity int) *Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.s
+	}
+	if capacity <= 0 {
+		capacity = DefSummaryCapacity
+	}
+	m := &metric{name: name, help: help, kind: "summary",
+		s: &Summary{ring: make([]atomic.Uint64, capacity)}}
+	r.metrics[name] = m
+	return m.s
+}
+
+// writeSummary emits one summary in the Prometheus text format:
+// quantile-labelled gauge lines over the retained window plus the
+// lifetime _sum and _count.
+func writeSummary(w io.Writer, name string, s *Summary) error {
+	snap := s.snapshot()
+	qs := stats.Quantiles(snap.Samples, SummaryQuantiles...)
+	for i, q := range SummaryQuantiles {
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, formatFloat(q), qs[i]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+	return err
+}

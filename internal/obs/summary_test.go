@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSummaryQuantilesExact(t *testing.T) {
+	r := New()
+	s := r.Summary("lat", "test", 100)
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if got := s.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Quantile(0.99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if s.Count() != 100 || s.Sum() != 5050 || s.Max() != 100 {
+		t.Errorf("count %d sum %v max %v", s.Count(), s.Sum(), s.Max())
+	}
+}
+
+func TestSummaryWindowBounded(t *testing.T) {
+	r := New()
+	s := r.Summary("lat", "test", 4)
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	// Window retains only the last 4 samples {97..100}; lifetime count,
+	// sum and max survive.
+	if got := s.Quantile(0); got != 97 {
+		t.Errorf("window min = %v, want 97", got)
+	}
+	if s.Count() != 100 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if s.Max() != 100 {
+		t.Errorf("max = %v", s.Max())
+	}
+}
+
+func TestSummaryNilAndNaN(t *testing.T) {
+	var s *Summary
+	s.Observe(1)
+	s.ObserveDuration(time.Second)
+	if s.Count() != 0 || s.Sum() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Error("nil summary must read zero")
+	}
+	var r *Registry
+	if r.Summary("x", "", 10) != nil {
+		t.Error("nil registry must hand out a nil summary")
+	}
+	live := New().Summary("x", "", 10)
+	live.Observe(nan())
+	if live.Count() != 0 {
+		t.Error("NaN observations must be dropped")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestSummaryExposition(t *testing.T) {
+	r := New()
+	s := r.Summary("cst_test_latency", "request latency", 10)
+	for i := 1; i <= 10; i++ {
+		s.Observe(float64(i))
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP cst_test_latency request latency
+# TYPE cst_test_latency summary
+cst_test_latency{quantile="0.5"} 5
+cst_test_latency{quantile="0.9"} 9
+cst_test_latency{quantile="0.99"} 10
+cst_test_latency{quantile="1"} 10
+cst_test_latency_sum 55
+cst_test_latency_count 10
+`
+	if b.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestSummarySnapshotSub(t *testing.T) {
+	r := New()
+	s := r.Summary("lat", "", 8)
+	s.Observe(2)
+	prev := r.Snapshot()
+	s.Observe(4)
+	s.Observe(6)
+	d := r.Snapshot().Sub(prev)
+	sn, ok := d.Summaries["lat"]
+	if !ok {
+		t.Fatal("summary missing from delta snapshot")
+	}
+	if sn.Count != 2 || sn.Sum != 10 {
+		t.Errorf("delta count %d sum %v", sn.Count, sn.Sum)
+	}
+	// The window itself is not subtractable; the current window passes
+	// through.
+	if len(sn.Samples) != 3 {
+		t.Errorf("window size %d", len(sn.Samples))
+	}
+	if sn.Quantile(1) != 6 {
+		t.Errorf("window max = %v", sn.Quantile(1))
+	}
+}
+
+func TestSummaryConcurrent(t *testing.T) {
+	r := New()
+	s := r.Summary("lat", "", 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 8000 || s.Sum() != 8000 || s.Max() != 1 {
+		t.Errorf("count %d sum %v max %v", s.Count(), s.Sum(), s.Max())
+	}
+	if got := s.Quantile(0.99); got != 1 {
+		t.Errorf("p99 = %v", got)
+	}
+}

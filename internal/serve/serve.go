@@ -148,6 +148,7 @@ type poolMetrics struct {
 	inflight    *obs.Gauge
 	batchSize   *obs.Histogram
 	latency     *obs.Histogram
+	latencyQ    *obs.Summary
 }
 
 func newPoolMetrics(r *obs.Registry) poolMetrics {
@@ -164,6 +165,7 @@ func newPoolMetrics(r *obs.Registry) poolMetrics {
 		inflight:    r.Gauge("cst_serve_inflight", "requests admitted and not yet answered"),
 		batchSize:   r.Histogram("cst_serve_batch_size", "requests per flushed batch", obs.ExponentialBuckets(1, 2, 10)),
 		latency:     r.Histogram("cst_serve_request_seconds", "wall-clock request latency", obs.ExponentialBuckets(0.0001, 2, 16)),
+		latencyQ:    r.Summary("cst_serve_latency", "wall-clock request latency in seconds, exact quantiles over the last 4096 requests", 0),
 	}
 }
 
@@ -525,7 +527,9 @@ func (w *worker) settle(c *call, res Result) {
 	res.Src, res.Dst, res.Shard = c.src, c.dst, w.id
 	w.pool.responded.Add(1)
 	w.pool.met.inflight.Add(-1)
-	w.pool.met.latency.ObserveDuration(time.Since(c.enq))
+	lat := time.Since(c.enq)
+	w.pool.met.latency.ObserveDuration(lat)
+	w.pool.met.latencyQ.ObserveDuration(lat)
 	if w.pool.tracer != nil {
 		w.pool.tracer.Emit(obs.Event{Type: "serve.done", Engine: "serve",
 			Round: w.sim.Now(), N: res.Status})

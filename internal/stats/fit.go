@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Clean returns xs with every NaN and ±Inf removed. The input is not
+// modified; a clean input is returned as-is (no copy).
+func Clean(xs []float64) []float64 {
+	dirty := false
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return xs
+	}
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile (0..1) of xs by the nearest-rank
+// definition (ceil(q·n)-th smallest sample). NaN and Inf samples are
+// ignored; an empty (or all-NaN) input yields 0. This is the shared
+// quantile implementation: obs summaries, cstload and the perf lab all
+// route through it.
+func Quantile(xs []float64, q float64) float64 {
+	qs := Quantiles(xs, q)
+	return qs[0]
+}
+
+// Quantiles computes several quantiles over one sorted copy of xs. Each q
+// is clamped to [0, 1]; see Quantile for the semantics.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	clean := Clean(xs)
+	if len(clean) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), clean...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		out[i] = sorted[rank]
+	}
+	return out
+}
+
+// Median returns the 0.5 quantile (nearest-rank; 0 for an empty input).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MAD returns the median absolute deviation from the median — the robust
+// spread estimator the perf lab's noise bands are built on (a handful of
+// outlier CI runs must not widen the band the way they would widen a
+// standard deviation). 0 for fewer than two finite samples.
+func MAD(xs []float64) float64 {
+	clean := Clean(xs)
+	if len(clean) < 2 {
+		return 0
+	}
+	m := Median(clean)
+	devs := make([]float64, len(clean))
+	for i, x := range clean {
+		devs[i] = math.Abs(x - m)
+	}
+	return Median(devs)
+}
+
+// Stddev returns the sample standard deviation (n−1 denominator), 0 for
+// fewer than two finite samples.
+func Stddev(xs []float64) float64 {
+	clean := Clean(xs)
+	if len(clean) < 2 {
+		return 0
+	}
+	m := Mean(clean)
+	sum := 0.0
+	for _, x := range clean {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(clean)-1))
+}
+
+// LeastSquares fits coefficients c minimizing ||Xc − y||² by solving the
+// normal equations XᵀXc = Xᵀy with Gaussian elimination (partial
+// pivoting). Each row of X is one observation's feature vector (include a
+// constant-1 feature for an intercept). Errors on empty/ragged input,
+// fewer rows than features, non-finite values, or a singular system
+// (linearly dependent features).
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("stats: least squares needs matching non-empty X (%d rows) and y (%d)", len(x), len(y))
+	}
+	k := len(x[0])
+	if k == 0 {
+		return nil, fmt.Errorf("stats: least squares needs at least one feature")
+	}
+	if len(x) < k {
+		return nil, fmt.Errorf("stats: least squares is underdetermined: %d rows for %d features", len(x), k)
+	}
+	for i, row := range x {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: ragged X: row %d has %d features, want %d", i, len(row), k)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("stats: non-finite feature in X row %d", i)
+			}
+		}
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return nil, fmt.Errorf("stats: non-finite response y[%d]", i)
+		}
+	}
+	// Build the augmented normal system [XᵀX | Xᵀy].
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k+1)
+		for j := 0; j < k; j++ {
+			for r := range x {
+				a[i][j] += x[r][i] * x[r][j]
+			}
+		}
+		for r := range x {
+			a[i][k] += x[r][i] * y[r]
+		}
+	}
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular normal equations (feature %d linearly dependent)", col)
+		}
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for j := col; j <= k; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	c := make([]float64, k)
+	for i := range c {
+		c[i] = a[i][k] / a[i][i]
+	}
+	return c, nil
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCleanFiltersNonFinite(t *testing.T) {
+	in := []float64{1, math.NaN(), 2, math.Inf(1), 3, math.Inf(-1)}
+	got := Clean(in)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Clean = %v", got)
+	}
+	// A clean input must come back without copying.
+	clean := []float64{4, 5}
+	if out := Clean(clean); &out[0] != &clean[0] {
+		t.Error("Clean copied an already-clean slice")
+	}
+	if out := Clean(nil); len(out) != 0 {
+		t.Errorf("Clean(nil) = %v", out)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty input must read 0")
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single sample: %v", got)
+	}
+	if got := Quantile([]float64{math.NaN(), math.NaN()}, 0.5); got != 0 {
+		t.Errorf("all-NaN input must read 0, got %v", got)
+	}
+	if got := Quantile([]float64{math.NaN(), 3, 1, math.Inf(1), 2}, 0.5); got != 2 {
+		t.Errorf("NaN/Inf must be ignored: got %v", got)
+	}
+	// Nearest-rank on 1..10.
+	xs := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 5}, {0.9, 9}, {0.99, 10}, {1, 10}, {-1, 1}, {2, 10},
+	} {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if xs[0] != 10 {
+		t.Error("Quantile reordered the caller's slice")
+	}
+}
+
+func TestQuantilesSharesOneSort(t *testing.T) {
+	got := Quantiles([]float64{3, 1, 2}, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Quantiles = %v", got)
+	}
+	if out := Quantiles(nil, 0.5, 0.99); out[0] != 0 || out[1] != 0 {
+		t.Errorf("empty Quantiles = %v", out)
+	}
+}
+
+func TestMedianMADStddev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+	// Deviations from 3: {2,1,0,1,97} → median 1. The outlier moves MAD
+	// not at all, which is the point.
+	if got := MAD(xs); got != 1 {
+		t.Errorf("MAD = %v", got)
+	}
+	if MAD(nil) != 0 || MAD([]float64{5}) != 0 {
+		t.Error("MAD of <2 samples must be 0")
+	}
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.001 {
+		t.Errorf("Stddev = %v", got)
+	}
+	if Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Error("Stddev of <2 samples must be 0")
+	}
+	if got := MAD([]float64{math.NaN(), 1, 2, 3}); got != 1 {
+		t.Errorf("MAD must ignore NaN: %v", got)
+	}
+}
+
+func TestLeastSquaresRecoversLine(t *testing.T) {
+	// y = 3 + 2x, exactly.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		x = append(x, []float64{1, float64(i)})
+		y = append(y, 3+2*float64(i))
+	}
+	c, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-3) > 1e-9 || math.Abs(c[1]-2) > 1e-9 {
+		t.Fatalf("coefficients = %v, want [3 2]", c)
+	}
+}
+
+func TestLeastSquaresTwoFeatures(t *testing.T) {
+	// y = 1 + 2a + 5b over a small grid.
+	var x [][]float64
+	var y []float64
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			x = append(x, []float64{1, float64(a), float64(b)})
+			y = append(y, 1+2*float64(a)+5*float64(b))
+		}
+	}
+	c, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 5} {
+		if math.Abs(c[i]-want) > 1e-9 {
+			t.Fatalf("coefficients = %v", c)
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty system must error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system must error")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("ragged X must error")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {math.NaN()}}, []float64{1, 2}); err == nil {
+		t.Error("NaN feature must error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 1}, {1, 1}, {1, 1}}, []float64{1, 2, 3}); err == nil {
+		t.Error("dependent features must error")
+	}
+}

@@ -1,10 +1,12 @@
-// Package stats provides the small numeric and table-formatting helpers the
-// experiment harness uses to print paper-style tables and series.
+// Package stats provides the shared numeric helpers — quantiles, robust
+// spread (MAD), least-squares fitting — and the table formatting the
+// experiment harness, load generator and perf lab all build on. Every
+// consumer that reports a percentile routes through Quantile so the repo
+// has exactly one definition of "p99".
 package stats
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -48,28 +50,10 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0..100) by nearest-rank on a
-// sorted copy; 0 for an empty slice.
+// Percentile returns the p-th percentile (0..100); it is Quantile on the
+// 0..1 scale and shares its nearest-rank semantics.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if p <= 0 {
-		return sorted[0]
-	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
-	}
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
+	return Quantile(xs, p/100)
 }
 
 // Table accumulates rows and renders them as GitHub-flavoured markdown or
