@@ -26,19 +26,23 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
 	"cst/internal/lab"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. Extra carries custom
+// metrics emitted via b.ReportMetric or cstload's req/s column, keyed by
+// their unit string.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Speedup compares one benchmark across the two runs.
@@ -160,8 +164,22 @@ func ledgerEntries(doc Document, source string) []lab.Entry {
 			out = append(out, st.Apply(lab.Entry{Bench: b.Name, Unit: "allocs/op",
 				Value: float64(b.AllocsPerOp)}))
 		}
+		for _, unit := range sortedKeys(b.Extra) {
+			out = append(out, st.Apply(lab.Entry{Bench: b.Name, Unit: unit,
+				Value: b.Extra[unit]}))
+		}
 	}
 	return out
+}
+
+// sortedKeys keeps ledger output deterministic across runs.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // convertDocs reads benchjson documents and appends their benchmarks to the
@@ -246,15 +264,22 @@ func parse(r io.Reader, doc *Document) ([]Benchmark, error) {
 			continue
 		}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "B/op":
-				b.BytesPerOp = v
+				b.BytesPerOp = int64(v)
 			case "allocs/op":
-				b.AllocsPerOp = v
+				b.AllocsPerOp = int64(v)
+			default:
+				// Custom metric (b.ReportMetric / cstload req/s): keep the
+				// unit as the key so the ledger can track it directly.
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit] = v
 			}
 		}
 		out = append(out, b)

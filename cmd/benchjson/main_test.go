@@ -30,6 +30,37 @@ not a bench line
 	}
 }
 
+// Custom metrics (b.ReportMetric, cstload's req/s column) land in Extra
+// keyed by unit and flow into the ledger as their own entries.
+func TestParseExtraMetrics(t *testing.T) {
+	in := `BenchmarkServeWireThroughput 2000 18081.0 ns/op 55307.2 req/s
+BenchmarkWireServeSerial 1000 18000 ns/op 55000.5 req/s 0 B/op 0 allocs/op
+`
+	var doc Document
+	bs, err := parse(strings.NewReader(in), &doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("parsed %d benchmarks", len(bs))
+	}
+	if bs[0].Extra["req/s"] != 55307.2 {
+		t.Errorf("extra = %v", bs[0].Extra)
+	}
+	if bs[1].Extra["req/s"] != 55000.5 || bs[1].BytesPerOp != 0 || bs[1].AllocsPerOp != 0 {
+		t.Errorf("mixed extras: %+v", bs[1])
+	}
+	doc.Benchmarks = bs
+	entries := ledgerEntries(doc, "test")
+	// Each benchmark: ns/op + req/s (zero B/op and allocs/op are elided).
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d, want 4", len(entries))
+	}
+	if entries[1].Unit != "req/s" || entries[1].Value != 55307.2 {
+		t.Errorf("req/s entry: %+v", entries[1])
+	}
+}
+
 func TestLedgerEntriesNormalization(t *testing.T) {
 	doc := Document{
 		Label: "historic run", Goos: "linux", Goarch: "arm64", CPU: "OldCPU",

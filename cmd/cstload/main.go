@@ -2,14 +2,25 @@
 // reports throughput and latency. Each client posts one request, waits for
 // its answer, and immediately posts the next; 429 responses count as
 // backpressure (with a short backoff), anything outside {2xx, 429} fails
-// the run. The human-readable report goes to stderr; stdout carries
-// `go test -bench`-style lines so the output pipes straight into
-// cmd/benchjson for BENCH_serve.json.
+// the run. Transport failures (dial errors, broken connections) are
+// tracked as a separate connection-error counter — they are the load
+// generator's problem, not a server-side rejection, and mixing the two
+// corrupted more than one investigation. The human-readable report goes
+// to stderr; stdout carries `go test -bench`-style lines so the output
+// pipes straight into cmd/benchjson for BENCH_serve.json.
+//
+// With -wire the clients speak the binary wire protocol instead of
+// HTTP/JSON: each client holds one persistent connection and keeps up to
+// -pipeline requests in flight on it, correlating answers by request id.
+// Bench lines from a wire run carry a Wire infix
+// (BenchmarkServeWireLatencyP50 vs BenchmarkServeLatencyP50) so the two
+// protocols track as separate series in the perf ledger.
 //
 // Examples:
 //
 //	cstload -addr http://127.0.0.1:8080 -clients 8 -duration 5s
 //	cstload -addr http://127.0.0.1:8080 -requests 500 | benchjson -out BENCH_serve.json
+//	cstload -wire 127.0.0.1:8081 -clients 4 -pipeline 16 -requests 2000
 package main
 
 import (
@@ -26,10 +37,13 @@ import (
 	"time"
 
 	"cst/internal/stats"
+	"cst/internal/wire"
 )
 
 type loadOptions struct {
 	addr       string
+	wireAddr   string
+	pipeline   int
 	clients    int
 	duration   time.Duration
 	requests   int
@@ -42,7 +56,9 @@ func parseFlags(args []string) (loadOptions, error) {
 	fs := flag.NewFlagSet("cstload", flag.ContinueOnError)
 	o := loadOptions{}
 	fs.StringVar(&o.addr, "addr", "http://127.0.0.1:8080", "cstserved base URL")
-	fs.IntVar(&o.clients, "clients", 4, "closed-loop clients")
+	fs.StringVar(&o.wireAddr, "wire", "", "drive the wire protocol at this TCP address instead of HTTP (host:port)")
+	fs.IntVar(&o.pipeline, "pipeline", 1, "wire mode: requests kept in flight per connection")
+	fs.IntVar(&o.clients, "clients", 4, "closed-loop clients (wire mode: persistent connections)")
 	fs.DurationVar(&o.duration, "duration", 3*time.Second, "run length (ignored when -requests > 0)")
 	fs.IntVar(&o.requests, "requests", 0, "total request budget across clients (0 = run for -duration)")
 	fs.IntVar(&o.pes, "pes", 0, "fabric size for request generation (0 = discover via /statusz)")
@@ -54,15 +70,20 @@ func parseFlags(args []string) (loadOptions, error) {
 	if o.clients <= 0 {
 		return o, fmt.Errorf("cstload: -clients must be positive (got %d)", o.clients)
 	}
+	if o.pipeline <= 0 {
+		return o, fmt.Errorf("cstload: -pipeline must be positive (got %d)", o.pipeline)
+	}
 	o.addr = strings.TrimRight(o.addr, "/")
 	return o, nil
 }
 
 // report aggregates one load run.
 type report struct {
+	Wire       bool
 	Elapsed    time.Duration
 	Scheduled  int // 2xx answers
 	Rejected   int // 429 backpressure
+	ConnErrors int // transport failures: dials, broken pipes, short reads
 	Unexpected map[int]int
 	Latencies  []time.Duration // 2xx wall-clock latencies
 }
@@ -95,11 +116,35 @@ func (r *report) max() time.Duration {
 	return r.quantile(1)
 }
 
+// merge folds one client's report into the total.
+func (r *report) merge(c *report) {
+	r.Scheduled += c.Scheduled
+	r.Rejected += c.Rejected
+	r.ConnErrors += c.ConnErrors
+	for code, n := range c.Unexpected {
+		r.Unexpected[code] += n
+	}
+	r.Latencies = append(r.Latencies, c.Latencies...)
+}
+
+// count sorts a terminal status into the report (latency only for 2xx).
+func (r *report) count(status int, lat time.Duration) {
+	switch {
+	case status >= 200 && status < 300:
+		r.Scheduled++
+		r.Latencies = append(r.Latencies, lat)
+	case status == http.StatusTooManyRequests:
+		r.Rejected++
+	default:
+		r.Unexpected[status]++
+	}
+}
+
 // discoverPEs asks the server's /statusz for its fabric size.
 func discoverPEs(client *http.Client, addr string) (int, error) {
 	resp, err := client.Get(addr + "/statusz")
 	if err != nil {
-		return 0, fmt.Errorf("cstload: /statusz: %w", err)
+		return 0, fmt.Errorf("cstload: /statusz: %w (wire mode still discovers over HTTP; set -pes to skip)", err)
 	}
 	defer resp.Body.Close()
 	var st struct {
@@ -114,12 +159,55 @@ func discoverPEs(client *http.Client, addr string) (int, error) {
 	return st.PEs, nil
 }
 
+// pairGen yields seeded random (src, dst) pairs with src != dst.
+type pairGen struct {
+	rng *rand.Rand
+	pes int
+}
+
+func (g *pairGen) next() (int, int) {
+	src := g.rng.Intn(g.pes)
+	dst := g.rng.Intn(g.pes)
+	if src == dst {
+		dst = (dst + 1) % g.pes
+	}
+	return src, dst
+}
+
+// budgeter hands out the request budget: a closed channel walk for
+// -requests, a wall-clock check for -duration.
+type budgeter struct {
+	ch       chan struct{}
+	deadline time.Time
+}
+
+func newBudgeter(o loadOptions) *budgeter {
+	b := &budgeter{deadline: time.Now().Add(o.duration)}
+	if o.requests > 0 {
+		b.ch = make(chan struct{}, o.requests)
+		for i := 0; i < o.requests; i++ {
+			b.ch <- struct{}{}
+		}
+		close(b.ch)
+	}
+	return b
+}
+
+// take acquires one request slot; false means the run is over.
+func (b *budgeter) take() bool {
+	if b.ch != nil {
+		_, ok := <-b.ch
+		return ok
+	}
+	return time.Now().Before(b.deadline)
+}
+
 // run executes the load and returns the aggregate report. An error means
-// the run itself failed (unreachable server); unexpected statuses are
-// reported in the result for the caller to judge.
+// the run itself failed (unreachable server); unexpected statuses and
+// connection errors are reported in the result for the caller to judge.
 func run(o loadOptions) (*report, error) {
-	client := &http.Client{Timeout: 30 * time.Second}
 	if o.pes == 0 {
+		client := &http.Client{Timeout: 30 * time.Second}
 		pes, err := discoverPEs(client, o.addr)
 		if err != nil {
 			return nil, err
@@ -127,15 +215,7 @@ func run(o loadOptions) (*report, error) {
 		o.pes = pes
 	}
 
-	var budget chan struct{}
-	if o.requests > 0 {
-		budget = make(chan struct{}, o.requests)
-		for i := 0; i < o.requests; i++ {
-			budget <- struct{}{}
-		}
-		close(budget)
-	}
-	deadline := time.Now().Add(o.duration)
+	budget := newBudgeter(o)
 	reports := make([]report, o.clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -143,78 +223,148 @@ func run(o loadOptions) (*report, error) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(o.seed + int64(g)))
 			r := &reports[g]
 			r.Unexpected = make(map[int]int)
-			for {
-				if budget != nil {
-					if _, ok := <-budget; !ok {
-						return
-					}
-				} else if time.Now().After(deadline) {
-					return
-				}
-				src := rng.Intn(o.pes)
-				dst := rng.Intn(o.pes)
-				if src == dst {
-					dst = (dst + 1) % o.pes
-				}
-				body, _ := json.Marshal(map[string]any{
-					"src": src, "dst": dst, "deadline_ms": o.deadlineMS,
-				})
-				t0 := time.Now()
-				resp, err := client.Post(o.addr+"/schedule", "application/json", bytes.NewReader(body))
-				if err != nil {
-					r.Unexpected[-1]++
-					continue
-				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				switch {
-				case resp.StatusCode >= 200 && resp.StatusCode < 300:
-					r.Scheduled++
-					r.Latencies = append(r.Latencies, time.Since(t0))
-				case resp.StatusCode == http.StatusTooManyRequests:
-					r.Rejected++
-					time.Sleep(200 * time.Microsecond) // brief backoff under backpressure
-				default:
-					r.Unexpected[resp.StatusCode]++
-				}
+			gen := &pairGen{rng: rand.New(rand.NewSource(o.seed + int64(g))), pes: o.pes}
+			if o.wireAddr != "" {
+				runWireClient(o, budget, gen, r)
+			} else {
+				runHTTPClient(o, budget, gen, r)
 			}
 		}(g)
 	}
 	wg.Wait()
 
-	total := &report{Elapsed: time.Since(start), Unexpected: make(map[int]int)}
+	total := &report{Wire: o.wireAddr != "", Elapsed: time.Since(start), Unexpected: make(map[int]int)}
 	for i := range reports {
-		total.Scheduled += reports[i].Scheduled
-		total.Rejected += reports[i].Rejected
-		for code, n := range reports[i].Unexpected {
-			total.Unexpected[code] += n
-		}
-		total.Latencies = append(total.Latencies, reports[i].Latencies...)
+		total.merge(&reports[i])
 	}
 	return total, nil
 }
 
+// runHTTPClient is the closed-loop HTTP/JSON client: one request in
+// flight, POST /schedule, count the answer.
+func runHTTPClient(o loadOptions, budget *budgeter, gen *pairGen, r *report) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	for budget.take() {
+		src, dst := gen.next()
+		body, _ := json.Marshal(map[string]any{
+			"src": src, "dst": dst, "deadline_ms": o.deadlineMS,
+		})
+		t0 := time.Now()
+		resp, err := client.Post(o.addr+"/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.ConnErrors++
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		r.count(resp.StatusCode, time.Since(t0))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(200 * time.Microsecond) // brief backoff under backpressure
+		}
+	}
+}
+
+// runWireClient drives one persistent wire connection with up to
+// o.pipeline requests in flight, correlating answers by id. A transport
+// failure ends the client (its unresolved in-flight requests count as
+// connection errors — they were sent and never answered).
+func runWireClient(o loadOptions, budget *budgeter, gen *pairGen, r *report) {
+	c, err := wire.Dial(o.wireAddr, 10*time.Second)
+	if err != nil {
+		r.ConnErrors++
+		return
+	}
+	defer c.Close()
+
+	inflight := make(map[uint64]time.Time, o.pipeline)
+	nextID := uint64(1)
+	var resp wire.Response
+
+	// recvOne blocks for one answer and counts it; false ends the client.
+	recvOne := func() bool {
+		if err := c.Recv(&resp); err != nil {
+			r.ConnErrors += len(inflight)
+			return false
+		}
+		t0, ok := inflight[resp.ID]
+		if !ok {
+			// An answer we never asked for: the stream is unusable.
+			r.ConnErrors += len(inflight) + 1
+			return false
+		}
+		delete(inflight, resp.ID)
+		r.count(resp.Status, time.Since(t0))
+		if resp.Status == http.StatusTooManyRequests {
+			time.Sleep(200 * time.Microsecond)
+		}
+		return true
+	}
+
+	for {
+		sent := 0
+		for len(inflight) < o.pipeline && budget.take() {
+			src, dst := gen.next()
+			id := nextID
+			nextID++
+			inflight[id] = time.Now()
+			if err := c.Send(&wire.Request{ID: id, Src: src, Dst: dst, DeadlineMS: o.deadlineMS}); err != nil {
+				r.ConnErrors += len(inflight)
+				return
+			}
+			sent++
+		}
+		if len(inflight) == 0 {
+			return // budget exhausted and everything answered
+		}
+		if err := c.Flush(); err != nil {
+			r.ConnErrors += len(inflight)
+			return
+		}
+		if sent == 0 {
+			// Budget exhausted: drain the tail.
+			for len(inflight) > 0 {
+				if !recvOne() {
+					return
+				}
+			}
+			return
+		}
+		if !recvOne() {
+			return
+		}
+	}
+}
+
 // writeBench emits the report as `go test -bench` result lines, the format
-// cmd/benchjson ingests.
+// cmd/benchjson ingests. The throughput line carries a req/s extra metric
+// (higher is better, and the ledger gate treats it as such); wire runs use
+// a Wire infix so the two protocols stay separate series.
 func writeBench(w io.Writer, r *report) {
 	n := r.Scheduled
 	if n == 0 {
 		return
 	}
+	name := "BenchmarkServe"
+	if r.Wire {
+		name = "BenchmarkServeWire"
+	}
 	perOp := float64(r.Elapsed.Nanoseconds()) / float64(n)
-	fmt.Fprintf(w, "BenchmarkServeThroughput %d %.1f ns/op\n", n, perOp)
-	fmt.Fprintf(w, "BenchmarkServeLatencyP50 %d %d ns/op\n", n, r.quantile(0.50).Nanoseconds())
-	fmt.Fprintf(w, "BenchmarkServeLatencyP90 %d %d ns/op\n", n, r.quantile(0.90).Nanoseconds())
-	fmt.Fprintf(w, "BenchmarkServeLatencyP99 %d %d ns/op\n", n, r.quantile(0.99).Nanoseconds())
-	fmt.Fprintf(w, "BenchmarkServeLatencyMax %d %d ns/op\n", n, r.max().Nanoseconds())
+	fmt.Fprintf(w, "%sThroughput %d %.1f ns/op %.1f req/s\n", name, n, perOp, r.throughput())
+	fmt.Fprintf(w, "%sLatencyP50 %d %d ns/op\n", name, n, r.quantile(0.50).Nanoseconds())
+	fmt.Fprintf(w, "%sLatencyP90 %d %d ns/op\n", name, n, r.quantile(0.90).Nanoseconds())
+	fmt.Fprintf(w, "%sLatencyP99 %d %d ns/op\n", name, n, r.quantile(0.99).Nanoseconds())
+	fmt.Fprintf(w, "%sLatencyMax %d %d ns/op\n", name, n, r.max().Nanoseconds())
 }
 
 func writeSummary(w io.Writer, r *report) {
-	fmt.Fprintf(w, "cstload: %d scheduled, %d backpressured (429) in %v\n",
-		r.Scheduled, r.Rejected, r.Elapsed.Round(time.Millisecond))
+	proto := "http"
+	if r.Wire {
+		proto = "wire"
+	}
+	fmt.Fprintf(w, "cstload: [%s] %d scheduled, %d backpressured (429), %d connection errors in %v\n",
+		proto, r.Scheduled, r.Rejected, r.ConnErrors, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "cstload: %.1f req/s over %d samples, p50 %v, p90 %v, p99 %v, max %v\n",
 		r.throughput(), len(r.Latencies),
 		r.quantile(0.50).Round(time.Microsecond), r.quantile(0.90).Round(time.Microsecond),
@@ -240,7 +390,7 @@ func main() {
 	}
 	writeSummary(os.Stderr, r)
 	writeBench(os.Stdout, r)
-	if len(r.Unexpected) > 0 {
+	if len(r.Unexpected) > 0 || r.ConnErrors > 0 {
 		os.Exit(1)
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -121,6 +122,92 @@ func TestQuantilesUnsorted(t *testing.T) {
 	writeSummary(&b, r)
 	if !strings.Contains(b.String(), "over 4 samples") || !strings.Contains(b.String(), "max 40ms") {
 		t.Errorf("summary missing count/max:\n%s", b.String())
+	}
+}
+
+// startWirePool adds a wire listener next to the HTTP test server so wire
+// runs can still discover PEs over /statusz.
+func startWirePool(t *testing.T) (srvURL, wireAddr string) {
+	t.Helper()
+	pool, srv := startPool(t)
+	ws := cst.NewWireServer(pool, cst.WireConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = pool.Drain(ctx)
+		_ = ws.Shutdown(ctx)
+	})
+	return srv.URL, ln.Addr().String()
+}
+
+// TestRunWireAgainstPool drives the wire mode end to end with pipelining:
+// the full budget is answered, ids correlate, and no connection errors.
+func TestRunWireAgainstPool(t *testing.T) {
+	srvURL, wireAddr := startWirePool(t)
+	r, err := run(loadOptions{addr: srvURL, wireAddr: wireAddr,
+		clients: 3, pipeline: 8, requests: 90, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Wire {
+		t.Error("report not flagged as wire")
+	}
+	if got := r.Scheduled + r.Rejected; got != 90 {
+		t.Fatalf("scheduled %d + rejected %d != 90", r.Scheduled, r.Rejected)
+	}
+	if r.ConnErrors != 0 {
+		t.Fatalf("connection errors: %d", r.ConnErrors)
+	}
+	if len(r.Unexpected) != 0 {
+		t.Fatalf("unexpected statuses: %v", r.Unexpected)
+	}
+	if len(r.Latencies) != r.Scheduled {
+		t.Fatalf("%d latencies for %d scheduled", len(r.Latencies), r.Scheduled)
+	}
+}
+
+// TestRunWireConnError pins the satellite fix: a dead wire endpoint is a
+// connection error, not an entry in the Unexpected status map.
+func TestRunWireConnError(t *testing.T) {
+	r, err := run(loadOptions{wireAddr: "127.0.0.1:1", clients: 2, pipeline: 4,
+		requests: 10, pes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ConnErrors == 0 {
+		t.Error("dead endpoint produced no connection errors")
+	}
+	if len(r.Unexpected) != 0 {
+		t.Errorf("dead endpoint leaked into Unexpected: %v", r.Unexpected)
+	}
+	if r.Scheduled != 0 {
+		t.Errorf("scheduled %d against a dead endpoint", r.Scheduled)
+	}
+}
+
+// TestWriteBenchWire pins the Wire series naming and the req/s extra the
+// ledger splits protocols on.
+func TestWriteBenchWire(t *testing.T) {
+	r := &report{
+		Wire:      true,
+		Elapsed:   time.Second,
+		Scheduled: 2,
+		Latencies: []time.Duration{3 * time.Millisecond, time.Millisecond},
+	}
+	var b bytes.Buffer
+	writeBench(&b, r)
+	for _, line := range []string{
+		"BenchmarkServeWireThroughput 2 500000000.0 ns/op 2.0 req/s",
+		"BenchmarkServeWireLatencyP50 2 1000000 ns/op",
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("bench output missing %q:\n%s", line, b.String())
+		}
 	}
 }
 

@@ -5,9 +5,15 @@
 // same listener carries the observability surface (/metrics, /healthz,
 // /trace, /debug/pprof) and an optional live power auditor.
 //
+// With -wire-addr the same pool additionally listens for the binary wire
+// protocol (persistent pipelined TCP connections, see internal/wire): the
+// low-latency path load generators and sidecars should prefer, with the
+// HTTP listener kept for humans, dashboards and ad-hoc clients.
+//
 // Examples:
 //
 //	cstserved -addr :8080 -pes 64 -shards 4
+//	cstserved -addr :8080 -wire-addr :8081 -batch-wait 0
 //	cstserved -addr :8080 -batch-max 64 -batch-wait 5ms -deadline 250ms
 //	cstserved -addr :8080 -audit -chaos 8 -seed 7   # fault-injected soak
 //
@@ -31,6 +37,8 @@ import (
 
 type options struct {
 	addr          string
+	wireAddr      string
+	wirePipeline  int
 	pes           int
 	shards        int
 	queueDepth    int
@@ -52,6 +60,8 @@ func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("cstserved", flag.ContinueOnError)
 	o := options{}
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.wireAddr, "wire-addr", "", "also listen for the binary wire protocol on this TCP address (empty = disabled)")
+	fs.IntVar(&o.wirePipeline, "wire-pipeline", 0, "in-flight requests allowed per wire connection (0 = default)")
 	fs.IntVar(&o.pes, "pes", 64, "processing elements per shard fabric (power of two)")
 	fs.IntVar(&o.shards, "shards", 2, "independent CST fabrics, one dispatcher worker each")
 	fs.IntVar(&o.queueDepth, "queue-depth", 64, "admission queue depth per shard (full queues answer 429)")
@@ -86,6 +96,8 @@ type server struct {
 	pool      *cst.ServePool
 	srv       *http.Server
 	ln        net.Listener
+	wireSrv   *cst.WireServer
+	wireLn    net.Listener
 	reg       *cst.Metrics
 	tracer    *cst.Tracer
 	auditor   *cst.Auditor
@@ -148,25 +160,61 @@ func newServer(o options, out io.Writer) (*server, error) {
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: cst.NewServeHandler(pool, s.reg, s.tracer)}
+	if o.wireAddr != "" {
+		wln, err := net.Listen("tcp", o.wireAddr)
+		if err != nil {
+			ln.Close()
+			if s.traceFile != nil {
+				s.traceFile.Close()
+			}
+			return nil, fmt.Errorf("cstserved: -wire-addr %s: %w", o.wireAddr, err)
+		}
+		s.wireLn = wln
+		s.wireSrv = cst.NewWireServer(pool, cst.WireConfig{
+			MaxPipeline: o.wirePipeline,
+			Registry:    s.reg,
+			Tracer:      s.tracer,
+		})
+	}
 	return s, nil
 }
 
 func (s *server) addr() string { return s.ln.Addr().String() }
 
-// serve launches the workers and the HTTP loop in the background.
+// wireAddr returns the bound wire listener address ("" when disabled).
+func (s *server) wireAddr() string {
+	if s.wireLn == nil {
+		return ""
+	}
+	return s.wireLn.Addr().String()
+}
+
+// serve launches the workers, the HTTP loop and (when configured) the
+// wire loop in the background.
 func (s *server) serve() {
 	s.pool.Start()
 	go func() { _ = s.srv.Serve(s.ln) }()
+	if s.wireSrv != nil {
+		go func() { _ = s.wireSrv.Serve(s.wireLn) }()
+	}
 }
 
 // drain runs the shutdown protocol: stop admitting and flush every queue
-// (bounded by the drain grace), then let in-flight HTTP responses finish,
-// then close the trace file and report. A drain that loses a request or
-// exceeds its budget returns an error.
+// (bounded by the drain grace) — settling every in-flight request,
+// pipelined wire requests included — then shut the wire listener (its
+// writers flush the settled answers before the connections close), then
+// let in-flight HTTP responses finish, then close the trace file and
+// report. A drain that loses a request or exceeds its budget returns an
+// error.
 func (s *server) drain() error {
 	ctx, cancel := context.WithTimeout(context.Background(), s.opts.drainGrace)
 	defer cancel()
 	drainErr := s.pool.Drain(ctx)
+	if s.wireSrv != nil {
+		if err := s.wireSrv.Shutdown(ctx); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
 	if err := s.srv.Shutdown(ctx); err != nil {
 		_ = s.srv.Close()
 	}
@@ -200,6 +248,9 @@ func main() {
 	s.serve()
 	fmt.Printf("cstserved: serving on %s (pes=%d shards=%d queue=%d batch=%d/%v)\n",
 		s.addr(), o.pes, o.shards, o.queueDepth, o.batchMax, o.batchWait)
+	if wa := s.wireAddr(); wa != "" {
+		fmt.Printf("cstserved: wire protocol on %s\n", wa)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)

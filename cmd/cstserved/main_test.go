@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"cst"
 )
 
 func testOptions(t *testing.T) options {
@@ -81,6 +83,77 @@ func TestServeScheduleAndDrain(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestServeWireAddr boots with the wire listener enabled, schedules over
+// both protocols, checks the per-protocol metric split, and drains.
+func TestServeWireAddr(t *testing.T) {
+	o := testOptions(t)
+	o.wireAddr = "127.0.0.1:0"
+	var out bytes.Buffer
+	s, err := newServer(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.serve()
+	base := "http://" + s.addr()
+
+	c, err := cst.WireDial(s.wireAddr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		if err := c.Send(&cst.WireRequest{ID: uint64(i), Src: i * 2, Dst: i*2 + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var wresp cst.WireResponse
+	for i := 0; i < 2; i++ {
+		if err := c.Recv(&wresp); err != nil {
+			t.Fatal(err)
+		}
+		if wresp.Status != http.StatusOK {
+			t.Fatalf("wire response %d: %+v", i, wresp)
+		}
+	}
+	resp, err := http.Post(base+"/schedule", "application/json",
+		strings.NewReader(`{"src":10,"dst":11}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /schedule = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	_, _ = body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"cst_serve_requests_total 3",
+		`cst_serve_requests_total{protocol="wire"} 2`,
+		`cst_serve_requests_total{protocol="http"} 1`,
+		"cst_serve_wire_conns 1",
+	} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := s.drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !strings.Contains(out.String(), "admitted=3 responded=3") {
+		t.Fatalf("drain summary: %q", out.String())
 	}
 }
 

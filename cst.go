@@ -53,6 +53,7 @@ import (
 	"cst/internal/sim"
 	"cst/internal/srga"
 	"cst/internal/timing"
+	"cst/internal/wire"
 	"cst/internal/topology"
 	"cst/internal/trace"
 	"cst/internal/xbar"
@@ -721,6 +722,37 @@ var (
 	// admission queue is at capacity (429).
 	ErrServeQueueFull = serve.ErrQueueFull
 )
+
+// Wire protocol. The binary framing cstserved speaks on its -wire-addr
+// TCP listener: persistent pipelined connections, varint-packed frames,
+// and an allocation-free serve hot path. See SERVING.md and internal/wire
+// for the frame layout.
+
+// WireServer accepts wire-protocol connections and feeds their requests
+// into a ServePool. Shut it down after the pool has drained.
+type WireServer = serve.WireServer
+
+// WireConfig parameterizes a WireServer (pipeline depth, observability).
+type WireConfig = serve.WireConfig
+
+// NewWireServer builds a wire-protocol front end over a pool; run it with
+// Serve or ListenAndServe.
+var NewWireServer = serve.NewWireServer
+
+// WireClient is one persistent client connection with pipelined sends,
+// for load generators and tests. Not safe for concurrent use.
+type WireClient = wire.ClientConn
+
+// WireRequest and WireResponse are the wire protocol's request and
+// terminal-answer payloads; responses correlate to requests by ID.
+type (
+	WireRequest  = wire.Request
+	WireResponse = wire.Response
+)
+
+// WireDial connects to a wire listener, performs the version handshake
+// and returns a ready client connection.
+var WireDial = wire.Dial
 
 // NewRand is a convenience seeded source for the generator APIs.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

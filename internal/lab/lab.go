@@ -41,6 +41,17 @@ const (
 	EngineOnlineSharded = "online-sharded"
 )
 
+// Serving protocols as twin engines: client-observed request latency
+// against a live scheduling pool, one model per protocol so the HTTP/JSON
+// and binary-wire paths get independently fitted constants (the work
+// terms are identical — the protocols differ exactly in the per-request
+// intercept, which is the quantity the wire path exists to shrink).
+// Measurements come from cstload runs, not RunSweep.
+const (
+	EngineServeHTTP = "serve-http"
+	EngineServeWire = "serve-wire"
+)
+
 // Workload families the lab sweeps. All are deterministic for a given
 // (N, w, seed), so a prediction names an exact input.
 const (
@@ -128,13 +139,16 @@ const (
 // control-word traffic (2N−2)·(w+1) — Phase 1 plus w Phase 2 waves — and
 // is the dominant cost for the sequential engine. The concurrent sim adds
 // a per-wave barrier term (w+1 goroutine rendezvous), and the online
-// batcher adds a per-request admission term (m submissions).
+// batcher adds a per-request admission term (m submissions). The serve
+// engines share the online shape — scheduling work plus per-request
+// admission — with the protocol's framing/transport cost landing in the
+// intercept, which is why each protocol is its own engine.
 func latFeatures(engine string, n, w, m int) []float64 {
 	words := float64((2*n - 2) * (w + 1))
 	switch engine {
 	case EngineSim:
 		return []float64{1, words, float64(w + 1)}
-	case EngineOnline, EngineOnlineSharded:
+	case EngineOnline, EngineOnlineSharded, EngineServeHTTP, EngineServeWire:
 		return []float64{1, words, float64(m)}
 	default:
 		return []float64{1, words}
@@ -146,7 +160,7 @@ func latFeatureNames(engine string) []string {
 	switch engine {
 	case EngineSim:
 		return []string{"1", "words", "waves"}
-	case EngineOnline, EngineOnlineSharded:
+	case EngineOnline, EngineOnlineSharded, EngineServeHTTP, EngineServeWire:
 		return []string{"1", "words", "requests"}
 	default:
 		return []string{"1", "words"}

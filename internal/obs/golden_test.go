@@ -45,6 +45,64 @@ cst_m_rounds_total 42
 	}
 }
 
+// Labeled series — registered as `family{label="v"}` — must group under
+// one HELP/TYPE frame per family with the unlabeled aggregate first, merge
+// their labels into histogram le= and summary quantile= blocks, and not be
+// interleaved with other families by raw-name sorting ('_' sorts before
+// '{', so a family named family_x would split family's block under the old
+// name ordering).
+func TestPrometheusLabeledExpositionGolden(t *testing.T) {
+	r := New()
+	r.Counter(`cst_s_requests_total{protocol="wire"}`, "requests").Add(3)
+	r.Counter("cst_s_requests_total", "requests").Add(5)
+	r.Counter(`cst_s_requests_total{protocol="http"}`, "requests").Add(2)
+	// Raw-name sorting would wedge this family between cst_s_requests_total
+	// and its labeled series.
+	r.Counter("cst_s_requests_zz_total", "other family").Add(1)
+	h := r.Histogram(`cst_s_latency_seconds{protocol="wire"}`, "latency", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	sm := r.Summary(`cst_s_latq{protocol="wire"}`, "latency quantiles", 8)
+	sm.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP cst_s_latency_seconds latency
+# TYPE cst_s_latency_seconds histogram
+cst_s_latency_seconds_bucket{protocol="wire",le="0.5"} 1
+cst_s_latency_seconds_bucket{protocol="wire",le="2"} 2
+cst_s_latency_seconds_bucket{protocol="wire",le="+Inf"} 2
+cst_s_latency_seconds_sum{protocol="wire"} 1.25
+cst_s_latency_seconds_count{protocol="wire"} 2
+# HELP cst_s_latq latency quantiles
+# TYPE cst_s_latq summary
+cst_s_latq{protocol="wire",quantile="0.5"} 2
+cst_s_latq{protocol="wire",quantile="0.9"} 2
+cst_s_latq{protocol="wire",quantile="0.99"} 2
+cst_s_latq{protocol="wire",quantile="1"} 2
+cst_s_latq_sum{protocol="wire"} 2
+cst_s_latq_count{protocol="wire"} 1
+# HELP cst_s_requests_total requests
+# TYPE cst_s_requests_total counter
+cst_s_requests_total 5
+cst_s_requests_total{protocol="http"} 2
+cst_s_requests_total{protocol="wire"} 3
+# HELP cst_s_requests_zz_total other family
+# TYPE cst_s_requests_zz_total counter
+cst_s_requests_zz_total 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("labeled exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Snapshots key by the full registration name, labels included.
+	snap := r.Snapshot()
+	if snap.Counters[`cst_s_requests_total{protocol="wire"}`] != 3 {
+		t.Errorf("labeled counter missing from snapshot: %v", snap.Counters)
+	}
+}
+
 // Snapshot.Sub must subtract counters and histogram buckets while passing
 // gauges through, and leave names present in only one snapshot intact.
 func TestSnapshotSubGolden(t *testing.T) {

@@ -197,15 +197,58 @@ func LinearBuckets(start, width float64, n int) []float64 {
 // Phase 2 wave on a laptop and for a congested sweep under -race.
 var DefLatencyBuckets = ExponentialBuckets(1e-6, 2, 24)
 
-// metric is one registered family.
+// metric is one registered series: a family name plus an optional fixed
+// label set. Series are registered with the labels embedded in the name —
+// `cst_serve_requests_total{protocol="wire"}` — which keeps the hot path
+// exactly as label-free as before: a labeled series is still one resolved
+// handle banging on one atomic word; the label cost is paid once at
+// registration and once per exposition line.
 type metric struct {
-	name string
-	help string
-	kind string // "counter", "gauge", "histogram", "summary"
-	c    *Counter
-	g    *Gauge
-	h    *Histogram
-	s    *Summary
+	name   string // full registration key, labels included
+	family string // name with any {label} block stripped
+	labels string // `k="v",...` without braces; "" for unlabeled
+	help   string
+	kind   string // "counter", "gauge", "histogram", "summary"
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	s      *Summary
+}
+
+// splitName separates a registration name into its family and label block.
+// Anything that is not exactly `family{labels}` is treated as an unlabeled
+// family — the registry's callers are in-tree and get this right.
+func splitName(name string) (family, labels string) {
+	i := len(name)
+	for j := 0; j < len(name); j++ {
+		if name[j] == '{' {
+			i = j
+			break
+		}
+	}
+	if i == len(name) || name[len(name)-1] != '}' {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// series renders the exposition name for a family (optionally suffixed,
+// e.g. "_sum") carrying this metric's label set.
+func (m *metric) series(suffix string) string {
+	if m.labels == "" {
+		return m.family + suffix
+	}
+	return m.family + suffix + "{" + m.labels + "}"
+}
+
+// seriesWith renders an exposition name merging the metric's labels with
+// one extra label (le for histogram buckets, quantile for summaries); the
+// extra label goes last, as Prometheus clients conventionally emit it.
+func (m *metric) seriesWith(suffix, key, val string) string {
+	if m.labels == "" {
+		return fmt.Sprintf("%s%s{%s=%q}", m.family, suffix, key, val)
+	}
+	return fmt.Sprintf("%s%s{%s,%s=%q}", m.family, suffix, m.labels, key, val)
 }
 
 // Registry is a named collection of metrics. A nil *Registry is the
@@ -233,7 +276,8 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if m, ok := r.metrics[name]; ok {
 		return m.c
 	}
-	m := &metric{name: name, help: help, kind: "counter", c: &Counter{}}
+	m := newMetric(name, help, "counter")
+	m.c = &Counter{}
 	r.metrics[name] = m
 	return m.c
 }
@@ -248,7 +292,8 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if m, ok := r.metrics[name]; ok {
 		return m.g
 	}
-	m := &metric{name: name, help: help, kind: "gauge", g: &Gauge{}}
+	m := newMetric(name, help, "gauge")
+	m.g = &Gauge{}
 	r.metrics[name] = m
 	return m.g
 }
@@ -273,19 +318,33 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 			panic(fmt.Sprintf("obs: histogram %s bounds not strictly increasing", name))
 		}
 	}
-	m := &metric{name: name, help: help, kind: "histogram",
-		h: &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}}
+	m := newMetric(name, help, "histogram")
+	m.h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 	r.metrics[name] = m
 	return m.h
 }
 
-// sorted returns the registered metrics in name order.
+// newMetric builds a series entry, splitting any embedded label block.
+func newMetric(name, help, kind string) *metric {
+	family, labels := splitName(name)
+	return &metric{name: name, family: family, labels: labels, help: help, kind: kind}
+}
+
+// sorted returns the registered series ordered by (family, labels): raw
+// name order would interleave families, because '_' sorts before '{' and
+// a labeled series of one family would split another family's block.
+// Within a family the unlabeled series (labels == "") leads.
 func (r *Registry) sorted() []*metric {
 	out := make([]*metric, 0, len(r.metrics))
 	for _, m := range r.metrics {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return out[i].labels < out[j].labels
+	})
 	return out
 }
 
@@ -298,22 +357,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	ms := r.sorted()
 	r.mu.Unlock()
+	prevFamily := ""
 	for _, m := range ms {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		// HELP/TYPE frame each family once; the labeled series of one
+		// family share it (Prometheus rejects repeated TYPE lines).
+		if m.family != prevFamily {
+			prevFamily = m.family
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.family, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, m.kind); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
-			return err
 		}
 		switch m.kind {
 		case "counter":
-			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.series(""), m.c.Value()); err != nil {
 				return err
 			}
 		case "gauge":
-			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.series(""), m.g.Value()); err != nil {
 				return err
 			}
 		case "histogram":
@@ -321,19 +386,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			cum := int64(0)
 			for i, b := range s.Bounds {
 				cum += s.Counts[i]
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum); err != nil {
+				if _, err := fmt.Fprintf(w, "%s %d\n", m.seriesWith("_bucket", "le", formatFloat(b)), cum); err != nil {
 					return err
 				}
 			}
 			cum += s.Counts[len(s.Bounds)]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.seriesWith("_bucket", "le", "+Inf"), cum); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", m.name, s.Sum, m.name, s.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %g\n%s %d\n", m.series("_sum"), s.Sum, m.series("_count"), s.Count); err != nil {
 				return err
 			}
 		case "summary":
-			if err := writeSummary(w, m.name, m.s); err != nil {
+			if err := writeSummary(w, m, m.s); err != nil {
 				return err
 			}
 		}

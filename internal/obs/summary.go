@@ -161,8 +161,8 @@ func (r *Registry) Summary(name, help string, capacity int) *Summary {
 	if capacity <= 0 {
 		capacity = DefSummaryCapacity
 	}
-	m := &metric{name: name, help: help, kind: "summary",
-		s: &Summary{ring: make([]atomic.Uint64, capacity)}}
+	m := newMetric(name, help, "summary")
+	m.s = &Summary{ring: make([]atomic.Uint64, capacity)}
 	r.metrics[name] = m
 	return m.s
 }
@@ -170,14 +170,14 @@ func (r *Registry) Summary(name, help string, capacity int) *Summary {
 // writeSummary emits one summary in the Prometheus text format:
 // quantile-labelled gauge lines over the retained window plus the
 // lifetime _sum and _count.
-func writeSummary(w io.Writer, name string, s *Summary) error {
+func writeSummary(w io.Writer, m *metric, s *Summary) error {
 	snap := s.snapshot()
 	qs := stats.Quantiles(snap.Samples, SummaryQuantiles...)
 	for i, q := range SummaryQuantiles {
-		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, formatFloat(q), qs[i]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %g\n", m.seriesWith("", "quantile", formatFloat(q)), qs[i]); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+	_, err := fmt.Fprintf(w, "%s %g\n%s %d\n", m.series("_sum"), snap.Sum, m.series("_count"), snap.Count)
 	return err
 }

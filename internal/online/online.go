@@ -115,6 +115,14 @@ type Simulator struct {
 	batchSet *comm.Set
 	cfgSnap  []xbar.Config
 
+	// Dispatch scratch: the batch under construction and the double-buffer
+	// backing the post-dispatch queue. Dispatch partitions s.queue into
+	// batchScratch + queueAlt and then swaps queueAlt in as the queue, so
+	// steady-state dispatching reuses two arrays instead of allocating two
+	// slices per call.
+	batchScratch []Request
+	queueAlt     []Request
+
 	// observability (all optional; nil means uninstrumented)
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -131,12 +139,12 @@ type Simulator struct {
 // and private inert crossbars everywhere else, so concurrently running
 // shards never write (or meter-read) each other's switches.
 type shardCtx struct {
-	eng  *padr.Engine
-	view []*xbar.Switch
-	fill []*xbar.Switch
-	set  *comm.Set
-	res  *padr.Result
-	err  error
+	eng    *padr.Engine
+	view   []*xbar.Switch
+	fill   []*xbar.Switch
+	set    *comm.Set
+	rounds int
+	err    error
 }
 
 // Option configures a Simulator.
@@ -306,9 +314,11 @@ func (s *Simulator) Dispatch() (bool, error) {
 	}
 	wantRight := rightward*2 >= len(s.queue)
 
-	// FIFO greedy well-nested batch of the chosen orientation.
-	var batch []Request
-	var rest []Request
+	// FIFO greedy well-nested batch of the chosen orientation. Both
+	// partitions build in reused scratch arrays; rest becomes the queue by
+	// a buffer swap below.
+	batch := s.batchScratch[:0]
+	rest := s.queueAlt[:0]
 	for _, r := range s.queue {
 		c := r.Comm
 		if c.RightOriented() != wantRight {
@@ -395,11 +405,12 @@ func (s *Simulator) Dispatch() (bool, error) {
 			s.busyPE[r.Comm.Src], s.busyPE[r.Comm.Dst] = false, false
 			s.stats.Quarantined = append(s.stats.Quarantined, r)
 		}
-		s.queue = rest
+		n := len(batch)
+		s.swapQueue(batch, rest)
 		s.met.queueLen.Set(int64(len(s.queue)))
 		if s.tracer != nil {
 			s.tracer.Emit(obs.Event{
-				Type: "batch.quarantine", Engine: "online", Round: s.now, N: len(batch), Err: err.Error(),
+				Type: "batch.quarantine", Engine: "online", Round: s.now, N: n, Err: err.Error(),
 			})
 		}
 		return false, fmt.Errorf("online: batch %s quarantined after %d attempts: %w", set, MaxDispatchAttempts, err)
@@ -420,7 +431,7 @@ func (s *Simulator) Dispatch() (bool, error) {
 		s.met.completed.Inc()
 		s.met.latency.Observe(float64(s.now - r.Arrival))
 	}
-	s.queue = rest
+	s.swapQueue(batch, rest)
 	s.met.queueLen.Set(int64(len(s.queue)))
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{
@@ -428,6 +439,15 @@ func (s *Simulator) Dispatch() (bool, error) {
 		})
 	}
 	return true, nil
+}
+
+// swapQueue installs rest (built in s.queueAlt) as the queue and retires
+// the old queue array as the next dispatch's rest buffer, keeping both
+// arrays (and the batch scratch) alive across calls.
+func (s *Simulator) swapQueue(batch, rest []Request) {
+	s.queueAlt = s.queue[:0]
+	s.queue = rest
+	s.batchScratch = batch
 }
 
 // snapshotCrossbars captures every physical switch's configuration so a
@@ -504,11 +524,11 @@ func (s *Simulator) runBatch(set *comm.Set, reflected bool) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := s.eng.Run()
-	if err != nil {
-		return 0, err
-	}
-	return res.Rounds, nil
+	// RunRounds skips the Result/Report assembly Run would do — the
+	// dispatcher bills power from the shared switch meters at Finish, so
+	// per-batch reports would be discarded anyway. This keeps steady-state
+	// dispatch at zero allocations (pinned by TestDispatchSteadyStateAllocs).
+	return s.eng.RunRounds()
 }
 
 // runSharded splits the batch into sub-batches with disjoint subtree
@@ -597,7 +617,7 @@ func (s *Simulator) runSharded(set *comm.Set, reflected bool) (int, bool, error)
 		wg.Add(1)
 		go func(ctx *shardCtx) {
 			defer wg.Done()
-			ctx.res, ctx.err = nil, nil
+			ctx.rounds, ctx.err = 0, nil
 			var err error
 			if ctx.eng == nil {
 				ctx.eng, err = padr.New(s.tree, ctx.set,
@@ -610,7 +630,7 @@ func (s *Simulator) runSharded(set *comm.Set, reflected bool) (int, bool, error)
 				ctx.err = err
 				return
 			}
-			ctx.res, ctx.err = ctx.eng.Run()
+			ctx.rounds, ctx.err = ctx.eng.RunRounds()
 		}(ctx)
 	}
 	wg.Wait()
@@ -620,8 +640,8 @@ func (s *Simulator) runSharded(set *comm.Set, reflected bool) (int, bool, error)
 		if ctx.err != nil {
 			return 0, true, ctx.err
 		}
-		if ctx.res.Rounds > rounds {
-			rounds = ctx.res.Rounds
+		if ctx.rounds > rounds {
+			rounds = ctx.rounds
 		}
 	}
 	return rounds, true, nil
@@ -657,6 +677,37 @@ func (s *Simulator) TakeQuarantined() []Request {
 	out := s.stats.Quarantined[s.takenQuarantined:]
 	s.takenQuarantined = len(s.stats.Quarantined)
 	return out
+}
+
+// Busy reports whether either endpoint is currently reserved by a queued
+// request (out-of-range endpoints read as busy). It lets admission layers
+// pre-check a conflict without paying Submit's error construction — the
+// serving hot path defers conflicting calls on this instead of parsing
+// allocated errors.
+func (s *Simulator) Busy(src, dst int) bool {
+	n := len(s.busyPE)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return true
+	}
+	return s.busyPE[src] || s.busyPE[dst]
+}
+
+// Recycle truncates the append-only Completed/Quarantined record lists
+// once the Take cursors have consumed them, so a long-lived serving
+// simulator's memory stays bounded instead of growing with every request
+// ever served. Slices returned by earlier TakeCompleted/TakeQuarantined
+// calls are invalidated — callers must finish with them first. Aggregate
+// counters (Batches, Rounds, …) are unaffected; records retired here no
+// longer appear in Finish's Stats.
+func (s *Simulator) Recycle() {
+	if s.takenCompleted == len(s.stats.Completed) {
+		s.stats.Completed = s.stats.Completed[:0]
+		s.takenCompleted = 0
+	}
+	if s.takenQuarantined == len(s.stats.Quarantined) {
+		s.stats.Quarantined = s.stats.Quarantined[:0]
+		s.takenQuarantined = 0
+	}
 }
 
 // BusyPEs returns how many processing elements are currently reserved by

@@ -177,3 +177,105 @@ func mustSubmit(t *testing.T, sim *Simulator, c comm.Comm) {
 		t.Fatal(err)
 	}
 }
+
+// Busy must mirror Submit's endpoint reservation (out-of-range reads as
+// busy) so admission layers can pre-check without allocating an error.
+func TestBusyMirrorsReservation(t *testing.T) {
+	sim, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Busy(0, 5) {
+		t.Error("fresh simulator: Busy(0,5) = true")
+	}
+	if !sim.Busy(-1, 5) || !sim.Busy(0, 16) {
+		t.Error("out-of-range endpoints must read busy")
+	}
+	if err := sim.Submit(comm.Comm{Src: 0, Dst: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Busy(0, 7) || !sim.Busy(7, 5) || sim.Busy(7, 8) {
+		t.Error("Busy disagrees with the reservation after Submit")
+	}
+	if _, err := sim.Dispatch(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Busy(0, 5) {
+		t.Error("endpoints still busy after dispatch")
+	}
+}
+
+// Recycle must truncate fully consumed record lists (bounding a serving
+// simulator's memory) and refuse to drop records a Take has not seen.
+func TestRecycleBoundsRecords(t *testing.T) {
+	sim, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Submit(comm.Comm{Src: 0, Dst: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Dispatch(); err != nil {
+		t.Fatal(err)
+	}
+	// Unconsumed records survive Recycle.
+	sim.Recycle()
+	if got := len(sim.TakeCompleted()); got != 1 {
+		t.Fatalf("TakeCompleted after premature Recycle = %d records, want 1", got)
+	}
+	// Consumed records are truncated, and the cursor rewinds with them.
+	sim.Recycle()
+	if len(sim.stats.Completed) != 0 || sim.takenCompleted != 0 {
+		t.Fatalf("after Recycle: %d records, cursor %d, want 0/0",
+			len(sim.stats.Completed), sim.takenCompleted)
+	}
+	if err := sim.Submit(comm.Comm{Src: 2, Dst: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Dispatch(); err != nil {
+		t.Fatal(err)
+	}
+	got := sim.TakeCompleted()
+	if len(got) != 1 || got[0].Comm.Src != 2 {
+		t.Fatalf("post-Recycle records = %+v, want the new completion only", got)
+	}
+}
+
+// Steady-state dispatching must not allocate for the batch/rest partition:
+// the queue double-buffer keeps both arrays alive across calls.
+func TestDispatchSteadyStateAllocs(t *testing.T) {
+	sim, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func() {
+		t.Helper()
+		// Two nested pairs plus one crossing request, so both the batch and
+		// the rest partition are exercised every dispatch.
+		for _, c := range []comm.Comm{{Src: 1, Dst: 8}, {Src: 2, Dst: 4}, {Src: 6, Dst: 12}} {
+			if err := sim.Submit(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the scratch arrays and the pooled engine.
+	for i := 0; i < 3; i++ {
+		submit()
+		if err := sim.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		sim.TakeCompleted()
+		sim.Recycle()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		submit()
+		if err := sim.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		sim.TakeCompleted()
+		sim.Recycle()
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state dispatch allocates %.2f/iteration, want 0", avg)
+	}
+}

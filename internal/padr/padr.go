@@ -235,6 +235,10 @@ type Engine struct {
 	widthScratch []int
 	encBuf       [ctrl.StoredWordBytes]byte
 
+	// lightPrep backs RunRounds' prepared state so the rounds-only path
+	// allocates nothing on a warm engine.
+	lightPrep prepared
+
 	// stats
 	upWords    int
 	downWords  int
@@ -411,8 +415,21 @@ type prepared struct {
 
 // prepare runs Phase 1, snapshots the stored words and validates the root.
 func (e *Engine) prepare() (*prepared, error) {
+	p := new(prepared)
+	if err := e.prepareInto(p, false); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// prepareInto is prepare with caller-owned state. In light mode the
+// result-only artifacts — the initial-state snapshot and the schedule with
+// its cloned set — are skipped, which together with a caller-pooled p
+// makes the whole prepare allocation-free on a warm engine (RunRounds'
+// contract).
+func (e *Engine) prepareInto(p *prepared, light bool) error {
 	if e.ran {
-		return nil, e.fail(fmt.Errorf("padr: engine is single-use; create a new one"))
+		return e.fail(fmt.Errorf("padr: engine is single-use; create a new one"))
 	}
 	e.ran = true
 	e.met.runs.Inc()
@@ -437,12 +454,12 @@ func (e *Engine) prepare() (*prepared, error) {
 	}
 	width, err := e.set.WidthInto(e.tree, e.widthScratch)
 	if err != nil {
-		return nil, e.fail(err)
+		return e.fail(err)
 	}
 	e.met.width.Set(int64(width))
 
 	if err := e.phase1(); err != nil {
-		return nil, e.fail(err)
+		return e.fail(err)
 	}
 	e.met.upWords.Add(int64(e.upWords))
 	if e.tracer != nil {
@@ -452,13 +469,16 @@ func (e *Engine) prepare() (*prepared, error) {
 		})
 	}
 
-	initial := make([]ctrl.Stored, len(e.stored))
-	copy(initial, e.stored)
+	var initial []ctrl.Stored
+	if !light {
+		initial = make([]ctrl.Stored, len(e.stored))
+		copy(initial, e.stored)
+	}
 	maxStored := 0
 	for u := 1; u < len(e.stored); u++ {
 		sz, err := ctrl.EncodeStoredInto(e.encBuf[:], e.stored[u])
 		if err != nil {
-			return nil, e.fail(fmt.Errorf("padr: switch %d state not encodable: %v", u, err))
+			return e.fail(fmt.Errorf("padr: switch %d state not encodable: %v", u, err))
 		}
 		if sz > maxStored {
 			maxStored = sz
@@ -466,7 +486,7 @@ func (e *Engine) prepare() (*prepared, error) {
 	}
 	// Sanity: after matching, nothing may remain unmatched at the root.
 	if up := e.stored[e.tree.Root()].UpWord(); up.S != 0 || up.D != 0 {
-		return nil, e.fail(fmt.Errorf("padr: root still advertises %s upward; set is not schedulable", up))
+		return e.fail(fmt.Errorf("padr: root still advertises %s upward; set is not schedulable", up))
 	}
 
 	maxRounds := width + MaxRoundsSlack
@@ -475,15 +495,19 @@ func (e *Engine) prepare() (*prepared, error) {
 		// the trivial one-communication-per-round schedule instead.
 		maxRounds = e.set.Len() + MaxRoundsSlack
 	}
-	return &prepared{
-		width:     width,
-		maxRounds: maxRounds,
-		initial:   initial,
-		maxStored: maxStored,
+	p.width = width
+	p.maxRounds = maxRounds
+	p.initial = initial
+	p.maxStored = maxStored
+	p.round = 0
+	if !light {
 		// The schedule gets its own copy of the set: e.set is an arena that
 		// the next Reset overwrites, while results must stay immutable.
-		schedule: &sched.Schedule{Set: e.set.Clone()},
-	}, nil
+		p.schedule = &sched.Schedule{Set: e.set.Clone()}
+	} else {
+		p.schedule = nil
+	}
+	return nil
 }
 
 // step executes one Phase 2 round against prepared state; done reports
@@ -521,7 +545,9 @@ func (e *Engine) step(p *prepared) (performed []comm.Comm, done bool, err error)
 		return nil, false, e.fail(fmt.Errorf("padr: round %d made no progress but work remains", p.round))
 	}
 	e.remaining -= len(performed)
-	p.schedule.Rounds = append(p.schedule.Rounds, performed)
+	if p.schedule != nil {
+		p.schedule.Rounds = append(p.schedule.Rounds, performed)
+	}
 	e.met.rounds.Inc()
 	if e.instr {
 		d := time.Since(e.roundStart)
@@ -593,6 +619,49 @@ func (e *Engine) Run() (*Result, error) {
 		}
 	}
 	return e.finalize(p)
+}
+
+// RunRounds executes the schedule like Run but returns only the round
+// count, skipping every result-only artifact: no initial-state snapshot,
+// no schedule (and set clone), no power report. Theorem 5 validation and
+// instrumented meter billing still happen, and shared crossbars' meters
+// accumulate identically. On a warm (Reset) engine the whole prepare →
+// rounds → validate cycle is allocation-free, which is what lets the
+// online dispatcher — and the wire serving path above it — run whole
+// batches without a single allocation. Callers that need the schedule or
+// the per-run power report use Run.
+func (e *Engine) RunRounds() (int, error) {
+	p := &e.lightPrep
+	*p = prepared{}
+	if err := e.prepareInto(p, true); err != nil {
+		return 0, err
+	}
+	for {
+		_, done, err := e.step(p)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			break
+		}
+	}
+	rounds := p.round
+	if e.sel == Greedy && rounds != p.width {
+		return 0, e.fail(fmt.Errorf("padr: took %d rounds for a width-%d set (Theorem 5 violated)", rounds, p.width))
+	}
+	if e.instr {
+		units, alts := e.meterTotals()
+		e.met.units.Add(int64(units - e.unitsBase))
+		e.met.alternations.Add(int64(alts - e.altBase))
+		e.met.runLatency.ObserveDuration(time.Since(e.runStart))
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Event{
+				Type: "run.done", Engine: "padr", Round: -1,
+				N: rounds, DurNS: time.Since(e.runStart).Nanoseconds(), Width: p.width,
+			})
+		}
+	}
+	return rounds, nil
 }
 
 // Stepper drives Phase 2 one round at a time — for embedding the scheduler

@@ -193,3 +193,52 @@ func TestWidthIntoAllocs(t *testing.T) {
 		t.Errorf("WidthInto allocated %.0f times on warm scratch; want 0", allocs)
 	}
 }
+
+// RunRounds must agree with Run on the round count and — unlike Run, which
+// assembles a Result — allocate nothing on a warm engine. The online
+// dispatcher's zero-alloc steady state is built on this.
+func TestRunRoundsMatchesRunAllocFree(t *testing.T) {
+	tree := topology.MustNew(256)
+	s, err := comm.RandomWellNested(rand.New(rand.NewSource(11)), 256, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(tree, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := New(tree, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := light.RunRounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != res.Rounds {
+		t.Fatalf("RunRounds = %d, Run = %d", rounds, res.Rounds)
+	}
+
+	// Warm, then pin: Reset + RunRounds is allocation-free.
+	if err := light.Reset(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := light.RunRounds(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := light.Reset(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := light.RunRounds(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+RunRounds allocated %.0f times; want 0", allocs)
+	}
+}

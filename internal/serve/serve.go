@@ -124,13 +124,43 @@ type Result struct {
 	Err    string `json:"error,omitempty"`
 }
 
-// call is one in-flight request: the admission payload plus its response
-// channel (buffered so the worker's settle never blocks on a slow client).
+// Protocol indices for per-protocol metric attribution. Every call is
+// tagged with the protocol that admitted it.
+const (
+	protoHTTP = iota
+	protoWire
+	protoCount
+)
+
+// protoNames are the label values on the per-protocol cst_serve_* series.
+var protoNames = [protoCount]string{protoHTTP: "http", protoWire: "wire"}
+
+// call is one in-flight request: the admission payload plus its completion
+// path. The HTTP path blocks on resp (buffered so the worker's settle
+// never blocks on a slow client); the wire path sets done instead, and
+// settle invokes it on the worker goroutine — the callback must hand off
+// (a channel send to the connection's writer) rather than do work. Wire
+// calls are embedded in per-connection slots and reused, which is what
+// keeps that path allocation-free.
 type call struct {
 	src, dst int
+	id       uint64 // wire request id, echoed in the response frame
+	proto    uint8
 	deadline time.Time
 	enq      time.Time
 	resp     chan Result
+	done     func(Result)
+}
+
+// arm readies a call for admission. deadline <= 0 leaves the zero
+// deadline (admit applies the pool default).
+func (c *call) arm(src, dst int, deadline time.Duration) {
+	c.src, c.dst = src, dst
+	c.enq = time.Now()
+	c.deadline = time.Time{}
+	if deadline > 0 {
+		c.deadline = c.enq.Add(deadline)
+	}
 }
 
 // poolMetrics holds the cst_serve_* handles; the zero value (nil registry)
@@ -149,10 +179,32 @@ type poolMetrics struct {
 	batchSize   *obs.Histogram
 	latency     *obs.Histogram
 	latencyQ    *obs.Summary
+	proto       [protoCount]protoMetrics
+}
+
+// protoMetrics are the per-protocol views of the request series,
+// registered as labeled twins (`cst_serve_requests_total{protocol="wire"}`)
+// of the unlabeled aggregates, so dashboards can split the HTTP and wire
+// paths without the aggregates moving.
+type protoMetrics struct {
+	requests  *obs.Counter
+	scheduled *obs.Counter
+	latency   *obs.Histogram
+	latencyQ  *obs.Summary
+}
+
+func newProtoMetrics(r *obs.Registry, protocol string) protoMetrics {
+	lbl := `{protocol="` + protocol + `"}`
+	return protoMetrics{
+		requests:  r.Counter("cst_serve_requests_total"+lbl, "scheduling requests received"),
+		scheduled: r.Counter("cst_serve_scheduled_total"+lbl, "requests scheduled and completed"),
+		latency:   r.Histogram("cst_serve_request_seconds"+lbl, "wall-clock request latency", obs.ExponentialBuckets(0.0001, 2, 16)),
+		latencyQ:  r.Summary("cst_serve_latency"+lbl, "wall-clock request latency in seconds, exact quantiles over the last 4096 requests", 0),
+	}
 }
 
 func newPoolMetrics(r *obs.Registry) poolMetrics {
-	return poolMetrics{
+	m := poolMetrics{
 		requests:    r.Counter("cst_serve_requests_total", "scheduling requests received"),
 		scheduled:   r.Counter("cst_serve_scheduled_total", "requests scheduled and completed"),
 		rejected:    r.Counter("cst_serve_rejected_total", "admissions rejected with backpressure (429)"),
@@ -167,6 +219,10 @@ func newPoolMetrics(r *obs.Registry) poolMetrics {
 		latency:     r.Histogram("cst_serve_request_seconds", "wall-clock request latency", obs.ExponentialBuckets(0.0001, 2, 16)),
 		latencyQ:    r.Summary("cst_serve_latency", "wall-clock request latency in seconds, exact quantiles over the last 4096 requests", 0),
 	}
+	for i, name := range protoNames {
+		m.proto[i] = newProtoMetrics(r, name)
+	}
+	return m
 }
 
 // Pool is the scheduling service: admission across a set of shard workers,
@@ -203,6 +259,14 @@ type worker struct {
 	sim  *online.Simulator
 	ch   chan *call
 	wait map[[2]int]*call
+
+	// Steady-state scratch, confined to the worker goroutine: the batch
+	// under collection, two alternating wave buffers for flush's deferral
+	// loop, and the reused batch timer. Together with the simulator's own
+	// scratch reuse these keep a worker's request cycle allocation-free.
+	batchScratch []*call
+	waveA, waveB []*call
+	timer        *time.Timer
 }
 
 // New builds a pool; workers do not run until Start.
@@ -263,25 +327,38 @@ func (p *Pool) Start() {
 // admission (queue full, draining, bad endpoints — these return without
 // blocking). Safe for arbitrary concurrent callers.
 func (p *Pool) Schedule(src, dst int, deadline time.Duration) Result {
+	c := &call{proto: protoHTTP, resp: make(chan Result, 1)}
+	c.arm(src, dst, deadline)
+	if res, ok := p.admit(c); !ok {
+		return res
+	}
+	return <-c.resp
+}
+
+// admit validates and enqueues one armed call. A false return means the
+// request was refused inline and the Result is terminal (bad endpoints,
+// draining, queue full) — such refusals never touch the admitted ledger.
+// A true return means the call is in a shard's queue and its terminal
+// Result will arrive through c.resp or c.done. The wire path calls this
+// directly with pooled calls; allocation-free on admission.
+func (p *Pool) admit(c *call) (Result, bool) {
 	p.met.requests.Inc()
+	p.met.proto[c.proto].requests.Inc()
+	src, dst := c.src, c.dst
 	if src < 0 || src >= p.cfg.PEs || dst < 0 || dst >= p.cfg.PEs || src == dst {
 		p.met.badRequest.Inc()
 		return Result{Src: src, Dst: dst, Shard: -1, Status: http.StatusBadRequest,
-			Err: fmt.Sprintf("serve: bad endpoints (%d -> %d) on a %d-PE fabric", src, dst, p.cfg.PEs)}
+			Err: fmt.Sprintf("serve: bad endpoints (%d -> %d) on a %d-PE fabric", src, dst, p.cfg.PEs)}, false
 	}
-	if deadline == 0 {
-		deadline = p.cfg.DefaultDeadline
-	}
-	c := &call{src: src, dst: dst, enq: time.Now(), resp: make(chan Result, 1)}
-	if deadline > 0 {
-		c.deadline = c.enq.Add(deadline)
+	if c.deadline.IsZero() && p.cfg.DefaultDeadline > 0 {
+		c.deadline = c.enq.Add(p.cfg.DefaultDeadline)
 	}
 
 	p.admission.RLock()
 	if p.draining {
 		p.admission.RUnlock()
 		p.met.unavailable.Inc()
-		return Result{Src: src, Dst: dst, Shard: -1, Status: http.StatusServiceUnavailable, Err: ErrDraining.Error()}
+		return Result{Src: src, Dst: dst, Shard: -1, Status: http.StatusServiceUnavailable, Err: ErrDraining.Error()}, false
 	}
 	// Round-robin with fallback: try every shard once, non-blocking. A
 	// request only lands where there is room; if nowhere has room, that is
@@ -304,9 +381,9 @@ func (p *Pool) Schedule(src, dst int, deadline time.Duration) Result {
 	p.admission.RUnlock()
 	if !enqueued {
 		p.met.rejected.Inc()
-		return Result{Src: src, Dst: dst, Shard: -1, Status: http.StatusTooManyRequests, Err: ErrQueueFull.Error()}
+		return Result{Src: src, Dst: dst, Shard: -1, Status: http.StatusTooManyRequests, Err: ErrQueueFull.Error()}, false
 	}
-	return <-c.resp
+	return Result{}, true
 }
 
 // Drain gracefully shuts the pool down: admission stops (new requests get
@@ -384,9 +461,12 @@ func (w *worker) run() {
 }
 
 // collect gathers a batch starting from first: up to BatchMax requests,
-// waiting at most BatchWait after the first arrival for stragglers.
+// waiting at most BatchWait after the first arrival for stragglers. The
+// batch is built in the worker's reused scratch array (valid until the
+// next collect) and the batch timer is pooled across batches.
 func (w *worker) collect(first *call) []*call {
-	batch := []*call{first}
+	batch := append(w.batchScratch[:0], first)
+	defer func() { w.batchScratch = batch }()
 	if w.pool.cfg.BatchWait <= 0 {
 		for len(batch) < w.pool.cfg.BatchMax {
 			select {
@@ -401,8 +481,20 @@ func (w *worker) collect(first *call) []*call {
 		}
 		return batch
 	}
-	timer := time.NewTimer(w.pool.cfg.BatchWait)
-	defer timer.Stop()
+	if w.timer == nil {
+		w.timer = time.NewTimer(w.pool.cfg.BatchWait)
+	} else {
+		// Reused timer re-arm: Stop, drain a stale fire if one slipped in,
+		// then Reset. Worst case a stale tick flushes one batch early —
+		// a latency blip, never a correctness issue.
+		if !w.timer.Stop() {
+			select {
+			case <-w.timer.C:
+			default:
+			}
+		}
+		w.timer.Reset(w.pool.cfg.BatchWait)
+	}
 	for len(batch) < w.pool.cfg.BatchMax {
 		select {
 		case c, ok := <-w.ch:
@@ -410,7 +502,7 @@ func (w *worker) collect(first *call) []*call {
 				return batch
 			}
 			batch = append(batch, c)
-		case <-timer.C:
+		case <-w.timer.C:
 			return batch
 		}
 	}
@@ -433,8 +525,12 @@ func (w *worker) flush(batch []*call) {
 		w.pool.tracer.Emit(obs.Event{Type: "serve.flush", Engine: "serve", Round: w.sim.Now(), N: len(batch)})
 	}
 	pending := batch
+	// Waves alternate between two reused buffers: wave k builds its
+	// deferral list in one while iterating the other (wave k−1's list, or
+	// the batch itself on the first pass), so the loop never allocates.
+	cur, alt := w.waveA, w.waveB
 	for len(pending) > 0 {
-		var deferred []*call
+		deferred := cur[:0]
 		submitted := 0
 		now := time.Now()
 		for _, c := range pending {
@@ -447,16 +543,23 @@ func (w *worker) flush(batch []*call) {
 					Err: fmt.Sprintf("serve: %v before dispatch", fault.ErrDeadline)})
 				continue
 			}
+			// Endpoints validated at admission, queue idle between waves:
+			// the only possible refusal is an endpoint conflict within this
+			// batch. The Busy pre-check catches it without paying Submit's
+			// allocated error; the Submit error branch stays as a
+			// defensive backstop.
+			if w.sim.Busy(c.src, c.dst) {
+				deferred = append(deferred, c)
+				continue
+			}
 			if err := w.sim.Submit(comm.Comm{Src: c.src, Dst: c.dst}); err != nil {
-				// Endpoints validated at admission, queue idle between
-				// waves: the only Submit failure is an endpoint conflict
-				// within this batch. Defer to the next wave.
 				deferred = append(deferred, c)
 				continue
 			}
 			w.wait[[2]int{c.src, c.dst}] = c
 			submitted++
 		}
+		cur, alt = alt, deferred
 		if submitted > 0 {
 			w.quiesce()
 			w.settleRecords()
@@ -472,6 +575,11 @@ func (w *worker) flush(batch []*call) {
 		}
 		pending = deferred
 	}
+	// Keep the (possibly regrown) wave buffers and retire the simulator's
+	// consumed completion/quarantine records so a long-lived shard's
+	// memory stays bounded.
+	w.waveA, w.waveB = cur, alt
+	w.sim.Recycle()
 }
 
 // quiesce dispatches until the shard's queue is empty, tolerating
@@ -499,6 +607,7 @@ func (w *worker) settleRecords() {
 		}
 		delete(w.wait, key)
 		met.scheduled.Inc()
+		met.proto[c.proto].scheduled.Inc()
 		w.settle(c, Result{
 			Status:        http.StatusOK,
 			Arrival:       rec.Arrival,
@@ -521,8 +630,10 @@ func (w *worker) settleRecords() {
 }
 
 // settle delivers the terminal result for one admitted call. Every
-// admitted call is settled exactly once; the buffered response channel
-// means a departed client cannot block the worker.
+// admitted call is settled exactly once. HTTP calls get a send on their
+// buffered response channel (a departed client cannot block the worker);
+// wire calls get their done callback, which hands the pooled call to its
+// connection's writer goroutine.
 func (w *worker) settle(c *call, res Result) {
 	res.Src, res.Dst, res.Shard = c.src, c.dst, w.id
 	w.pool.responded.Add(1)
@@ -530,9 +641,16 @@ func (w *worker) settle(c *call, res Result) {
 	lat := time.Since(c.enq)
 	w.pool.met.latency.ObserveDuration(lat)
 	w.pool.met.latencyQ.ObserveDuration(lat)
+	pm := &w.pool.met.proto[c.proto]
+	pm.latency.ObserveDuration(lat)
+	pm.latencyQ.ObserveDuration(lat)
 	if w.pool.tracer != nil {
 		w.pool.tracer.Emit(obs.Event{Type: "serve.done", Engine: "serve",
 			Round: w.sim.Now(), N: res.Status})
+	}
+	if c.done != nil {
+		c.done(res)
+		return
 	}
 	c.resp <- res
 }

@@ -1,0 +1,399 @@
+// The wire server is the binary-protocol front end of a Pool: persistent
+// TCP connections speaking the internal/wire framing, pipelined requests
+// correlated by id, and a steady-state request cycle that allocates
+// nothing. All per-request state lives in a fixed set of slots owned by
+// the connection (acquired once per connection from a sync.Pool), so the
+// read → admit → schedule → encode → write cycle touches only memory that
+// already exists.
+//
+// Per connection, two goroutines split the work:
+//
+//   - the reader owns the connection's read side and the request scratch:
+//     it decodes frames, leases a slot (blocking when MaxPipeline requests
+//     are in flight — the slot freelist is the pipelining window), and
+//     admits the slot's call into the pool;
+//   - the writer owns the write side and the encode scratch: it drains
+//     settled slots off the out channel, encodes response frames, flushes
+//     when the channel runs empty, and returns slots to the freelist.
+//
+// A settled call reaches the writer through the slot's done callback,
+// which the shard worker invokes inline; the callback only performs a
+// buffered channel send, so a slow connection never blocks a worker — the
+// out channel's capacity equals the slot count, and a slot cannot be
+// settled twice.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cst/internal/obs"
+	"cst/internal/wire"
+)
+
+// DefaultMaxPipeline bounds in-flight requests per wire connection when
+// WireConfig leaves MaxPipeline zero.
+const DefaultMaxPipeline = 64
+
+// wireHandshakeTimeout bounds how long an accepted connection may sit
+// before completing the version handshake.
+const wireHandshakeTimeout = 5 * time.Second
+
+// ErrWireClosed is returned by Serve after Shutdown, mirroring
+// http.ErrServerClosed (it is swallowed by Serve itself on a clean
+// shutdown and surfaces only from a second Serve call).
+var ErrWireClosed = errors.New("serve: wire server closed")
+
+// WireConfig parameterizes a WireServer.
+type WireConfig struct {
+	// MaxPipeline bounds the requests in flight on one connection; a
+	// client that pipelines deeper blocks in the kernel until answers
+	// drain. It is also the slot count, so memory per connection is
+	// proportional. Zero means DefaultMaxPipeline.
+	MaxPipeline int
+	// Registry receives the cst_serve_wire_* series; nil leaves the
+	// server uninstrumented.
+	Registry *obs.Registry
+	// Tracer receives connection lifecycle events; nil no-ops.
+	Tracer *obs.Tracer
+}
+
+// wireMetrics holds the cst_serve_wire_* handles (nil handles no-op).
+type wireMetrics struct {
+	conns      *obs.Gauge
+	connsTotal *obs.Counter
+	protoErrs  *obs.Counter
+}
+
+func newWireMetrics(r *obs.Registry) wireMetrics {
+	return wireMetrics{
+		conns:      r.Gauge("cst_serve_wire_conns", "open wire-protocol connections"),
+		connsTotal: r.Counter("cst_serve_wire_conns_total", "wire-protocol connections accepted"),
+		protoErrs:  r.Counter("cst_serve_wire_protocol_errors_total", "protocol violations that closed a wire connection"),
+	}
+}
+
+// WireServer accepts wire-protocol connections and feeds their requests
+// into a Pool. Construct with NewWireServer, run with Serve, stop with
+// Shutdown — after the pool has drained, so in-flight answers are already
+// settled and only need flushing.
+type WireServer struct {
+	pool    *Pool
+	cfg     WireConfig
+	met     wireMetrics
+	tracer  *obs.Tracer
+	bundles sync.Pool
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// NewWireServer builds a wire front end over p.
+func NewWireServer(p *Pool, cfg WireConfig) *WireServer {
+	if cfg.MaxPipeline <= 0 {
+		cfg.MaxPipeline = DefaultMaxPipeline
+	}
+	s := &WireServer{
+		pool:   p,
+		cfg:    cfg,
+		met:    newWireMetrics(cfg.Registry),
+		tracer: cfg.Tracer,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.bundles.New = func() any { return s.newBundle() }
+	return s
+}
+
+// wireCall is one connection slot: a pooled call plus the spot its
+// terminal Result lands in. The call's done closure is built once per
+// slot and survives bundle reuse.
+type wireCall struct {
+	c   call
+	res Result
+}
+
+// connBundle is the per-connection working set, pooled across
+// connections: the slot array, the freelist (doubling as the pipelining
+// window), the settled-slot channel feeding the writer, and the reader
+// and writer scratch. The out channel holds one extra space for the nil
+// sentinel the reader uses to stop the writer, which keeps the channels
+// reusable (a closed channel could not go back in the pool).
+type connBundle struct {
+	slots []*wireCall
+	free  chan *wireCall
+	out   chan *wireCall
+	rd    *wire.Reader
+	bw    *bufio.Writer
+	req   wire.Request  // reader-owned decode scratch
+	resp  wire.Response // writer-owned encode scratch
+	enc   []byte        // writer-owned frame scratch
+}
+
+func (s *WireServer) newBundle() *connBundle {
+	n := s.cfg.MaxPipeline
+	b := &connBundle{
+		slots: make([]*wireCall, n),
+		free:  make(chan *wireCall, n),
+		out:   make(chan *wireCall, n+1),
+		rd:    wire.NewReader(nil),
+		bw:    bufio.NewWriterSize(nil, 4096),
+	}
+	for i := range b.slots {
+		wc := &wireCall{}
+		wc.c.proto = protoWire
+		out := b.out
+		wc.c.done = func(res Result) {
+			wc.res = res
+			out <- wc
+		}
+		b.slots[i] = wc
+		b.free <- wc
+	}
+	return b
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *WireServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it. A clean
+// shutdown returns nil; calling Serve on an already-shut-down server
+// returns ErrWireClosed.
+func (s *WireServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrWireClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return nil
+			}
+			return fmt.Errorf("serve: wire accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown stops accepting, pokes every open connection's reader off its
+// blocking read, and waits for the connection handlers to finish — each
+// one reclaims its in-flight slots (already settled once the pool has
+// drained), flushes buffered answers and closes. Call after Pool.Drain.
+func (s *WireServer) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	ln := s.ln
+	now := time.Now()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: wire shutdown: %w", ctx.Err())
+	}
+}
+
+func (s *WireServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handshake reads the client hello straight off the raw connection (the
+// framed reader attaches after, so nothing is over-read) and answers with
+// the negotiated version.
+func (s *WireServer) handshake(conn net.Conn) error {
+	_ = conn.SetReadDeadline(time.Now().Add(wireHandshakeTimeout))
+	var hello [wire.HandshakeBytes]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	offered, err := wire.ParseHello(hello[:])
+	if err != nil {
+		return err
+	}
+	var accept [wire.HandshakeBytes]byte
+	if _, err := conn.Write(wire.AppendHello(accept[:0], wire.Negotiate(offered, wire.Version))); err != nil {
+		return fmt.Errorf("handshake write: %w", err)
+	}
+	return nil
+}
+
+// handle runs one connection: handshake, then the reader loop described
+// in the package comment. It always reclaims every slot before returning
+// the bundle to the pool, so a bundle re-enters the pool quiescent.
+func (s *WireServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	if err := s.handshake(conn); err != nil {
+		s.met.protoErrs.Inc()
+		return
+	}
+	// Clearing the handshake deadline must not race a Shutdown poke:
+	// both happen under mu, and a post-poke clear is prevented by the
+	// shutdown check.
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	s.mu.Unlock()
+
+	s.met.conns.Add(1)
+	s.met.connsTotal.Inc()
+	defer s.met.conns.Add(-1)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Type: "wire.conn", Engine: "serve", Round: -1, N: 1})
+	}
+
+	b := s.bundles.Get().(*connBundle)
+	defer s.bundles.Put(b)
+	b.rd.Reset(conn)
+	b.bw.Reset(conn)
+
+	writerDone := make(chan struct{})
+	go s.writeLoop(b, writerDone)
+
+	for {
+		typ, body, err := b.rd.Next()
+		if err != nil {
+			if isWireProtocolErr(err) {
+				s.met.protoErrs.Inc()
+			}
+			break
+		}
+		if typ != wire.TypeRequest {
+			s.met.protoErrs.Inc()
+			break
+		}
+		if err := wire.ParseRequest(body, &b.req); err != nil {
+			s.met.protoErrs.Inc()
+			break
+		}
+		// Lease a slot; blocking here is the pipelining window — the
+		// connection stops reading until an in-flight answer frees one.
+		wc := <-b.free
+		wc.c.arm(b.req.Src, b.req.Dst, b.req.Deadline())
+		wc.c.id = b.req.ID
+		if res, ok := s.pool.admit(&wc.c); !ok {
+			// Inline refusal (bad endpoints, draining, queue full): the
+			// call never reached a worker, so route the slot to the
+			// writer directly.
+			wc.res = res
+			b.out <- wc
+		}
+	}
+
+	// Teardown: reclaim every slot. In-flight ones come back through
+	// settle → done → writer → freelist; the pool settles every admitted
+	// call (drain included), so this converges. Only then may the writer
+	// stop — the nil sentinel keeps the channel reusable.
+	for range b.slots {
+		<-b.free
+	}
+	b.out <- nil
+	<-writerDone
+	for _, wc := range b.slots {
+		b.free <- wc
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Type: "wire.conn", Engine: "serve", Round: -1, N: 0})
+	}
+}
+
+// writeLoop drains settled slots, encodes their response frames and
+// returns the slots to the freelist. After a write error it keeps
+// draining (slots must reach the freelist for teardown to converge) but
+// stops touching the dead connection.
+func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
+	defer close(done)
+	var werr error
+	for {
+		wc := <-b.out
+		if wc == nil {
+			break
+		}
+		if werr == nil {
+			r := &b.resp
+			r.ID = wc.c.id
+			r.Status = wc.res.Status
+			r.Shard = wc.res.Shard
+			r.Arrival = wc.res.Arrival
+			r.Dispatched = wc.res.Dispatched
+			r.Finished = wc.res.Finished
+			r.LatencyRounds = wc.res.LatencyRounds
+			r.Err = wc.res.Err
+			b.enc = wire.AppendResponse(b.enc[:0], r)
+			if _, err := b.bw.Write(b.enc); err != nil {
+				werr = err
+			}
+			// Flush only when no more settled answers are queued: frames
+			// for a pipelined burst coalesce into one syscall.
+			if werr == nil && len(b.out) == 0 {
+				if err := b.bw.Flush(); err != nil {
+					werr = err
+				}
+			}
+		}
+		b.free <- wc
+	}
+	if werr == nil {
+		_ = b.bw.Flush()
+	}
+}
+
+// isWireProtocolErr reports whether a read error is a protocol violation
+// (counted) as opposed to a routine disconnect or shutdown poke (not).
+func isWireProtocolErr(err error) bool {
+	return errors.Is(err, wire.ErrBadFrame) ||
+		errors.Is(err, wire.ErrFrameTooLarge) ||
+		errors.Is(err, wire.ErrUnknownType) ||
+		errors.Is(err, wire.ErrTruncated) ||
+		errors.Is(err, wire.ErrBadMagic) ||
+		errors.Is(err, wire.ErrVersion)
+}

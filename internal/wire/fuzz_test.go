@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder and the two
+// body parsers. The contract under fuzz: never panic, never allocate
+// proportionally to a hostile length claim, and fail only with the typed
+// sentinels so callers can errors.Is their way to a diagnosis. Valid
+// frames must survive a decode → re-encode → re-decode round trip with
+// identical field values (byte-exactness is only guaranteed for canonical
+// encoder output — binary.Uvarint tolerates overlong varints on input).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(AppendRequest(nil, &Request{ID: 1, Src: 3, Dst: 12}))
+	f.Add(AppendRequest(nil, &Request{ID: 300, Src: 128, Dst: 129, DeadlineMS: 250}))
+	f.Add(AppendResponse(nil, &Response{ID: 1, Status: 200, LatencyRounds: 5}))
+	f.Add(AppendResponse(nil, &Response{ID: 7, Status: 429, Shard: -1, Err: "queue full"}))
+	f.Add([]byte{0x05, 0x01, 0x01, 0x03, 0x0c}) // one byte short
+	f.Add([]byte{0x02, 0x7f, 0x00})             // unknown type
+
+	typed := func(err error) bool {
+		return errors.Is(err, ErrTruncated) || errors.Is(err, ErrFrameTooLarge) ||
+			errors.Is(err, ErrBadFrame) || errors.Is(err, ErrUnknownType)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, n, err := DecodeFrame(data)
+		if err != nil {
+			if !typed(err) {
+				t.Fatalf("DecodeFrame(% x): untyped error %v", data, err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(data))
+		}
+		switch typ {
+		case TypeRequest:
+			var req Request
+			if perr := ParseRequest(body, &req); perr != nil {
+				if !typed(perr) {
+					t.Fatalf("ParseRequest: untyped error %v", perr)
+				}
+				return
+			}
+			re := AppendRequest(nil, &req)
+			_, rbody, _, rerr := DecodeFrame(re)
+			var back Request
+			if rerr != nil || ParseRequest(rbody, &back) != nil || back != req {
+				t.Fatalf("request roundtrip mismatch: % x -> %+v -> % x -> %+v (%v)",
+					data[:n], req, re, back, rerr)
+			}
+		case TypeResponse:
+			var resp Response
+			if perr := ParseResponse(body, &resp); perr != nil {
+				if !typed(perr) {
+					t.Fatalf("ParseResponse: untyped error %v", perr)
+				}
+				return
+			}
+			re := AppendResponse(nil, &resp)
+			_, rbody, _, rerr := DecodeFrame(re)
+			var back Response
+			if rerr != nil || ParseResponse(rbody, &back) != nil || back != resp {
+				t.Fatalf("response roundtrip mismatch: % x -> %+v -> % x -> %+v (%v)",
+					data[:n], resp, re, back, rerr)
+			}
+		default:
+			t.Fatalf("DecodeFrame returned unknown type %#x without error", typ)
+		}
+	})
+}

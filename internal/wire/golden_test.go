@@ -1,0 +1,373 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRequestFrameGolden pins the canonical request encoding byte for
+// byte, the same way the ctrl word and Prometheus exposition goldens pin
+// their formats: any drift is a protocol break, not a refactor.
+func TestRequestFrameGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want []byte
+	}{
+		{
+			name: "minimal",
+			req:  Request{ID: 1, Src: 3, Dst: 12},
+			// length=5 | type | id=1 | src=3 | dst=12 | deadline=0
+			want: []byte{0x05, 0x01, 0x01, 0x03, 0x0c, 0x00},
+		},
+		{
+			name: "multibyte varints",
+			req:  Request{ID: 300, Src: 128, Dst: 129, DeadlineMS: 250},
+			// length=9 | type | id=300 (0xac 0x02) | src=128 (0x80 0x01)
+			// | dst=129 (0x81 0x01) | deadline=250 (0xfa 0x01)
+			want: []byte{0x09, 0x01, 0xac, 0x02, 0x80, 0x01, 0x81, 0x01, 0xfa, 0x01},
+		},
+		{
+			name: "zero everything",
+			req:  Request{},
+			want: []byte{0x05, 0x01, 0x00, 0x00, 0x00, 0x00},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AppendRequest(nil, &tc.req)
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("AppendRequest(%+v) = % x, want % x", tc.req, got, tc.want)
+			}
+			typ, body, n, err := DecodeFrame(got)
+			if err != nil {
+				t.Fatalf("DecodeFrame: %v", err)
+			}
+			if typ != TypeRequest || n != len(got) {
+				t.Fatalf("DecodeFrame: typ=%#x n=%d, want typ=%#x n=%d", typ, n, TypeRequest, len(got))
+			}
+			var back Request
+			if err := ParseRequest(body, &back); err != nil {
+				t.Fatalf("ParseRequest: %v", err)
+			}
+			if back != tc.req {
+				t.Fatalf("roundtrip: got %+v, want %+v", back, tc.req)
+			}
+		})
+	}
+}
+
+// TestResponseFrameGolden pins the canonical response encoding.
+func TestResponseFrameGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		resp Response
+		want []byte
+	}{
+		{
+			name: "scheduled",
+			resp: Response{ID: 1, Status: 200, Shard: 0, Arrival: 1,
+				Dispatched: 2, Finished: 6, LatencyRounds: 5},
+			// length=10 | type | id=1 | status=200 (0xc8 0x01) |
+			// shard=0 | arrival=1 (zigzag 0x02) | dispatched=2 (0x04) |
+			// finished=6 (0x0c) | latency=5 (0x0a) | errlen=0
+			want: []byte{0x0a, 0x02, 0x01, 0xc8, 0x01, 0x00, 0x02, 0x04, 0x0c, 0x0a, 0x00},
+		},
+		{
+			name: "rejected with error text",
+			resp: Response{ID: 7, Status: 429, Shard: -1, Err: "queue full"},
+			// length=20 | type | id=7 | status=429 (0xad 0x03) |
+			// shard=-1 (zigzag 0x01) | arrival..latency=0 | errlen=10 | "queue full"
+			want: append([]byte{0x14, 0x02, 0x07, 0xad, 0x03, 0x01, 0x00, 0x00, 0x00, 0x00, 0x0a},
+				[]byte("queue full")...),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AppendResponse(nil, &tc.resp)
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("AppendResponse(%+v) = % x, want % x", tc.resp, got, tc.want)
+			}
+			typ, body, n, err := DecodeFrame(got)
+			if err != nil {
+				t.Fatalf("DecodeFrame: %v", err)
+			}
+			if typ != TypeResponse || n != len(got) {
+				t.Fatalf("DecodeFrame: typ=%#x n=%d, want typ=%#x n=%d", typ, n, TypeResponse, len(got))
+			}
+			var back Response
+			if err := ParseResponse(body, &back); err != nil {
+				t.Fatalf("ParseResponse: %v", err)
+			}
+			if back != tc.resp {
+				t.Fatalf("roundtrip: got %+v, want %+v", back, tc.resp)
+			}
+		})
+	}
+}
+
+// TestHandshakeGolden pins the handshake bytes and Negotiate's min rule.
+func TestHandshakeGolden(t *testing.T) {
+	hello := AppendHello(nil, Version)
+	want := []byte{'C', 'S', 'T', 'W', 0x01}
+	if !bytes.Equal(hello, want) {
+		t.Fatalf("AppendHello = % x, want % x", hello, want)
+	}
+	v, err := ParseHello(hello)
+	if err != nil || v != Version {
+		t.Fatalf("ParseHello = (%d, %v), want (%d, nil)", v, err, Version)
+	}
+
+	if _, err := ParseHello([]byte("CSTX\x01")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
+	}
+	if _, err := ParseHello([]byte("CST")); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short handshake: got %v, want ErrTruncated", err)
+	}
+	if _, err := ParseHello([]byte("CSTW\x00")); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 0: got %v, want ErrVersion", err)
+	}
+
+	// The newer side yields.
+	if got := Negotiate(9, Version); got != Version {
+		t.Fatalf("Negotiate(9, %d) = %d, want %d", Version, got, Version)
+	}
+	if got := Negotiate(1, 9); got != 1 {
+		t.Fatalf("Negotiate(1, 9) = %d, want 1", got)
+	}
+}
+
+// TestVersionNegotiationOverConn drives the client handshake against a
+// scripted server: a client offering the current version accepts a v1
+// answer, and rejects a server claiming a future version.
+func TestVersionNegotiationOverConn(t *testing.T) {
+	t.Run("server yields to min", func(t *testing.T) {
+		cli, srv := net.Pipe()
+		defer srv.Close()
+		go func() {
+			hello := make([]byte, HandshakeBytes)
+			if _, err := io.ReadFull(srv, hello); err != nil {
+				return
+			}
+			offered, err := ParseHello(hello)
+			if err != nil {
+				return
+			}
+			srv.Write(AppendHello(nil, Negotiate(offered, Version)))
+		}()
+		c, err := NewClientConn(cli, time.Second)
+		if err != nil {
+			t.Fatalf("NewClientConn: %v", err)
+		}
+		defer c.Close()
+		if c.ProtocolVersion() != Version {
+			t.Fatalf("negotiated v%d, want v%d", c.ProtocolVersion(), Version)
+		}
+	})
+
+	t.Run("future server version rejected", func(t *testing.T) {
+		cli, srv := net.Pipe()
+		defer srv.Close()
+		go func() {
+			hello := make([]byte, HandshakeBytes)
+			if _, err := io.ReadFull(srv, hello); err != nil {
+				return
+			}
+			srv.Write(AppendHello(nil, 9))
+		}()
+		if _, err := NewClientConn(cli, time.Second); !errors.Is(err, ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+	})
+}
+
+// TestDecodeFrameErrors exercises every typed failure path.
+func TestDecodeFrameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty input", nil, ErrTruncated},
+		{"oversized length claim", []byte{0xff, 0xff, 0x01}, ErrFrameTooLarge}, // claims 32767 bytes
+		{"zero-length payload", []byte{0x00}, ErrBadFrame},
+		{"truncated payload", []byte{0x05, 0x01, 0x01}, ErrTruncated},
+		{"unknown type", []byte{0x01, 0x7f}, ErrUnknownType},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := DecodeFrame(tc.in)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("DecodeFrame(% x) err = %v, want %v", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseErrors exercises body-level failure paths.
+func TestParseErrors(t *testing.T) {
+	var req Request
+	if err := ParseRequest([]byte{0x01}, &req); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short request body: %v, want ErrTruncated", err)
+	}
+	if err := ParseRequest([]byte{0x01, 0x02, 0x03, 0x00, 0xff}, &req); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing bytes: %v, want ErrBadFrame", err)
+	}
+	// src beyond int32 (negative Src encoded as huge uvarint lands here).
+	huge := AppendRequest(nil, &Request{Src: -1})
+	_, body, _, err := DecodeFrame(huge)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if err := ParseRequest(body, &req); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("out-of-range src: %v, want ErrBadFrame", err)
+	}
+	// Overlong varint (10 bytes of continuation) is malformed, not truncated.
+	junk := bytes.Repeat([]byte{0xff}, 11)
+	if err := ParseRequest(junk, &req); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overflowing varint: %v, want ErrBadFrame", err)
+	}
+
+	var resp Response
+	if err := ParseResponse([]byte{0x01, 0xc8}, &resp); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short response body: %v, want ErrTruncated", err)
+	}
+	// errlen that disagrees with the remaining bytes.
+	full := AppendResponse(nil, &Response{ID: 1, Status: 200, Err: "xy"})
+	_, body, _, err = DecodeFrame(full)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if err := ParseResponse(body[:len(body)-1], &resp); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("errlen mismatch: %v, want ErrBadFrame", err)
+	}
+}
+
+// TestDeadlineConversion pins the ms → duration mapping and the range
+// guard on absurd deadlines.
+func TestDeadlineConversion(t *testing.T) {
+	r := Request{DeadlineMS: 250}
+	if r.Deadline() != 250*time.Millisecond {
+		t.Fatalf("Deadline() = %v, want 250ms", r.Deadline())
+	}
+	overflow := AppendRequest(nil, &Request{DeadlineMS: math.MaxInt64})
+	_, body, _, err := DecodeFrame(overflow)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	var back Request
+	if err := ParseRequest(body, &back); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overflow deadline: %v, want ErrBadFrame", err)
+	}
+}
+
+// TestReaderStream feeds several frames through a Reader, split across
+// arbitrary write boundaries, and checks EOF semantics.
+func TestReaderStream(t *testing.T) {
+	var stream []byte
+	reqs := []Request{{ID: 1, Src: 0, Dst: 5}, {ID: 2, Src: 300, Dst: 301, DeadlineMS: 1000}}
+	for i := range reqs {
+		stream = AppendRequest(stream, &reqs[i])
+	}
+	stream = AppendResponse(stream, &Response{ID: 1, Status: 200, LatencyRounds: 3})
+
+	r := NewReader(bytes.NewReader(stream))
+	for i := range reqs {
+		typ, body, err := r.Next()
+		if err != nil || typ != TypeRequest {
+			t.Fatalf("frame %d: typ=%#x err=%v", i, typ, err)
+		}
+		var got Request
+		if err := ParseRequest(body, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != reqs[i] {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, reqs[i])
+		}
+	}
+	typ, body, err := r.Next()
+	if err != nil || typ != TypeResponse {
+		t.Fatalf("response frame: typ=%#x err=%v", typ, err)
+	}
+	var resp Response
+	if err := ParseResponse(body, &resp); err != nil || resp.Status != 200 {
+		t.Fatalf("response: %+v err=%v", resp, err)
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("at stream end: %v, want io.EOF", err)
+	}
+
+	// A partial trailing frame is an unexpected EOF, not a clean one.
+	r.Reset(bytes.NewReader(stream[:len(stream)-2]))
+	for i := 0; i < len(reqs); i++ {
+		if _, _, err := r.Next(); err != nil {
+			t.Fatalf("frame %d after reset: %v", i, err)
+		}
+	}
+	if _, _, err := r.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("partial frame: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestAppendParseAllocFree pins the encode and decode paths at zero
+// allocations once scratch buffers exist — the property the serve hot
+// path builds on.
+func TestAppendParseAllocFree(t *testing.T) {
+	req := Request{ID: 42, Src: 3, Dst: 12, DeadlineMS: 100}
+	resp := Response{ID: 42, Status: 200, Shard: 1, Arrival: 2, Dispatched: 3,
+		Finished: 9, LatencyRounds: 7}
+	buf := make([]byte, 0, 64)
+
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendRequest(buf[:0], &req)
+		buf = AppendResponse(buf[:0], &resp)
+	}); n != 0 {
+		t.Fatalf("append paths allocate %v/op, want 0", n)
+	}
+
+	frame := AppendRequest(nil, &req)
+	rframe := AppendResponse(nil, &resp)
+	var gotReq Request
+	var gotResp Response
+	if n := testing.AllocsPerRun(100, func() {
+		_, body, _, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ParseRequest(body, &gotReq); err != nil {
+			t.Fatal(err)
+		}
+		_, body, _, err = DecodeFrame(rframe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ParseResponse(body, &gotResp); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("decode paths allocate %v/op, want 0", n)
+	}
+}
+
+// TestErrTruncationCap pins that an oversized response error string is
+// truncated at encode time rather than producing an over-budget frame.
+func TestErrTruncationCap(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'e'}, MaxFrameBytes))
+	frame := AppendResponse(nil, &Response{ID: 1, Status: 500, Err: long})
+	typ, body, _, err := DecodeFrame(frame)
+	if err != nil || typ != TypeResponse {
+		t.Fatalf("DecodeFrame: typ=%#x err=%v", typ, err)
+	}
+	var resp Response
+	if err := ParseResponse(body, &resp); err != nil {
+		t.Fatalf("ParseResponse: %v", err)
+	}
+	if len(resp.Err) != MaxFrameBytes/2 {
+		t.Fatalf("err carried %d bytes, want truncation to %d", len(resp.Err), MaxFrameBytes/2)
+	}
+}

@@ -1,0 +1,459 @@
+// Package wire is the compact binary framing for CST scheduling traffic:
+// the request/answer protocol cstserved speaks on its -wire-addr TCP
+// listener, built for persistent pipelined connections and an
+// allocation-free hot path.
+//
+// The design reuses the packing idiom of internal/ctrl's fixed-width
+// control words — every field has one unambiguous binary form — but packs
+// with varints instead of fixed uint32s because scheduling requests are
+// dominated by tiny integers (PE indices, request ids): a typical request
+// frame is 6 bytes against ~60 for its HTTP/JSON equivalent, before HTTP
+// headers.
+//
+// Stream layout:
+//
+//	hello     := "CSTW" version:uint8           (client → server)
+//	accept    := "CSTW" version:uint8           (server → client)
+//	frame     := length:uvarint payload
+//	payload   := type:uint8 body
+//	request   := id:uvarint src:uvarint dst:uvarint deadline_ms:uvarint
+//	response  := id:uvarint status:uvarint shard:varint arrival:varint
+//	             dispatched:varint finished:varint latency_rounds:varint
+//	             errlen:uvarint err:bytes
+//
+// The id correlates pipelined requests with their answers: responses may
+// return out of submission order (conflict-deferred waves and deadline
+// expiries reorder), so clients must match on id, never on arrival order.
+//
+// Every decode error is one of the typed sentinels below (wrapped with
+// detail); decoders never panic on junk and never allocate proportionally
+// to a length claim — a frame announcing more than MaxFrameBytes is
+// rejected before any buffer grows.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// Protocol constants. Version is the newest protocol revision this build
+// speaks; the handshake settles on min(client, server) and rejects 0.
+const (
+	// Magic opens both handshake directions.
+	Magic = "CSTW"
+	// Version is the current protocol revision.
+	Version = 1
+	// MaxFrameBytes bounds a frame payload. Requests are ~6 bytes and
+	// responses ~20 plus a short error string; anything larger is a
+	// corrupt or hostile stream.
+	MaxFrameBytes = 4096
+	// HandshakeBytes is the size of each handshake message.
+	HandshakeBytes = len(Magic) + 1
+)
+
+// Frame types.
+const (
+	// TypeRequest frames a scheduling request (client → server).
+	TypeRequest = 0x01
+	// TypeResponse frames a terminal answer (server → client).
+	TypeResponse = 0x02
+)
+
+// Typed decode errors. Decoders wrap these with detail; match with
+// errors.Is.
+var (
+	// ErrBadMagic rejects a handshake that does not open with Magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrVersion rejects an unusable protocol version (0, or newer than
+	// the local side speaks after negotiation).
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrFrameTooLarge rejects a length prefix beyond MaxFrameBytes
+	// before any buffer is grown for it.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameBytes")
+	// ErrTruncated reports a frame or field cut short.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrBadFrame reports structurally invalid bytes: junk varints,
+	// out-of-range fields, trailing garbage.
+	ErrBadFrame = errors.New("wire: malformed frame")
+	// ErrUnknownType reports an unrecognized frame type byte.
+	ErrUnknownType = errors.New("wire: unknown frame type")
+)
+
+// Request is one scheduling request: schedule the communication Src → Dst,
+// optionally bounded by DeadlineMS milliseconds of wall-clock time. ID
+// correlates the eventual Response on a pipelined connection.
+type Request struct {
+	ID         uint64
+	Src, Dst   int
+	DeadlineMS int64
+}
+
+// Deadline converts DeadlineMS to a duration (0 means the server default).
+func (r *Request) Deadline() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
+}
+
+// Response is the terminal answer for request ID. Status carries the same
+// HTTP mapping as serve.Result (200 scheduled, 400 bad endpoints, 429
+// backpressure, 500 quarantined, 503 draining, 504 deadline); the round
+// fields are meaningful only for status 200. Err is empty on success.
+type Response struct {
+	ID            uint64
+	Status        int
+	Shard         int
+	Arrival       int
+	Dispatched    int
+	Finished      int
+	LatencyRounds int
+	Err           string
+}
+
+// AppendRequest appends a complete request frame (length prefix included)
+// to buf and returns the extended slice. It never allocates when buf has
+// capacity. Negative Src/Dst are encoded as large uvarints and rejected by
+// the receiver's range check.
+func AppendRequest(buf []byte, r *Request) []byte {
+	var body [1 + 4*binary.MaxVarintLen64]byte
+	n := 0
+	body[n] = TypeRequest
+	n++
+	n += binary.PutUvarint(body[n:], r.ID)
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Src)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Dst)))
+	n += binary.PutUvarint(body[n:], uint64(r.DeadlineMS))
+	buf = binary.AppendUvarint(buf, uint64(n))
+	return append(buf, body[:n]...)
+}
+
+// AppendResponse appends a complete response frame to buf and returns the
+// extended slice. An Err longer than the frame budget is truncated rather
+// than rejected — the status code already carries the outcome.
+func AppendResponse(buf []byte, r *Response) []byte {
+	const maxErr = MaxFrameBytes / 2
+	errStr := r.Err
+	if len(errStr) > maxErr {
+		errStr = errStr[:maxErr]
+	}
+	var body [1 + 7*binary.MaxVarintLen64]byte
+	n := 0
+	body[n] = TypeResponse
+	n++
+	n += binary.PutUvarint(body[n:], r.ID)
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Status)))
+	n += binary.PutVarint(body[n:], int64(r.Shard))
+	n += binary.PutVarint(body[n:], int64(r.Arrival))
+	n += binary.PutVarint(body[n:], int64(r.Dispatched))
+	n += binary.PutVarint(body[n:], int64(r.Finished))
+	n += binary.PutVarint(body[n:], int64(r.LatencyRounds))
+	n += binary.PutUvarint(body[n:], uint64(len(errStr)))
+	buf = binary.AppendUvarint(buf, uint64(n+len(errStr)))
+	buf = append(buf, body[:n]...)
+	return append(buf, errStr...)
+}
+
+// DecodeFrame parses one length-prefixed frame from the front of b,
+// returning the frame type, its body (aliasing b, no copy) and the total
+// bytes consumed. Incomplete input returns ErrTruncated; an oversized
+// length claim returns ErrFrameTooLarge without consuming or allocating.
+func DecodeFrame(b []byte) (typ byte, body []byte, n int, err error) {
+	length, ln := binary.Uvarint(b)
+	if ln == 0 {
+		return 0, nil, 0, fmt.Errorf("%w: length prefix", ErrTruncated)
+	}
+	if ln < 0 || length > MaxFrameBytes {
+		return 0, nil, 0, fmt.Errorf("%w: claimed %d bytes", ErrFrameTooLarge, length)
+	}
+	if length == 0 {
+		return 0, nil, 0, fmt.Errorf("%w: empty payload", ErrBadFrame)
+	}
+	if uint64(len(b)-ln) < length {
+		return 0, nil, 0, fmt.Errorf("%w: payload wants %d bytes, have %d", ErrTruncated, length, len(b)-ln)
+	}
+	payload := b[ln : ln+int(length)]
+	switch payload[0] {
+	case TypeRequest, TypeResponse:
+		return payload[0], payload[1:], ln + int(length), nil
+	default:
+		return 0, nil, 0, fmt.Errorf("%w: 0x%02x", ErrUnknownType, payload[0])
+	}
+}
+
+// uvarintField reads one uvarint from b, rejecting junk encodings.
+func uvarintField(b []byte, name string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: field %s", badVarintErr(b, n), name)
+	}
+	return v, b[n:], nil
+}
+
+// varintField reads one zigzag varint from b, rejecting junk encodings.
+func varintField(b []byte, name string) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: field %s", badVarintErr(b, n), name)
+	}
+	return v, b[n:], nil
+}
+
+// badVarintErr distinguishes a short buffer (truncated) from an
+// overlong/overflowing varint (malformed).
+func badVarintErr(b []byte, n int) error {
+	if n == 0 && len(b) < binary.MaxVarintLen64 {
+		return ErrTruncated
+	}
+	return ErrBadFrame
+}
+
+// ParseRequest decodes a request body (as returned by DecodeFrame for
+// TypeRequest) into req without allocating. The body must be exactly one
+// request: trailing bytes are ErrBadFrame.
+func ParseRequest(body []byte, req *Request) error {
+	id, rest, err := uvarintField(body, "id")
+	if err != nil {
+		return err
+	}
+	src, rest, err := uvarintField(rest, "src")
+	if err != nil {
+		return err
+	}
+	dst, rest, err := uvarintField(rest, "dst")
+	if err != nil {
+		return err
+	}
+	dl, rest, err := uvarintField(rest, "deadline_ms")
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after request", ErrBadFrame, len(rest))
+	}
+	if src > math.MaxInt32 || dst > math.MaxInt32 {
+		return fmt.Errorf("%w: endpoint out of range", ErrBadFrame)
+	}
+	if dl > math.MaxInt64/uint64(time.Millisecond) {
+		return fmt.Errorf("%w: deadline out of range", ErrBadFrame)
+	}
+	req.ID = id
+	req.Src = int(src)
+	req.Dst = int(dst)
+	req.DeadlineMS = int64(dl)
+	return nil
+}
+
+// ParseResponse decodes a response body (as returned by DecodeFrame for
+// TypeResponse) into resp. It allocates only for a non-empty error string.
+func ParseResponse(body []byte, resp *Response) error {
+	id, rest, err := uvarintField(body, "id")
+	if err != nil {
+		return err
+	}
+	status, rest, err := uvarintField(rest, "status")
+	if err != nil {
+		return err
+	}
+	if status > math.MaxInt32 {
+		return fmt.Errorf("%w: status out of range", ErrBadFrame)
+	}
+	var fields [5]int64
+	for i, name := range [...]string{"shard", "arrival", "dispatched", "finished", "latency_rounds"} {
+		fields[i], rest, err = varintField(rest, name)
+		if err != nil {
+			return err
+		}
+		if fields[i] > math.MaxInt32 || fields[i] < math.MinInt32 {
+			return fmt.Errorf("%w: field %s out of range", ErrBadFrame, name)
+		}
+	}
+	errLen, rest, err := uvarintField(rest, "errlen")
+	if err != nil {
+		return err
+	}
+	if uint64(len(rest)) != errLen {
+		return fmt.Errorf("%w: errlen %d with %d bytes left", ErrBadFrame, errLen, len(rest))
+	}
+	resp.ID = id
+	resp.Status = int(status)
+	resp.Shard = int(fields[0])
+	resp.Arrival = int(fields[1])
+	resp.Dispatched = int(fields[2])
+	resp.Finished = int(fields[3])
+	resp.LatencyRounds = int(fields[4])
+	if errLen == 0 {
+		resp.Err = ""
+	} else {
+		resp.Err = string(rest)
+	}
+	return nil
+}
+
+// AppendHello appends a handshake message offering version.
+func AppendHello(buf []byte, version uint8) []byte {
+	return append(append(buf, Magic...), version)
+}
+
+// ParseHello validates a handshake message and returns the offered
+// version. Version 0 is ErrVersion — there is no protocol 0 to fall back
+// to.
+func ParseHello(b []byte) (uint8, error) {
+	if len(b) < HandshakeBytes {
+		return 0, fmt.Errorf("%w: handshake wants %d bytes, have %d", ErrTruncated, HandshakeBytes, len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("%w: %q", ErrBadMagic, b[:len(Magic)])
+	}
+	v := b[len(Magic)]
+	if v == 0 {
+		return 0, fmt.Errorf("%w: 0", ErrVersion)
+	}
+	return v, nil
+}
+
+// Negotiate resolves the version a server answers a client hello with:
+// the newer side yields, so the session runs min(offered, local).
+func Negotiate(offered, local uint8) uint8 {
+	if offered < local {
+		return offered
+	}
+	return local
+}
+
+// Reader reads frames off a stream into a reusable buffer: steady-state
+// Next calls allocate nothing. It is not safe for concurrent use.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps r for frame reading.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 4096)}
+}
+
+// Reset rearms the reader onto a new stream, keeping its buffers.
+func (r *Reader) Reset(src io.Reader) { r.br.Reset(src) }
+
+// Next reads one frame and returns its type and body. The body aliases the
+// reader's internal buffer and is valid only until the next call. io.EOF
+// surfaces as-is at a clean frame boundary; a partial frame is
+// io.ErrUnexpectedEOF.
+func (r *Reader) Next() (typ byte, body []byte, err error) {
+	length, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if length > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("%w: claimed %d bytes", ErrFrameTooLarge, length)
+	}
+	if length == 0 {
+		return 0, nil, fmt.Errorf("%w: empty payload", ErrBadFrame)
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	payload := r.buf[:length]
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	switch payload[0] {
+	case TypeRequest, TypeResponse:
+		return payload[0], payload[1:], nil
+	default:
+		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, payload[0])
+	}
+}
+
+// ClientConn is a client side of the wire protocol: one persistent
+// connection with pipelined sends. It is not safe for concurrent use; run
+// one ClientConn per goroutine (cstload runs one per client).
+type ClientConn struct {
+	conn    net.Conn
+	r       *Reader
+	bw      *bufio.Writer
+	scratch []byte
+	version uint8
+}
+
+// Dial connects, performs the handshake and returns a ready connection.
+func Dial(addr string, timeout time.Duration) (*ClientConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClientConn(conn, timeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClientConn performs the client handshake over an established
+// connection (handy for tests over in-memory pipes). The timeout bounds
+// the handshake only.
+func NewClientConn(conn net.Conn, timeout time.Duration) (*ClientConn, error) {
+	c := &ClientConn{
+		conn: conn,
+		r:    NewReader(conn),
+		bw:   bufio.NewWriterSize(conn, 4096),
+	}
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	}
+	c.scratch = AppendHello(c.scratch[:0], Version)
+	if _, err := conn.Write(c.scratch); err != nil {
+		return nil, fmt.Errorf("wire: handshake write: %w", err)
+	}
+	var accept [HandshakeBytes]byte
+	if _, err := io.ReadFull(c.r.br, accept[:]); err != nil {
+		return nil, fmt.Errorf("wire: handshake read: %w", err)
+	}
+	v, err := ParseHello(accept[:])
+	if err != nil {
+		return nil, err
+	}
+	if v > Version {
+		return nil, fmt.Errorf("%w: server answered v%d, newest known is v%d", ErrVersion, v, Version)
+	}
+	c.version = v
+	return c, nil
+}
+
+// ProtocolVersion returns the negotiated protocol version.
+func (c *ClientConn) ProtocolVersion() uint8 { return c.version }
+
+// Send buffers one request frame; call Flush before blocking on Recv.
+func (c *ClientConn) Send(req *Request) error {
+	c.scratch = AppendRequest(c.scratch[:0], req)
+	_, err := c.bw.Write(c.scratch)
+	return err
+}
+
+// Flush pushes buffered frames onto the wire.
+func (c *ClientConn) Flush() error { return c.bw.Flush() }
+
+// Recv blocks for the next response frame and decodes it into resp.
+// Responses arrive in completion order, not send order — correlate by ID.
+func (c *ClientConn) Recv(resp *Response) error {
+	typ, body, err := c.r.Next()
+	if err != nil {
+		return err
+	}
+	if typ != TypeResponse {
+		return fmt.Errorf("%w: 0x%02x where a response was expected", ErrUnknownType, typ)
+	}
+	return ParseResponse(body, resp)
+}
+
+// Close tears the connection down.
+func (c *ClientConn) Close() error { return c.conn.Close() }
