@@ -421,7 +421,7 @@ func BenchmarkExactColoring(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cst.ScheduleExact(tree, set, 500000); err != nil && err != cst.ErrBudget {
+		if _, _, err := cst.ExactIncumbent(cst.ScheduleExact(tree, set, 500000)); err != nil {
 			b.Fatal(err)
 		}
 	}

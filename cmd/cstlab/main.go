@@ -90,8 +90,8 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	var (
 		ns       = fs.String("n", "32,64,128", "comma-separated leaf counts (powers of two)")
 		ws       = fs.String("w", "2,8", "comma-separated set widths")
-		engines  = fs.String("engines", "padr,sim,online", "comma-separated engines (padr, sim, online, online-sharded)")
-		workload = fs.String("workload", lab.WorkloadChain, "set family: chain, split or random")
+		engines  = fs.String("engines", "padr,sim,online", "comma-separated engines (padr, sim, online, online-sharded, hybrid)")
+		workload = fs.String("workload", lab.WorkloadChain, "set family: chain, split, random, bitrev or crossing")
 		reps     = fs.Int("reps", 5, "timed runs per grid point (median is reported)")
 		seed     = fs.Int64("seed", 1, "random-workload seed")
 		ledger   = fs.String("ledger", "", "append results to this JSONL ledger")
@@ -179,7 +179,7 @@ func runPredict(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		engine   = fs.String("engine", lab.EnginePADR, "engine the prediction is for")
-		workload = fs.String("workload", lab.WorkloadChain, "set family: chain, split or random")
+		workload = fs.String("workload", lab.WorkloadChain, "set family: chain, split, random, bitrev or crossing")
 		n        = fs.Int("n", 64, "leaf count (power of two)")
 		w        = fs.Int("w", 4, "set width")
 	)

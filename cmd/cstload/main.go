@@ -16,11 +16,21 @@
 // (BenchmarkServeWireLatencyP50 vs BenchmarkServeLatencyP50) so the two
 // protocols track as separate series in the perf ledger.
 //
+// With -set-workload the clients stop posting single pairs and instead
+// submit whole communication sets to the hybrid planner (POST
+// /schedule-set, or TypeSetRequest frames in wire mode) — including
+// adversarial non-well-nested shapes: bit-reversal ("bitrev"), pairwise
+// crossing combs ("crossing"), and arbitrary two-sided random sets
+// ("random"). Bench lines switch to a Hybrid prefix (BenchmarkHybrid*,
+// BenchmarkHybridWire*) so set planning tracks as its own ledger series.
+//
 // Examples:
 //
 //	cstload -addr http://127.0.0.1:8080 -clients 8 -duration 5s
 //	cstload -addr http://127.0.0.1:8080 -requests 500 | benchjson -out BENCH_serve.json
 //	cstload -wire 127.0.0.1:8081 -clients 4 -pipeline 16 -requests 2000
+//	cstload -addr http://127.0.0.1:8080 -set-workload crossing -set-size 8 -requests 200
+//	cstload -wire 127.0.0.1:8081 -set-workload bitrev -requests 200
 package main
 
 import (
@@ -36,20 +46,23 @@ import (
 	"sync"
 	"time"
 
+	"cst/internal/comm"
 	"cst/internal/stats"
 	"cst/internal/wire"
 )
 
 type loadOptions struct {
-	addr       string
-	wireAddr   string
-	pipeline   int
-	clients    int
-	duration   time.Duration
-	requests   int
-	pes        int
-	deadlineMS int64
-	seed       int64
+	addr        string
+	wireAddr    string
+	pipeline    int
+	clients     int
+	duration    time.Duration
+	requests    int
+	pes         int
+	deadlineMS  int64
+	seed        int64
+	setWorkload string
+	setSize     int
 }
 
 func parseFlags(args []string) (loadOptions, error) {
@@ -64,6 +77,8 @@ func parseFlags(args []string) (loadOptions, error) {
 	fs.IntVar(&o.pes, "pes", 0, "fabric size for request generation (0 = discover via /statusz)")
 	fs.Int64Var(&o.deadlineMS, "deadline-ms", 0, "per-request deadline forwarded to the server (0 = server default)")
 	fs.Int64Var(&o.seed, "seed", 1, "request-pattern seed")
+	fs.StringVar(&o.setWorkload, "set-workload", "", "submit whole sets to the hybrid planner: bitrev, crossing or random (empty = pair requests)")
+	fs.IntVar(&o.setSize, "set-size", 8, "communications per generated set (bitrev ignores this)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -73,6 +88,14 @@ func parseFlags(args []string) (loadOptions, error) {
 	if o.pipeline <= 0 {
 		return o, fmt.Errorf("cstload: -pipeline must be positive (got %d)", o.pipeline)
 	}
+	switch o.setWorkload {
+	case "", "bitrev", "crossing", "random":
+	default:
+		return o, fmt.Errorf("cstload: -set-workload must be bitrev, crossing or random (got %q)", o.setWorkload)
+	}
+	if o.setSize <= 0 {
+		return o, fmt.Errorf("cstload: -set-size must be positive (got %d)", o.setSize)
+	}
 	o.addr = strings.TrimRight(o.addr, "/")
 	return o, nil
 }
@@ -80,6 +103,7 @@ func parseFlags(args []string) (loadOptions, error) {
 // report aggregates one load run.
 type report struct {
 	Wire       bool
+	SetMode    bool
 	Elapsed    time.Duration
 	Scheduled  int // 2xx answers
 	Rejected   int // 429 backpressure
@@ -159,6 +183,37 @@ func discoverPEs(client *http.Client, addr string) (int, error) {
 	return st.PEs, nil
 }
 
+// setGen yields communication sets for the hybrid planner. bitrev is
+// deterministic; crossing and random draw fresh sets each call off the
+// client's seeded source.
+type setGen struct {
+	rng      *rand.Rand
+	pes      int
+	size     int
+	workload string
+}
+
+func (g *setGen) next() (*comm.Set, error) {
+	switch g.workload {
+	case "bitrev":
+		return comm.BitReversal(g.pes)
+	case "crossing":
+		// The comb needs 2*size PEs; clamp so small fabrics still load.
+		size := g.size
+		if 2*size > g.pes {
+			size = g.pes / 2
+		}
+		return comm.CrossingPairs(g.pes, size)
+	case "random":
+		size := g.size
+		if 2*size > g.pes {
+			size = g.pes / 2
+		}
+		return comm.RandomTwoSided(g.rng, g.pes, size)
+	}
+	return nil, fmt.Errorf("cstload: unknown set workload %q", g.workload)
+}
+
 // pairGen yields seeded random (src, dst) pairs with src != dst.
 type pairGen struct {
 	rng *rand.Rand
@@ -225,7 +280,17 @@ func run(o loadOptions) (*report, error) {
 			defer wg.Done()
 			r := &reports[g]
 			r.Unexpected = make(map[int]int)
-			gen := &pairGen{rng: rand.New(rand.NewSource(o.seed + int64(g))), pes: o.pes}
+			rng := rand.New(rand.NewSource(o.seed + int64(g)))
+			if o.setWorkload != "" {
+				gen := &setGen{rng: rng, pes: o.pes, size: o.setSize, workload: o.setWorkload}
+				if o.wireAddr != "" {
+					runWireSetClient(o, budget, gen, r)
+				} else {
+					runHTTPSetClient(o, budget, gen, r)
+				}
+				return
+			}
+			gen := &pairGen{rng: rng, pes: o.pes}
 			if o.wireAddr != "" {
 				runWireClient(o, budget, gen, r)
 			} else {
@@ -235,7 +300,12 @@ func run(o loadOptions) (*report, error) {
 	}
 	wg.Wait()
 
-	total := &report{Wire: o.wireAddr != "", Elapsed: time.Since(start), Unexpected: make(map[int]int)}
+	total := &report{
+		Wire:       o.wireAddr != "",
+		SetMode:    o.setWorkload != "",
+		Elapsed:    time.Since(start),
+		Unexpected: make(map[int]int),
+	}
 	for i := range reports {
 		total.merge(&reports[i])
 	}
@@ -263,6 +333,85 @@ func runHTTPClient(o loadOptions, budget *budgeter, gen *pairGen, r *report) {
 		if resp.StatusCode == http.StatusTooManyRequests {
 			time.Sleep(200 * time.Microsecond) // brief backoff under backpressure
 		}
+	}
+}
+
+// runHTTPSetClient is the closed-loop set-planning client: one whole set
+// in flight, POST /schedule-set, count the answer.
+func runHTTPSetClient(o loadOptions, budget *budgeter, gen *setGen, r *report) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	type jsonComm struct {
+		Src int `json:"src"`
+		Dst int `json:"dst"`
+	}
+	for budget.take() {
+		s, err := gen.next()
+		if err != nil {
+			r.ConnErrors++
+			return
+		}
+		comms := make([]jsonComm, s.Len())
+		for i, cm := range s.Comms {
+			comms[i] = jsonComm{Src: cm.Src, Dst: cm.Dst}
+		}
+		body, _ := json.Marshal(map[string]any{"n": s.N, "comms": comms})
+		t0 := time.Now()
+		resp, err := client.Post(o.addr+"/schedule-set", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.ConnErrors++
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		r.count(resp.StatusCode, time.Since(t0))
+	}
+}
+
+// runWireSetClient drives set requests over one persistent wire
+// connection, one plan in flight — set planning is server-side CPU work,
+// so pipelining sets would only measure queueing.
+func runWireSetClient(o loadOptions, budget *budgeter, gen *setGen, r *report) {
+	c, err := wire.Dial(o.wireAddr, 10*time.Second)
+	if err != nil {
+		r.ConnErrors++
+		return
+	}
+	defer c.Close()
+
+	var req wire.SetRequest
+	var resp wire.SetResponse
+	id := uint64(1)
+	for budget.take() {
+		s, err := gen.next()
+		if err != nil {
+			r.ConnErrors++
+			return
+		}
+		req.ID = id
+		id++
+		req.N = s.N
+		req.Pairs = req.Pairs[:0]
+		for _, cm := range s.Comms {
+			req.Pairs = append(req.Pairs, [2]int{cm.Src, cm.Dst})
+		}
+		t0 := time.Now()
+		if err := c.SendSet(&req); err != nil {
+			r.ConnErrors++
+			return
+		}
+		if err := c.Flush(); err != nil {
+			r.ConnErrors++
+			return
+		}
+		if err := c.RecvSet(&resp); err != nil {
+			r.ConnErrors++
+			return
+		}
+		if resp.ID != req.ID {
+			r.ConnErrors++
+			return
+		}
+		r.count(resp.Status, time.Since(t0))
 	}
 }
 
@@ -347,8 +496,11 @@ func writeBench(w io.Writer, r *report) {
 		return
 	}
 	name := "BenchmarkServe"
+	if r.SetMode {
+		name = "BenchmarkHybrid"
+	}
 	if r.Wire {
-		name = "BenchmarkServeWire"
+		name += "Wire"
 	}
 	perOp := float64(r.Elapsed.Nanoseconds()) / float64(n)
 	fmt.Fprintf(w, "%sThroughput %d %.1f ns/op %.1f req/s\n", name, n, perOp, r.throughput())

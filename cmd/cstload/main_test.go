@@ -20,7 +20,8 @@ func startPool(t *testing.T) (*cst.ServePool, *httptest.Server) {
 		t.Fatal(err)
 	}
 	pool.Start()
-	srv := httptest.NewServer(cst.NewServeHandler(pool, reg, nil))
+	pl := cst.NewServePlanner(cst.ServePlannerConfig{Registry: reg})
+	srv := httptest.NewServer(cst.NewServeHandler(pool, pl, reg, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -130,7 +131,9 @@ func TestQuantilesUnsorted(t *testing.T) {
 func startWirePool(t *testing.T) (srvURL, wireAddr string) {
 	t.Helper()
 	pool, srv := startPool(t)
-	ws := cst.NewWireServer(pool, cst.WireConfig{})
+	ws := cst.NewWireServer(pool, cst.WireConfig{
+		Planner: cst.NewServePlanner(cst.ServePlannerConfig{}),
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -208,6 +211,70 @@ func TestWriteBenchWire(t *testing.T) {
 		if !strings.Contains(b.String(), line) {
 			t.Errorf("bench output missing %q:\n%s", line, b.String())
 		}
+	}
+}
+
+// TestRunSetAgainstPool drives the hybrid set mode over HTTP: every
+// generated crossing set must come back planned (200), no unexpected
+// statuses.
+func TestRunSetAgainstPool(t *testing.T) {
+	_, srv := startPool(t)
+	r, err := run(loadOptions{addr: srv.URL, clients: 2, requests: 20, seed: 7,
+		setWorkload: "crossing", setSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SetMode {
+		t.Error("report not flagged as set mode")
+	}
+	if r.Scheduled != 20 {
+		t.Fatalf("planned %d of 20 (unexpected %v, conn errors %d)",
+			r.Scheduled, r.Unexpected, r.ConnErrors)
+	}
+	if len(r.Unexpected) != 0 || r.ConnErrors != 0 {
+		t.Fatalf("unexpected %v, conn errors %d", r.Unexpected, r.ConnErrors)
+	}
+}
+
+// TestRunWireSetAgainstPool drives the same set workloads over the wire
+// protocol, including the non-deterministic two-sided random shape.
+func TestRunWireSetAgainstPool(t *testing.T) {
+	srvURL, wireAddr := startWirePool(t)
+	for _, workload := range []string{"bitrev", "random"} {
+		r, err := run(loadOptions{addr: srvURL, wireAddr: wireAddr,
+			clients: 2, pipeline: 1, requests: 10, seed: 7,
+			setWorkload: workload, setSize: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Wire || !r.SetMode {
+			t.Errorf("%s: report flags wire=%v set=%v", workload, r.Wire, r.SetMode)
+		}
+		if r.Scheduled != 10 {
+			t.Fatalf("%s: planned %d of 10 (unexpected %v, conn errors %d)",
+				workload, r.Scheduled, r.Unexpected, r.ConnErrors)
+		}
+	}
+}
+
+// TestWriteBenchHybrid pins the Hybrid series naming on both transports.
+func TestWriteBenchHybrid(t *testing.T) {
+	r := &report{
+		SetMode:   true,
+		Elapsed:   time.Second,
+		Scheduled: 2,
+		Latencies: []time.Duration{3 * time.Millisecond, time.Millisecond},
+	}
+	var b bytes.Buffer
+	writeBench(&b, r)
+	if !strings.Contains(b.String(), "BenchmarkHybridThroughput 2 500000000.0 ns/op 2.0 req/s") {
+		t.Errorf("bench output missing Hybrid series:\n%s", b.String())
+	}
+	r.Wire = true
+	b.Reset()
+	writeBench(&b, r)
+	if !strings.Contains(b.String(), "BenchmarkHybridWireLatencyP50 2 1000000 ns/op") {
+		t.Errorf("bench output missing HybridWire series:\n%s", b.String())
 	}
 }
 

@@ -54,6 +54,8 @@ type options struct {
 	chaos         int
 	chaosRounds   int
 	seed          int64
+	exactBudget   int
+	peelBatches   int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -77,6 +79,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.chaos, "chaos", 0, "inject this many random faults per shard (0 = none)")
 	fs.IntVar(&o.chaosRounds, "chaos-rounds", 64, "simulated-round window the chaos plan spans")
 	fs.Int64Var(&o.seed, "seed", 1, "chaos plan seed")
+	fs.IntVar(&o.exactBudget, "exact-budget", 0, "branch-and-bound node budget for hybrid residual coloring (0 = default)")
+	fs.IntVar(&o.peelBatches, "peel-batches", 0, "well-nested batches the hybrid planner peels per orientation (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -94,6 +98,7 @@ func parseFlags(args []string) (options, error) {
 type server struct {
 	opts      options
 	pool      *cst.ServePool
+	planner   *cst.ServePlanner
 	srv       *http.Server
 	ln        net.Listener
 	wireSrv   *cst.WireServer
@@ -159,7 +164,16 @@ func newServer(o options, out io.Writer) (*server, error) {
 		return nil, fmt.Errorf("cstserved: listen %s: %w", o.addr, err)
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: cst.NewServeHandler(pool, s.reg, s.tracer)}
+	// The set planner is shared by both transports; its replay trace joins
+	// the pool's on the same tracer, so an attached auditor bills hybrid
+	// plans too.
+	s.planner = cst.NewServePlanner(cst.ServePlannerConfig{
+		ExactBudget: o.exactBudget,
+		MaxBatches:  o.peelBatches,
+		Registry:    s.reg,
+		Tracer:      s.tracer,
+	})
+	s.srv = &http.Server{Handler: cst.NewServeHandler(pool, s.planner, s.reg, s.tracer)}
 	if o.wireAddr != "" {
 		wln, err := net.Listen("tcp", o.wireAddr)
 		if err != nil {
@@ -172,6 +186,7 @@ func newServer(o options, out io.Writer) (*server, error) {
 		s.wireLn = wln
 		s.wireSrv = cst.NewWireServer(pool, cst.WireConfig{
 			MaxPipeline: o.wirePipeline,
+			Planner:     s.planner,
 			Registry:    s.reg,
 			Tracer:      s.tracer,
 		})

@@ -42,6 +42,7 @@ import (
 	"cst/internal/fault"
 	"cst/internal/general"
 	"cst/internal/harness"
+	"cst/internal/hybrid"
 	"cst/internal/obs"
 	"cst/internal/online"
 	"cst/internal/padr"
@@ -117,6 +118,10 @@ var (
 	// BitReversal is the FFT-style bit-reversal pairing — crossing-heavy,
 	// not well nested; for the general scheduler.
 	BitReversal = comm.BitReversal
+	// CrossingPairs is the pairwise-crossing comb with alternating
+	// orientations — no two communications nest; the adversarial workload
+	// for the hybrid planner's residual path.
+	CrossingPairs = comm.CrossingPairs
 	// RandomOriented draws an arbitrary right-oriented (possibly crossing) set.
 	RandomOriented = comm.RandomOriented
 	// RandomTwoSided draws an arbitrary set with both orientations.
@@ -385,6 +390,50 @@ var ScheduleExact = general.Exact
 
 // ErrBudget marks a possibly suboptimal ScheduleExact result.
 var ErrBudget = general.ErrBudget
+
+// ExactIncumbent adapts a ScheduleExact result so budget exhaustion keeps
+// the valid incumbent schedule instead of surfacing as an error:
+//
+//	sch, exhausted, err := cst.ExactIncumbent(cst.ScheduleExact(tree, set, budget))
+var ExactIncumbent = general.Incumbent
+
+// Hybrid scheduling. ScheduleHybrid is the front end for arbitrary valid
+// communication sets — crossing pairs, left-oriented spans, anything
+// Validate accepts: it decomposes by orientation, peels maximal
+// well-nested batches through the paper's scheduler, colors the crossing
+// residual, and returns the composite plan (never worse than pure
+// FirstFit coloring) with its replayed power bill.
+
+// HybridPlan is a composite schedule plus its decomposition shape, round
+// bound and power report.
+type HybridPlan = hybrid.Plan
+
+// HybridOption customizes ScheduleHybrid.
+type HybridOption = hybrid.Option
+
+// ScheduleHybrid plans an arbitrary valid set on t.
+func ScheduleHybrid(t *Tree, s *Set, opts ...HybridOption) (*HybridPlan, error) {
+	return hybrid.Schedule(t, s, opts...)
+}
+
+// WithHybridMode sets the power accounting mode for the plan's replay.
+func WithHybridMode(m PowerMode) HybridOption { return hybrid.WithMode(m) }
+
+// WithHybridExactBudget bounds the residual coloring's exact search.
+func WithHybridExactBudget(n int) HybridOption { return hybrid.WithExactBudget(n) }
+
+// WithHybridMaxBatches bounds the well-nested batches peeled per
+// orientation.
+func WithHybridMaxBatches(n int) HybridOption { return hybrid.WithMaxBatches(n) }
+
+// WithHybridTracer streams the plan's replay trace (audit-compatible).
+func WithHybridTracer(tr *Tracer) HybridOption { return hybrid.WithTracer(tr) }
+
+// Hybrid strategy names reported in HybridPlan.Strategy.
+const (
+	HybridStrategyPeel     = hybrid.StrategyPeel
+	HybridStrategyColoring = hybrid.StrategyColoring
+)
 
 // MinChangeResult is the outcome of the exact joint rounds/changes
 // optimization.
@@ -705,13 +754,35 @@ type ServeStats = serve.Stats
 // ServeScheduleRequest is the POST /schedule payload.
 type ServeScheduleRequest = serve.ScheduleRequest
 
+// ServeScheduleSetRequest is the POST /schedule-set payload: a whole
+// (possibly non-well-nested) communication set for the hybrid planner.
+type ServeScheduleSetRequest = serve.ScheduleSetRequest
+
+// ServePlanner answers whole-set scheduling requests through the hybrid
+// pipeline; share one between the HTTP handler and the wire server.
+type ServePlanner = serve.Planner
+
+// ServePlannerConfig parameterizes a ServePlanner (exact budget, peel
+// batches, set size cap, observability).
+type ServePlannerConfig = serve.PlannerConfig
+
+// ServeSetResult is the outcome of planning one set, HTTP-status mapped.
+type ServeSetResult = serve.SetResult
+
+// ServeSetComm is one communication inside a set request or planned round.
+type ServeSetComm = serve.SetComm
+
 // NewServePool builds a scheduling pool; call Start to launch its workers
 // and Drain to shut it down without losing admitted requests.
 func NewServePool(cfg ServeConfig) (*ServePool, error) { return serve.New(cfg) }
 
-// NewServeHandler mounts the scheduling API (POST /schedule, GET /statusz)
-// next to the observability surface (/metrics, /healthz, /trace,
-// /debug/pprof) on one http.Handler.
+// NewServePlanner builds a hybrid set planner for the serving surface.
+var NewServePlanner = serve.NewPlanner
+
+// NewServeHandler mounts the scheduling API (POST /schedule, POST
+// /schedule-set, GET /statusz) next to the observability surface
+// (/metrics, /healthz, /trace, /debug/pprof) on one http.Handler. A nil
+// planner answers /schedule-set with 501.
 var NewServeHandler = serve.Handler
 
 // Serving error sentinels.
@@ -748,6 +819,14 @@ type WireClient = wire.ClientConn
 type (
 	WireRequest  = wire.Request
 	WireResponse = wire.Response
+)
+
+// WireSetRequest and WireSetResponse are the v2 whole-set frames: a
+// communication set in, the hybrid plan's shape and power bill back.
+// Sessions that negotiated v1 cannot carry them.
+type (
+	WireSetRequest  = wire.SetRequest
+	WireSetResponse = wire.SetResponse
 )
 
 // WireDial connects to a wire listener, performs the version handshake

@@ -182,8 +182,8 @@ func TestGeneralSchedulingFacade(t *testing.T) {
 	if err := ff.Verify(tree); err != nil {
 		t.Fatal(err)
 	}
-	ex, err := cst.ScheduleExact(tree, set, 100000)
-	if err != nil && err != cst.ErrBudget {
+	ex, _, err := cst.ExactIncumbent(cst.ScheduleExact(tree, set, 100000))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if ex.NumRounds() > ff.NumRounds() {

@@ -14,7 +14,6 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 
@@ -55,8 +54,8 @@ func part1() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ex, err := cst.ScheduleExact(tree, set, 500000)
-		if err != nil && !errors.Is(err, cst.ErrBudget) {
+		ex, _, err := cst.ExactIncumbent(cst.ScheduleExact(tree, set, 500000))
+		if err != nil {
 			log.Fatal(err)
 		}
 		if err := ex.Verify(tree); err != nil {

@@ -28,7 +28,19 @@ func Configure(t *topology.Tree, switches map[topology.Node]*xbar.Switch, c comm
 	if !c.RightOriented() {
 		return fmt.Errorf("circuit: %s is not right oriented", c)
 	}
-	if c.Src < 0 || c.Dst >= t.Leaves() {
+	return ConfigureAny(t, switches, c)
+}
+
+// ConfigureAny is Configure for either orientation: a left-oriented
+// communication turns right→left at its LCA instead. The hybrid residual
+// rounds need this — a residual coloring round can mix orientations, and
+// its circuits are billed on the same physical switches as the batch
+// phases.
+func ConfigureAny(t *topology.Tree, switches map[topology.Node]*xbar.Switch, c comm.Comm) error {
+	if c.Src == c.Dst {
+		return fmt.Errorf("circuit: %s is a self loop", c)
+	}
+	if c.Src < 0 || c.Dst < 0 || c.Src >= t.Leaves() || c.Dst >= t.Leaves() {
 		return fmt.Errorf("circuit: %s out of range for N=%d", c, t.Leaves())
 	}
 	lca := t.LCA(c.Src, c.Dst)
@@ -52,7 +64,11 @@ func Configure(t *topology.Tree, switches map[topology.Node]*xbar.Switch, c comm
 
 	// The turn at the LCA: the source is in the left subtree and the
 	// destination in the right subtree for a right-oriented pair.
-	if err := connect(lca, xbar.L, xbar.R); err != nil {
+	turnIn, turnOut := xbar.L, xbar.R
+	if !c.RightOriented() {
+		turnIn, turnOut = xbar.R, xbar.L
+	}
+	if err := connect(lca, turnIn, turnOut); err != nil {
 		return fmt.Errorf("circuit: %s at lca %d: %v", c, lca, err)
 	}
 

@@ -56,6 +56,49 @@ func TestConfigureFullSpan(t *testing.T) {
 	}
 }
 
+// ConfigureAny on a left-oriented comm is the exact reflection of
+// Configure on its mirror image: same per-switch connection shapes with L
+// and R exchanged and the node reflected.
+func TestConfigureAnyLeftOriented(t *testing.T) {
+	tr := topology.MustNew(8)
+	switches := switchSet(tr)
+	if err := ConfigureAny(tr, switches, comm.Comm{Src: 7, Dst: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Up: node 7 (r->p), node 3 (r->p); turn at root (r->l); down: node 2
+	// (p->l), node 4 (p->l).
+	wants := map[topology.Node]string{
+		7: "[r->p]", 3: "[r->p]", 1: "[r->l]", 2: "[p->l]", 4: "[p->l]",
+	}
+	for n, want := range wants {
+		if got := switches[n].Config().String(); got != want {
+			t.Errorf("node %d config = %s, want %s", n, got, want)
+		}
+	}
+	// Mixing the two orientations in one round is fine when the directed
+	// links are disjoint: the opposite comm over the same span shares no
+	// directed edge with the first, so no established connection is
+	// re-driven (overwrites are how xbar models congestion; Verify is the
+	// authority on compatibility).
+	changesBefore := 0
+	for _, sw := range switches {
+		changesBefore += sw.TotalAlternations()
+	}
+	if err := ConfigureAny(tr, switches, comm.Comm{Src: 1, Dst: 6}); err != nil {
+		t.Fatalf("opposite orientation over the same switches must coexist: %v", err)
+	}
+	changesAfter := 0
+	for _, sw := range switches {
+		changesAfter += sw.TotalAlternations()
+	}
+	if changesAfter != changesBefore {
+		t.Fatalf("disjoint directed circuits re-drove %d outputs", changesAfter-changesBefore)
+	}
+	if err := ConfigureAny(tr, switches, comm.Comm{Src: 3, Dst: 3}); err == nil {
+		t.Fatal("self loop must be rejected")
+	}
+}
+
 func TestConfigureRightSubtreeSource(t *testing.T) {
 	tr := topology.MustNew(8)
 	switches := switchSet(tr)

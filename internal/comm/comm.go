@@ -33,15 +33,35 @@ func (c Comm) String() string { return fmt.Sprintf("%d->%d", c.Src, c.Dst) }
 // RightOriented reports whether the source lies left of the destination.
 func (c Comm) RightOriented() bool { return c.Src < c.Dst }
 
-// Contains reports whether c's span strictly contains d's span. Both must be
-// right oriented for the result to be meaningful.
-func (c Comm) Contains(d Comm) bool { return c.Src < d.Src && d.Dst < c.Dst }
+// span returns the communication's endpoints in line order, regardless of
+// orientation. Span geometry (containment, crossing, gap congestion) is a
+// property of the undirected interval, so every predicate built on it works
+// for left- and right-oriented communications alike.
+func (c Comm) span() (lo, hi int) {
+	if c.Src < c.Dst {
+		return c.Src, c.Dst
+	}
+	return c.Dst, c.Src
+}
 
-// Crosses reports whether the two (right oriented) spans cross, i.e. overlap
-// without nesting. Crossing pairs are exactly what well-nestedness forbids.
+// Contains reports whether c's span strictly contains d's span. Orientation
+// does not matter: endpoints are normalized to line order internally, so a
+// left-oriented communication and its mirror image give the same answer.
+func (c Comm) Contains(d Comm) bool {
+	clo, chi := c.span()
+	dlo, dhi := d.span()
+	return clo < dlo && dhi < chi
+}
+
+// Crosses reports whether the two spans cross, i.e. overlap without nesting.
+// Crossing pairs are exactly what well-nestedness forbids. Like Contains,
+// the check is orientation-agnostic (and hence mirror-invariant): only the
+// undirected intervals matter.
 func (c Comm) Crosses(d Comm) bool {
-	return (c.Src < d.Src && d.Src < c.Dst && c.Dst < d.Dst) ||
-		(d.Src < c.Src && c.Src < d.Dst && d.Dst < c.Dst)
+	clo, chi := c.span()
+	dlo, dhi := d.span()
+	return (clo < dlo && dlo < chi && chi < dhi) ||
+		(dlo < clo && clo < dhi && dhi < chi)
 }
 
 // Set is a communication set over N PEs. N must be a power of two to map
@@ -319,7 +339,9 @@ func (s *Set) Mirror() *Set {
 // left-oriented subset (paper §2.1: "Any set can be decomposed into two sets
 // each of them is oriented"). The left-oriented subset is returned mirrored
 // (i.e. as a right-oriented set over the reflected PE line) so that both
-// halves can be fed to the right-oriented scheduler.
+// halves can be fed to the right-oriented scheduler. A schedule computed
+// for the mirrored half maps back to the original PE line with
+// sched.UnmirrorSchedule.
 func Decompose(s *Set) (right, leftMirrored *Set) {
 	right = &Set{N: s.N}
 	left := &Set{N: s.N}

@@ -45,6 +45,63 @@ func TestContainsAndCrosses(t *testing.T) {
 	}
 }
 
+// flip reverses a communication's orientation without moving its span.
+func flip(c Comm) Comm { return Comm{Src: c.Dst, Dst: c.Src} }
+
+// Contains and Crosses are span predicates: they must answer from the
+// undirected interval, identically for every one of the four orientation
+// combinations of a pair. Before the fix, a left-oriented operand made
+// both silently return wrong answers (e.g. 7->0 "containing" nothing).
+func TestContainsCrossesOrientationAgnostic(t *testing.T) {
+	cases := []struct {
+		name     string
+		a, b     Comm
+		contains bool // a contains b (on spans)
+		crosses  bool
+	}{
+		{"nested", Comm{0, 7}, Comm{2, 5}, true, false},
+		{"crossing", Comm{1, 4}, Comm{3, 6}, false, true},
+		{"disjoint", Comm{0, 1}, Comm{4, 5}, false, false},
+		{"shared endpoint", Comm{0, 3}, Comm{3, 6}, false, false},
+		{"identical span", Comm{2, 5}, Comm{2, 5}, false, false},
+		{"touching inner", Comm{0, 5}, Comm{0, 3}, false, false},
+	}
+	for _, tc := range cases {
+		for _, av := range []struct {
+			tag string
+			a   Comm
+		}{{"a-right", tc.a}, {"a-left", flip(tc.a)}} {
+			for _, bv := range []struct {
+				tag string
+				b   Comm
+			}{{"b-right", tc.b}, {"b-left", flip(tc.b)}} {
+				a, b := av.a, bv.b
+				if got := a.Contains(b); got != tc.contains {
+					t.Errorf("%s/%s/%s: %s.Contains(%s) = %v, want %v",
+						tc.name, av.tag, bv.tag, a, b, got, tc.contains)
+				}
+				if got := a.Crosses(b); got != tc.crosses {
+					t.Errorf("%s/%s/%s: %s.Crosses(%s) = %v, want %v",
+						tc.name, av.tag, bv.tag, a, b, got, tc.crosses)
+				}
+				if a.Crosses(b) != b.Crosses(a) {
+					t.Errorf("%s/%s/%s: Crosses not symmetric", tc.name, av.tag, bv.tag)
+				}
+			}
+		}
+	}
+	// Mirror invariance: reflecting both spans around the line centre must
+	// not change either predicate (the hybrid peeler relies on this).
+	const n = 8
+	mir := func(c Comm) Comm { return Comm{Src: n - 1 - c.Src, Dst: n - 1 - c.Dst} }
+	for _, tc := range cases {
+		a, b := tc.a, tc.b
+		if a.Contains(b) != mir(a).Contains(mir(b)) || a.Crosses(b) != mir(a).Crosses(mir(b)) {
+			t.Errorf("%s: predicates not mirror invariant", tc.name)
+		}
+	}
+}
+
 func TestValidate(t *testing.T) {
 	good := NewSet(8, Comm{0, 3}, Comm{4, 5})
 	if err := good.Validate(); err != nil {

@@ -274,6 +274,31 @@ func BitReversal(n int) (*Set, error) {
 	return s, nil
 }
 
+// CrossingPairs returns m pairwise-crossing communications over n PEs with
+// alternating orientations: the spans (i, i+m) for i < m all overlap
+// without nesting, so no two of them can share a well-nested batch, and
+// every second pair is left-oriented. It is the adversarial workload for
+// the hybrid scheduler — the peel produces m singleton-heavy batches while
+// the conflict coloring handles it in width rounds — and, with 2m <= n,
+// deterministic for a given (n, m).
+func CrossingPairs(n, m int) (*Set, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("comm: crossing pairs need m >= 1, got %d", m)
+	}
+	if 2*m > n {
+		return nil, fmt.Errorf("comm: %d crossing pairs need %d PEs, got %d", m, 2*m, n)
+	}
+	s := &Set{N: n}
+	for i := 0; i < m; i++ {
+		c := Comm{Src: i, Dst: i + m}
+		if i%2 == 1 {
+			c.Src, c.Dst = c.Dst, c.Src
+		}
+		s.Comms = append(s.Comms, c)
+	}
+	return s, nil
+}
+
 func reverseBits(v, bits int) int {
 	out := 0
 	for i := 0; i < bits; i++ {

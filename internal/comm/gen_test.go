@@ -303,6 +303,43 @@ func TestBitReversal(t *testing.T) {
 	}
 }
 
+func TestCrossingPairs(t *testing.T) {
+	s, err := CrossingPairs(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("pairs = %d, want 5", s.Len())
+	}
+	// Every two pairs cross — no subset of two or more is well nested.
+	for i, a := range s.Comms {
+		for _, b := range s.Comms[i+1:] {
+			if !a.Crosses(b) {
+				t.Fatalf("%v and %v do not cross", a, b)
+			}
+		}
+	}
+	// Orientations alternate, so both decomposition halves are non-empty.
+	lefts := 0
+	for _, c := range s.Comms {
+		if !c.RightOriented() {
+			lefts++
+		}
+	}
+	if lefts != 2 {
+		t.Fatalf("left-oriented pairs = %d, want 2", lefts)
+	}
+	if _, err := CrossingPairs(8, 5); err == nil {
+		t.Error("overfull crossing set: want error")
+	}
+	if _, err := CrossingPairs(8, 0); err == nil {
+		t.Error("empty crossing set: want error")
+	}
+}
+
 func TestReverseBits(t *testing.T) {
 	cases := []struct{ v, bits, want int }{
 		{0, 4, 0}, {1, 4, 8}, {3, 4, 12}, {5, 3, 5}, {6, 3, 3}, {1, 1, 1},

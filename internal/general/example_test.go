@@ -31,7 +31,9 @@ func ExampleExact() {
 	set, _ := comm.BitReversal(16) // the FFT exchange pattern: crossing-heavy
 	tree := topology.MustNew(16)
 	width, _ := set.Width(tree)
-	schedule, err := general.Exact(tree, set, 100000)
+	// Incumbent keeps the valid best-so-far schedule even if the search
+	// budget runs out; only genuine failures surface as errors.
+	schedule, _, err := general.Incumbent(general.Exact(tree, set, 100000))
 	if err != nil {
 		fmt.Println(err)
 		return

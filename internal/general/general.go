@@ -20,6 +20,7 @@
 package general
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -168,6 +169,23 @@ func Exact(t *topology.Tree, s *comm.Set, nodeBudget int) (*sched.Schedule, erro
 // ErrBudget reports that Exact ran out of search nodes; the schedule
 // returned alongside is the best incumbent, valid but possibly suboptimal.
 var ErrBudget = fmt.Errorf("general: search budget exhausted; result may be suboptimal")
+
+// Incumbent adapts an Exact result for callers that prefer a valid,
+// possibly suboptimal schedule over an error. Budget exhaustion is not a
+// failure — Exact always carries its best incumbent alongside ErrBudget —
+// so Incumbent downgrades it to exhausted=true and keeps the schedule.
+// Any other error is returned as is with a nil schedule. Idiomatic use:
+//
+//	sch, exhausted, err := general.Incumbent(general.Exact(t, s, budget))
+func Incumbent(s *sched.Schedule, err error) (sch *sched.Schedule, exhausted bool, outErr error) {
+	if err == nil {
+		return s, false, nil
+	}
+	if errors.Is(err, ErrBudget) {
+		return s, true, nil
+	}
+	return nil, false, err
+}
 
 type searcher struct {
 	g         *ConflictGraph

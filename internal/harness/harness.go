@@ -709,11 +709,11 @@ func runE11(w io.Writer, cfg Config) error {
 		if err := ff.Verify(tr); err != nil {
 			return err
 		}
-		ex, err := general.Exact(tr, s, 500000)
+		ex, exhausted, err := general.Incumbent(general.Exact(tr, s, 500000))
 		if err != nil {
-			if err != general.ErrBudget {
-				return err
-			}
+			return err
+		}
+		if exhausted {
 			budgetOuts++
 		}
 		if err := ex.Verify(tr); err != nil {

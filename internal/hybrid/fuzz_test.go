@@ -1,0 +1,59 @@
+package hybrid
+
+import (
+	"testing"
+
+	"cst/internal/comm"
+	"cst/internal/topology"
+)
+
+// FuzzHybridSchedule feeds raw byte pairs to the planner as communication
+// endpoints. Invalid sets (role clashes, self loops) must be rejected with
+// an error; every accepted set must yield a composite schedule that
+// verifies against the topology and books each PE into at most one
+// communication per round.
+func FuzzHybridSchedule(f *testing.F) {
+	f.Add([]byte{0, 5, 3, 8, 12, 6, 14, 9}, uint8(1))
+	f.Add([]byte{0, 8, 1, 9, 2, 10, 3, 11}, uint8(2))
+	f.Add([]byte{15, 0, 7, 3, 2, 12}, uint8(1))
+	f.Add([]byte{}, uint8(1))
+	const n = 16
+	tree := topology.MustNew(n)
+	f.Fuzz(func(t *testing.T, pairs []byte, maxBatches uint8) {
+		s := &comm.Set{N: n}
+		for i := 0; i+1 < len(pairs) && len(s.Comms) < n/2; i += 2 {
+			s.Comms = append(s.Comms, comm.Comm{
+				Src: int(pairs[i]) % n, Dst: int(pairs[i+1]) % n,
+			})
+		}
+		plan, err := Schedule(tree, s,
+			WithMaxBatches(1+int(maxBatches%4)), WithExactBudget(5_000))
+		if s.Validate() != nil {
+			if err == nil {
+				t.Fatalf("invalid set %v accepted", s.Comms)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid set %v rejected: %v", s.Comms, err)
+		}
+		if err := plan.Schedule.Verify(tree); err != nil {
+			t.Fatalf("set %v: %v", s.Comms, err)
+		}
+		if plan.Rounds > plan.Bound {
+			t.Fatalf("set %v: %d rounds exceed bound %d", s.Comms, plan.Rounds, plan.Bound)
+		}
+		// No PE double-booking: within one round every PE appears in at
+		// most one communication, in either role. (Verify checks link
+		// congestion; this is the endpoint-level claim on top.)
+		for ri, round := range plan.Schedule.Rounds {
+			seen := make(map[int]bool, 2*len(round))
+			for _, c := range round {
+				if seen[c.Src] || seen[c.Dst] {
+					t.Fatalf("set %v: PE double-booked in round %d: %v", s.Comms, ri, round)
+				}
+				seen[c.Src], seen[c.Dst] = true, true
+			}
+		}
+	})
+}

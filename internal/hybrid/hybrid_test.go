@@ -1,0 +1,258 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"cst/internal/audit"
+	"cst/internal/comm"
+	"cst/internal/general"
+	"cst/internal/obs"
+	"cst/internal/power"
+	"cst/internal/topology"
+)
+
+// ffComposite is the comparator the plan must never exceed: FirstFit on
+// each decomposition half, phases concatenated.
+func ffComposite(t *testing.T, tr *topology.Tree, s *comm.Set) int {
+	t.Helper()
+	right, leftMirrored := comm.Decompose(s)
+	total := 0
+	for _, half := range []*comm.Set{right, leftMirrored} {
+		if half.Len() == 0 {
+			continue
+		}
+		ff, err := general.FirstFit(tr, half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += ff.NumRounds()
+	}
+	return total
+}
+
+func TestScheduleWellNestedUsesCircuitWidth(t *testing.T) {
+	tr := topology.MustNew(16)
+	s := comm.MustParse("((()))(())......")
+	w, err := s.Width(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Schedule(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != StrategyPeel || plan.Batches != 1 || plan.ResidualComms != 0 {
+		t.Fatalf("well-nested set: strategy=%s batches=%d residual=%d",
+			plan.Strategy, plan.Batches, plan.ResidualComms)
+	}
+	if plan.Rounds != w {
+		t.Fatalf("well-nested set took %d rounds, width %d", plan.Rounds, w)
+	}
+	if err := plan.Schedule.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleBitReversal(t *testing.T) {
+	tr := topology.MustNew(32)
+	s, err := comm.BitReversal(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsWellNested() {
+		t.Fatal("bit reversal should cross")
+	}
+	plan, err := Schedule(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Schedule.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds > plan.FirstFitRounds {
+		t.Fatalf("%d rounds exceed FirstFit %d", plan.Rounds, plan.FirstFitRounds)
+	}
+	if plan.Rounds > plan.Bound {
+		t.Fatalf("%d rounds exceed declared bound %d", plan.Rounds, plan.Bound)
+	}
+	if plan.Rounds < plan.Width {
+		t.Fatalf("%d rounds below the width lower bound %d", plan.Rounds, plan.Width)
+	}
+	if plan.Report == nil || plan.Report.TotalUnits() == 0 {
+		t.Fatal("composite power bill missing")
+	}
+}
+
+func TestScheduleMixedOrientations(t *testing.T) {
+	tr := topology.MustNew(16)
+	// Two right comms, two left comms, pairwise crossing within each
+	// orientation half on purpose.
+	s := comm.NewSet(16,
+		comm.Comm{Src: 0, Dst: 5}, comm.Comm{Src: 3, Dst: 8},
+		comm.Comm{Src: 12, Dst: 6}, comm.Comm{Src: 14, Dst: 9})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Schedule(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Schedule.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds > plan.FirstFitRounds {
+		t.Fatalf("%d rounds exceed FirstFit %d", plan.Rounds, plan.FirstFitRounds)
+	}
+	// Both orientations must appear in the composite.
+	lefts, rights := 0, 0
+	for _, round := range plan.Schedule.Rounds {
+		for _, c := range round {
+			if c.RightOriented() {
+				rights++
+			} else {
+				lefts++
+			}
+		}
+	}
+	if lefts != 2 || rights != 2 {
+		t.Fatalf("composite schedules %d right / %d left comms, want 2/2", rights, lefts)
+	}
+}
+
+func TestScheduleEmptySet(t *testing.T) {
+	tr := topology.MustNew(8)
+	plan, err := Schedule(tr, comm.NewSet(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds != 0 || plan.Bound != 0 {
+		t.Fatalf("empty set: rounds=%d bound=%d", plan.Rounds, plan.Bound)
+	}
+}
+
+func TestScheduleRejectsInvalid(t *testing.T) {
+	tr := topology.MustNew(8)
+	if _, err := Schedule(tr, comm.NewSet(8, comm.Comm{Src: 1, Dst: 1})); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if _, err := Schedule(tr, comm.NewSet(16, comm.Comm{Src: 0, Dst: 9})); err == nil {
+		t.Fatal("leaf-count mismatch accepted")
+	}
+}
+
+// The satellite differential suite: on 500 seeded arbitrary two-sided
+// sets, the hybrid plan verifies, respects the width lower bound, never
+// exceeds its declared bound, and never exceeds the FirstFit comparator.
+func TestDifferentialHybridVsFirstFit(t *testing.T) {
+	tr := topology.MustNew(32)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		s, err := comm.RandomTwoSided(rng, 32, 1+rng.Intn(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := Schedule(tr, s)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, s.Comms, err)
+		}
+		if err := plan.Schedule.Verify(tr); err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, s.Comms, err)
+		}
+		ff := ffComposite(t, tr, s)
+		if plan.Rounds > ff {
+			t.Fatalf("trial %d (%v): hybrid %d rounds > FirstFit %d",
+				trial, s.Comms, plan.Rounds, ff)
+		}
+		if plan.Rounds > plan.Bound {
+			t.Fatalf("trial %d: %d rounds > declared bound %d", trial, plan.Rounds, plan.Bound)
+		}
+		if plan.Rounds < plan.Width {
+			t.Fatalf("trial %d: %d rounds < width %d", trial, plan.Rounds, plan.Width)
+		}
+	}
+}
+
+// The composite trace must replay cleanly through the auditor: the bound
+// monitor sees Rounds <= Bound, the independent ledger re-bills the same
+// power the plan reports (stateful mode holds circuits, so every traced
+// config change is a genuine one), and no violation fires.
+func TestAuditBillsComposite(t *testing.T) {
+	tr := topology.MustNew(32)
+	aud := audit.New(audit.Config{})
+	tracer := obs.NewTracer(nil, 64)
+	tracer.SetSink(aud.Observe)
+	s, err := comm.BitReversal(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Schedule(tr, s, WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := aud.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("audited %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.Engine != Engine {
+		t.Fatalf("audited engine %q", r.Engine)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations on a clean composite: %v", r.Violations)
+	}
+	if r.Rounds != plan.Rounds {
+		t.Fatalf("audit saw %d rounds, plan has %d", r.Rounds, plan.Rounds)
+	}
+	if r.Width != plan.Bound {
+		t.Fatalf("audit bound %d, plan bound %d", r.Width, plan.Bound)
+	}
+	if got, want := r.Ledger.TotalUnits(), plan.Report.TotalUnits(); got != want {
+		t.Fatalf("audit re-billed %d units, plan reports %d", got, want)
+	}
+}
+
+// A trace claiming more rounds than its declared bound must raise the
+// hybrid bound violation.
+func TestAuditFlagsBoundOverrun(t *testing.T) {
+	aud := audit.New(audit.Config{})
+	aud.Observe(obs.Event{Type: "run.start", Engine: Engine, N: 2, Mode: "stateful"})
+	for i := 0; i < 3; i++ {
+		aud.Observe(obs.Event{Type: "round.start", Engine: Engine, Round: i})
+		aud.Observe(obs.Event{Type: "round.done", Engine: Engine, Round: i, N: 1})
+	}
+	aud.Observe(obs.Event{Type: "run.done", Engine: Engine, Width: 2, N: 3})
+	runs := aud.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("audited %d runs", len(runs))
+	}
+	found := false
+	for _, v := range runs[0].Violations {
+		if v.Kind == audit.KindHybridBound {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bound overrun not flagged; violations: %v", runs[0].Violations)
+	}
+}
+
+func TestStatelessModeBillsEveryRound(t *testing.T) {
+	tr := topology.MustNew(16)
+	s, err := comm.BitReversal(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateful, err := Schedule(tr, s, WithMode(power.Stateful))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateless, err := Schedule(tr, s, WithMode(power.Stateless))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stateless.Report.TotalUnits() < stateful.Report.TotalUnits() {
+		t.Fatalf("stateless bill %d below stateful %d",
+			stateless.Report.TotalUnits(), stateful.Report.TotalUnits())
+	}
+}

@@ -39,6 +39,12 @@ const (
 	EngineSim           = "sim"
 	EngineOnline        = "online"
 	EngineOnlineSharded = "online-sharded"
+	// EngineHybrid is the composite planner for arbitrary (possibly
+	// non-well-nested) sets: decompose, peel well-nested batches, color
+	// the residual. It has no closed-form round count — its guarantee is
+	// an inequality (never worse than pure FirstFit coloring), so its
+	// rounds ledger entry is a bound, not an exact match.
+	EngineHybrid = "hybrid"
 )
 
 // Serving protocols as twin engines: client-observed request latency
@@ -64,6 +70,12 @@ const (
 	// WorkloadRandom is comm.RandomWellNestedWidth with the sweep seed:
 	// planted width w plus random well-nested filler.
 	WorkloadRandom = "random"
+	// WorkloadBitrev is comm.BitReversal: the crossing-heavy FFT pairing
+	// (w is ignored — the permutation fixes the set). Hybrid-only.
+	WorkloadBitrev = "bitrev"
+	// WorkloadCrossing is comm.CrossingPairs: w pairwise-crossing
+	// communications with alternating orientations. Hybrid-only.
+	WorkloadCrossing = "crossing"
 )
 
 // Prediction is the analytical twin's closed-form forecast for one run.
@@ -148,7 +160,7 @@ func latFeatures(engine string, n, w, m int) []float64 {
 	switch engine {
 	case EngineSim:
 		return []float64{1, words, float64(w + 1)}
-	case EngineOnline, EngineOnlineSharded, EngineServeHTTP, EngineServeWire:
+	case EngineOnline, EngineOnlineSharded, EngineServeHTTP, EngineServeWire, EngineHybrid:
 		return []float64{1, words, float64(m)}
 	default:
 		return []float64{1, words}
@@ -160,7 +172,7 @@ func latFeatureNames(engine string) []string {
 	switch engine {
 	case EngineSim:
 		return []string{"1", "words", "waves"}
-	case EngineOnline, EngineOnlineSharded, EngineServeHTTP, EngineServeWire:
+	case EngineOnline, EngineOnlineSharded, EngineServeHTTP, EngineServeWire, EngineHybrid:
 		return []string{"1", "words", "requests"}
 	default:
 		return []string{"1", "words"}

@@ -98,6 +98,51 @@ func TestSweepShardedOnline(t *testing.T) {
 	}
 }
 
+// TestSweepHybridWorkloads runs the hybrid engine over its adversarial
+// set families: rows flip to bound scoring (rounds ≤ the FirstFit
+// comparator, units ≤ 3·bound) and the ledger entries carry the bound
+// instead of an exact prediction.
+func TestSweepHybridWorkloads(t *testing.T) {
+	for _, workload := range []string{WorkloadBitrev, WorkloadCrossing} {
+		res, err := RunSweep(SweepConfig{
+			Ns:       []int{32, 64, 128},
+			Ws:       []int{2, 4},
+			Engines:  []string{EngineHybrid},
+			Workload: workload,
+			Reps:     2,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", workload, err)
+		}
+		for _, row := range res.Rows {
+			if row.RoundsBound <= 0 {
+				t.Fatalf("%s N=%d w=%d: hybrid row missing rounds bound", workload, row.N, row.W)
+			}
+			if row.Rounds > row.RoundsBound {
+				t.Errorf("%s N=%d w=%d: %d rounds exceed FirstFit bound %d",
+					workload, row.N, row.W, row.Rounds, row.RoundsBound)
+			}
+			if !row.ExactOK {
+				t.Errorf("%s N=%d w=%d: bound scoring failed (rounds %d/%d, units %d)",
+					workload, row.N, row.W, row.Rounds, row.RoundsBound, row.MaxUnits)
+			}
+		}
+		sawBoundRounds := false
+		for _, e := range res.Entries() {
+			if strings.HasSuffix(e.Bench, "/rounds") {
+				if e.Exact || !e.Bound {
+					t.Errorf("%s: hybrid rounds entry must be Bound, not Exact: %+v", workload, e)
+				}
+				sawBoundRounds = true
+			}
+		}
+		if !sawBoundRounds {
+			t.Errorf("%s: no rounds entries emitted", workload)
+		}
+	}
+}
+
 func TestPredictClosedForms(t *testing.T) {
 	p := Predict(EnginePADR, WorkloadChain, 256, 16)
 	if p.Rounds != 16 || p.Phase1Words != 510 || p.Phase2Words != 16*510 || p.MaxUnitsBound != 6 {

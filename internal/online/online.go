@@ -325,17 +325,12 @@ func (s *Simulator) Dispatch() (bool, error) {
 			rest = append(rest, r)
 			continue
 		}
-		oriented := c
-		if !wantRight {
-			oriented = comm.Comm{Src: s.tree.Leaves() - 1 - c.Src, Dst: s.tree.Leaves() - 1 - c.Dst}
-		}
+		// Crosses is orientation-agnostic and mirror-invariant, so the
+		// left-oriented batch can be tested in place — no need to mirror
+		// each pair onto the reflected line first.
 		crosses := false
 		for _, acc := range batch {
-			ac := acc.Comm
-			if !wantRight {
-				ac = comm.Comm{Src: s.tree.Leaves() - 1 - ac.Src, Dst: s.tree.Leaves() - 1 - ac.Dst}
-			}
-			if oriented.Crosses(ac) {
+			if c.Crosses(acc.Comm) {
 				crosses = true
 				break
 			}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -15,6 +16,92 @@ func set(t *testing.T, expr string) *comm.Set {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// greedyPack is a minimal in-test scheduler: first round whose directed
+// links are all free (the general package cannot be imported here — it
+// depends on sched).
+func greedyPack(t *testing.T, tr *topology.Tree, s *comm.Set) *Schedule {
+	t.Helper()
+	sch := &Schedule{Set: s.Clone()}
+	var congestion [][]bool
+	for _, c := range s.Comms {
+		edges, err := tr.PathEdges(c.Src, c.Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed := false
+		for r := 0; r < len(sch.Rounds) && !placed; r++ {
+			free := true
+			for _, e := range edges {
+				if congestion[r][tr.EdgeIndex(e)] {
+					free = false
+					break
+				}
+			}
+			if free {
+				for _, e := range edges {
+					congestion[r][tr.EdgeIndex(e)] = true
+				}
+				sch.Rounds[r] = append(sch.Rounds[r], c)
+				placed = true
+			}
+		}
+		if !placed {
+			row := make([]bool, tr.DirectedEdgeCount())
+			for _, e := range edges {
+				row[tr.EdgeIndex(e)] = true
+			}
+			congestion = append(congestion, row)
+			sch.Rounds = append(sch.Rounds, []comm.Comm{c})
+		}
+	}
+	return sch
+}
+
+// Differential round trip for UnmirrorSchedule: schedule the mirrored half
+// of a decomposition, map it back, and the result must be a valid schedule
+// of the original left-oriented set — same round count, and unmirroring
+// twice is the identity.
+func TestUnmirrorScheduleRoundTrip(t *testing.T) {
+	tr := topology.MustNew(16)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		right, err := comm.RandomOriented(rng, 16, 1+rng.Intn(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		left := right.Mirror() // a purely left-oriented "original" set
+		_, leftMirrored := comm.Decompose(left)
+		mirroredSch := greedyPack(t, tr, leftMirrored)
+		if err := mirroredSch.Verify(tr); err != nil {
+			t.Fatalf("trial %d: mirrored schedule invalid: %v", trial, err)
+		}
+		back := UnmirrorSchedule(mirroredSch)
+		if err := back.Verify(tr); err != nil {
+			t.Fatalf("trial %d: unmirrored schedule invalid on the original line: %v", trial, err)
+		}
+		if back.NumRounds() != mirroredSch.NumRounds() {
+			t.Fatalf("trial %d: unmirroring changed round count %d -> %d",
+				trial, mirroredSch.NumRounds(), back.NumRounds())
+		}
+		// The unmirrored schedule covers exactly the original left set.
+		if got, want := back.Set.String(), left.String(); got != want {
+			t.Fatalf("trial %d: unmirrored set %q, want %q", trial, got, want)
+		}
+		// Involution: unmirroring twice restores the mirrored schedule.
+		twice := UnmirrorSchedule(back)
+		if twice.Set.String() != leftMirrored.String() {
+			t.Fatalf("trial %d: double unmirror lost the set", trial)
+		}
+		for i := range twice.Rounds {
+			for j, c := range twice.Rounds[i] {
+				if c != mirroredSch.Rounds[i][j] {
+					t.Fatalf("trial %d: double unmirror changed round %d", trial, i)
+				}
+			}
+		}
+	}
 }
 
 func TestVerifyAcceptsValidSchedule(t *testing.T) {

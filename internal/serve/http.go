@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"cst/internal/comm"
 	"cst/internal/obs"
 )
 
@@ -18,11 +19,23 @@ type ScheduleRequest struct {
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
+// ScheduleSetRequest is the POST /schedule-set payload: a whole
+// communication set to plan through the hybrid pipeline. The set need not
+// be well nested — crossing and left-oriented pairs are what the hybrid
+// planner exists for.
+type ScheduleSetRequest struct {
+	// N is the PE count (a power of two).
+	N int `json:"n"`
+	// Comms are the communications to schedule together.
+	Comms []SetComm `json:"comms"`
+}
+
 // Handler mounts the scheduling API next to the observability surface on
-// one mux: POST /schedule and GET /statusz from this package, plus
-// /metrics, /healthz, /trace and /debug/pprof from obs.Handler — one
-// listener serves both traffic and introspection.
-func Handler(p *Pool, reg *obs.Registry, tr *obs.Tracer) http.Handler {
+// one mux: POST /schedule, POST /schedule-set and GET /statusz from this
+// package, plus /metrics, /healthz, /trace and /debug/pprof from
+// obs.Handler — one listener serves both traffic and introspection. pl may
+// be nil, in which case /schedule-set answers 501.
+func Handler(p *Pool, pl *Planner, reg *obs.Registry, tr *obs.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Handler(reg, tr))
 	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
@@ -36,6 +49,29 @@ func Handler(p *Pool, reg *obs.Registry, tr *obs.Tracer) http.Handler {
 			return
 		}
 		res := p.Schedule(req.Src, req.Dst, time.Duration(req.DeadlineMS)*time.Millisecond)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.Status)
+		_ = json.NewEncoder(w).Encode(res)
+	})
+	mux.HandleFunc("/schedule-set", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if pl == nil {
+			http.Error(w, "set planning not enabled", http.StatusNotImplemented)
+			return
+		}
+		var req ScheduleSetRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		s := &comm.Set{N: req.N, Comms: make([]comm.Comm, len(req.Comms))}
+		for i, c := range req.Comms {
+			s.Comms[i] = comm.Comm{Src: c.Src, Dst: c.Dst}
+		}
+		res := pl.Plan(s, protoHTTP, true)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(res.Status)
 		_ = json.NewEncoder(w).Encode(res)

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -259,7 +260,8 @@ func TestHTTPHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Start()
-	srv := httptest.NewServer(Handler(p, reg, tr))
+	pl := NewPlanner(PlannerConfig{Registry: reg, Tracer: tr})
+	srv := httptest.NewServer(Handler(p, pl, reg, tr))
 	defer srv.Close()
 
 	resp, err := http.Post(srv.URL+"/schedule", "application/json",
@@ -288,6 +290,42 @@ func TestHTTPHandler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /schedule = %d, want 405", resp.StatusCode)
+	}
+
+	// A non-well-nested set (crossing pair plus a left-oriented comm)
+	// plans end to end through the hybrid pipeline.
+	resp, err = http.Post(srv.URL+"/schedule-set", "application/json",
+		strings.NewReader(`{"n":16,"comms":[{"src":0,"dst":8},{"src":12,"dst":4},{"src":2,"dst":9}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var setRes SetResult
+	if err := json.NewDecoder(resp.Body).Decode(&setRes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || setRes.Status != http.StatusOK {
+		t.Fatalf("POST /schedule-set = %d/%d: %s", resp.StatusCode, setRes.Status, setRes.Err)
+	}
+	scheduled := 0
+	for _, round := range setRes.Schedule {
+		scheduled += len(round)
+	}
+	if setRes.Rounds < 1 || len(setRes.Schedule) != setRes.Rounds || scheduled != 3 {
+		t.Fatalf("set plan shape: %+v", setRes)
+	}
+	if setRes.Units <= 0 {
+		t.Fatalf("set plan billed %d units", setRes.Units)
+	}
+
+	resp, err = http.Post(srv.URL+"/schedule-set", "application/json",
+		strings.NewReader(`{"n":16,"comms":[{"src":3,"dst":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid set = %d, want 400", resp.StatusCode)
 	}
 
 	for _, path := range []string{"/statusz", "/metrics", "/healthz", "/trace"} {

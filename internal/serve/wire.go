@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"cst/internal/comm"
 	"cst/internal/obs"
 	"cst/internal/wire"
 )
@@ -57,6 +58,9 @@ type WireConfig struct {
 	// drain. It is also the slot count, so memory per connection is
 	// proportional. Zero means DefaultMaxPipeline.
 	MaxPipeline int
+	// Planner answers set requests (TypeSetRequest frames, v2+). Nil
+	// makes the server answer them with status 501.
+	Planner *Planner
 	// Registry receives the cst_serve_wire_* series; nil leaves the
 	// server uninstrumented.
 	Registry *obs.Registry
@@ -115,10 +119,14 @@ func NewWireServer(p *Pool, cfg WireConfig) *WireServer {
 
 // wireCall is one connection slot: a pooled call plus the spot its
 // terminal Result lands in. The call's done closure is built once per
-// slot and survives bundle reuse.
+// slot and survives bundle reuse. Set requests reuse the same slots for
+// ordering and backpressure: isSet routes the writer to setRes instead of
+// res, and is cleared when the slot is leased for a pair request.
 type wireCall struct {
-	c   call
-	res Result
+	c      call
+	res    Result
+	isSet  bool
+	setRes SetResult
 }
 
 // connBundle is the per-connection working set, pooled across
@@ -131,11 +139,14 @@ type connBundle struct {
 	slots []*wireCall
 	free  chan *wireCall
 	out   chan *wireCall
-	rd    *wire.Reader
-	bw    *bufio.Writer
-	req   wire.Request  // reader-owned decode scratch
-	resp  wire.Response // writer-owned encode scratch
-	enc   []byte        // writer-owned frame scratch
+	rd      *wire.Reader
+	bw      *bufio.Writer
+	req     wire.Request     // reader-owned decode scratch
+	setReq  wire.SetRequest  // reader-owned set decode scratch
+	set     comm.Set         // reader-owned set build scratch
+	resp    wire.Response    // writer-owned encode scratch
+	setResp wire.SetResponse // writer-owned set encode scratch
+	enc     []byte           // writer-owned frame scratch
 }
 
 func (s *WireServer) newBundle() *connBundle {
@@ -242,23 +253,25 @@ func (s *WireServer) untrack(conn net.Conn) {
 }
 
 // handshake reads the client hello straight off the raw connection (the
-// framed reader attaches after, so nothing is over-read) and answers with
-// the negotiated version.
-func (s *WireServer) handshake(conn net.Conn) error {
+// framed reader attaches after, so nothing is over-read), answers with the
+// negotiated version and returns it — the session's frame allow-list
+// depends on it.
+func (s *WireServer) handshake(conn net.Conn) (byte, error) {
 	_ = conn.SetReadDeadline(time.Now().Add(wireHandshakeTimeout))
 	var hello [wire.HandshakeBytes]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
-		return fmt.Errorf("handshake read: %w", err)
+		return 0, fmt.Errorf("handshake read: %w", err)
 	}
 	offered, err := wire.ParseHello(hello[:])
 	if err != nil {
-		return err
+		return 0, err
 	}
+	version := wire.Negotiate(offered, wire.Version)
 	var accept [wire.HandshakeBytes]byte
-	if _, err := conn.Write(wire.AppendHello(accept[:0], wire.Negotiate(offered, wire.Version))); err != nil {
-		return fmt.Errorf("handshake write: %w", err)
+	if _, err := conn.Write(wire.AppendHello(accept[:0], version)); err != nil {
+		return 0, fmt.Errorf("handshake write: %w", err)
 	}
-	return nil
+	return version, nil
 }
 
 // handle runs one connection: handshake, then the reader loop described
@@ -269,7 +282,8 @@ func (s *WireServer) handle(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
 
-	if err := s.handshake(conn); err != nil {
+	version, err := s.handshake(conn)
+	if err != nil {
 		s.met.protoErrs.Inc()
 		return
 	}
@@ -307,27 +321,57 @@ func (s *WireServer) handle(conn net.Conn) {
 			}
 			break
 		}
-		if typ != wire.TypeRequest {
-			s.met.protoErrs.Inc()
-			break
-		}
-		if err := wire.ParseRequest(body, &b.req); err != nil {
-			s.met.protoErrs.Inc()
-			break
-		}
-		// Lease a slot; blocking here is the pipelining window — the
-		// connection stops reading until an in-flight answer frees one.
-		wc := <-b.free
-		wc.c.arm(b.req.Src, b.req.Dst, b.req.Deadline())
-		wc.c.id = b.req.ID
-		if res, ok := s.pool.admit(&wc.c); !ok {
-			// Inline refusal (bad endpoints, draining, queue full): the
-			// call never reached a worker, so route the slot to the
-			// writer directly.
-			wc.res = res
+		switch {
+		case typ == wire.TypeRequest:
+			if err := wire.ParseRequest(body, &b.req); err != nil {
+				s.met.protoErrs.Inc()
+				goto teardown
+			}
+			// Lease a slot; blocking here is the pipelining window — the
+			// connection stops reading until an in-flight answer frees
+			// one.
+			wc := <-b.free
+			wc.isSet = false
+			wc.c.arm(b.req.Src, b.req.Dst, b.req.Deadline())
+			wc.c.id = b.req.ID
+			if res, ok := s.pool.admit(&wc.c); !ok {
+				// Inline refusal (bad endpoints, draining, queue full):
+				// the call never reached a worker, so route the slot to
+				// the writer directly.
+				wc.res = res
+				b.out <- wc
+			}
+		case typ == wire.TypeSetRequest && version >= wire.VersionSets:
+			if err := wire.ParseSetRequest(body, &b.setReq); err != nil {
+				s.met.protoErrs.Inc()
+				goto teardown
+			}
+			// A set plan runs inline on the reader — planning is
+			// mutex-serialized CPU work, and answering in arrival order
+			// through the same slot/out machinery keeps the response
+			// stream coherent with pipelined pair requests.
+			wc := <-b.free
+			wc.isSet = true
+			wc.c.id = b.setReq.ID
+			b.set.N = b.setReq.N
+			b.set.Comms = b.set.Comms[:0]
+			for _, pr := range b.setReq.Pairs {
+				b.set.Comms = append(b.set.Comms, comm.Comm{Src: pr[0], Dst: pr[1]})
+			}
+			if s.cfg.Planner == nil {
+				wc.setRes = SetResult{Status: 501, Err: "serve: set planning not enabled"}
+			} else {
+				wc.setRes = s.cfg.Planner.Plan(&b.set, protoWire, false)
+			}
 			b.out <- wc
+		default:
+			// Unknown frame for this session's version — 0x03 on a v1
+			// session is as fatal as a type the decoder never heard of.
+			s.met.protoErrs.Inc()
+			goto teardown
 		}
 	}
+teardown:
 
 	// Teardown: reclaim every slot. In-flight ones come back through
 	// settle → done → writer → freelist; the pool settles every admitted
@@ -359,16 +403,32 @@ func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
 			break
 		}
 		if werr == nil {
-			r := &b.resp
-			r.ID = wc.c.id
-			r.Status = wc.res.Status
-			r.Shard = wc.res.Shard
-			r.Arrival = wc.res.Arrival
-			r.Dispatched = wc.res.Dispatched
-			r.Finished = wc.res.Finished
-			r.LatencyRounds = wc.res.LatencyRounds
-			r.Err = wc.res.Err
-			b.enc = wire.AppendResponse(b.enc[:0], r)
+			if wc.isSet {
+				r := &b.setResp
+				r.ID = wc.c.id
+				r.Status = wc.setRes.Status
+				r.Rounds = wc.setRes.Rounds
+				r.Bound = wc.setRes.Bound
+				r.Width = wc.setRes.Width
+				r.Batches = wc.setRes.Batches
+				r.Residual = wc.setRes.ResidualComms
+				r.Units = wc.setRes.Units
+				r.Strategy = strategyCode(wc.setRes.Strategy)
+				r.Err = wc.setRes.Err
+				b.enc = wire.AppendSetResponse(b.enc[:0], r)
+				wc.setRes = SetResult{}
+			} else {
+				r := &b.resp
+				r.ID = wc.c.id
+				r.Status = wc.res.Status
+				r.Shard = wc.res.Shard
+				r.Arrival = wc.res.Arrival
+				r.Dispatched = wc.res.Dispatched
+				r.Finished = wc.res.Finished
+				r.LatencyRounds = wc.res.LatencyRounds
+				r.Err = wc.res.Err
+				b.enc = wire.AppendResponse(b.enc[:0], r)
+			}
 			if _, err := b.bw.Write(b.enc); err != nil {
 				werr = err
 			}

@@ -412,6 +412,167 @@ func TestWireServeAllocFree(t *testing.T) {
 	}
 }
 
+// A non-well-nested set plans end to end over the wire protocol, on the
+// same connection as pair requests, and an invalid set is refused with
+// the HTTP taxonomy.
+func TestWireSetRoundtrip(t *testing.T) {
+	reg := obs.New()
+	pl := NewPlanner(PlannerConfig{Registry: reg})
+	addr, _, _, teardown := startWire(t,
+		Config{PEs: 16, Shards: 1, Registry: reg}, WireConfig{Planner: pl, Registry: reg})
+	defer teardown()
+
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A pair request first: the same slots serve both frame kinds.
+	if err := c.Send(&wire.Request{ID: 1, Src: 2, Dst: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 1 || resp.Status != http.StatusOK {
+		t.Fatalf("pair response = %+v", resp)
+	}
+
+	// Crossing pairs plus a left-oriented comm: not well nested, not
+	// right-oriented — only the hybrid planner can take it.
+	req := wire.SetRequest{ID: 2, N: 16, Pairs: [][2]int{{0, 8}, {12, 4}, {2, 9}}}
+	if err := c.SendSet(&req); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var sr wire.SetResponse
+	if err := c.RecvSet(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID != 2 || sr.Status != http.StatusOK {
+		t.Fatalf("set response = %+v", sr)
+	}
+	if sr.Rounds < 1 || sr.Rounds > sr.Bound || sr.Units <= 0 {
+		t.Fatalf("set plan shape: %+v", sr)
+	}
+	if sr.Strategy != wire.StrategyPeel && sr.Strategy != wire.StrategyColoring {
+		t.Fatalf("strategy code %d", sr.Strategy)
+	}
+
+	// An invalid set (self loop) answers 400 without killing the session.
+	if err := c.SendSet(&wire.SetRequest{ID: 3, N: 16, Pairs: [][2]int{{5, 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecvSet(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID != 3 || sr.Status != http.StatusBadRequest || sr.Err == "" {
+		t.Fatalf("invalid set response = %+v", sr)
+	}
+
+	// The session survives: a further pair request still works.
+	if err := c.Send(&wire.Request{ID: 4, Src: 10, Dst: 13}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 4 || resp.Status != http.StatusOK {
+		t.Fatalf("post-set pair response = %+v", resp)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`cst_hybrid_requests_total{protocol="wire"}`]; got != 2 {
+		t.Errorf(`wire set requests = %d, want 2`, got)
+	}
+	if got := snap.Counters[`cst_hybrid_planned_total{protocol="wire"}`]; got != 1 {
+		t.Errorf(`wire sets planned = %d, want 1`, got)
+	}
+}
+
+// A server without a planner answers set frames with 501 instead of
+// treating them as protocol violations — the frame is legal, the feature
+// is just off.
+func TestWireSetWithoutPlanner(t *testing.T) {
+	addr, _, _, teardown := startWire(t, Config{PEs: 16, Shards: 1}, WireConfig{})
+	defer teardown()
+
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendSet(&wire.SetRequest{ID: 1, N: 16, Pairs: [][2]int{{0, 8}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var sr wire.SetResponse
+	if err := c.RecvSet(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Status != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", sr.Status)
+	}
+}
+
+// A set frame on a session that negotiated v1 is a protocol violation:
+// the connection dies and the counter ticks.
+func TestWireSetOnV1Session(t *testing.T) {
+	reg := obs.New()
+	pl := NewPlanner(PlannerConfig{})
+	addr, _, _, teardown := startWire(t,
+		Config{PEs: 16, Shards: 1}, WireConfig{Planner: pl, Registry: reg})
+	defer teardown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(wire.AppendHello(nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var accept [wire.HandshakeBytes]byte
+	if _, err := io.ReadFull(conn, accept[:]); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := wire.ParseHello(accept[:]); err != nil || v != 1 {
+		t.Fatalf("negotiated v%d err %v, want v1", v, err)
+	}
+	frame, err := wire.AppendSetRequest(nil, &wire.SetRequest{ID: 1, N: 16, Pairs: [][2]int{{0, 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := io.ReadAll(conn); len(b) != 0 {
+		t.Fatalf("server answered %x to a v2 frame on a v1 session", b)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counters["cst_serve_wire_protocol_errors_total"] < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("protocol error never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // benchWirePool builds a started pool + wire server for benchmarks.
 func benchWirePool(b *testing.B, shards int, batchWait time.Duration) (string, func()) {
 	b.Helper()

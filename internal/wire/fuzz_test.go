@@ -20,6 +20,13 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendRequest(nil, &Request{ID: 300, Src: 128, Dst: 129, DeadlineMS: 250}))
 	f.Add(AppendResponse(nil, &Response{ID: 1, Status: 200, LatencyRounds: 5}))
 	f.Add(AppendResponse(nil, &Response{ID: 7, Status: 429, Shard: -1, Err: "queue full"}))
+	if sr, err := AppendSetRequest(nil, &SetRequest{ID: 2, N: 16, Pairs: [][2]int{{0, 8}, {9, 1}}}); err == nil {
+		f.Add(sr)
+	}
+	f.Add(AppendSetResponse(nil, &SetResponse{ID: 2, Status: 200, Rounds: 3,
+		Bound: 4, Width: 2, Batches: 1, Residual: 1, Units: 17, Strategy: StrategyPeel}))
+	f.Add(AppendSetResponse(nil, &SetResponse{ID: 5, Status: 400, Err: "bad set"}))
+	f.Add([]byte{0x03, 0x03, 0x01, 0x10, 0xff}) // set request with hostile count claim
 	f.Add([]byte{0x05, 0x01, 0x01, 0x03, 0x0c}) // one byte short
 	f.Add([]byte{0x02, 0x7f, 0x00})             // unknown type
 
@@ -68,6 +75,45 @@ func FuzzDecodeFrame(f *testing.F) {
 			var back Response
 			if rerr != nil || ParseResponse(rbody, &back) != nil || back != resp {
 				t.Fatalf("response roundtrip mismatch: % x -> %+v -> % x -> %+v (%v)",
+					data[:n], resp, re, back, rerr)
+			}
+		case TypeSetRequest:
+			var req SetRequest
+			if perr := ParseSetRequest(body, &req); perr != nil {
+				if !typed(perr) {
+					t.Fatalf("ParseSetRequest: untyped error %v", perr)
+				}
+				return
+			}
+			re, aerr := AppendSetRequest(nil, &req)
+			if aerr != nil {
+				t.Fatalf("re-encode of parsed set request failed: %v", aerr)
+			}
+			_, rbody, _, rerr := DecodeFrame(re)
+			var back SetRequest
+			if rerr != nil || ParseSetRequest(rbody, &back) != nil ||
+				back.ID != req.ID || back.N != req.N || len(back.Pairs) != len(req.Pairs) {
+				t.Fatalf("set request roundtrip mismatch: % x -> %+v -> % x -> %+v (%v)",
+					data[:n], req, re, back, rerr)
+			}
+			for i := range back.Pairs {
+				if back.Pairs[i] != req.Pairs[i] {
+					t.Fatalf("set request pair %d mismatch: %+v vs %+v", i, req, back)
+				}
+			}
+		case TypeSetResponse:
+			var resp SetResponse
+			if perr := ParseSetResponse(body, &resp); perr != nil {
+				if !typed(perr) {
+					t.Fatalf("ParseSetResponse: untyped error %v", perr)
+				}
+				return
+			}
+			re := AppendSetResponse(nil, &resp)
+			_, rbody, _, rerr := DecodeFrame(re)
+			var back SetResponse
+			if rerr != nil || ParseSetResponse(rbody, &back) != nil || back != resp {
+				t.Fatalf("set response roundtrip mismatch: % x -> %+v -> % x -> %+v (%v)",
 					data[:n], resp, re, back, rerr)
 			}
 		default:

@@ -111,10 +111,154 @@ func TestResponseFrameGolden(t *testing.T) {
 	}
 }
 
+// TestSetRequestFrameGolden pins the v2 set-request encoding.
+func TestSetRequestFrameGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		req  SetRequest
+		want []byte
+	}{
+		{
+			name: "crossing pair of pairs",
+			req:  SetRequest{ID: 1, N: 16, Pairs: [][2]int{{0, 8}, {9, 1}}},
+			// length=8 | type | id=1 | n=16 | count=2 | 0 8 | 9 1
+			want: []byte{0x08, 0x03, 0x01, 0x10, 0x02, 0x00, 0x08, 0x09, 0x01},
+		},
+		{
+			name: "empty set",
+			req:  SetRequest{ID: 2, N: 4},
+			// length=4 | type | id=2 | n=4 | count=0
+			want: []byte{0x04, 0x03, 0x02, 0x04, 0x00},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := AppendSetRequest(nil, &tc.req)
+			if err != nil {
+				t.Fatalf("AppendSetRequest: %v", err)
+			}
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("AppendSetRequest(%+v) = % x, want % x", tc.req, got, tc.want)
+			}
+			typ, body, n, err := DecodeFrame(got)
+			if err != nil || typ != TypeSetRequest || n != len(got) {
+				t.Fatalf("DecodeFrame: typ=%#x n=%d err=%v", typ, n, err)
+			}
+			var back SetRequest
+			if err := ParseSetRequest(body, &back); err != nil {
+				t.Fatalf("ParseSetRequest: %v", err)
+			}
+			if back.ID != tc.req.ID || back.N != tc.req.N || len(back.Pairs) != len(tc.req.Pairs) {
+				t.Fatalf("roundtrip: got %+v, want %+v", back, tc.req)
+			}
+			for i := range back.Pairs {
+				if back.Pairs[i] != tc.req.Pairs[i] {
+					t.Fatalf("pair %d: got %v, want %v", i, back.Pairs[i], tc.req.Pairs[i])
+				}
+			}
+		})
+	}
+
+	// An oversized set is refused at encode time, before any frame bytes.
+	big := &SetRequest{ID: 1, N: 1 << 20, Pairs: make([][2]int, MaxFrameBytes)}
+	for i := range big.Pairs {
+		big.Pairs[i] = [2]int{i, i + 1}
+	}
+	if _, err := AppendSetRequest(nil, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized set: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestSetResponseFrameGolden pins the v2 set-response encoding.
+func TestSetResponseFrameGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		resp SetResponse
+		want []byte
+	}{
+		{
+			name: "planned",
+			resp: SetResponse{ID: 3, Status: 200, Rounds: 4, Bound: 5, Width: 2,
+				Batches: 2, Residual: 1, Units: 33, Strategy: StrategyPeel},
+			// length=12 | type | id=3 | status=200 (0xc8 0x01) | rounds=4 |
+			// bound=5 | width=2 | batches=2 | residual=1 | units=33 |
+			// strategy=1 | errlen=0
+			want: []byte{0x0c, 0x04, 0x03, 0xc8, 0x01, 0x04, 0x05, 0x02, 0x02, 0x01, 0x21, 0x01, 0x00},
+		},
+		{
+			name: "invalid set",
+			resp: SetResponse{ID: 9, Status: 400, Err: "bad set"},
+			// length=19 | type | id=9 | status=400 (0x90 0x03) | five zero
+			// count fields | units=0 | strategy=0 | errlen=7 | "bad set"
+			want: append([]byte{0x13, 0x04, 0x09, 0x90, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07},
+				[]byte("bad set")...),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AppendSetResponse(nil, &tc.resp)
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("AppendSetResponse(%+v) = % x, want % x", tc.resp, got, tc.want)
+			}
+			typ, body, n, err := DecodeFrame(got)
+			if err != nil || typ != TypeSetResponse || n != len(got) {
+				t.Fatalf("DecodeFrame: typ=%#x n=%d err=%v", typ, n, err)
+			}
+			var back SetResponse
+			if err := ParseSetResponse(body, &back); err != nil {
+				t.Fatalf("ParseSetResponse: %v", err)
+			}
+			if back != tc.resp {
+				t.Fatalf("roundtrip: got %+v, want %+v", back, tc.resp)
+			}
+		})
+	}
+
+	// A junk strategy code is malformed, not silently accepted.
+	frame := AppendSetResponse(nil, &SetResponse{ID: 1, Status: 200})
+	_, body, _, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), body...)
+	bad[len(bad)-2] = 0x07 // strategy byte sits before errlen=0
+	var resp SetResponse
+	if err := ParseSetResponse(bad, &resp); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("junk strategy: %v, want ErrBadFrame", err)
+	}
+}
+
+// TestSendSetNeedsV2 pins the client-side version gate: a session that
+// negotiated v1 must refuse to emit set frames rather than poison the
+// stream for the old server.
+func TestSendSetNeedsV2(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	go func() {
+		hello := make([]byte, HandshakeBytes)
+		if _, err := io.ReadFull(srv, hello); err != nil {
+			return
+		}
+		srv.Write(AppendHello(nil, 1)) // a v1-only server
+	}()
+	c, err := NewClientConn(cli, time.Second)
+	if err != nil {
+		t.Fatalf("NewClientConn: %v", err)
+	}
+	defer c.Close()
+	if c.ProtocolVersion() != 1 {
+		t.Fatalf("negotiated v%d, want v1", c.ProtocolVersion())
+	}
+	err = c.SendSet(&SetRequest{ID: 1, N: 4, Pairs: [][2]int{{0, 2}}})
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("SendSet on v1 session: %v, want ErrVersion", err)
+	}
+}
+
 // TestHandshakeGolden pins the handshake bytes and Negotiate's min rule.
 func TestHandshakeGolden(t *testing.T) {
 	hello := AppendHello(nil, Version)
-	want := []byte{'C', 'S', 'T', 'W', 0x01}
+	want := []byte{'C', 'S', 'T', 'W', 0x02}
 	if !bytes.Equal(hello, want) {
 		t.Fatalf("AppendHello = % x, want % x", hello, want)
 	}

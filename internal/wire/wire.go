@@ -21,6 +21,20 @@
 //	             dispatched:varint finished:varint latency_rounds:varint
 //	             errlen:uvarint err:bytes
 //
+// Protocol version 2 adds whole-set scheduling frames for the hybrid
+// planner (arbitrary, possibly non-well-nested communication sets):
+//
+//	setreq    := id:uvarint n:uvarint count:uvarint (src:uvarint dst:uvarint)*
+//	setresp   := id:uvarint status:uvarint rounds:uvarint bound:uvarint
+//	             width:uvarint batches:uvarint residual:uvarint
+//	             units:uvarint strategy:uint8 errlen:uvarint err:bytes
+//
+// Set frames are only legal on a session that negotiated version >= 2; a
+// v1 peer never sees the new type bytes. MaxFrameBytes doubles as the set
+// size bound: a set request must pack its (n, pairs) into one frame, which
+// caps a v2 set at roughly MaxFrameBytes/4 communications for multi-byte
+// PE indices — far above the fabric sizes cstserved runs.
+//
 // The id correlates pipelined requests with their answers: responses may
 // return out of submission order (conflict-deferred waves and deadline
 // expiries reorder), so clients must match on id, never on arrival order.
@@ -47,8 +61,10 @@ import (
 const (
 	// Magic opens both handshake directions.
 	Magic = "CSTW"
-	// Version is the current protocol revision.
-	Version = 1
+	// Version is the current protocol revision: v2 adds the set frames.
+	Version = 2
+	// VersionSets is the first revision that speaks the set frames.
+	VersionSets = 2
 	// MaxFrameBytes bounds a frame payload. Requests are ~6 bytes and
 	// responses ~20 plus a short error string; anything larger is a
 	// corrupt or hostile stream.
@@ -63,6 +79,21 @@ const (
 	TypeRequest = 0x01
 	// TypeResponse frames a terminal answer (server → client).
 	TypeResponse = 0x02
+	// TypeSetRequest frames a whole-set scheduling request (v2+).
+	TypeSetRequest = 0x03
+	// TypeSetResponse frames a whole-set answer (v2+).
+	TypeSetResponse = 0x04
+)
+
+// Strategy codes a SetResponse carries (matching internal/hybrid's
+// strategy names without importing it — wire stays dependency-free).
+const (
+	// StrategyNone is the zero strategy (non-200 answers).
+	StrategyNone = 0
+	// StrategyPeel is the circuit-first peel pipeline.
+	StrategyPeel = 1
+	// StrategyColoring is the pure conflict-coloring plan.
+	StrategyColoring = 2
 )
 
 // Typed decode errors. Decoders wrap these with detail; match with
@@ -114,6 +145,36 @@ type Response struct {
 	Err           string
 }
 
+// SetRequest is one whole-set scheduling request (protocol v2+): plan the
+// communication set Pairs over an N-PE fabric with the hybrid scheduler.
+// The set may mix orientations and cross arbitrarily; validation happens
+// server-side so a malformed set costs a status answer, not a dead
+// connection.
+type SetRequest struct {
+	ID uint64
+	// N is the PE count the pairs index into.
+	N int
+	// Pairs are the (src, dst) communications.
+	Pairs [][2]int
+}
+
+// SetResponse is the terminal answer for set request ID. Status reuses the
+// HTTP mapping (200 planned, 400 invalid set, 501 planner disabled, 503
+// draining); the plan fields are meaningful only for status 200. Units is
+// the composite power bill, Strategy one of the Strategy* codes.
+type SetResponse struct {
+	ID       uint64
+	Status   int
+	Rounds   int
+	Bound    int
+	Width    int
+	Batches  int
+	Residual int
+	Units    int64
+	Strategy uint8
+	Err      string
+}
+
 // AppendRequest appends a complete request frame (length prefix included)
 // to buf and returns the extended slice. It never allocates when buf has
 // capacity. Negative Src/Dst are encoded as large uvarints and rejected by
@@ -157,6 +218,163 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	return append(buf, errStr...)
 }
 
+// AppendSetRequest appends a complete set-request frame to buf and returns
+// the extended slice, or an error when the set cannot fit MaxFrameBytes —
+// the frame bound is the protocol's set size limit, checked before any
+// bytes are emitted.
+func AppendSetRequest(buf []byte, r *SetRequest) ([]byte, error) {
+	body := make([]byte, 0, 1+(3+2*len(r.Pairs))*binary.MaxVarintLen64)
+	body = append(body, TypeSetRequest)
+	body = binary.AppendUvarint(body, r.ID)
+	body = binary.AppendUvarint(body, uint64(uint(r.N)))
+	body = binary.AppendUvarint(body, uint64(len(r.Pairs)))
+	for _, p := range r.Pairs {
+		body = binary.AppendUvarint(body, uint64(uint(p[0])))
+		body = binary.AppendUvarint(body, uint64(uint(p[1])))
+	}
+	if len(body) > MaxFrameBytes {
+		return buf, fmt.Errorf("%w: set request needs %d bytes", ErrFrameTooLarge, len(body))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	return append(buf, body...), nil
+}
+
+// AppendSetResponse appends a complete set-response frame to buf and
+// returns the extended slice. Oversized error strings are truncated like
+// AppendResponse's.
+func AppendSetResponse(buf []byte, r *SetResponse) []byte {
+	const maxErr = MaxFrameBytes / 2
+	errStr := r.Err
+	if len(errStr) > maxErr {
+		errStr = errStr[:maxErr]
+	}
+	var body [2 + 8*binary.MaxVarintLen64]byte
+	n := 0
+	body[n] = TypeSetResponse
+	n++
+	n += binary.PutUvarint(body[n:], r.ID)
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Status)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Rounds)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Bound)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Width)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Batches)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Residual)))
+	n += binary.PutUvarint(body[n:], uint64(r.Units))
+	body[n] = r.Strategy
+	n++
+	n += binary.PutUvarint(body[n:], uint64(len(errStr)))
+	buf = binary.AppendUvarint(buf, uint64(n+len(errStr)))
+	buf = append(buf, body[:n]...)
+	return append(buf, errStr...)
+}
+
+// ParseSetRequest decodes a set-request body (as returned by DecodeFrame
+// for TypeSetRequest) into req. The pair slice is reused when it has
+// capacity. The claimed pair count is checked against the remaining bytes
+// (each pair needs at least two) before any allocation sized by it.
+func ParseSetRequest(body []byte, req *SetRequest) error {
+	id, rest, err := uvarintField(body, "id")
+	if err != nil {
+		return err
+	}
+	n, rest, err := uvarintField(rest, "n")
+	if err != nil {
+		return err
+	}
+	count, rest, err := uvarintField(rest, "count")
+	if err != nil {
+		return err
+	}
+	if n > math.MaxInt32 {
+		return fmt.Errorf("%w: fabric size out of range", ErrBadFrame)
+	}
+	if count > uint64(len(rest))/2 {
+		return fmt.Errorf("%w: %d pairs claimed with %d bytes left", ErrBadFrame, count, len(rest))
+	}
+	req.ID = id
+	req.N = int(n)
+	if cap(req.Pairs) < int(count) {
+		req.Pairs = make([][2]int, count)
+	}
+	req.Pairs = req.Pairs[:count]
+	for i := range req.Pairs {
+		var src, dst uint64
+		src, rest, err = uvarintField(rest, "src")
+		if err != nil {
+			return err
+		}
+		dst, rest, err = uvarintField(rest, "dst")
+		if err != nil {
+			return err
+		}
+		if src > math.MaxInt32 || dst > math.MaxInt32 {
+			return fmt.Errorf("%w: endpoint out of range", ErrBadFrame)
+		}
+		req.Pairs[i] = [2]int{int(src), int(dst)}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after set request", ErrBadFrame, len(rest))
+	}
+	return nil
+}
+
+// ParseSetResponse decodes a set-response body (as returned by DecodeFrame
+// for TypeSetResponse) into resp. It allocates only for a non-empty error
+// string.
+func ParseSetResponse(body []byte, resp *SetResponse) error {
+	id, rest, err := uvarintField(body, "id")
+	if err != nil {
+		return err
+	}
+	var fields [6]uint64
+	for i, name := range [...]string{"status", "rounds", "bound", "width", "batches", "residual"} {
+		fields[i], rest, err = uvarintField(rest, name)
+		if err != nil {
+			return err
+		}
+		if fields[i] > math.MaxInt32 {
+			return fmt.Errorf("%w: field %s out of range", ErrBadFrame, name)
+		}
+	}
+	units, rest, err := uvarintField(rest, "units")
+	if err != nil {
+		return err
+	}
+	if units > math.MaxInt64 {
+		return fmt.Errorf("%w: units out of range", ErrBadFrame)
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("%w: field strategy", ErrTruncated)
+	}
+	strategy := rest[0]
+	rest = rest[1:]
+	if strategy > StrategyColoring {
+		return fmt.Errorf("%w: strategy code %d", ErrBadFrame, strategy)
+	}
+	errLen, rest, err := uvarintField(rest, "errlen")
+	if err != nil {
+		return err
+	}
+	if uint64(len(rest)) != errLen {
+		return fmt.Errorf("%w: errlen %d with %d bytes left", ErrBadFrame, errLen, len(rest))
+	}
+	resp.ID = id
+	resp.Status = int(fields[0])
+	resp.Rounds = int(fields[1])
+	resp.Bound = int(fields[2])
+	resp.Width = int(fields[3])
+	resp.Batches = int(fields[4])
+	resp.Residual = int(fields[5])
+	resp.Units = int64(units)
+	resp.Strategy = strategy
+	if errLen == 0 {
+		resp.Err = ""
+	} else {
+		resp.Err = string(rest)
+	}
+	return nil
+}
+
 // DecodeFrame parses one length-prefixed frame from the front of b,
 // returning the frame type, its body (aliasing b, no copy) and the total
 // bytes consumed. Incomplete input returns ErrTruncated; an oversized
@@ -177,7 +395,7 @@ func DecodeFrame(b []byte) (typ byte, body []byte, n int, err error) {
 	}
 	payload := b[ln : ln+int(length)]
 	switch payload[0] {
-	case TypeRequest, TypeResponse:
+	case TypeRequest, TypeResponse, TypeSetRequest, TypeSetResponse:
 		return payload[0], payload[1:], ln + int(length), nil
 	default:
 		return 0, nil, 0, fmt.Errorf("%w: 0x%02x", ErrUnknownType, payload[0])
@@ -365,7 +583,7 @@ func (r *Reader) Next() (typ byte, body []byte, err error) {
 		return 0, nil, err
 	}
 	switch payload[0] {
-	case TypeRequest, TypeResponse:
+	case TypeRequest, TypeResponse, TypeSetRequest, TypeSetResponse:
 		return payload[0], payload[1:], nil
 	default:
 		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, payload[0])
@@ -437,6 +655,35 @@ func (c *ClientConn) Send(req *Request) error {
 	c.scratch = AppendRequest(c.scratch[:0], req)
 	_, err := c.bw.Write(c.scratch)
 	return err
+}
+
+// SendSet buffers one whole-set request frame; call Flush before blocking
+// on RecvSet. The session must have negotiated protocol v2 or newer — a v1
+// server would kill the connection on the unknown type byte.
+func (c *ClientConn) SendSet(req *SetRequest) error {
+	if c.version < VersionSets {
+		return fmt.Errorf("%w: set frames need v%d, session negotiated v%d",
+			ErrVersion, VersionSets, c.version)
+	}
+	var err error
+	c.scratch, err = AppendSetRequest(c.scratch[:0], req)
+	if err != nil {
+		return err
+	}
+	_, err = c.bw.Write(c.scratch)
+	return err
+}
+
+// RecvSet blocks for the next set-response frame and decodes it into resp.
+func (c *ClientConn) RecvSet(resp *SetResponse) error {
+	typ, body, err := c.r.Next()
+	if err != nil {
+		return err
+	}
+	if typ != TypeSetResponse {
+		return fmt.Errorf("%w: 0x%02x where a set response was expected", ErrUnknownType, typ)
+	}
+	return ParseSetResponse(body, resp)
 }
 
 // Flush pushes buffered frames onto the wire.
