@@ -5,9 +5,12 @@
 package cst_test
 
 import (
+	"context"
 	"io"
+	"net"
 	"strconv"
 	"testing"
+	"time"
 
 	"cst"
 )
@@ -329,6 +332,66 @@ func BenchmarkPerfettoExport(b *testing.B) {
 		if err := cst.WritePerfetto(io.Discard, events); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeWireSampled prices span tracing on the client-observed wire
+// round trip. rate0 attaches a tracer with head sampling off — the
+// production default, whose cost must be indistinguishable from no tracer
+// (the unsampled path takes one atomic load and no allocation). rate1pct is
+// the recommended operating point (ledger target: ≤10% over rate0); rate1
+// traces every request — root span, queue and dispatch spans,
+// flight-recorder finalization, trace id on the response frame.
+func BenchmarkServeWireSampled(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		rate float64
+	}{{"rate0", 0}, {"rate1pct", 0.01}, {"rate1", 1}} {
+		b.Run(bc.name, func(b *testing.B) {
+			tr := cst.NewTracer(nil, 4096)
+			tr.SetSampleRate(bc.rate)
+			tr.SetFlight(cst.NewFlightRecorder(8))
+			pool, err := cst.NewServePool(cst.ServeConfig{
+				PEs: 64, Shards: 1, QueueDepth: 256, Tracer: tr})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool.Start()
+			ws := cst.NewWireServer(pool, cst.WireConfig{MaxPipeline: 64, Tracer: tr})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go ws.Serve(ln)
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				_ = pool.Drain(ctx)
+				_ = ws.Shutdown(ctx)
+			}()
+			c, err := cst.WireDial(ln.Addr().String(), 5*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			var resp cst.WireResponse
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(&cst.WireRequest{ID: uint64(i), Src: 4, Dst: 29}); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Recv(&resp); err != nil {
+					b.Fatal(err)
+				}
+				if resp.Status != 200 {
+					b.Fatalf("status %d (%s)", resp.Status, resp.Err)
+				}
+			}
+		})
 	}
 }
 

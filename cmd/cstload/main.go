@@ -42,11 +42,13 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"cst/internal/comm"
+	"cst/internal/obs"
 	"cst/internal/stats"
 	"cst/internal/wire"
 )
@@ -110,6 +112,45 @@ type report struct {
 	ConnErrors int // transport failures: dials, broken pipes, short reads
 	Unexpected map[int]int
 	Latencies  []time.Duration // 2xx wall-clock latencies
+	// Traces is index-aligned with Latencies: the server-reported trace id
+	// of each 2xx answer ("" when the request was not sampled). Failed
+	// holds the trace ids of non-2xx/non-429 answers — the server samples
+	// every error retroactively, so these link straight to /trace/flight.
+	Traces []string
+	Failed []failedTrace
+}
+
+// failedTrace links one failed request to its server-side span tree.
+type failedTrace struct {
+	Status  int    `json:"status"`
+	TraceID string `json:"trace_id"`
+}
+
+// slowTrace is one slowest-request entry in the machine-readable output.
+type slowTrace struct {
+	TraceID   string `json:"trace_id"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+// slowest returns the k slowest 2xx samples (latency descending).
+func (r *report) slowest(k int) []slowTrace {
+	idx := make([]int, len(r.Latencies))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.Latencies[idx[a]] > r.Latencies[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]slowTrace, 0, k)
+	for _, i := range idx[:k] {
+		st := slowTrace{LatencyNS: r.Latencies[i].Nanoseconds()}
+		if i < len(r.Traces) {
+			st.TraceID = r.Traces[i]
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 func (r *report) throughput() float64 {
@@ -149,19 +190,40 @@ func (r *report) merge(c *report) {
 		r.Unexpected[code] += n
 	}
 	r.Latencies = append(r.Latencies, c.Latencies...)
+	r.Traces = append(r.Traces, c.Traces...)
+	r.Failed = append(r.Failed, c.Failed...)
 }
 
 // count sorts a terminal status into the report (latency only for 2xx).
-func (r *report) count(status int, lat time.Duration) {
+// trace is the server-reported trace id ("" when the answer carried none).
+func (r *report) count(status int, lat time.Duration, trace string) {
 	switch {
 	case status >= 200 && status < 300:
 		r.Scheduled++
 		r.Latencies = append(r.Latencies, lat)
+		r.Traces = append(r.Traces, trace)
 	case status == http.StatusTooManyRequests:
 		r.Rejected++
 	default:
 		r.Unexpected[status]++
+		if trace != "" {
+			r.Failed = append(r.Failed, failedTrace{Status: status, TraceID: trace})
+		}
 	}
+}
+
+// headerTrace extracts the trace id from an X-CST-Trace response header.
+func headerTrace(h http.Header) string {
+	ctx, ok := obs.ParseTraceHeader(h.Get(obs.TraceHeader))
+	if !ok {
+		return ""
+	}
+	return ctx.Trace.String()
+}
+
+// wireTrace renders a wire-frame trace id ("" for zero).
+func wireTrace(v uint64) string {
+	return obs.TraceID(v).String()
 }
 
 // discoverPEs asks the server's /statusz for its fabric size.
@@ -329,7 +391,7 @@ func runHTTPClient(o loadOptions, budget *budgeter, gen *pairGen, r *report) {
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		r.count(resp.StatusCode, time.Since(t0))
+		r.count(resp.StatusCode, time.Since(t0), headerTrace(resp.Header))
 		if resp.StatusCode == http.StatusTooManyRequests {
 			time.Sleep(200 * time.Microsecond) // brief backoff under backpressure
 		}
@@ -363,7 +425,7 @@ func runHTTPSetClient(o loadOptions, budget *budgeter, gen *setGen, r *report) {
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		r.count(resp.StatusCode, time.Since(t0))
+		r.count(resp.StatusCode, time.Since(t0), headerTrace(resp.Header))
 	}
 }
 
@@ -411,7 +473,7 @@ func runWireSetClient(o loadOptions, budget *budgeter, gen *setGen, r *report) {
 			r.ConnErrors++
 			return
 		}
-		r.count(resp.Status, time.Since(t0))
+		r.count(resp.Status, time.Since(t0), wireTrace(resp.Trace))
 	}
 }
 
@@ -444,7 +506,7 @@ func runWireClient(o loadOptions, budget *budgeter, gen *pairGen, r *report) {
 			return false
 		}
 		delete(inflight, resp.ID)
-		r.count(resp.Status, time.Since(t0))
+		r.count(resp.Status, time.Since(t0), wireTrace(resp.Trace))
 		if resp.Status == http.StatusTooManyRequests {
 			time.Sleep(200 * time.Microsecond)
 		}
@@ -508,6 +570,14 @@ func writeBench(w io.Writer, r *report) {
 	fmt.Fprintf(w, "%sLatencyP90 %d %d ns/op\n", name, n, r.quantile(0.90).Nanoseconds())
 	fmt.Fprintf(w, "%sLatencyP99 %d %d ns/op\n", name, n, r.quantile(0.99).Nanoseconds())
 	fmt.Fprintf(w, "%sLatencyMax %d %d ns/op\n", name, n, r.max().Nanoseconds())
+	// One machine-readable trace line rides along with the bench output:
+	// benchjson skips non-Benchmark lines, so the same stdout pipes into
+	// both the perf ledger and trace-chasing scripts.
+	line, _ := json.Marshal(struct {
+		Slow   []slowTrace   `json:"slow_traces"`
+		Failed []failedTrace `json:"failed_traces"`
+	}{r.slowest(5), r.Failed})
+	fmt.Fprintf(w, "%s\n", line)
 }
 
 func writeSummary(w io.Writer, r *report) {
@@ -523,6 +593,20 @@ func writeSummary(w io.Writer, r *report) {
 		r.quantile(0.99).Round(time.Microsecond), r.max().Round(time.Microsecond))
 	for code, count := range r.Unexpected {
 		fmt.Fprintf(w, "cstload: %d unexpected responses with status %d\n", count, code)
+	}
+	if slow := r.slowest(5); len(slow) > 0 {
+		var parts []string
+		for _, s := range slow {
+			id := s.TraceID
+			if id == "" {
+				id = "-" // request was not sampled; no server-side span tree
+			}
+			parts = append(parts, fmt.Sprintf("%s (%v)", id, time.Duration(s.LatencyNS).Round(time.Microsecond)))
+		}
+		fmt.Fprintf(w, "cstload: slowest traces: %s\n", strings.Join(parts, ", "))
+	}
+	for _, f := range r.Failed {
+		fmt.Fprintf(w, "cstload: failed request: status %d trace %s\n", f.Status, f.TraceID)
 	}
 }
 

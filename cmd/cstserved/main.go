@@ -3,7 +3,8 @@
 // queues, 429 backpressure, per-request deadlines, and a graceful drain on
 // SIGTERM/SIGINT that answers every admitted request before exiting. The
 // same listener carries the observability surface (/metrics, /healthz,
-// /trace, /debug/pprof) and an optional live power auditor.
+// /trace, /trace/flight, /debug/pprof) and an optional live power auditor;
+// -trace-sample and -flight-k arm request-scoped span tracing.
 //
 // With -wire-addr the same pool additionally listens for the binary wire
 // protocol (persistent pipelined TCP connections, see internal/wire): the
@@ -48,6 +49,8 @@ type options struct {
 	drainGrace    time.Duration
 	traceRing     int
 	traceOut      string
+	traceSample   float64
+	flightK       int
 	audit         bool
 	engineMetrics bool
 	shardSubtrees bool
@@ -73,6 +76,8 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.drainGrace, "drain-grace", 10*time.Second, "drain budget on SIGTERM before giving up")
 	fs.IntVar(&o.traceRing, "trace-ring", 4096, "trace ring capacity for /trace")
 	fs.StringVar(&o.traceOut, "trace-out", "", "also stream trace events to this JSONL file")
+	fs.Float64Var(&o.traceSample, "trace-sample", 0, "head-sample this fraction of requests into span traces (0 = errors only, 1 = all)")
+	fs.IntVar(&o.flightK, "flight-k", cst.DefaultFlightK, "span trees pinned by the flight recorder per class (slowest, errored) for /trace/flight; 0 disables")
 	fs.BoolVar(&o.audit, "audit", false, "attach a live power auditor to the trace stream; report on drain")
 	fs.BoolVar(&o.engineMetrics, "engine-metrics", false, "thread metrics/trace into the shard engines (cst_online_*/cst_padr_* series)")
 	fs.BoolVar(&o.shardSubtrees, "shard-subtrees", false, "enable subtree sharding inside each fabric")
@@ -89,6 +94,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.chaos < 0 {
 		return o, fmt.Errorf("cstserved: -chaos must be non-negative (got %d)", o.chaos)
+	}
+	if o.traceSample < 0 || o.traceSample > 1 {
+		return o, fmt.Errorf("cstserved: -trace-sample must be in [0, 1] (got %g)", o.traceSample)
 	}
 	return o, nil
 }
@@ -124,6 +132,10 @@ func newServer(o options, out io.Writer) (*server, error) {
 		sink = f
 	}
 	s.tracer = cst.NewTracer(sink, o.traceRing)
+	s.tracer.SetSampleRate(o.traceSample)
+	if o.flightK > 0 {
+		s.tracer.SetFlight(cst.NewFlightRecorder(o.flightK))
+	}
 	if o.audit {
 		s.auditor = cst.NewAuditor(cst.AuditConfig{Registry: s.reg})
 		s.tracer.SetSink(s.auditor.Observe)

@@ -163,6 +163,7 @@ func TestServeAuditAndTraceOut(t *testing.T) {
 	o := testOptions(t)
 	o.audit = true
 	o.engineMetrics = true
+	o.traceSample = 1 // serve.flush/serve.done only fire for sampled batches
 	o.traceOut = filepath.Join(t.TempDir(), "trace.jsonl")
 	var out bytes.Buffer
 	s, err := newServer(o, &out)

@@ -54,9 +54,9 @@ import (
 	"cst/internal/sim"
 	"cst/internal/srga"
 	"cst/internal/timing"
-	"cst/internal/wire"
 	"cst/internal/topology"
 	"cst/internal/trace"
+	"cst/internal/wire"
 	"cst/internal/xbar"
 )
 
@@ -543,6 +543,24 @@ type TraceEvent = obs.Event
 // NewTracer builds a tracer; the writer may be nil (ring-only) and
 // ringSize <= 0 selects the default ring capacity.
 var NewTracer = obs.NewTracer
+
+// Span tracing (see OBSERVABILITY.md §Spans): request-scoped timing trees
+// recorded through a Tracer. SpanContext propagates across protocol hops
+// (the X-CST-Trace header, wire v3 trace blocks); the FlightRecorder pins
+// the slowest and errored span trees for /trace/flight.
+type (
+	SpanContext    = obs.SpanContext
+	SpanRecord     = obs.SpanRecord
+	FlightRecorder = obs.FlightRecorder
+)
+
+// NewFlightRecorder builds a flight recorder pinning the k slowest and the
+// k most recent errored traces (k <= 0 selects DefaultFlightK). Attach with
+// Tracer.SetFlight.
+var NewFlightRecorder = obs.NewFlightRecorder
+
+// DefaultFlightK is the flight recorder's default pin count.
+const DefaultFlightK = obs.DefaultFlightK
 
 // MetricsServer is a live observability HTTP endpoint (/metrics, /healthz,
 // /trace, /debug/pprof/).

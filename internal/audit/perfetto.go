@@ -30,6 +30,10 @@ func enginePID(engine string) int {
 		return 2
 	case "online":
 		return 3
+	case "serve":
+		return 4
+	case "hybrid":
+		return 5
 	default:
 		return 9
 	}
@@ -102,6 +106,20 @@ func WritePerfetto(w io.Writer, events []obs.Event) error {
 			add(chromeEvent{Name: "word " + e.Word, Phase: "i", TS: us(e.TS),
 				PID: t.pid, TID: t.tid, Scope: "t",
 				Args: map[string]any{"node": e.Node, "child": e.Child, "round": e.Round}})
+		case "span":
+			// Request spans: one track per trace (tid from the trace id's low
+			// bits), so a request's tree reads as nested slices on its row.
+			tid := 100
+			if len(e.Trace) == 16 {
+				var low int
+				fmt.Sscanf(e.Trace[12:], "%04x", &low)
+				tid = 100 + low
+			}
+			t := ensure(e.Engine, tid, "trace "+e.Trace)
+			add(chromeEvent{Name: e.Name, Phase: "X",
+				TS: us(e.TS - e.DurNS), Dur: us(e.DurNS), PID: t.pid, TID: t.tid,
+				Args: map[string]any{"trace": e.Trace, "span": e.Span,
+					"parent": e.Parent, "status": e.Status, "n": e.N, "err": e.Err}})
 		}
 	}
 

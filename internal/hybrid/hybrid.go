@@ -77,6 +77,7 @@ type config struct {
 	exactBudget int
 	maxBatches  int
 	tracer      *obs.Tracer
+	span        obs.SpanContext
 }
 
 // Option configures Schedule.
@@ -110,6 +111,24 @@ func WithMaxBatches(n int) Option {
 // (run.start, round.start, switch.config, round.done, run.done), the feed
 // internal/audit bills independently.
 func WithTracer(tr *obs.Tracer) Option { return func(c *config) { c.tracer = tr } }
+
+// WithSpanContext attributes this Schedule call to a request trace: the
+// pipeline stages (hybrid.decompose, hybrid.peel, hybrid.color,
+// hybrid.replay) are emitted as child spans of ctx. A zero or unsampled
+// context — or a nil tracer — is inert.
+func WithSpanContext(ctx obs.SpanContext) Option { return func(c *config) { c.span = ctx } }
+
+// stageSpan emits one pipeline-stage span for a traced Schedule call.
+func stageSpan(cfg *config, name string, start time.Time, n int) {
+	if cfg.tracer == nil || !cfg.span.Valid() {
+		return
+	}
+	cfg.tracer.EmitSpan(obs.SpanRecord{
+		Trace: cfg.span.Trace, Span: cfg.tracer.NewSpanID(), Parent: cfg.span.Span,
+		Name: name, Engine: Engine,
+		Start: start, End: time.Now(), N: n,
+	})
+}
 
 // Plan is the composite schedule for an arbitrary set plus the accounting
 // that justifies it.
@@ -167,12 +186,15 @@ func Schedule(t *topology.Tree, s *comm.Set, opts ...Option) (*Plan, error) {
 		return nil, err
 	}
 
+	stageStart := time.Now()
 	right, leftMirrored := comm.Decompose(s)
+	stageSpan(&cfg, "hybrid.decompose", stageStart, s.Len())
 
 	// Peel strategy: padr batches plus colored residual, phases in order
 	// (right batches, left batches, residual last). The left phases are
 	// planned on the mirrored line and mapped back.
 	plan := &Plan{Width: width}
+	stageStart = time.Now()
 	var peelRounds [][]comm.Comm
 	var residualRounds [][]comm.Comm
 	for _, half := range []struct {
@@ -213,10 +235,12 @@ func Schedule(t *topology.Tree, s *comm.Set, opts ...Option) (*Plan, error) {
 	plan.ResidualRounds = len(residualRounds)
 	peelRounds = append(peelRounds, residualRounds...)
 	plan.Bound = len(peelRounds)
+	stageSpan(&cfg, "hybrid.peel", stageStart, plan.Bound)
 
 	// Coloring strategy: color each decomposition half whole. FirstFit is
 	// always computed — it is the comparator the plan must never exceed —
 	// and Exact may improve on it.
+	stageStart = time.Now()
 	var colorRounds [][]comm.Comm
 	colorExhausted := false
 	for _, half := range []struct {
@@ -241,6 +265,7 @@ func Schedule(t *topology.Tree, s *comm.Set, opts ...Option) (*Plan, error) {
 		colorRounds = append(colorRounds, cs.Rounds...)
 		colorExhausted = colorExhausted || exhausted
 	}
+	stageSpan(&cfg, "hybrid.color", stageStart, len(colorRounds))
 
 	if len(colorRounds) < len(peelRounds) {
 		plan.Strategy = StrategyColoring
@@ -261,7 +286,9 @@ func Schedule(t *topology.Tree, s *comm.Set, opts ...Option) (*Plan, error) {
 		return nil, fmt.Errorf("hybrid: %d rounds exceed the FirstFit comparator %d", plan.Rounds, plan.FirstFitRounds)
 	}
 
+	stageStart = time.Now()
 	plan.Report = replay(t, plan, cfg)
+	stageSpan(&cfg, "hybrid.replay", stageStart, plan.Rounds)
 	return plan, nil
 }
 
@@ -324,10 +351,14 @@ func replay(t *topology.Tree, plan *Plan, cfg config) *power.Report {
 	switches := map[topology.Node]*xbar.Switch{}
 	t.EachSwitch(func(n topology.Node) { switches[n] = xbar.NewSwitch() })
 	tr := cfg.tracer
+	trace := ""
+	if cfg.span.Valid() {
+		trace = cfg.span.Trace.String()
+	}
 	runStart := time.Now()
 	if tr != nil {
 		tr.Emit(obs.Event{Type: "run.start", Engine: Engine, Round: -1,
-			N: plan.Schedule.Set.Len(), Mode: cfg.mode.String()})
+			N: plan.Schedule.Set.Len(), Mode: cfg.mode.String(), Trace: trace})
 	}
 	var before map[topology.Node]xbar.Config
 	if tr != nil {
@@ -374,7 +405,7 @@ func replay(t *topology.Tree, plan *Plan, cfg config) *power.Report {
 	if tr != nil {
 		tr.Emit(obs.Event{Type: "run.done", Engine: Engine, Round: -1,
 			N: plan.Rounds, Width: plan.Bound,
-			DurNS: time.Since(runStart).Nanoseconds()})
+			DurNS: time.Since(runStart).Nanoseconds(), Trace: trace})
 	}
 	return report
 }

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// FlightRecorder pins the full span trees of the slowest-K and all errored
+// requests into a small separate ring so they survive long after the main
+// trace ring has wrapped — the "why was that one request slow" store served
+// at /trace/flight. Spans arrive at end time (children before their root);
+// a trace accumulates in the open table until its root span (Root flag, or
+// Parent == 0) lands, at which point the tree is finalized, checked for
+// orphans, and pinned if it qualifies.
+type FlightRecorder struct {
+	mu        sync.Mutex
+	k         int
+	maxOpen   int
+	maxSpans  int
+	open      map[TraceID]*FlightTrace
+	order     []TraceID      // open-table insertion order, for eviction
+	slow      []*FlightTrace // sorted by DurNS descending, len <= k
+	errs      []*FlightTrace // ring of the last k errored traces
+	errNext   int
+	finished  int64
+	orphans   int64
+	abandoned int64
+}
+
+// DefaultFlightK is the slowest-K / errored-ring capacity when the
+// constructor is passed k <= 0.
+const DefaultFlightK = 8
+
+// maxSpansPerTrace bounds one trace's pinned tree; beyond it spans are
+// dropped and counted in FlightTrace.Truncated.
+const maxSpansPerTrace = 256
+
+// NewFlightRecorder builds a recorder keeping the slowest k and the last k
+// errored traces (k <= 0 uses DefaultFlightK).
+func NewFlightRecorder(k int) *FlightRecorder {
+	if k <= 0 {
+		k = DefaultFlightK
+	}
+	return &FlightRecorder{
+		k:        k,
+		maxOpen:  4 * k,
+		maxSpans: maxSpansPerTrace,
+		open:     make(map[TraceID]*FlightTrace),
+	}
+}
+
+// FlightSpan is one span inside a pinned trace.
+type FlightSpan struct {
+	Span    string `json:"span"`
+	Parent  string `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Engine  string `json:"engine,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Status  int    `json:"status,omitempty"`
+	N       int    `json:"n,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// FlightTrace is one pinned span tree.
+type FlightTrace struct {
+	Trace string `json:"trace"`
+	// Root is the root span's name; DurNS/Status/Err mirror the root span.
+	Root   string `json:"root"`
+	DurNS  int64  `json:"dur_ns"`
+	Status int    `json:"status,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// Orphans counts spans whose parent id matches no span in the tree —
+	// always 0 for a correctly propagated request.
+	Orphans   int          `json:"orphan_spans"`
+	Truncated int          `json:"truncated_spans,omitempty"`
+	Spans     []FlightSpan `json:"spans"`
+}
+
+// observe ingests one finished span (called by Tracer.EmitSpan, outside
+// the tracer lock).
+func (f *FlightRecorder) observe(rec SpanRecord) {
+	if f == nil || rec.Trace == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ft := f.open[rec.Trace]
+	if ft == nil {
+		if len(f.order) >= f.maxOpen {
+			// A trace whose root never landed (crashed worker, dropped
+			// response): evict the oldest so the table stays bounded.
+			oldest := f.order[0]
+			f.order = f.order[1:]
+			delete(f.open, oldest)
+			f.abandoned++
+		}
+		ft = &FlightTrace{Trace: rec.Trace.String()}
+		f.open[rec.Trace] = ft
+		f.order = append(f.order, rec.Trace)
+	}
+	if len(ft.Spans) >= f.maxSpans {
+		ft.Truncated++
+	} else {
+		ft.Spans = append(ft.Spans, FlightSpan{
+			Span:    rec.Span.String(),
+			Parent:  rec.Parent.String(),
+			Name:    rec.Name,
+			Engine:  rec.Engine,
+			StartNS: rec.Start.UnixNano(),
+			DurNS:   rec.End.Sub(rec.Start).Nanoseconds(),
+			Status:  rec.Status,
+			N:       rec.N,
+			Err:     rec.Err,
+		})
+	}
+	if rec.Root || rec.Parent == 0 {
+		f.finalize(ft, rec)
+	}
+}
+
+// finalize closes a trace once its root span arrived: orphan-check the
+// tree, account it, and pin it into the slow and/or errored stores.
+func (f *FlightRecorder) finalize(ft *FlightTrace, root SpanRecord) {
+	delete(f.open, root.Trace)
+	for i, id := range f.order {
+		if id == root.Trace {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	ids := make(map[string]bool, len(ft.Spans))
+	for _, sp := range ft.Spans {
+		ids[sp.Span] = true
+	}
+	// The root's own parent is exempt: when a context was propagated across
+	// the transport, the root points at the caller's span, which lives in
+	// another process and rightly isn't in this tree.
+	rootID := root.Span.String()
+	for _, sp := range ft.Spans {
+		if sp.Parent != "" && !ids[sp.Parent] && sp.Span != rootID {
+			ft.Orphans++
+		}
+	}
+	ft.Root = root.Name
+	ft.DurNS = root.End.Sub(root.Start).Nanoseconds()
+	ft.Status = root.Status
+	ft.Err = root.Err
+	f.finished++
+	f.orphans += int64(ft.Orphans)
+
+	if root.Err != "" || root.Status >= 400 {
+		if len(f.errs) < f.k {
+			f.errs = append(f.errs, ft)
+		} else {
+			f.errs[f.errNext] = ft
+			f.errNext = (f.errNext + 1) % f.k
+		}
+	}
+	if len(f.slow) < f.k || ft.DurNS > f.slow[len(f.slow)-1].DurNS {
+		f.slow = append(f.slow, ft)
+		sort.Slice(f.slow, func(i, j int) bool { return f.slow[i].DurNS > f.slow[j].DurNS })
+		if len(f.slow) > f.k {
+			f.slow = f.slow[:f.k]
+		}
+	}
+}
+
+// FlightSnapshot is a point-in-time copy of the recorder, JSON-shaped for
+// /trace/flight.
+type FlightSnapshot struct {
+	// Slowest holds the pinned slowest traces, slowest first.
+	Slowest []FlightTrace `json:"slowest"`
+	// Errors holds the most recent errored traces.
+	Errors []FlightTrace `json:"errors"`
+	// OpenTraces counts traces with spans recorded but no root yet —
+	// in-flight requests, or span trees that will never finish.
+	OpenTraces int `json:"open_traces"`
+	// Finished counts root spans seen; OrphanSpans counts spans (across all
+	// finished traces) whose parent was missing; AbandonedTraces counts
+	// open-table evictions of rootless trees.
+	Finished        int64 `json:"finished_traces"`
+	OrphanSpans     int64 `json:"orphan_spans"`
+	AbandonedTraces int64 `json:"abandoned_traces"`
+}
+
+// Snapshot copies the recorder state out (nil-safe).
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	snap := FlightSnapshot{Slowest: []FlightTrace{}, Errors: []FlightTrace{}}
+	if f == nil {
+		return snap
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ft := range f.slow {
+		snap.Slowest = append(snap.Slowest, *ft)
+	}
+	// Errors come out newest-last regardless of ring position.
+	for i := 0; i < len(f.errs); i++ {
+		idx := i
+		if len(f.errs) == f.k {
+			idx = (f.errNext + i) % f.k
+		}
+		snap.Errors = append(snap.Errors, *f.errs[idx])
+	}
+	snap.OpenTraces = len(f.open)
+	snap.Finished = f.finished
+	snap.OrphanSpans = f.orphans
+	snap.AbandonedTraces = f.abandoned
+	return snap
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -18,6 +19,9 @@ import (
 //	                    ?since=<seq> returns only events newer than seq, and
 //	                    the X-Trace-Last-Seq response header carries the
 //	                    cursor for the next incremental poll
+//	GET /trace/flight   JSON snapshot of the tracer's flight recorder —
+//	                    the span trees of the slowest-K and all errored
+//	                    requests (404 when no recorder is attached)
 //	GET /debug/pprof/…  the standard net/http/pprof handlers
 //
 // reg and tr may be nil; the endpoints then serve empty bodies. The
@@ -51,6 +55,17 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-Trace-Last-Seq", strconv.FormatInt(last, 10))
 		_, _ = w.Write(buf)
+	})
+	mux.HandleFunc("/trace/flight", func(w http.ResponseWriter, r *http.Request) {
+		f := tr.Flight()
+		if f == nil {
+			http.Error(w, "flight recorder disabled (start with -flight-k > 0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(f.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

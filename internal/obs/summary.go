@@ -27,6 +27,13 @@ type Summary struct {
 	sum   atomic.Uint64   // math.Float64bits of the running sum
 	max   atomic.Uint64   // math.Float64bits of the lifetime max
 	count atomic.Int64
+	// traces mirrors ring slot-for-slot with the trace id of each sample
+	// (0 = untraced); maxTrace holds the trace id of the lifetime max.
+	// Together they are the exemplar store: /metrics annotates the p99 and
+	// max quantile lines with OpenMetrics `# {trace_id=...}` exemplars so a
+	// regressed summary links straight to a pinned span tree.
+	traces   []atomic.Uint64
+	maxTrace atomic.Uint64
 }
 
 // DefSummaryCapacity is the default sample window when a registration
@@ -40,12 +47,18 @@ var SummaryQuantiles = []float64{0.5, 0.9, 0.99, 1}
 
 // Observe records one sample. NaN samples are dropped (they would poison
 // every quantile downstream).
-func (s *Summary) Observe(v float64) {
+func (s *Summary) Observe(v float64) { s.ObserveTraced(v, 0) }
+
+// ObserveTraced records one sample carrying the trace id of the request
+// that produced it (0 = untraced), making the sample an exemplar
+// candidate. Same lock-free cost as Observe plus one ring store.
+func (s *Summary) ObserveTraced(v float64, trace TraceID) {
 	if s == nil || math.IsNaN(v) {
 		return
 	}
 	slot := (s.next.Add(1) - 1) % uint64(len(s.ring))
 	s.ring[slot].Store(math.Float64bits(v))
+	s.traces[slot].Store(uint64(trace))
 	s.count.Add(1)
 	for {
 		old := s.sum.Load()
@@ -60,6 +73,10 @@ func (s *Summary) Observe(v float64) {
 			break
 		}
 		if s.max.CompareAndSwap(old, math.Float64bits(v)) {
+			// The slight race between the max CAS and this store is accepted:
+			// a concurrent larger max wins the value; its trace may land a
+			// beat later.
+			s.maxTrace.Store(uint64(trace))
 			break
 		}
 	}
@@ -115,19 +132,38 @@ func (s *Summary) window() []float64 {
 	return out
 }
 
-func (s *Summary) snapshot() SummarySnapshot {
-	return SummarySnapshot{
-		Samples: s.window(),
-		Count:   s.count.Load(),
-		Sum:     math.Float64frombits(s.sum.Load()),
-		Max:     s.Max(),
+// Snapshot returns a point-in-time copy of the summary — the window,
+// aligned trace ids, and lifetime aggregates (zero on nil).
+func (s *Summary) Snapshot() SummarySnapshot {
+	if s == nil {
+		return SummarySnapshot{}
 	}
+	return s.snapshot()
+}
+
+func (s *Summary) snapshot() SummarySnapshot {
+	snap := SummarySnapshot{
+		Samples:  s.window(),
+		Count:    s.count.Load(),
+		Sum:      math.Float64frombits(s.sum.Load()),
+		Max:      s.Max(),
+		MaxTrace: TraceID(s.maxTrace.Load()),
+	}
+	snap.Traces = make([]TraceID, len(snap.Samples))
+	for i := range snap.Traces {
+		snap.Traces[i] = TraceID(s.traces[i].Load())
+	}
+	return snap
 }
 
 // SummarySnapshot is a point-in-time copy of one summary.
 type SummarySnapshot struct {
 	// Samples is the retained window (unordered).
 	Samples []float64
+	// Traces holds each sample's trace id (0 = untraced), index-aligned
+	// with Samples; MaxTrace is the trace id of the lifetime max.
+	Traces   []TraceID
+	MaxTrace TraceID
 	// Count and Sum aggregate all samples ever observed; Max is the
 	// lifetime maximum.
 	Count int64
@@ -137,6 +173,31 @@ type SummarySnapshot struct {
 
 // Quantile returns the q-th quantile of the snapshot's window.
 func (s SummarySnapshot) Quantile(q float64) float64 { return stats.Quantile(s.Samples, q) }
+
+// Exemplar returns the trace id and value of the traced sample nearest the
+// q-th quantile of the window — the "which request was that p99" link.
+// Returns (0, 0) when no retained sample carries a trace id.
+func (s SummarySnapshot) Exemplar(q float64) (TraceID, float64) {
+	if len(s.Samples) == 0 || len(s.Traces) != len(s.Samples) {
+		return 0, 0
+	}
+	target := stats.Quantile(s.Samples, q)
+	var (
+		best     TraceID
+		bestVal  float64
+		bestDist = math.Inf(1)
+	)
+	for i, v := range s.Samples {
+		if s.Traces[i] == 0 {
+			continue
+		}
+		d := math.Abs(v - target)
+		if d < bestDist {
+			bestDist, best, bestVal = d, s.Traces[i], v
+		}
+	}
+	return best, bestVal
+}
 
 // Mean returns the lifetime mean sample (0 with no samples).
 func (s SummarySnapshot) Mean() float64 {
@@ -162,19 +223,34 @@ func (r *Registry) Summary(name, help string, capacity int) *Summary {
 		capacity = DefSummaryCapacity
 	}
 	m := newMetric(name, help, "summary")
-	m.s = &Summary{ring: make([]atomic.Uint64, capacity)}
+	m.s = &Summary{
+		ring:   make([]atomic.Uint64, capacity),
+		traces: make([]atomic.Uint64, capacity),
+	}
 	r.metrics[name] = m
 	return m.s
 }
 
 // writeSummary emits one summary in the Prometheus text format:
 // quantile-labelled gauge lines over the retained window plus the
-// lifetime _sum and _count.
+// lifetime _sum and _count. The p99 and max lines carry OpenMetrics-style
+// `# {trace_id="..."} value` exemplar annotations when a traced sample is
+// available, linking the quantile to a pinned span tree; untraced
+// summaries expose exactly the classic format.
 func writeSummary(w io.Writer, m *metric, s *Summary) error {
 	snap := s.snapshot()
 	qs := stats.Quantiles(snap.Samples, SummaryQuantiles...)
 	for i, q := range SummaryQuantiles {
-		if _, err := fmt.Fprintf(w, "%s %g\n", m.seriesWith("", "quantile", formatFloat(q)), qs[i]); err != nil {
+		exemplar := ""
+		switch {
+		case q == 1 && snap.MaxTrace != 0:
+			exemplar = fmt.Sprintf(" # {trace_id=%q} %g", snap.MaxTrace.String(), snap.Max)
+		case q >= 0.99 && q < 1:
+			if trace, v := snap.Exemplar(q); trace != 0 {
+				exemplar = fmt.Sprintf(" # {trace_id=%q} %g", trace.String(), v)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %g%s\n", m.seriesWith("", "quantile", formatFloat(q)), qs[i], exemplar); err != nil {
 			return err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,6 +50,16 @@ type Event struct {
 	Mode string `json:"mode,omitempty"`
 	// Err carries failure text on *.error events.
 	Err string `json:"err,omitempty"`
+	// Name is the span name on "span" events (e.g. "serve.request").
+	Name string `json:"name,omitempty"`
+	// Trace/Span/Parent are 16-hex-digit span-tracing ids. Trace is set on
+	// "span" events and stamped onto engine events that run on behalf of a
+	// sampled request; Span/Parent only appear on "span" events.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	// Status is the HTTP-style status on "span" events (0 elsewhere).
+	Status int `json:"status,omitempty"`
 }
 
 // Tracer serializes events as JSONL: one JSON object per line, streamed to
@@ -71,6 +82,14 @@ type Tracer struct {
 	// sink, when set, receives every event synchronously after sequence
 	// assignment — the live tap the audit layer consumes.
 	sink func(Event)
+
+	// Span-tracing state (see span.go). sampleTh is the head-sampling
+	// threshold over the full uint64 range (0 = never, MaxUint64 = always);
+	// idState drives the splitmix64 id generator; flight holds the attached
+	// flight recorder (a pointer-to-pointer so detaching stores nil cleanly).
+	sampleTh atomic.Uint64
+	idState  atomic.Uint64
+	flight   atomic.Pointer[*FlightRecorder]
 }
 
 // DefaultRingSize bounds the tracer's in-memory event ring; ~64k events is
@@ -83,7 +102,9 @@ func NewTracer(w io.Writer, ringSize int) *Tracer {
 	if ringSize <= 0 {
 		ringSize = DefaultRingSize
 	}
-	return &Tracer{w: w, ring: make([][]byte, ringSize)}
+	t := &Tracer{w: w, ring: make([][]byte, ringSize)}
+	t.idState.Store(uint64(time.Now().UnixNano()))
+	return t
 }
 
 // Emit records one event. Safe for concurrent use; nil-safe.

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"cst/internal/comm"
 	"cst/internal/fault"
@@ -127,6 +128,9 @@ type Simulator struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	met    simMetrics
+	// span is the request-scoped trace context the serving layer arms
+	// around a dispatch wave (see SetSpanContext); zero means untraced.
+	span obs.SpanContext
 
 	// Take cursors: how far TakeCompleted/TakeQuarantined have consumed the
 	// stats' append-only record lists.
@@ -163,6 +167,23 @@ func WithRegistry(r *obs.Registry) Option {
 // per-round detail. A nil tracer no-ops.
 func WithTracer(t *obs.Tracer) Option {
 	return func(s *Simulator) { s.tracer = t }
+}
+
+// SetSpanContext arms (or, with the zero context, disarms) a span-trace
+// context on the simulator: until changed, every Dispatch stamps its
+// batch.* trace events with the trace id and emits one "online.batch"
+// child span per dispatched batch. The serving layer sets this around a
+// flush wave that contains a sampled request. The simulator is
+// goroutine-confined, so no synchronization is needed.
+func (s *Simulator) SetSpanContext(ctx obs.SpanContext) { s.span = ctx }
+
+// traceID renders the armed trace id for event stamping ("" when
+// untraced, so the field marshals away).
+func (s *Simulator) traceID() string {
+	if !s.span.Valid() {
+		return ""
+	}
+	return s.span.Trace.String()
 }
 
 // WithFaults threads a fault injector into the batch engines: every
@@ -359,7 +380,12 @@ func (s *Simulator) Dispatch() (bool, error) {
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{
 			Type: "batch.dispatch", Engine: "online", Round: s.now, N: len(batch),
+			Trace: s.traceID(),
 		})
+	}
+	var batchStart time.Time
+	if s.tracer != nil && s.span.Valid() {
+		batchStart = time.Now()
 	}
 	// Run the batch, retrying a failure on a fresh engine over restored
 	// crossbars. The backoff is exponential in simulated rounds (1, 2, …):
@@ -377,6 +403,7 @@ func (s *Simulator) Dispatch() (bool, error) {
 			if s.tracer != nil {
 				s.tracer.Emit(obs.Event{
 					Type: "batch.retry", Engine: "online", Round: s.now, N: attempt, Err: err.Error(),
+					Trace: s.traceID(),
 				})
 			}
 		}
@@ -406,6 +433,14 @@ func (s *Simulator) Dispatch() (bool, error) {
 		if s.tracer != nil {
 			s.tracer.Emit(obs.Event{
 				Type: "batch.quarantine", Engine: "online", Round: s.now, N: n, Err: err.Error(),
+				Trace: s.traceID(),
+			})
+		}
+		if !batchStart.IsZero() {
+			s.tracer.EmitSpan(obs.SpanRecord{
+				Trace: s.span.Trace, Span: s.tracer.NewSpanID(), Parent: s.span.Span,
+				Name: "online.batch", Engine: "online",
+				Start: batchStart, End: time.Now(), N: n, Err: err.Error(),
 			})
 		}
 		return false, fmt.Errorf("online: batch %s quarantined after %d attempts: %w", set, MaxDispatchAttempts, err)
@@ -431,6 +466,14 @@ func (s *Simulator) Dispatch() (bool, error) {
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{
 			Type: "batch.done", Engine: "online", Round: dispatched, N: rounds,
+			Trace: s.traceID(),
+		})
+	}
+	if !batchStart.IsZero() {
+		s.tracer.EmitSpan(obs.SpanRecord{
+			Trace: s.span.Trace, Span: s.tracer.NewSpanID(), Parent: s.span.Span,
+			Name: "online.batch", Engine: "online",
+			Start: batchStart, End: time.Now(), N: rounds,
 		})
 	}
 	return true, nil
@@ -518,6 +561,11 @@ func (s *Simulator) runBatch(set *comm.Set, reflected bool) (int, error) {
 	}
 	if err != nil {
 		return 0, err
+	}
+	if s.tracer != nil {
+		// Always re-arm (a zero context is inert): a stale context from an
+		// errored traced run must not leak into the next batch.
+		s.eng.SetSpanContext(s.span)
 	}
 	// RunRounds skips the Result/Report assembly Run would do — the
 	// dispatcher bills power from the shared switch meters at Finish, so

@@ -196,6 +196,7 @@ type Engine struct {
 	// observability (all optional; nil means uninstrumented)
 	reg        *obs.Registry
 	tracer     *obs.Tracer
+	span       obs.SpanContext // request span this run belongs to (zero = none)
 	met        engineMetrics
 	instr      bool // reg or tracer attached: take timestamps
 	runStart   time.Time
@@ -403,6 +404,35 @@ func (e *Engine) Reset(s *comm.Set, opts ...Option) error {
 	return nil
 }
 
+// SetSpanContext attributes the engine's next run to a request trace: run
+// events carry the trace id and a "padr.run" span is emitted when the run
+// completes. The context is consumed by the run (cleared afterwards) so a
+// Reset engine never mis-attributes a later run. Zero or unsampled
+// contexts are inert. Not safe for concurrent use with a running engine.
+func (e *Engine) SetSpanContext(ctx obs.SpanContext) { e.span = ctx }
+
+// traceID is the hex trace id for event stamping ("" when untraced).
+func (e *Engine) traceID() string {
+	if !e.span.Valid() {
+		return ""
+	}
+	return e.span.Trace.String()
+}
+
+// emitRunSpan closes out the "padr.run" span for a traced run and consumes
+// the span context.
+func (e *Engine) emitRunSpan(rounds int, errmsg string) {
+	if e.tracer == nil || !e.span.Valid() {
+		return
+	}
+	e.tracer.EmitSpan(obs.SpanRecord{
+		Trace: e.span.Trace, Span: e.tracer.NewSpanID(), Parent: e.span.Span,
+		Name: "padr.run", Engine: "padr",
+		Start: e.runStart, End: time.Now(), N: rounds, Err: errmsg,
+	})
+	e.span = obs.SpanContext{}
+}
+
 // prepared holds the state computed by prepare (Phase 1 plus validation).
 type prepared struct {
 	width     int
@@ -440,7 +470,7 @@ func (e *Engine) prepareInto(p *prepared, light bool) error {
 		e.unitsBase, e.altBase = e.meterTotals()
 	}
 	if e.tracer != nil {
-		e.tracer.Emit(obs.Event{Type: "run.start", Engine: "padr", Round: -1, N: e.set.Len(), Mode: e.mode.String()})
+		e.tracer.Emit(obs.Event{Type: "run.start", Engine: "padr", Round: -1, N: e.set.Len(), Mode: e.mode.String(), Trace: e.traceID()})
 	}
 	e.inj.BeginRun()
 	// Pruning skips per-word and per-switch callbacks inside inert
@@ -584,8 +614,10 @@ func (e *Engine) finalize(p *prepared) (*Result, error) {
 			e.tracer.Emit(obs.Event{
 				Type: "run.done", Engine: "padr", Round: -1,
 				N: rounds, DurNS: time.Since(e.runStart).Nanoseconds(), Width: p.width,
+				Trace: e.traceID(),
 			})
 		}
+		e.emitRunSpan(rounds, "")
 	}
 	return &Result{
 		Schedule:        p.schedule,
@@ -658,8 +690,10 @@ func (e *Engine) RunRounds() (int, error) {
 			e.tracer.Emit(obs.Event{
 				Type: "run.done", Engine: "padr", Round: -1,
 				N: rounds, DurNS: time.Since(e.runStart).Nanoseconds(), Width: p.width,
+				Trace: e.traceID(),
 			})
 		}
+		e.emitRunSpan(rounds, "")
 	}
 	return rounds, nil
 }

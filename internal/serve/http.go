@@ -32,9 +32,14 @@ type ScheduleSetRequest struct {
 
 // Handler mounts the scheduling API next to the observability surface on
 // one mux: POST /schedule, POST /schedule-set and GET /statusz from this
-// package, plus /metrics, /healthz, /trace and /debug/pprof from
-// obs.Handler — one listener serves both traffic and introspection. pl may
-// be nil, in which case /schedule-set answers 501.
+// package, plus /metrics, /healthz, /trace, /trace/flight and /debug/pprof
+// from obs.Handler — one listener serves both traffic and introspection.
+// pl may be nil, in which case /schedule-set answers 501.
+//
+// Both POST endpoints participate in span tracing: an X-CST-Trace request
+// header continues the caller's trace, head sampling opens a fresh one, and
+// errored requests are recorded retroactively even when unsampled. Sampled
+// responses echo X-CST-Trace and carry trace_id in the body.
 func Handler(p *Pool, pl *Planner, reg *obs.Registry, tr *obs.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Handler(reg, tr))
@@ -43,15 +48,24 @@ func Handler(p *Pool, pl *Planner, reg *obs.Registry, tr *obs.Tracer) http.Handl
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
+		start := time.Now()
+		remote, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		sp := tr.StartServer("http.schedule", "serve", remote)
 		var req ScheduleRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			finishHTTPError(w, tr, &sp, "http.schedule", start,
+				http.StatusBadRequest, "bad JSON: "+err.Error())
 			return
 		}
-		res := p.Schedule(req.Src, req.Dst, time.Duration(req.DeadlineMS)*time.Millisecond)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(res.Status)
-		_ = json.NewEncoder(w).Encode(res)
+		res := p.ScheduleTraced(req.Src, req.Dst, time.Duration(req.DeadlineMS)*time.Millisecond, sp.Context())
+		sctx := sp.Context()
+		if !sp.Sampled() && (res.Status >= 400 || res.Err != "") {
+			sctx = tr.EmitErrorRoot("http.schedule", "serve", start, res.Status, res.Err)
+		}
+		writeTraced(w, tr, sctx, res.Status, &res, &res.TraceID)
+		sp.SetStatus(res.Status)
+		sp.SetError(res.Err)
+		sp.End()
 	})
 	mux.HandleFunc("/schedule-set", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -62,23 +76,66 @@ func Handler(p *Pool, pl *Planner, reg *obs.Registry, tr *obs.Tracer) http.Handl
 			http.Error(w, "set planning not enabled", http.StatusNotImplemented)
 			return
 		}
+		start := time.Now()
+		remote, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		sp := tr.StartServer("http.plan", "serve", remote)
 		var req ScheduleSetRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			finishHTTPError(w, tr, &sp, "http.plan", start,
+				http.StatusBadRequest, "bad JSON: "+err.Error())
 			return
 		}
 		s := &comm.Set{N: req.N, Comms: make([]comm.Comm, len(req.Comms))}
 		for i, c := range req.Comms {
 			s.Comms[i] = comm.Comm{Src: c.Src, Dst: c.Dst}
 		}
-		res := pl.Plan(s, protoHTTP, true)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(res.Status)
-		_ = json.NewEncoder(w).Encode(res)
+		res := pl.PlanTraced(s, protoHTTP, true, sp.Context())
+		sctx := sp.Context()
+		if !sp.Sampled() && (res.Status >= 400 || res.Err != "") {
+			sctx = tr.EmitErrorRoot("http.plan", "serve", start, res.Status, res.Err)
+		}
+		writeTraced(w, tr, sctx, res.Status, &res, &res.TraceID)
+		sp.SetStatus(res.Status)
+		sp.SetN(s.Len())
+		sp.SetError(res.Err)
+		sp.End()
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(p.Snapshot())
 	})
 	return mux
+}
+
+// writeTraced writes one JSON response body, stamping the trace id into the
+// body (via traceID, a pointer into body) and the X-CST-Trace response
+// header when the request is traced, and recording the encode as a
+// "response.write" child span when sampled.
+func writeTraced(w http.ResponseWriter, tr *obs.Tracer, sctx obs.SpanContext, status int, body any, traceID *string) {
+	if sctx.Valid() {
+		*traceID = sctx.Trace.String()
+		w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(sctx))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	wsp := tr.StartSpan(sctx, "response.write", "serve")
+	_ = json.NewEncoder(w).Encode(body)
+	wsp.End()
+}
+
+// finishHTTPError answers a pre-admission failure (malformed payload),
+// closing the root span — or retroactively recording one — so the error is
+// attributable at any sample rate.
+func finishHTTPError(w http.ResponseWriter, tr *obs.Tracer, sp *obs.Span, name string, start time.Time, status int, msg string) {
+	sctx := sp.Context()
+	if !sp.Sampled() {
+		sctx = tr.EmitErrorRoot(name, "serve", start, status, msg)
+	}
+	if sctx.Valid() {
+		w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(sctx))
+	}
+	http.Error(w, msg, status)
+	sp.SetStatus(status)
+	sp.SetError(msg)
+	sp.End()
 }

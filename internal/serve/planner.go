@@ -115,6 +115,9 @@ type SetResult struct {
 	// asked for it (HTTP does; the wire path returns counts only).
 	Schedule [][]SetComm `json:"schedule,omitempty"`
 	Err      string      `json:"error,omitempty"`
+	// TraceID is the request's trace id when the request was sampled (set
+	// by the transport).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Planner plans whole communication sets through the hybrid pipeline.
@@ -144,6 +147,34 @@ func NewPlanner(cfg PlannerConfig) *Planner {
 // asks for the full round-by-round schedule in the result (the wire path
 // declines, so pooled connection slots never retain schedules).
 func (p *Planner) Plan(s *comm.Set, proto uint8, includeRounds bool) SetResult {
+	return p.PlanTraced(s, proto, includeRounds, obs.SpanContext{})
+}
+
+// PlanTraced is Plan attributed to a request trace: when sctx is sampled, a
+// "serve.plan" span covering the whole call is emitted, and the hybrid
+// pipeline stages become its children. A zero sctx behaves exactly like
+// Plan.
+func (p *Planner) PlanTraced(s *comm.Set, proto uint8, includeRounds bool, sctx obs.SpanContext) SetResult {
+	start := time.Now()
+	var planCtx obs.SpanContext
+	if p.cfg.Tracer != nil && sctx.Valid() {
+		// Pre-allocate the serve.plan span id so the hybrid stage spans can
+		// parent under it even though spans are emitted at end time.
+		planCtx = obs.SpanContext{Trace: sctx.Trace, Span: p.cfg.Tracer.NewSpanID(), Sampled: true}
+	}
+	res := p.plan(s, proto, includeRounds, planCtx)
+	if planCtx.Valid() {
+		p.cfg.Tracer.EmitSpan(obs.SpanRecord{
+			Trace: planCtx.Trace, Span: planCtx.Span, Parent: sctx.Span,
+			Name: "serve.plan", Engine: "hybrid",
+			Start: start, End: time.Now(),
+			Status: res.Status, N: s.Len(), Err: res.Err,
+		})
+	}
+	return res
+}
+
+func (p *Planner) plan(s *comm.Set, proto uint8, includeRounds bool, planCtx obs.SpanContext) SetResult {
 	start := time.Now()
 	p.met.requests.Inc()
 	if int(proto) < protoCount {
@@ -173,7 +204,8 @@ func (p *Planner) Plan(s *comm.Set, proto uint8, includeRounds bool) SetResult {
 	plan, err := hybrid.Schedule(tree, s,
 		hybrid.WithExactBudget(p.cfg.ExactBudget),
 		hybrid.WithMaxBatches(p.cfg.MaxBatches),
-		hybrid.WithTracer(p.cfg.Tracer))
+		hybrid.WithTracer(p.cfg.Tracer),
+		hybrid.WithSpanContext(planCtx))
 	p.mu.Unlock()
 	if err != nil {
 		p.met.failed.Inc()

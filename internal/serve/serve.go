@@ -122,6 +122,9 @@ type Result struct {
 	// string for non-200 outcomes.
 	Status int    `json:"status"`
 	Err    string `json:"error,omitempty"`
+	// TraceID is the request's trace id when the request was sampled (set
+	// by the transport, not by the pool).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Protocol indices for per-protocol metric attribution. Every call is
@@ -150,6 +153,12 @@ type call struct {
 	enq      time.Time
 	resp     chan Result
 	done     func(Result)
+	// sctx is the request's span context (zero when unsampled); waveT is
+	// when the call's submission wave started, the serve.dispatch span's
+	// start. Both are plain values on the pooled call — the unsampled wire
+	// path stays allocation-free.
+	sctx  obs.SpanContext
+	waveT time.Time
 }
 
 // arm readies a call for admission. deadline <= 0 leaves the zero
@@ -158,6 +167,8 @@ func (c *call) arm(src, dst int, deadline time.Duration) {
 	c.src, c.dst = src, dst
 	c.enq = time.Now()
 	c.deadline = time.Time{}
+	c.sctx = obs.SpanContext{}
+	c.waveT = time.Time{}
 	if deadline > 0 {
 		c.deadline = c.enq.Add(deadline)
 	}
@@ -327,8 +338,17 @@ func (p *Pool) Start() {
 // admission (queue full, draining, bad endpoints — these return without
 // blocking). Safe for arbitrary concurrent callers.
 func (p *Pool) Schedule(src, dst int, deadline time.Duration) Result {
+	return p.ScheduleTraced(src, dst, deadline, obs.SpanContext{})
+}
+
+// ScheduleTraced is Schedule carrying a span context: when sctx is sampled
+// the pool emits serve.queue and serve.dispatch child spans for the
+// request's path through the admission queue and its shard's dispatch
+// wave. A zero sctx behaves exactly like Schedule.
+func (p *Pool) ScheduleTraced(src, dst int, deadline time.Duration, sctx obs.SpanContext) Result {
 	c := &call{proto: protoHTTP, resp: make(chan Result, 1)}
 	c.arm(src, dst, deadline)
+	c.sctx = sctx
 	if res, ok := p.admit(c); !ok {
 		return res
 	}
@@ -427,6 +447,14 @@ type Stats struct {
 	Admitted   int64 `json:"admitted"`
 	Responded  int64 `json:"responded"`
 	QueueDepth []int `json:"queue_depth"`
+	// Latency exemplars over the retained summary window: the p99 value
+	// with the trace id of the nearest sampled request, and the trace id of
+	// the lifetime-slowest request. Empty when no retained request was
+	// sampled — the "which request was that p99" link for /statusz.
+	LatencyP99 float64 `json:"latency_p99_seconds,omitempty"`
+	P99TraceID string  `json:"latency_p99_trace_id,omitempty"`
+	MaxTraceID string  `json:"latency_max_trace_id,omitempty"`
+	LatencyMax float64 `json:"latency_max_seconds,omitempty"`
 }
 
 // Snapshot reports the pool's live admission state.
@@ -443,6 +471,15 @@ func (p *Pool) Snapshot() Stats {
 	}
 	for _, w := range p.workers {
 		st.QueueDepth = append(st.QueueDepth, len(w.ch))
+	}
+	snap := p.met.latencyQ.Snapshot()
+	st.LatencyP99 = snap.Quantile(0.99)
+	st.LatencyMax = snap.Max
+	if id, _ := snap.Exemplar(0.99); id != 0 {
+		st.P99TraceID = id.String()
+	}
+	if snap.MaxTrace != 0 {
+		st.MaxTraceID = snap.MaxTrace.String()
 	}
 	return st
 }
@@ -521,8 +558,39 @@ func (w *worker) flush(batch []*call) {
 	met.flushes.Inc()
 	met.batchSize.Observe(float64(len(batch)))
 	met.queueDepth.Add(-int64(len(batch)))
+	// Trace work is gated on the batch containing at least one sampled
+	// call: an unsampled batch pays two pointer tests and nothing else, so
+	// the wire pair path stays allocation-free with a tracer attached.
+	sampled := 0
+	var firstCtx obs.SpanContext
 	if w.pool.tracer != nil {
-		w.pool.tracer.Emit(obs.Event{Type: "serve.flush", Engine: "serve", Round: w.sim.Now(), N: len(batch)})
+		for _, c := range batch {
+			if c.sctx.Valid() {
+				if sampled == 0 {
+					firstCtx = c.sctx
+				}
+				sampled++
+			}
+		}
+	}
+	if sampled > 0 {
+		tr := w.pool.tracer
+		tr.Emit(obs.Event{Type: "serve.flush", Engine: "serve", Round: w.sim.Now(), N: len(batch)})
+		flushT := time.Now()
+		for _, c := range batch {
+			if c.sctx.Valid() {
+				tr.EmitSpan(obs.SpanRecord{
+					Trace: c.sctx.Trace, Span: tr.NewSpanID(), Parent: c.sctx.Span,
+					Name: "serve.queue", Engine: "serve",
+					Start: c.enq, End: flushT,
+				})
+			}
+		}
+		// Arm the shard simulator with the first sampled context so its
+		// batch.* events and online.batch span join this trace. The sim is
+		// goroutine-confined to this worker, so no locking is needed.
+		w.sim.SetSpanContext(firstCtx)
+		defer w.sim.SetSpanContext(obs.SpanContext{})
 	}
 	pending := batch
 	// Waves alternate between two reused buffers: wave k builds its
@@ -555,6 +623,9 @@ func (w *worker) flush(batch []*call) {
 			if err := w.sim.Submit(comm.Comm{Src: c.src, Dst: c.dst}); err != nil {
 				deferred = append(deferred, c)
 				continue
+			}
+			if c.sctx.Valid() {
+				c.waveT = now
 			}
 			w.wait[[2]int{c.src, c.dst}] = c
 			submitted++
@@ -639,13 +710,28 @@ func (w *worker) settle(c *call, res Result) {
 	w.pool.responded.Add(1)
 	w.pool.met.inflight.Add(-1)
 	lat := time.Since(c.enq)
+	var trace obs.TraceID
+	if c.sctx.Valid() {
+		trace = c.sctx.Trace
+	}
 	w.pool.met.latency.ObserveDuration(lat)
-	w.pool.met.latencyQ.ObserveDuration(lat)
+	w.pool.met.latencyQ.ObserveTraced(lat.Seconds(), trace)
 	pm := &w.pool.met.proto[c.proto]
 	pm.latency.ObserveDuration(lat)
-	pm.latencyQ.ObserveDuration(lat)
-	if w.pool.tracer != nil {
-		w.pool.tracer.Emit(obs.Event{Type: "serve.done", Engine: "serve",
+	pm.latencyQ.ObserveTraced(lat.Seconds(), trace)
+	if w.pool.tracer != nil && c.sctx.Valid() {
+		tr := w.pool.tracer
+		start := c.waveT
+		if start.IsZero() {
+			start = c.enq // settled before ever reaching a wave (deadline miss)
+		}
+		tr.EmitSpan(obs.SpanRecord{
+			Trace: c.sctx.Trace, Span: tr.NewSpanID(), Parent: c.sctx.Span,
+			Name: "serve.dispatch", Engine: "serve",
+			Start: start, End: time.Now(),
+			Status: res.Status, N: res.LatencyRounds, Err: res.Err,
+		})
+		tr.Emit(obs.Event{Type: "serve.done", Engine: "serve",
 			Round: w.sim.Now(), N: res.Status})
 	}
 	if c.done != nil {

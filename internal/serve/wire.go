@@ -127,6 +127,11 @@ type wireCall struct {
 	res    Result
 	isSet  bool
 	setRes SetResult
+	// sp is the request's root span ("wire.schedule" / "wire.plan"),
+	// opened by the reader and closed by the writer after the response
+	// frame is written. It is a value embedded in the pooled slot, so the
+	// unsampled path stays allocation-free.
+	sp obs.Span
 }
 
 // connBundle is the per-connection working set, pooled across
@@ -136,9 +141,10 @@ type wireCall struct {
 // sentinel the reader uses to stop the writer, which keeps the channels
 // reusable (a closed channel could not go back in the pool).
 type connBundle struct {
-	slots []*wireCall
-	free  chan *wireCall
-	out   chan *wireCall
+	version byte // negotiated session version, set per connection
+	slots   []*wireCall
+	free    chan *wireCall
+	out     chan *wireCall
 	rd      *wire.Reader
 	bw      *bufio.Writer
 	req     wire.Request     // reader-owned decode scratch
@@ -307,6 +313,7 @@ func (s *WireServer) handle(conn net.Conn) {
 
 	b := s.bundles.Get().(*connBundle)
 	defer s.bundles.Put(b)
+	b.version = version
 	b.rd.Reset(conn)
 	b.bw.Reset(conn)
 
@@ -323,7 +330,7 @@ func (s *WireServer) handle(conn net.Conn) {
 		}
 		switch {
 		case typ == wire.TypeRequest:
-			if err := wire.ParseRequest(body, &b.req); err != nil {
+			if err := wire.ParseRequestV(body, &b.req, version); err != nil {
 				s.met.protoErrs.Inc()
 				goto teardown
 			}
@@ -334,6 +341,16 @@ func (s *WireServer) handle(conn net.Conn) {
 			wc.isSet = false
 			wc.c.arm(b.req.Src, b.req.Dst, b.req.Deadline())
 			wc.c.id = b.req.ID
+			// Open the request's root span: a v3 frame's trace block may
+			// continue (and force-sample) the client's trace; otherwise the
+			// head decision applies. Unsampled requests get the zero Span —
+			// no allocation on this path.
+			wc.sp = s.tracer.StartServer("wire.schedule", "serve", obs.SpanContext{
+				Trace:   obs.TraceID(b.req.Trace),
+				Span:    obs.SpanID(b.req.Span),
+				Sampled: b.req.Flags&wire.FlagSampled != 0,
+			})
+			wc.c.sctx = wc.sp.Context()
 			if res, ok := s.pool.admit(&wc.c); !ok {
 				// Inline refusal (bad endpoints, draining, queue full):
 				// the call never reached a worker, so route the slot to
@@ -342,7 +359,7 @@ func (s *WireServer) handle(conn net.Conn) {
 				b.out <- wc
 			}
 		case typ == wire.TypeSetRequest && version >= wire.VersionSets:
-			if err := wire.ParseSetRequest(body, &b.setReq); err != nil {
+			if err := wire.ParseSetRequestV(body, &b.setReq, version); err != nil {
 				s.met.protoErrs.Inc()
 				goto teardown
 			}
@@ -353,6 +370,12 @@ func (s *WireServer) handle(conn net.Conn) {
 			wc := <-b.free
 			wc.isSet = true
 			wc.c.id = b.setReq.ID
+			wc.c.enq = time.Now()
+			wc.sp = s.tracer.StartServer("wire.plan", "serve", obs.SpanContext{
+				Trace:   obs.TraceID(b.setReq.Trace),
+				Span:    obs.SpanID(b.setReq.Span),
+				Sampled: b.setReq.Flags&wire.FlagSampled != 0,
+			})
 			b.set.N = b.setReq.N
 			b.set.Comms = b.set.Comms[:0]
 			for _, pr := range b.setReq.Pairs {
@@ -361,7 +384,7 @@ func (s *WireServer) handle(conn net.Conn) {
 			if s.cfg.Planner == nil {
 				wc.setRes = SetResult{Status: 501, Err: "serve: set planning not enabled"}
 			} else {
-				wc.setRes = s.cfg.Planner.Plan(&b.set, protoWire, false)
+				wc.setRes = s.cfg.Planner.PlanTraced(&b.set, protoWire, false, wc.sp.Context())
 			}
 			b.out <- wc
 		default:
@@ -393,7 +416,9 @@ teardown:
 // writeLoop drains settled slots, encodes their response frames and
 // returns the slots to the freelist. After a write error it keeps
 // draining (slots must reach the freelist for teardown to converge) but
-// stops touching the dead connection.
+// stops touching the dead connection. Spans still close on that path:
+// the request ran to completion server-side, and a root left open would
+// pin its trace in the flight recorder's open table forever.
 func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
 	defer close(done)
 	var werr error
@@ -402,7 +427,22 @@ func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
 		if wc == nil {
 			break
 		}
+		var status int
+		var errmsg, rootName string
+		if wc.isSet {
+			status, errmsg, rootName = wc.setRes.Status, wc.setRes.Err, "wire.plan"
+		} else {
+			status, errmsg, rootName = wc.res.Status, wc.res.Err, "wire.schedule"
+		}
+		// Always-sample-on-error: a refused or failed request that was
+		// not head-sampled still gets a retroactive root span, so its
+		// trace id reaches the client and the flight recorder.
+		sctx := wc.sp.Context()
+		if !wc.sp.Sampled() && (status >= 400 || errmsg != "") {
+			sctx = s.tracer.EmitErrorRoot(rootName, "serve", wc.c.enq, status, errmsg)
+		}
 		if werr == nil {
+			wsp := s.tracer.StartSpan(sctx, "response.write", "serve")
 			if wc.isSet {
 				r := &b.setResp
 				r.ID = wc.c.id
@@ -415,7 +455,8 @@ func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
 				r.Units = wc.setRes.Units
 				r.Strategy = strategyCode(wc.setRes.Strategy)
 				r.Err = wc.setRes.Err
-				b.enc = wire.AppendSetResponse(b.enc[:0], r)
+				r.Trace = uint64(sctx.Trace)
+				b.enc = wire.AppendSetResponseV(b.enc[:0], r, b.version)
 				wc.setRes = SetResult{}
 			} else {
 				r := &b.resp
@@ -427,7 +468,8 @@ func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
 				r.Finished = wc.res.Finished
 				r.LatencyRounds = wc.res.LatencyRounds
 				r.Err = wc.res.Err
-				b.enc = wire.AppendResponse(b.enc[:0], r)
+				r.Trace = uint64(sctx.Trace)
+				b.enc = wire.AppendResponseV(b.enc[:0], r, b.version)
 			}
 			if _, err := b.bw.Write(b.enc); err != nil {
 				werr = err
@@ -439,7 +481,11 @@ func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
 					werr = err
 				}
 			}
+			wsp.End()
 		}
+		wc.sp.SetStatus(status)
+		wc.sp.SetError(errmsg)
+		wc.sp.End()
 		b.free <- wc
 	}
 	if werr == nil {

@@ -166,7 +166,7 @@ func TestWireVersionNegotiationAgainstServer(t *testing.T) {
 		t.Fatalf("server answered v%d to a v9 offer, want v%d", v, wire.Version)
 	}
 	// The session is usable at the negotiated version.
-	frame := wire.AppendRequest(nil, &wire.Request{ID: 1, Src: 0, Dst: 5})
+	frame := wire.AppendRequestV(nil, &wire.Request{ID: 1, Src: 0, Dst: 5}, v)
 	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestWireVersionNegotiationAgainstServer(t *testing.T) {
 		t.Fatalf("next = type %#x err %v", typ, err)
 	}
 	var resp wire.Response
-	if err := wire.ParseResponse(body, &resp); err != nil {
+	if err := wire.ParseResponseV(body, &resp, v); err != nil {
 		t.Fatal(err)
 	}
 	if resp.ID != 1 || resp.Status != http.StatusOK {
@@ -364,10 +364,16 @@ func TestWireServeAllocFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc pin needs a quiet heap")
 	}
+	// A tracer with sampling off (the production default) must not cost the
+	// unsampled hot path anything: span ids ride the pooled slot as values.
+	tr := obs.NewTracer(nil, 64)
+	tr.SetSampleRate(0)
+	tr.SetFlight(obs.NewFlightRecorder(4))
 	addr, _, _, teardown := startWire(t,
 		// BatchWait 0 flushes immediately: the timer never arms, so the
 		// measurement has no timer-goroutine noise.
-		Config{PEs: 64, Shards: 1, BatchWait: 0}, WireConfig{MaxPipeline: 8})
+		Config{PEs: 64, Shards: 1, BatchWait: 0, Tracer: tr},
+		WireConfig{MaxPipeline: 8, Tracer: tr})
 	defer teardown()
 
 	c, err := wire.Dial(addr, 5*time.Second)
@@ -675,5 +681,43 @@ func BenchmarkWireServePipelined(b *testing.B) {
 func reportReqPerSec(b *testing.B) {
 	if d := b.Elapsed(); d > 0 {
 		b.ReportMetric(float64(b.N)/d.Seconds(), "req/s")
+	}
+}
+
+// brokenWriter fails every write, standing in for a connection the client
+// abandoned mid-pipeline.
+type brokenWriter struct{}
+
+func (brokenWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// A client that disconnects with answers still in flight must not leak
+// open traces: the writer can no longer deliver the frames, but the
+// requests did run, so their root spans still close and the flight
+// recorder finalizes their trees.
+func TestWriteLoopClosesSpansAfterWriteError(t *testing.T) {
+	tr := obs.NewTracer(nil, 64)
+	tr.SetSampleRate(1)
+	fr := obs.NewFlightRecorder(4)
+	tr.SetFlight(fr)
+	s := NewWireServer(nil, WireConfig{MaxPipeline: 2, Tracer: tr})
+	b := s.newBundle()
+	b.version = wire.VersionTrace
+	b.bw.Reset(brokenWriter{})
+
+	done := make(chan struct{})
+	go s.writeLoop(b, done)
+	for i := 0; i < 2; i++ {
+		wc := <-b.free
+		wc.isSet = false
+		wc.sp = tr.StartServer("wire.schedule", "serve", obs.SpanContext{})
+		wc.res = Result{Status: 200}
+		b.out <- wc // first one trips the flush error; second rides the dead path
+	}
+	b.out <- nil
+	<-done
+
+	snap := fr.Snapshot()
+	if snap.Finished != 2 || snap.OpenTraces != 0 {
+		t.Fatalf("finished=%d open=%d, want 2/0", snap.Finished, snap.OpenTraces)
 	}
 }

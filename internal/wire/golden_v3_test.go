@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRequestFrameGoldenV3 pins the v3 request layout byte for byte: the
+// v1/v2 fields followed by the trace block (trace, span, flags). An
+// untraced request carries three explicit zero bytes — the block is fixed
+// per version, never optional.
+func TestRequestFrameGoldenV3(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want []byte
+	}{
+		{
+			name: "untraced zero block",
+			req:  Request{ID: 1, Src: 3, Dst: 12},
+			// length=8 | type | id=1 | src=3 | dst=12 | deadline=0 |
+			// trace=0 | span=0 | flags=0
+			want: []byte{0x08, 0x01, 0x01, 0x03, 0x0c, 0x00, 0x00, 0x00, 0x00},
+		},
+		{
+			name: "sampled trace context",
+			req:  Request{ID: 1, Src: 3, Dst: 12, Trace: 128, Span: 1, Flags: FlagSampled},
+			// length=9 | type | id=1 | src=3 | dst=12 | deadline=0 |
+			// trace=128 (0x80 0x01) | span=1 | flags=1
+			want: []byte{0x09, 0x01, 0x01, 0x03, 0x0c, 0x00, 0x80, 0x01, 0x01, 0x01},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AppendRequestV(nil, &tc.req, VersionTrace)
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("AppendRequestV(%+v, v3) = % x, want % x", tc.req, got, tc.want)
+			}
+			typ, body, n, err := DecodeFrame(got)
+			if err != nil || typ != TypeRequest || n != len(got) {
+				t.Fatalf("DecodeFrame: typ=%#x n=%d err=%v", typ, n, err)
+			}
+			var back Request
+			if err := ParseRequestV(body, &back, VersionTrace); err != nil {
+				t.Fatalf("ParseRequestV: %v", err)
+			}
+			if back != tc.req {
+				t.Fatalf("roundtrip: got %+v, want %+v", back, tc.req)
+			}
+			// A v2 parser must reject the same body: the trace block reads
+			// as trailing garbage, never as silent truncation.
+			if err := ParseRequestV(body, &back, VersionSets); !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("v2 parse of v3 body: %v, want ErrBadFrame", err)
+			}
+		})
+	}
+}
+
+// TestResponseFrameGoldenV3 pins the v3 response layout: the trace-id
+// uvarint sits between latency_rounds and errlen.
+func TestResponseFrameGoldenV3(t *testing.T) {
+	resp := Response{ID: 1, Status: 200, Shard: 0, Arrival: 1,
+		Dispatched: 2, Finished: 6, LatencyRounds: 5, Trace: 7}
+	// length=11 | type | id=1 | status=200 (0xc8 0x01) | shard=0 |
+	// arrival=1 (zigzag 0x02) | dispatched=2 (0x04) | finished=6 (0x0c) |
+	// latency=5 (0x0a) | trace=7 | errlen=0
+	want := []byte{0x0b, 0x02, 0x01, 0xc8, 0x01, 0x00, 0x02, 0x04, 0x0c, 0x0a, 0x07, 0x00}
+	got := AppendResponseV(nil, &resp, VersionTrace)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendResponseV(v3) = % x, want % x", got, want)
+	}
+	_, body, _, err := DecodeFrame(got)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	var back Response
+	if err := ParseResponseV(body, &back, VersionTrace); err != nil {
+		t.Fatalf("ParseResponseV: %v", err)
+	}
+	if back != resp {
+		t.Fatalf("roundtrip: got %+v, want %+v", back, resp)
+	}
+
+	// The same answer on a v2 session is byte-identical to the pre-trace
+	// format: the trace id is dropped, not smuggled.
+	v2 := AppendResponseV(nil, &resp, VersionSets)
+	wantV2 := []byte{0x0a, 0x02, 0x01, 0xc8, 0x01, 0x00, 0x02, 0x04, 0x0c, 0x0a, 0x00}
+	if !bytes.Equal(v2, wantV2) {
+		t.Fatalf("AppendResponseV(v2) = % x, want % x", v2, wantV2)
+	}
+}
+
+// TestSetRequestFrameGoldenV3 pins the v3 set-request layout: the trace
+// block follows the pair list.
+func TestSetRequestFrameGoldenV3(t *testing.T) {
+	req := SetRequest{ID: 1, N: 16, Pairs: [][2]int{{0, 8}, {9, 1}},
+		Trace: 5, Span: 2, Flags: FlagSampled}
+	// length=11 | type | id=1 | n=16 | count=2 | 0 8 | 9 1 | trace=5 |
+	// span=2 | flags=1
+	want := []byte{0x0b, 0x03, 0x01, 0x10, 0x02, 0x00, 0x08, 0x09, 0x01, 0x05, 0x02, 0x01}
+	got, err := AppendSetRequestV(nil, &req, VersionTrace)
+	if err != nil {
+		t.Fatalf("AppendSetRequestV: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendSetRequestV(v3) = % x, want % x", got, want)
+	}
+	_, body, _, err := DecodeFrame(got)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	var back SetRequest
+	if err := ParseSetRequestV(body, &back, VersionTrace); err != nil {
+		t.Fatalf("ParseSetRequestV: %v", err)
+	}
+	if back.Trace != 5 || back.Span != 2 || back.Flags != FlagSampled {
+		t.Fatalf("trace block lost: %+v", back)
+	}
+	if err := ParseSetRequestV(body, &back, VersionSets); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("v2 parse of v3 set body: %v, want ErrBadFrame", err)
+	}
+}
+
+// TestSetResponseFrameGoldenV3 pins the v3 set-response layout: the
+// trace-id uvarint sits between strategy and errlen.
+func TestSetResponseFrameGoldenV3(t *testing.T) {
+	resp := SetResponse{ID: 3, Status: 200, Rounds: 4, Bound: 5, Width: 2,
+		Batches: 2, Residual: 1, Units: 33, Strategy: StrategyPeel, Trace: 9}
+	// length=13 | type | id=3 | status=200 (0xc8 0x01) | rounds=4 |
+	// bound=5 | width=2 | batches=2 | residual=1 | units=33 | strategy=1 |
+	// trace=9 | errlen=0
+	want := []byte{0x0d, 0x04, 0x03, 0xc8, 0x01, 0x04, 0x05, 0x02, 0x02, 0x01, 0x21, 0x01, 0x09, 0x00}
+	got := AppendSetResponseV(nil, &resp, VersionTrace)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendSetResponseV(v3) = % x, want % x", got, want)
+	}
+	_, body, _, err := DecodeFrame(got)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	var back SetResponse
+	if err := ParseSetResponseV(body, &back, VersionTrace); err != nil {
+		t.Fatalf("ParseSetResponseV: %v", err)
+	}
+	if back != resp {
+		t.Fatalf("roundtrip: got %+v, want %+v", back, resp)
+	}
+}
+
+// TestVersionNegotiationMatrix drives every client-offer × server-local
+// version pair through a live handshake and one pipelined request: the
+// session must settle on min(offer, local), frame in exactly that
+// version's layout, and carry trace context only at v3×v3.
+func TestVersionNegotiationMatrix(t *testing.T) {
+	serve := func(conn net.Conn, local uint8) {
+		defer conn.Close()
+		hello := make([]byte, HandshakeBytes)
+		if _, err := io.ReadFull(conn, hello); err != nil {
+			return
+		}
+		offered, err := ParseHello(hello)
+		if err != nil {
+			return
+		}
+		session := Negotiate(offered, local)
+		if _, err := conn.Write(AppendHello(nil, session)); err != nil {
+			return
+		}
+		r := NewReader(conn)
+		var req Request
+		var out []byte
+		for {
+			typ, body, err := r.Next()
+			if err != nil || typ != TypeRequest {
+				return
+			}
+			if err := ParseRequestV(body, &req, session); err != nil {
+				return
+			}
+			// Echo the parsed trace id +1 so the client can tell "server
+			// saw my context" from "field defaulted to zero".
+			resp := Response{ID: req.ID, Status: 200}
+			if req.Trace != 0 {
+				resp.Trace = req.Trace + 1
+			}
+			out = AppendResponseV(out[:0], &resp, session)
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		}
+	}
+
+	for _, server := range []uint8{1, 2, 3} {
+		for _, client := range []uint8{1, 2, 3} {
+			session := client
+			if server < client {
+				session = server
+			}
+			cli, srv := net.Pipe()
+			go serve(srv, server)
+			c, err := NewClientConnVersion(cli, time.Second, client)
+			if err != nil {
+				t.Fatalf("client v%d × server v%d: handshake: %v", client, server, err)
+			}
+			if c.ProtocolVersion() != session {
+				t.Fatalf("client v%d × server v%d: negotiated v%d, want v%d",
+					client, server, c.ProtocolVersion(), session)
+			}
+			req := Request{ID: 7, Src: 1, Dst: 2, Trace: 0xab, Span: 0x1, Flags: FlagSampled}
+			if err := c.Send(&req); err != nil {
+				t.Fatalf("v%d×v%d: Send: %v", client, server, err)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatalf("v%d×v%d: Flush: %v", client, server, err)
+			}
+			var resp Response
+			if err := c.Recv(&resp); err != nil {
+				t.Fatalf("v%d×v%d: Recv: %v", client, server, err)
+			}
+			if resp.ID != 7 || resp.Status != 200 {
+				t.Fatalf("v%d×v%d: resp %+v", client, server, resp)
+			}
+			wantTrace := uint64(0)
+			if session >= VersionTrace {
+				wantTrace = 0xab + 1
+			}
+			if resp.Trace != wantTrace {
+				t.Fatalf("v%d×v%d: resp.Trace = %#x, want %#x", client, server, resp.Trace, wantTrace)
+			}
+			c.Close()
+		}
+	}
+}

@@ -35,6 +35,20 @@
 // caps a v2 set at roughly MaxFrameBytes/4 communications for multi-byte
 // PE indices — far above the fabric sizes cstserved runs.
 //
+// Protocol version 3 adds span-trace context so one request's span tree
+// survives the protocol hop (see internal/obs). On a v3 session every
+// request and set-request body carries a trailing trace block and every
+// response carries the server-assigned trace id:
+//
+//	reqtrace  := trace:uvarint span:uvarint flags:uint8     (after deadline_ms / pairs)
+//	resptrace := trace:uvarint                              (before errlen)
+//
+// flags bit 0 = sampled. An untraced request sends three zero bytes — the
+// layout is fixed per version, never optional, so v3 parsing stays
+// deterministic and the unsampled hot path stays allocation-free. v1/v2
+// sessions are byte-identical to before: the codecs take the negotiated
+// version and only read or write the trace block at v3+.
+//
 // The id correlates pipelined requests with their answers: responses may
 // return out of submission order (conflict-deferred waves and deadline
 // expiries reorder), so clients must match on id, never on arrival order.
@@ -61,10 +75,14 @@ import (
 const (
 	// Magic opens both handshake directions.
 	Magic = "CSTW"
-	// Version is the current protocol revision: v2 adds the set frames.
-	Version = 2
+	// Version is the current protocol revision: v3 adds span-trace
+	// context to every frame.
+	Version = 3
 	// VersionSets is the first revision that speaks the set frames.
 	VersionSets = 2
+	// VersionTrace is the first revision whose frames carry span-trace
+	// context blocks.
+	VersionTrace = 3
 	// MaxFrameBytes bounds a frame payload. Requests are ~6 bytes and
 	// responses ~20 plus a short error string; anything larger is a
 	// corrupt or hostile stream.
@@ -83,6 +101,13 @@ const (
 	TypeSetRequest = 0x03
 	// TypeSetResponse frames a whole-set answer (v2+).
 	TypeSetResponse = 0x04
+)
+
+// Trace-block flag bits (v3+).
+const (
+	// FlagSampled marks the request's trace as sampled: the server must
+	// record spans for it regardless of its own head-sampling rate.
+	FlagSampled = 0x01
 )
 
 // Strategy codes a SetResponse carries (matching internal/hybrid's
@@ -123,6 +148,12 @@ type Request struct {
 	ID         uint64
 	Src, Dst   int
 	DeadlineMS int64
+	// Trace/Span/Flags are the propagated span-trace context (v3+; zero =
+	// untraced). Flags bit 0 (FlagSampled) forces server-side sampling so
+	// a client-initiated trace stays connected across the hop.
+	Trace uint64
+	Span  uint64
+	Flags uint8
 }
 
 // Deadline converts DeadlineMS to a duration (0 means the server default).
@@ -143,6 +174,9 @@ type Response struct {
 	Finished      int
 	LatencyRounds int
 	Err           string
+	// Trace is the server-assigned trace id (v3+; zero when the request
+	// was not sampled) — the handle for /trace/flight lookups.
+	Trace uint64
 }
 
 // SetRequest is one whole-set scheduling request (protocol v2+): plan the
@@ -156,6 +190,10 @@ type SetRequest struct {
 	N int
 	// Pairs are the (src, dst) communications.
 	Pairs [][2]int
+	// Trace/Span/Flags are the propagated span-trace context (v3+).
+	Trace uint64
+	Span  uint64
+	Flags uint8
 }
 
 // SetResponse is the terminal answer for set request ID. Status reuses the
@@ -173,14 +211,23 @@ type SetResponse struct {
 	Units    int64
 	Strategy uint8
 	Err      string
+	// Trace is the server-assigned trace id (v3+; zero when unsampled).
+	Trace uint64
 }
 
 // AppendRequest appends a complete request frame (length prefix included)
-// to buf and returns the extended slice. It never allocates when buf has
+// to buf in the pre-trace (v1/v2) layout. It never allocates when buf has
 // capacity. Negative Src/Dst are encoded as large uvarints and rejected by
 // the receiver's range check.
 func AppendRequest(buf []byte, r *Request) []byte {
-	var body [1 + 4*binary.MaxVarintLen64]byte
+	return AppendRequestV(buf, r, VersionSets)
+}
+
+// AppendRequestV appends a complete request frame in the layout of the
+// negotiated protocol version: at VersionTrace+ the body ends with the
+// trace block (zeros when untraced — the layout is fixed per version).
+func AppendRequestV(buf []byte, r *Request, version uint8) []byte {
+	var body [2 + 6*binary.MaxVarintLen64]byte
 	n := 0
 	body[n] = TypeRequest
 	n++
@@ -188,20 +235,34 @@ func AppendRequest(buf []byte, r *Request) []byte {
 	n += binary.PutUvarint(body[n:], uint64(uint(r.Src)))
 	n += binary.PutUvarint(body[n:], uint64(uint(r.Dst)))
 	n += binary.PutUvarint(body[n:], uint64(r.DeadlineMS))
+	if version >= VersionTrace {
+		n += binary.PutUvarint(body[n:], r.Trace)
+		n += binary.PutUvarint(body[n:], r.Span)
+		body[n] = r.Flags
+		n++
+	}
 	buf = binary.AppendUvarint(buf, uint64(n))
 	return append(buf, body[:n]...)
 }
 
-// AppendResponse appends a complete response frame to buf and returns the
-// extended slice. An Err longer than the frame budget is truncated rather
-// than rejected — the status code already carries the outcome.
+// AppendResponse appends a complete response frame to buf in the
+// pre-trace (v1/v2) layout. An Err longer than the frame budget is
+// truncated rather than rejected — the status code already carries the
+// outcome.
 func AppendResponse(buf []byte, r *Response) []byte {
+	return AppendResponseV(buf, r, VersionSets)
+}
+
+// AppendResponseV appends a complete response frame in the layout of the
+// negotiated protocol version: at VersionTrace+ a trace-id uvarint sits
+// between latency_rounds and errlen.
+func AppendResponseV(buf []byte, r *Response, version uint8) []byte {
 	const maxErr = MaxFrameBytes / 2
 	errStr := r.Err
 	if len(errStr) > maxErr {
 		errStr = errStr[:maxErr]
 	}
-	var body [1 + 7*binary.MaxVarintLen64]byte
+	var body [1 + 8*binary.MaxVarintLen64]byte
 	n := 0
 	body[n] = TypeResponse
 	n++
@@ -212,18 +273,28 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	n += binary.PutVarint(body[n:], int64(r.Dispatched))
 	n += binary.PutVarint(body[n:], int64(r.Finished))
 	n += binary.PutVarint(body[n:], int64(r.LatencyRounds))
+	if version >= VersionTrace {
+		n += binary.PutUvarint(body[n:], r.Trace)
+	}
 	n += binary.PutUvarint(body[n:], uint64(len(errStr)))
 	buf = binary.AppendUvarint(buf, uint64(n+len(errStr)))
 	buf = append(buf, body[:n]...)
 	return append(buf, errStr...)
 }
 
-// AppendSetRequest appends a complete set-request frame to buf and returns
-// the extended slice, or an error when the set cannot fit MaxFrameBytes —
-// the frame bound is the protocol's set size limit, checked before any
-// bytes are emitted.
+// AppendSetRequest appends a complete set-request frame to buf in the v2
+// layout, or an error when the set cannot fit MaxFrameBytes — the frame
+// bound is the protocol's set size limit, checked before any bytes are
+// emitted.
 func AppendSetRequest(buf []byte, r *SetRequest) ([]byte, error) {
-	body := make([]byte, 0, 1+(3+2*len(r.Pairs))*binary.MaxVarintLen64)
+	return AppendSetRequestV(buf, r, VersionSets)
+}
+
+// AppendSetRequestV appends a complete set-request frame in the layout of
+// the negotiated protocol version: at VersionTrace+ the trace block
+// follows the pair list.
+func AppendSetRequestV(buf []byte, r *SetRequest, version uint8) ([]byte, error) {
+	body := make([]byte, 0, 2+(5+2*len(r.Pairs))*binary.MaxVarintLen64)
 	body = append(body, TypeSetRequest)
 	body = binary.AppendUvarint(body, r.ID)
 	body = binary.AppendUvarint(body, uint64(uint(r.N)))
@@ -232,6 +303,11 @@ func AppendSetRequest(buf []byte, r *SetRequest) ([]byte, error) {
 		body = binary.AppendUvarint(body, uint64(uint(p[0])))
 		body = binary.AppendUvarint(body, uint64(uint(p[1])))
 	}
+	if version >= VersionTrace {
+		body = binary.AppendUvarint(body, r.Trace)
+		body = binary.AppendUvarint(body, r.Span)
+		body = append(body, r.Flags)
+	}
 	if len(body) > MaxFrameBytes {
 		return buf, fmt.Errorf("%w: set request needs %d bytes", ErrFrameTooLarge, len(body))
 	}
@@ -239,16 +315,22 @@ func AppendSetRequest(buf []byte, r *SetRequest) ([]byte, error) {
 	return append(buf, body...), nil
 }
 
-// AppendSetResponse appends a complete set-response frame to buf and
-// returns the extended slice. Oversized error strings are truncated like
-// AppendResponse's.
+// AppendSetResponse appends a complete set-response frame to buf in the
+// v2 layout. Oversized error strings are truncated like AppendResponse's.
 func AppendSetResponse(buf []byte, r *SetResponse) []byte {
+	return AppendSetResponseV(buf, r, VersionSets)
+}
+
+// AppendSetResponseV appends a complete set-response frame in the layout
+// of the negotiated protocol version: at VersionTrace+ a trace-id uvarint
+// sits between strategy and errlen.
+func AppendSetResponseV(buf []byte, r *SetResponse, version uint8) []byte {
 	const maxErr = MaxFrameBytes / 2
 	errStr := r.Err
 	if len(errStr) > maxErr {
 		errStr = errStr[:maxErr]
 	}
-	var body [2 + 8*binary.MaxVarintLen64]byte
+	var body [2 + 9*binary.MaxVarintLen64]byte
 	n := 0
 	body[n] = TypeSetResponse
 	n++
@@ -262,17 +344,26 @@ func AppendSetResponse(buf []byte, r *SetResponse) []byte {
 	n += binary.PutUvarint(body[n:], uint64(r.Units))
 	body[n] = r.Strategy
 	n++
+	if version >= VersionTrace {
+		n += binary.PutUvarint(body[n:], r.Trace)
+	}
 	n += binary.PutUvarint(body[n:], uint64(len(errStr)))
 	buf = binary.AppendUvarint(buf, uint64(n+len(errStr)))
 	buf = append(buf, body[:n]...)
 	return append(buf, errStr...)
 }
 
-// ParseSetRequest decodes a set-request body (as returned by DecodeFrame
-// for TypeSetRequest) into req. The pair slice is reused when it has
-// capacity. The claimed pair count is checked against the remaining bytes
-// (each pair needs at least two) before any allocation sized by it.
+// ParseSetRequest decodes a v2-layout set-request body (as returned by
+// DecodeFrame for TypeSetRequest) into req. The pair slice is reused when
+// it has capacity. The claimed pair count is checked against the remaining
+// bytes (each pair needs at least two) before any allocation sized by it.
 func ParseSetRequest(body []byte, req *SetRequest) error {
+	return ParseSetRequestV(body, req, VersionSets)
+}
+
+// ParseSetRequestV decodes a set-request body in the layout of the
+// negotiated protocol version (trace block at VersionTrace+).
+func ParseSetRequestV(body []byte, req *SetRequest, version uint8) error {
 	id, rest, err := uvarintField(body, "id")
 	if err != nil {
 		return err
@@ -312,16 +403,44 @@ func ParseSetRequest(body []byte, req *SetRequest) error {
 		}
 		req.Pairs[i] = [2]int{int(src), int(dst)}
 	}
+	req.Trace, req.Span, req.Flags = 0, 0, 0
+	if version >= VersionTrace {
+		if req.Trace, req.Span, req.Flags, rest, err = traceBlock(rest); err != nil {
+			return err
+		}
+	}
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes after set request", ErrBadFrame, len(rest))
 	}
 	return nil
 }
 
-// ParseSetResponse decodes a set-response body (as returned by DecodeFrame
-// for TypeSetResponse) into resp. It allocates only for a non-empty error
-// string.
+// traceBlock reads the v3 request trace block (trace, span, flags).
+func traceBlock(b []byte) (trace, span uint64, flags uint8, rest []byte, err error) {
+	trace, rest, err = uvarintField(b, "trace")
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	span, rest, err = uvarintField(rest, "span")
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if len(rest) == 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: field flags", ErrTruncated)
+	}
+	return trace, span, rest[0], rest[1:], nil
+}
+
+// ParseSetResponse decodes a v2-layout set-response body (as returned by
+// DecodeFrame for TypeSetResponse) into resp. It allocates only for a
+// non-empty error string.
 func ParseSetResponse(body []byte, resp *SetResponse) error {
+	return ParseSetResponseV(body, resp, VersionSets)
+}
+
+// ParseSetResponseV decodes a set-response body in the layout of the
+// negotiated protocol version (trace id at VersionTrace+).
+func ParseSetResponseV(body []byte, resp *SetResponse, version uint8) error {
 	id, rest, err := uvarintField(body, "id")
 	if err != nil {
 		return err
@@ -351,6 +470,12 @@ func ParseSetResponse(body []byte, resp *SetResponse) error {
 	if strategy > StrategyColoring {
 		return fmt.Errorf("%w: strategy code %d", ErrBadFrame, strategy)
 	}
+	var trace uint64
+	if version >= VersionTrace {
+		if trace, rest, err = uvarintField(rest, "trace"); err != nil {
+			return err
+		}
+	}
 	errLen, rest, err := uvarintField(rest, "errlen")
 	if err != nil {
 		return err
@@ -367,6 +492,7 @@ func ParseSetResponse(body []byte, resp *SetResponse) error {
 	resp.Residual = int(fields[5])
 	resp.Units = int64(units)
 	resp.Strategy = strategy
+	resp.Trace = trace
 	if errLen == 0 {
 		resp.Err = ""
 	} else {
@@ -429,10 +555,16 @@ func badVarintErr(b []byte, n int) error {
 	return ErrBadFrame
 }
 
-// ParseRequest decodes a request body (as returned by DecodeFrame for
-// TypeRequest) into req without allocating. The body must be exactly one
-// request: trailing bytes are ErrBadFrame.
+// ParseRequest decodes a v1/v2-layout request body (as returned by
+// DecodeFrame for TypeRequest) into req without allocating. The body must
+// be exactly one request: trailing bytes are ErrBadFrame.
 func ParseRequest(body []byte, req *Request) error {
+	return ParseRequestV(body, req, VersionSets)
+}
+
+// ParseRequestV decodes a request body in the layout of the negotiated
+// protocol version (trace block at VersionTrace+) without allocating.
+func ParseRequestV(body []byte, req *Request, version uint8) error {
 	id, rest, err := uvarintField(body, "id")
 	if err != nil {
 		return err
@@ -449,6 +581,13 @@ func ParseRequest(body []byte, req *Request) error {
 	if err != nil {
 		return err
 	}
+	var trace, span uint64
+	var flags uint8
+	if version >= VersionTrace {
+		if trace, span, flags, rest, err = traceBlock(rest); err != nil {
+			return err
+		}
+	}
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes after request", ErrBadFrame, len(rest))
 	}
@@ -462,12 +601,22 @@ func ParseRequest(body []byte, req *Request) error {
 	req.Src = int(src)
 	req.Dst = int(dst)
 	req.DeadlineMS = int64(dl)
+	req.Trace = trace
+	req.Span = span
+	req.Flags = flags
 	return nil
 }
 
-// ParseResponse decodes a response body (as returned by DecodeFrame for
-// TypeResponse) into resp. It allocates only for a non-empty error string.
+// ParseResponse decodes a v1/v2-layout response body (as returned by
+// DecodeFrame for TypeResponse) into resp. It allocates only for a
+// non-empty error string.
 func ParseResponse(body []byte, resp *Response) error {
+	return ParseResponseV(body, resp, VersionSets)
+}
+
+// ParseResponseV decodes a response body in the layout of the negotiated
+// protocol version (trace id at VersionTrace+).
+func ParseResponseV(body []byte, resp *Response, version uint8) error {
 	id, rest, err := uvarintField(body, "id")
 	if err != nil {
 		return err
@@ -489,6 +638,12 @@ func ParseResponse(body []byte, resp *Response) error {
 			return fmt.Errorf("%w: field %s out of range", ErrBadFrame, name)
 		}
 	}
+	var trace uint64
+	if version >= VersionTrace {
+		if trace, rest, err = uvarintField(rest, "trace"); err != nil {
+			return err
+		}
+	}
 	errLen, rest, err := uvarintField(rest, "errlen")
 	if err != nil {
 		return err
@@ -503,6 +658,7 @@ func ParseResponse(body []byte, resp *Response) error {
 	resp.Dispatched = int(fields[2])
 	resp.Finished = int(fields[3])
 	resp.LatencyRounds = int(fields[4])
+	resp.Trace = trace
 	if errLen == 0 {
 		resp.Err = ""
 	} else {
@@ -616,9 +772,16 @@ func Dial(addr string, timeout time.Duration) (*ClientConn, error) {
 }
 
 // NewClientConn performs the client handshake over an established
-// connection (handy for tests over in-memory pipes). The timeout bounds
-// the handshake only.
+// connection (handy for tests over in-memory pipes), offering the newest
+// protocol version. The timeout bounds the handshake only.
 func NewClientConn(conn net.Conn, timeout time.Duration) (*ClientConn, error) {
+	return NewClientConnVersion(conn, timeout, Version)
+}
+
+// NewClientConnVersion performs the client handshake offering a specific
+// protocol version — the knob behind the version-negotiation matrix tests
+// and staged downgrades. The session settles on min(offer, server).
+func NewClientConnVersion(conn net.Conn, timeout time.Duration, offer uint8) (*ClientConn, error) {
 	c := &ClientConn{
 		conn: conn,
 		r:    NewReader(conn),
@@ -628,7 +791,7 @@ func NewClientConn(conn net.Conn, timeout time.Duration) (*ClientConn, error) {
 		_ = conn.SetDeadline(time.Now().Add(timeout))
 		defer func() { _ = conn.SetDeadline(time.Time{}) }()
 	}
-	c.scratch = AppendHello(c.scratch[:0], Version)
+	c.scratch = AppendHello(c.scratch[:0], offer)
 	if _, err := conn.Write(c.scratch); err != nil {
 		return nil, fmt.Errorf("wire: handshake write: %w", err)
 	}
@@ -640,8 +803,8 @@ func NewClientConn(conn net.Conn, timeout time.Duration) (*ClientConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v > Version {
-		return nil, fmt.Errorf("%w: server answered v%d, newest known is v%d", ErrVersion, v, Version)
+	if v > offer {
+		return nil, fmt.Errorf("%w: server answered v%d, offered v%d", ErrVersion, v, offer)
 	}
 	c.version = v
 	return c, nil
@@ -650,9 +813,10 @@ func NewClientConn(conn net.Conn, timeout time.Duration) (*ClientConn, error) {
 // ProtocolVersion returns the negotiated protocol version.
 func (c *ClientConn) ProtocolVersion() uint8 { return c.version }
 
-// Send buffers one request frame; call Flush before blocking on Recv.
+// Send buffers one request frame in the session's negotiated layout; call
+// Flush before blocking on Recv.
 func (c *ClientConn) Send(req *Request) error {
-	c.scratch = AppendRequest(c.scratch[:0], req)
+	c.scratch = AppendRequestV(c.scratch[:0], req, c.version)
 	_, err := c.bw.Write(c.scratch)
 	return err
 }
@@ -666,7 +830,7 @@ func (c *ClientConn) SendSet(req *SetRequest) error {
 			ErrVersion, VersionSets, c.version)
 	}
 	var err error
-	c.scratch, err = AppendSetRequest(c.scratch[:0], req)
+	c.scratch, err = AppendSetRequestV(c.scratch[:0], req, c.version)
 	if err != nil {
 		return err
 	}
@@ -683,7 +847,7 @@ func (c *ClientConn) RecvSet(resp *SetResponse) error {
 	if typ != TypeSetResponse {
 		return fmt.Errorf("%w: 0x%02x where a set response was expected", ErrUnknownType, typ)
 	}
-	return ParseSetResponse(body, resp)
+	return ParseSetResponseV(body, resp, c.version)
 }
 
 // Flush pushes buffered frames onto the wire.
@@ -699,7 +863,7 @@ func (c *ClientConn) Recv(resp *Response) error {
 	if typ != TypeResponse {
 		return fmt.Errorf("%w: 0x%02x where a response was expected", ErrUnknownType, typ)
 	}
-	return ParseResponse(body, resp)
+	return ParseResponseV(body, resp, c.version)
 }
 
 // Close tears the connection down.
