@@ -8,6 +8,7 @@
 // Subcommands:
 //
 //	cstlab sweep   -n 32,64,128 -w 2,8 -engines padr,sim,online -ledger BENCH_ledger.jsonl
+//	cstlab delta   -n 1024 -active 64 -overlaps 0.5,0.75,0.9 -ledger BENCH_ledger.jsonl
 //	cstlab check   -ledger BENCH_ledger.jsonl
 //	cstlab predict -engine padr -workload chain -n 256 -w 16
 //
@@ -35,6 +36,8 @@ func main() {
 	switch os.Args[1] {
 	case "sweep":
 		code = runSweep(os.Args[2:], os.Stdout, os.Stderr)
+	case "delta":
+		code = runDelta(os.Args[2:], os.Stdout, os.Stderr)
 	case "check":
 		code = runCheck(os.Args[2:], os.Stdout, os.Stderr)
 	case "predict":
@@ -53,6 +56,7 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage: cstlab <subcommand> [flags]
 
   sweep    run a parameter sweep, compare measured vs predicted, append to the ledger
+  delta    sweep the incremental scheduler over set-overlap ratios, gate the 2x speedup
   check    replay the ledger and gate on regressions, exact mismatches and bound excesses
   predict  print the analytical twin's closed forms for one grid point
 `)
@@ -140,6 +144,75 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stderr, "cstlab: sweep ok — all measurements match the analytical twin")
 	return 0
+}
+
+func runDelta(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cstlab delta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n        = fs.Int("n", 1024, "leaf count (power of two)")
+		active   = fs.Int("active", 64, "occupied 4-leaf slots in the session set (<= n/4)")
+		overlaps = fs.String("overlaps", "0.5,0.75,0.9", "comma-separated set-overlap ratios")
+		phases   = fs.Int("phases", 8, "deltas chained per overlap point")
+		reps     = fs.Int("reps", 5, "timed laps per overlap point (median is reported)")
+		seed     = fs.Int64("seed", 42, "mutation-stream seed")
+		ledger   = fs.String("ledger", "", "append results to this JSONL ledger")
+		label    = fs.String("label", "", "free-form label stamped onto ledger entries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ovs, err := parseFloats(*overlaps)
+	if err != nil {
+		fmt.Fprintf(stderr, "cstlab: -overlaps: %v\n", err)
+		return 2
+	}
+
+	res, err := lab.RunDeltaSweep(lab.DeltaSweepConfig{
+		N: *n, Active: *active, Overlaps: ovs,
+		Phases: *phases, Reps: *reps, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "cstlab:", err)
+		return 2
+	}
+	fmt.Fprintln(stdout, res.Table())
+
+	if *ledger != "" {
+		stamp := lab.NewStamp("cstlab", *label)
+		entries := make([]lab.Entry, 0)
+		for _, e := range res.Entries() {
+			entries = append(entries, stamp.Apply(e))
+		}
+		if err := lab.Append(*ledger, entries); err != nil {
+			fmt.Fprintln(stderr, "cstlab:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cstlab: appended %d entries to %s\n", len(entries), *ledger)
+	}
+
+	if !res.Ok() {
+		fmt.Fprintln(stderr, "cstlab: delta sweep FAILED — rounds mismatch, speedup gate missed, or latency out of band")
+		return 1
+	}
+	fmt.Fprintln(stderr, "cstlab: delta sweep ok — incremental schedules match from-scratch and meet the speedup gate")
+	return 0
+}
+
+// parseFloats parses a comma-separated float list ("0.5,0.9").
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func runCheck(args []string, stdout, stderr io.Writer) int {

@@ -24,6 +24,13 @@
 // ("random"). Bench lines switch to a Hybrid prefix (BenchmarkHybrid*,
 // BenchmarkHybridWire*) so set planning tracks as its own ledger series.
 //
+// With -delta-workload each client opens one long-lived delta session
+// (session ids spread across the server's pinned shards) and streams
+// incremental mutations against it — POST /schedule-delta over HTTP, v4
+// delta frames in wire mode. -delta-overlap sets how much of the session
+// set survives each delta (0.9 = 10% churn). Bench lines use a Delta
+// prefix (BenchmarkDelta*, BenchmarkDeltaWire*).
+//
 // Examples:
 //
 //	cstload -addr http://127.0.0.1:8080 -clients 8 -duration 5s
@@ -31,6 +38,8 @@
 //	cstload -wire 127.0.0.1:8081 -clients 4 -pipeline 16 -requests 2000
 //	cstload -addr http://127.0.0.1:8080 -set-workload crossing -set-size 8 -requests 200
 //	cstload -wire 127.0.0.1:8081 -set-workload bitrev -requests 200
+//	cstload -addr http://127.0.0.1:8080 -delta-workload -delta-overlap 0.9 -requests 500
+//	cstload -wire 127.0.0.1:8081 -delta-workload -requests 500
 package main
 
 import (
@@ -54,17 +63,19 @@ import (
 )
 
 type loadOptions struct {
-	addr        string
-	wireAddr    string
-	pipeline    int
-	clients     int
-	duration    time.Duration
-	requests    int
-	pes         int
-	deadlineMS  int64
-	seed        int64
-	setWorkload string
-	setSize     int
+	addr         string
+	wireAddr     string
+	pipeline     int
+	clients      int
+	duration     time.Duration
+	requests     int
+	pes          int
+	deadlineMS   int64
+	seed         int64
+	setWorkload  string
+	setSize      int
+	deltaMode    bool
+	deltaOverlap float64
 }
 
 func parseFlags(args []string) (loadOptions, error) {
@@ -81,6 +92,8 @@ func parseFlags(args []string) (loadOptions, error) {
 	fs.Int64Var(&o.seed, "seed", 1, "request-pattern seed")
 	fs.StringVar(&o.setWorkload, "set-workload", "", "submit whole sets to the hybrid planner: bitrev, crossing or random (empty = pair requests)")
 	fs.IntVar(&o.setSize, "set-size", 8, "communications per generated set (bitrev ignores this)")
+	fs.BoolVar(&o.deltaMode, "delta-workload", false, "drive session-scoped delta scheduling (POST /schedule-delta, or v4 delta frames in wire mode)")
+	fs.Float64Var(&o.deltaOverlap, "delta-overlap", 0.9, "delta mode: set overlap ratio between consecutive schedules (0 <= r < 1)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -98,6 +111,12 @@ func parseFlags(args []string) (loadOptions, error) {
 	if o.setSize <= 0 {
 		return o, fmt.Errorf("cstload: -set-size must be positive (got %d)", o.setSize)
 	}
+	if o.deltaMode && o.setWorkload != "" {
+		return o, fmt.Errorf("cstload: -delta-workload and -set-workload are mutually exclusive")
+	}
+	if o.deltaOverlap < 0 || o.deltaOverlap >= 1 {
+		return o, fmt.Errorf("cstload: -delta-overlap must be in [0, 1) (got %g)", o.deltaOverlap)
+	}
 	o.addr = strings.TrimRight(o.addr, "/")
 	return o, nil
 }
@@ -106,6 +125,7 @@ func parseFlags(args []string) (loadOptions, error) {
 type report struct {
 	Wire       bool
 	SetMode    bool
+	DeltaMode  bool
 	Elapsed    time.Duration
 	Scheduled  int // 2xx answers
 	Rejected   int // 429 backpressure
@@ -276,6 +296,62 @@ func (g *setGen) next() (*comm.Set, error) {
 	return nil, fmt.Errorf("cstload: unknown set workload %q", g.workload)
 }
 
+// deltaVariants are the four-leaf-slot communication shapes the delta
+// generator rotates through (the same alphabet as the lab's overlap
+// sweep, so client- and engine-side measurements describe one workload).
+var deltaVariants = [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}, {1, 3}}
+
+// deltaGen yields session mutations over a sparse slot set: the first
+// call opens the session with the full set, every later call rotates k
+// distinct slots to a new variant (k removes + k adds, where k is set by
+// the overlap ratio).
+type deltaGen struct {
+	rng          *rand.Rand
+	active, step int
+	k            int
+	cur          []int
+	opened       bool
+}
+
+func newDeltaGen(rng *rand.Rand, pes int, overlap float64) (*deltaGen, error) {
+	slots := pes / 4
+	if slots < 1 {
+		return nil, fmt.Errorf("cstload: delta workload needs at least 4 PEs (got %d)", pes)
+	}
+	active := slots
+	if active > 64 {
+		active = 64 // the sparse bench shape: disjoint dirty paths
+	}
+	k := int(float64(active)*(1-overlap) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	return &deltaGen{rng: rng, active: active, step: slots / active, k: k,
+		cur: make([]int, active)}, nil
+}
+
+func (g *deltaGen) base(i int) int { return 4 * i * g.step }
+
+func (g *deltaGen) next() (remove, add [][2]int) {
+	if !g.opened {
+		g.opened = true
+		for i := 0; i < g.active; i++ {
+			v := deltaVariants[g.cur[i]]
+			add = append(add, [2]int{g.base(i) + v[0], g.base(i) + v[1]})
+		}
+		return nil, add
+	}
+	// Distinct slots per delta: removes run before adds server-side.
+	for _, i := range g.rng.Perm(g.active)[:g.k] {
+		old := deltaVariants[g.cur[i]]
+		g.cur[i] = (g.cur[i] + 1 + g.rng.Intn(len(deltaVariants)-1)) % len(deltaVariants)
+		next := deltaVariants[g.cur[i]]
+		remove = append(remove, [2]int{g.base(i) + old[0], g.base(i) + old[1]})
+		add = append(add, [2]int{g.base(i) + next[0], g.base(i) + next[1]})
+	}
+	return remove, add
+}
+
 // pairGen yields seeded random (src, dst) pairs with src != dst.
 type pairGen struct {
 	rng *rand.Rand
@@ -334,6 +410,7 @@ func run(o loadOptions) (*report, error) {
 
 	budget := newBudgeter(o)
 	reports := make([]report, o.clients)
+	sessionBase := uint64(time.Now().UnixNano())
 	var wg sync.WaitGroup
 	start := time.Now()
 	for g := 0; g < o.clients; g++ {
@@ -352,6 +429,24 @@ func run(o loadOptions) (*report, error) {
 				}
 				return
 			}
+			if o.deltaMode {
+				gen, err := newDeltaGen(rng, o.pes, o.deltaOverlap)
+				if err != nil {
+					r.ConnErrors++
+					return
+				}
+				// Each client owns one session; consecutive ids spread the
+				// sessions across the server's pinned shards. The time-based
+				// base keeps back-to-back runs against one server from
+				// colliding with sessions a previous run left warm.
+				session := sessionBase + uint64(g)
+				if o.wireAddr != "" {
+					runWireDeltaClient(o, budget, gen, session, r)
+				} else {
+					runHTTPDeltaClient(o, budget, gen, session, r)
+				}
+				return
+			}
 			gen := &pairGen{rng: rng, pes: o.pes}
 			if o.wireAddr != "" {
 				runWireClient(o, budget, gen, r)
@@ -365,6 +460,7 @@ func run(o loadOptions) (*report, error) {
 	total := &report{
 		Wire:       o.wireAddr != "",
 		SetMode:    o.setWorkload != "",
+		DeltaMode:  o.deltaMode,
 		Elapsed:    time.Since(start),
 		Unexpected: make(map[int]int),
 	}
@@ -426,6 +522,94 @@ func runHTTPSetClient(o loadOptions, budget *budgeter, gen *setGen, r *report) {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		r.count(resp.StatusCode, time.Since(t0), headerTrace(resp.Header))
+	}
+}
+
+// runHTTPDeltaClient is the closed-loop delta client: one session, one
+// mutation in flight, POST /schedule-delta. A 400 on a warm session means
+// client and server state diverged — that is a run failure, not noise, so
+// it lands in Unexpected like any other non-2xx/429.
+func runHTTPDeltaClient(o loadOptions, budget *budgeter, gen *deltaGen, session uint64, r *report) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	type jsonComm struct {
+		Src int `json:"src"`
+		Dst int `json:"dst"`
+	}
+	pairs := func(ps [][2]int) []jsonComm {
+		out := make([]jsonComm, len(ps))
+		for i, p := range ps {
+			out[i] = jsonComm{Src: p[0], Dst: p[1]}
+		}
+		return out
+	}
+	for budget.take() {
+		remove, add := gen.next()
+		body, _ := json.Marshal(map[string]any{
+			"session": session, "remove": pairs(remove), "add": pairs(add),
+			"deadline_ms": o.deadlineMS,
+		})
+		t0 := time.Now()
+		resp, err := client.Post(o.addr+"/schedule-delta", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.ConnErrors++
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		r.count(resp.StatusCode, time.Since(t0), headerTrace(resp.Header))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// runWireDeltaClient drives one session's deltas over a persistent v4
+// wire connection, one in flight — a session's deltas are ordered on its
+// pinned shard, so pipelining them would only measure queueing.
+func runWireDeltaClient(o loadOptions, budget *budgeter, gen *deltaGen, session uint64, r *report) {
+	c, err := wire.Dial(o.wireAddr, 10*time.Second)
+	if err != nil {
+		r.ConnErrors++
+		return
+	}
+	defer c.Close()
+	if c.ProtocolVersion() < wire.VersionDelta {
+		fmt.Fprintf(os.Stderr, "cstload: server negotiated v%d, deltas need v%d\n",
+			c.ProtocolVersion(), wire.VersionDelta)
+		r.ConnErrors++
+		return
+	}
+
+	var req wire.DeltaRequest
+	var resp wire.DeltaResponse
+	id := uint64(1)
+	for budget.take() {
+		req.ID = id
+		id++
+		req.Session = session
+		req.DeadlineMS = o.deadlineMS
+		req.Remove, req.Add = gen.next()
+		t0 := time.Now()
+		if err := c.SendDelta(&req); err != nil {
+			r.ConnErrors++
+			return
+		}
+		if err := c.Flush(); err != nil {
+			r.ConnErrors++
+			return
+		}
+		if err := c.RecvDelta(&resp); err != nil {
+			r.ConnErrors++
+			return
+		}
+		if resp.ID != req.ID {
+			r.ConnErrors++
+			return
+		}
+		r.count(resp.Status, time.Since(t0), wireTrace(resp.Trace))
+		if resp.Status == http.StatusTooManyRequests {
+			time.Sleep(200 * time.Microsecond)
+		}
 	}
 }
 
@@ -558,8 +742,11 @@ func writeBench(w io.Writer, r *report) {
 		return
 	}
 	name := "BenchmarkServe"
-	if r.SetMode {
+	switch {
+	case r.SetMode:
 		name = "BenchmarkHybrid"
+	case r.DeltaMode:
+		name = "BenchmarkDelta"
 	}
 	if r.Wire {
 		name += "Wire"

@@ -790,6 +790,16 @@ type ServeSetResult = serve.SetResult
 // ServeSetComm is one communication inside a set request or planned round.
 type ServeSetComm = serve.SetComm
 
+// ServeScheduleDeltaRequest is the POST /schedule-delta payload: a
+// session-scoped mutation (removes then adds) of a long-lived set served
+// by the incremental scheduler.
+type ServeScheduleDeltaRequest = serve.ScheduleDeltaRequest
+
+// ServeDeltaResult is the terminal answer for one delta request: the
+// re-scheduled session's rounds/width/size, whether a from-scratch
+// fallback served it, and the HTTP status mapping.
+type ServeDeltaResult = serve.DeltaResult
+
 // NewServePool builds a scheduling pool; call Start to launch its workers
 // and Drain to shut it down without losing admitted requests.
 func NewServePool(cfg ServeConfig) (*ServePool, error) { return serve.New(cfg) }

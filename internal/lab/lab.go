@@ -27,6 +27,7 @@ package lab
 
 import (
 	"fmt"
+	"math"
 
 	"cst/internal/audit"
 	"cst/internal/stats"
@@ -45,6 +46,11 @@ const (
 	// an inequality (never worse than pure FirstFit coloring), so its
 	// rounds ledger entry is a bound, not an exact match.
 	EngineHybrid = "hybrid"
+	// EngineDelta is the incremental scheduler: padr.Engine.ApplyRounds
+	// over a long-lived session set. Its cost model is the point of the
+	// delta path — work scales with |delta|·log₂N (dirty root paths), not
+	// with N like a from-scratch run. Measurements come from RunDeltaSweep.
+	EngineDelta = "delta"
 )
 
 // Serving protocols as twin engines: client-observed request latency
@@ -162,6 +168,12 @@ func latFeatures(engine string, n, w, m int) []float64 {
 		return []float64{1, words, float64(w + 1)}
 	case EngineOnline, EngineOnlineSharded, EngineServeHTTP, EngineServeWire, EngineHybrid:
 		return []float64{1, words, float64(m)}
+	case EngineDelta:
+		// The incremental apply re-floats control words only along the
+		// mutated communications' root paths: m is |delta| and each dirty
+		// path is O(log N) nodes, so the work term is m·log₂N — crucially
+		// independent of the 2N−2 full-tree word count above.
+		return []float64{1, float64(m) * math.Log2(float64(n))}
 	default:
 		return []float64{1, words}
 	}
@@ -174,6 +186,8 @@ func latFeatureNames(engine string) []string {
 		return []string{"1", "words", "waves"}
 	case EngineOnline, EngineOnlineSharded, EngineServeHTTP, EngineServeWire, EngineHybrid:
 		return []string{"1", "words", "requests"}
+	case EngineDelta:
+		return []string{"1", "delta·log2N"}
 	default:
 		return []string{"1", "words"}
 	}

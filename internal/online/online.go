@@ -136,6 +136,12 @@ type Simulator struct {
 	// stats' append-only record lists.
 	takenCompleted   int
 	takenQuarantined int
+
+	// Delta sessions (see delta.go): long-lived sets scheduled
+	// incrementally on warm engines over private crossbars.
+	sessions map[uint64]*deltaSession
+	deltaCap int
+	dmet     deltaMetrics
 }
 
 // shardCtx is one pooled shard slot: an engine plus its crossbar view. The
@@ -259,12 +265,15 @@ func New(n int, opts ...Option) (*Simulator, error) {
 		switches: make([]*xbar.Switch, n),
 		busyPE:   make([]bool, n),
 		batchSet: &comm.Set{N: n},
+		sessions: make(map[uint64]*deltaSession),
+		deltaCap: DefaultMaxDeltaSessions,
 	}
 	t.EachSwitch(func(nd topology.Node) { sim.switches[nd] = xbar.NewSwitch() })
 	for _, o := range opts {
 		o(sim)
 	}
 	sim.met = newSimMetrics(sim.reg)
+	sim.dmet = newDeltaMetrics(sim.reg)
 	return sim, nil
 }
 

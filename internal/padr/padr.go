@@ -216,6 +216,24 @@ type Engine struct {
 	dstOf    []int     // source PE -> destination PE, -1 if not a source
 	leafRole []ctrl.Up // what each PE reports in Step 1.1
 	leafDone []bool
+	commPos  []int32 // source PE -> index in set.Comms, -1 if not a source
+
+	// Delta-scheduling state (see delta.go). p1Stored/p1MatchedSub are the
+	// pristine post-Phase-1 snapshot for the current set — the state Phase 2
+	// consumes — kept across runs so Apply can recompute matches only along
+	// dirty root paths and rebuild the live arrays with two memcopies.
+	// widthScratch doubles as the persistent per-edge load table; loadHist
+	// and curWidth maintain the set's width incrementally between full
+	// WidthInto computations.
+	p1Stored     []ctrl.Stored
+	p1MatchedSub []int
+	loadHist     []int // loadHist[v] = directed edges currently carrying v circuits
+	curWidth     int   // max over widthScratch, maintained incrementally
+	histDirty    bool  // loadHist/curWidth stale; rebuilt on the next Apply
+	deltaOK      bool  // the engine holds a complete post-run state Apply can mutate
+	dirtyMark    []int // epoch stamps over switch nodes, len = leaves
+	dirtyEpoch   int
+	dirtyList    []topology.Node
 
 	ran       bool
 	remaining int  // communications not yet performed
@@ -287,6 +305,7 @@ func New(t *topology.Tree, s *comm.Set, opts ...Option) (*Engine, error) {
 		dstOf:      make([]int, n),
 		leafRole:   make([]ctrl.Up, n),
 		leafDone:   make([]bool, n),
+		commPos:    make([]int32, n),
 		roundDsts:  make([]bool, n),
 	}
 	t.EachSwitch(func(u topology.Node) { e.switches[u] = xbar.NewSwitch() })
@@ -310,12 +329,14 @@ func (e *Engine) arm(s *comm.Set) error {
 	// Validate inline over the engine's PE arenas instead of through
 	// Set.Validate/IsWellNested, whose per-call maps and role slices would
 	// be the only allocations left on the Reset path.
+	e.deltaOK = false
 	for pe := range e.dstOf {
 		e.dstOf[pe] = -1
 		e.leafRole[pe] = ctrl.Up{}
 		e.leafDone[pe] = false
+		e.commPos[pe] = -1
 	}
-	for _, c := range s.Comms {
+	for i, c := range s.Comms {
 		if c.Src < 0 || c.Src >= s.N || c.Dst < 0 || c.Dst >= s.N {
 			return fmt.Errorf("padr: %s out of range for N=%d", c, s.N)
 		}
@@ -334,23 +355,11 @@ func (e *Engine) arm(s *comm.Set) error {
 		}
 		e.leafRole[c.Dst] = ctrl.Up{D: 1}
 		e.dstOf[c.Src] = c.Dst
+		e.commPos[c.Src] = int32(i)
 	}
-	// Well-nestedness: scan the PE line keeping a stack of open
-	// destinations; every destination must close the innermost open span.
-	stack := e.nestStack[:0]
-	for pe := 0; pe < s.N; pe++ {
-		switch {
-		case e.leafRole[pe].S == 1:
-			stack = append(stack, e.dstOf[pe])
-		case e.leafRole[pe].D == 1:
-			if len(stack) == 0 || stack[len(stack)-1] != pe {
-				e.nestStack = stack[:0]
-				return fmt.Errorf("padr: set is not an oriented well-nested set: %s", s.String())
-			}
-			stack = stack[:len(stack)-1]
-		}
+	if !e.scanNested() {
+		return fmt.Errorf("padr: set is not an oriented well-nested set: %s", s.String())
 	}
-	e.nestStack = stack[:0]
 	if e.set == nil {
 		e.set = &comm.Set{N: s.N}
 	}
@@ -363,6 +372,27 @@ func (e *Engine) arm(s *comm.Set) error {
 	e.commArena = e.commArena[:cap(e.commArena)]
 	e.commUsed = 0
 	return nil
+}
+
+// scanNested checks that the set currently loaded into the PE arenas is
+// oriented well-nested: scan the PE line keeping a stack of open
+// destinations; every destination must close the innermost open span.
+func (e *Engine) scanNested() bool {
+	stack := e.nestStack[:0]
+	for pe := 0; pe < len(e.leafRole); pe++ {
+		switch {
+		case e.leafRole[pe].S == 1:
+			stack = append(stack, e.dstOf[pe])
+		case e.leafRole[pe].D == 1:
+			if len(stack) == 0 || stack[len(stack)-1] != pe {
+				e.nestStack = stack[:0]
+				return false
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	e.nestStack = stack[:0]
+	return true
 }
 
 // Reset re-arms the engine for a new communication set on the same tree,
@@ -462,6 +492,7 @@ func (e *Engine) prepareInto(p *prepared, light bool) error {
 		return e.fail(fmt.Errorf("padr: engine is single-use; create a new one"))
 	}
 	e.ran = true
+	e.deltaOK = false
 	e.met.runs.Inc()
 	e.met.comms.Add(int64(e.set.Len()))
 	e.met.switches.Add(int64(e.tree.Switches()))
@@ -518,6 +549,10 @@ func (e *Engine) prepareInto(p *prepared, light bool) error {
 	if up := e.stored[e.tree.Root()].UpWord(); up.S != 0 || up.D != 0 {
 		return e.fail(fmt.Errorf("padr: root still advertises %s upward; set is not schedulable", up))
 	}
+	// Retain the pristine post-Phase-1 state for delta scheduling: Phase 2
+	// will drain stored/matchedSub in place, but Apply restores them from
+	// this snapshot after patching only the dirty root paths.
+	e.snapshotPhase1()
 
 	maxRounds := width + MaxRoundsSlack
 	if e.sel == Conservative {
@@ -619,6 +654,7 @@ func (e *Engine) finalize(p *prepared) (*Result, error) {
 		}
 		e.emitRunSpan(rounds, "")
 	}
+	e.deltaOK = true
 	return &Result{
 		Schedule:        p.schedule,
 		Report:          power.CollectSlice(e.algorithmName(), e.mode, rounds, e.tree, e.switches),
@@ -668,6 +704,13 @@ func (e *Engine) RunRounds() (int, error) {
 	if err := e.prepareInto(p, true); err != nil {
 		return 0, err
 	}
+	return e.finishLight(p)
+}
+
+// finishLight drives Phase 2 to completion for a light (rounds-only) run,
+// validates Theorem 5 and settles instrumented billing. Shared by RunRounds
+// and ApplyRounds (delta.go).
+func (e *Engine) finishLight(p *prepared) (int, error) {
 	for {
 		_, done, err := e.step(p)
 		if err != nil {
@@ -695,6 +738,7 @@ func (e *Engine) RunRounds() (int, error) {
 		}
 		e.emitRunSpan(rounds, "")
 	}
+	e.deltaOK = true
 	return rounds, nil
 }
 
@@ -811,11 +855,19 @@ func (e *Engine) phase1() error {
 // PEs is physically impossible), so link-local corruption dies here with a
 // typed error instead of poisoning the matching above.
 func (e *Engine) upWordFrom(child topology.Node) (ctrl.Up, error) {
+	return e.upWordFromState(e.stored, child)
+}
+
+// upWordFromState is upWordFrom reading an explicit stored-word arena, so
+// the delta path (delta.go) can recompute matches against the pristine
+// Phase-1 snapshot with the identical fault-injection and accounting
+// behaviour.
+func (e *Engine) upWordFromState(stored []ctrl.Stored, child topology.Node) (ctrl.Up, error) {
 	var up ctrl.Up
 	if e.tree.IsLeaf(child) {
 		up = e.leafRole[e.tree.PE(child)]
 	} else {
-		up = e.stored[child].UpWord()
+		up = stored[child].UpWord()
 	}
 	if e.inj != nil {
 		if e.inj.WordLost(child, fault.Phase1) {

@@ -30,11 +30,28 @@ type ScheduleSetRequest struct {
 	Comms []SetComm `json:"comms"`
 }
 
+// ScheduleDeltaRequest is the POST /schedule-delta payload: a mutation of
+// a long-lived session's communication set. Removes apply before adds;
+// the session opens on its first delta and stays pinned to one shard.
+type ScheduleDeltaRequest struct {
+	// Session identifies the delta session; session % shards picks the
+	// owning shard worker.
+	Session uint64 `json:"session"`
+	// Remove lists pairs to drop from the session set; each must be
+	// present. Add lists right-oriented pairs to insert.
+	Remove []SetComm `json:"remove,omitempty"`
+	Add    []SetComm `json:"add,omitempty"`
+	// DeadlineMS optionally bounds the request's wall-clock time in the
+	// service, overriding the pool's default. Zero uses the default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
 // Handler mounts the scheduling API next to the observability surface on
-// one mux: POST /schedule, POST /schedule-set and GET /statusz from this
-// package, plus /metrics, /healthz, /trace, /trace/flight and /debug/pprof
-// from obs.Handler — one listener serves both traffic and introspection.
-// pl may be nil, in which case /schedule-set answers 501.
+// one mux: POST /schedule, POST /schedule-set, POST /schedule-delta and
+// GET /statusz from this package, plus /metrics, /healthz, /trace,
+// /trace/flight and /debug/pprof from obs.Handler — one listener serves
+// both traffic and introspection. pl may be nil, in which case
+// /schedule-set answers 501.
 //
 // Both POST endpoints participate in span tracing: an X-CST-Trace request
 // header continues the caller's trace, head sampling opens a fresh one, and
@@ -97,6 +114,40 @@ func Handler(p *Pool, pl *Planner, reg *obs.Registry, tr *obs.Tracer) http.Handl
 		writeTraced(w, tr, sctx, res.Status, &res, &res.TraceID)
 		sp.SetStatus(res.Status)
 		sp.SetN(s.Len())
+		sp.SetError(res.Err)
+		sp.End()
+	})
+	mux.HandleFunc("/schedule-delta", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		start := time.Now()
+		remote, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		sp := tr.StartServer("http.delta", "serve", remote)
+		var req ScheduleDeltaRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			finishHTTPError(w, tr, &sp, "http.delta", start,
+				http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		remove := make([]comm.Comm, len(req.Remove))
+		for i, c := range req.Remove {
+			remove[i] = comm.Comm{Src: c.Src, Dst: c.Dst}
+		}
+		add := make([]comm.Comm, len(req.Add))
+		for i, c := range req.Add {
+			add[i] = comm.Comm{Src: c.Src, Dst: c.Dst}
+		}
+		res := p.ScheduleDeltaTraced(req.Session, remove, add,
+			time.Duration(req.DeadlineMS)*time.Millisecond, sp.Context())
+		sctx := sp.Context()
+		if !sp.Sampled() && (res.Status >= 400 || res.Err != "") {
+			sctx = tr.EmitErrorRoot("http.delta", "serve", start, res.Status, res.Err)
+		}
+		writeTraced(w, tr, sctx, res.Status, &res, &res.TraceID)
+		sp.SetStatus(res.Status)
+		sp.SetN(res.Rounds)
 		sp.SetError(res.Err)
 		sp.End()
 	})

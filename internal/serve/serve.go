@@ -159,6 +159,9 @@ type call struct {
 	// path stays allocation-free.
 	sctx  obs.SpanContext
 	waveT time.Time
+	// delta marks a session-delta call (see delta.go): it rides the same
+	// admission channel but is served inline by the worker, never batched.
+	delta *serveDelta
 }
 
 // arm readies a call for admission. deadline <= 0 leaves the zero
@@ -169,6 +172,7 @@ func (c *call) arm(src, dst int, deadline time.Duration) {
 	c.deadline = time.Time{}
 	c.sctx = obs.SpanContext{}
 	c.waveT = time.Time{}
+	c.delta = nil
 	if deadline > 0 {
 		c.deadline = c.enq.Add(deadline)
 	}
@@ -492,15 +496,27 @@ func (w *worker) run() {
 		if !ok {
 			return
 		}
+		if c.delta != nil {
+			w.serveDelta(c)
+			continue
+		}
 		batch := w.collect(c)
-		w.flush(batch)
+		if len(batch) > 0 {
+			w.flush(batch)
+		}
 	}
 }
 
 // collect gathers a batch starting from first: up to BatchMax requests,
 // waiting at most BatchWait after the first arrival for stragglers. The
-// batch is built in the worker's reused scratch array (valid until the
-// next collect) and the batch timer is pooled across batches.
+// wait is deadline-aware: the timer is armed to the earlier of the batch
+// window and the soonest per-request deadline in the batch, and expired
+// requests are settled 504 on the spot instead of riding out the window —
+// so an expired request in a quiet queue never waits for the next
+// size/deadline trigger. The batch is built in the worker's reused
+// scratch array (valid until the next collect) and the batch timer is
+// pooled across batches. May return an empty batch when every collected
+// request expired; run skips the flush entirely in that case.
 func (w *worker) collect(first *call) []*call {
 	batch := append(w.batchScratch[:0], first)
 	defer func() { w.batchScratch = batch }()
@@ -511,6 +527,10 @@ func (w *worker) collect(first *call) []*call {
 				if !ok {
 					return batch
 				}
+				if c.delta != nil {
+					w.serveDelta(c)
+					continue
+				}
 				batch = append(batch, c)
 			default:
 				return batch
@@ -518,32 +538,79 @@ func (w *worker) collect(first *call) []*call {
 		}
 		return batch
 	}
-	if w.timer == nil {
-		w.timer = time.NewTimer(w.pool.cfg.BatchWait)
-	} else {
-		// Reused timer re-arm: Stop, drain a stale fire if one slipped in,
-		// then Reset. Worst case a stale tick flushes one batch early —
-		// a latency blip, never a correctness issue.
-		if !w.timer.Stop() {
-			select {
-			case <-w.timer.C:
-			default:
+	flushAt := time.Now().Add(w.pool.cfg.BatchWait)
+	for {
+		batch = w.expire(batch)
+		if len(batch) >= w.pool.cfg.BatchMax || (len(batch) == 0 && len(w.ch) == 0) {
+			return batch
+		}
+		// Wake at the sooner of the batch window's end and the earliest
+		// live deadline in the batch.
+		wake := flushAt
+		for _, c := range batch {
+			if !c.deadline.IsZero() && c.deadline.Before(wake) {
+				wake = c.deadline
 			}
 		}
-		w.timer.Reset(w.pool.cfg.BatchWait)
-	}
-	for len(batch) < w.pool.cfg.BatchMax {
+		wait := time.Until(wake)
+		if wait <= 0 && wake.Equal(flushAt) {
+			return batch
+		}
+		if w.timer == nil {
+			w.timer = time.NewTimer(wait)
+		} else {
+			// Reused timer re-arm: Stop, drain a stale fire if one slipped
+			// in, then Reset. Worst case a stale tick flushes one batch
+			// early — a latency blip, never a correctness issue.
+			if !w.timer.Stop() {
+				select {
+				case <-w.timer.C:
+				default:
+				}
+			}
+			w.timer.Reset(wait)
+		}
 		select {
 		case c, ok := <-w.ch:
 			if !ok {
 				return batch
 			}
+			if c.delta != nil {
+				// Deltas are served inline, never batched: the session's
+				// warm engine is only coherent when its deltas apply in
+				// admission order on this worker.
+				w.serveDelta(c)
+				continue
+			}
 			batch = append(batch, c)
 		case <-w.timer.C:
-			return batch
+			if !time.Now().Before(flushAt) {
+				return batch
+			}
+			// A request deadline fired before the window closed: loop so
+			// the sweep settles it and the timer re-arms for the rest.
 		}
 	}
-	return batch
+}
+
+// expire settles batch members whose deadline has already passed and
+// compacts the batch in place. Settling here — not only at flush — is
+// what bounds a queued request's 504 latency by its own deadline rather
+// than by the batch window.
+func (w *worker) expire(batch []*call) []*call {
+	now := time.Now()
+	kept := batch[:0]
+	for _, c := range batch {
+		if !c.deadline.IsZero() && !now.Before(c.deadline) {
+			w.pool.met.deadline.Inc()
+			w.pool.met.queueDepth.Add(-1)
+			w.settle(c, Result{Status: http.StatusGatewayTimeout,
+				Err: fmt.Sprintf("serve: %v before dispatch", fault.ErrDeadline)})
+			continue
+		}
+		kept = append(kept, c)
+	}
+	return kept
 }
 
 // flush answers every request in the batch. It submits requests in waves

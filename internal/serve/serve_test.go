@@ -118,6 +118,42 @@ func TestDeadline(t *testing.T) {
 	drainOK(t, p)
 }
 
+// TestDeadlinePromptExpiry pins the timer-driven expiry sweep: an expired
+// request in a quiet queue settles as soon as its own deadline passes —
+// not when the batch window closes — and generates no flush traffic at
+// all, since the batch it sat in emptied before anything was dispatched.
+func TestDeadlinePromptExpiry(t *testing.T) {
+	const window = 30 * time.Second
+	p, err := New(Config{PEs: 16, Shards: 1, BatchMax: 100, BatchWait: window,
+		Registry: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	start := time.Now()
+	res := p.Schedule(0, 3, 20*time.Millisecond)
+	elapsed := time.Since(start)
+	if res.Status != http.StatusGatewayTimeout {
+		t.Fatalf("expired request: status %d (%s), want 504", res.Status, res.Err)
+	}
+	if !strings.Contains(res.Err, fault.ErrDeadline.Error()) {
+		t.Fatalf("deadline error %q does not carry the fault taxonomy %q", res.Err, fault.ErrDeadline)
+	}
+	if elapsed >= window {
+		t.Fatalf("504 took %v: the request rode out the %v batch window", elapsed, window)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("504 took %v, want prompt settlement near the 20ms deadline", elapsed)
+	}
+	if n := p.met.flushes.Value(); n != 0 {
+		t.Fatalf("expiry sweep generated %d flushes, want 0", n)
+	}
+	if n := p.met.deadline.Value(); n != 1 {
+		t.Fatalf("deadline counter = %d, want 1", n)
+	}
+	drainOK(t, p)
+}
+
 // TestQuarantine pins the 500 path: a fault plan that defeats every
 // dispatch attempt quarantines the batch, the waiter gets an error answer,
 // and the shard keeps serving afterwards.

@@ -127,10 +127,18 @@ type wireCall struct {
 	res    Result
 	isSet  bool
 	setRes SetResult
-	// sp is the request's root span ("wire.schedule" / "wire.plan"),
-	// opened by the reader and closed by the writer after the response
-	// frame is written. It is a value embedded in the pooled slot, so the
-	// unsampled path stays allocation-free.
+	// Delta requests (v4) also ride the slots. Unlike pair requests, the
+	// decode scratch is slot-owned, not connection-owned: the mutation
+	// pair slices stay live until the shard worker applies them, which
+	// may be after the reader has moved on to the next frame.
+	isDelta  bool
+	dreq     wire.DeltaRequest
+	delta    serveDelta
+	deltaRes DeltaResult
+	// sp is the request's root span ("wire.schedule" / "wire.plan" /
+	// "wire.delta"), opened by the reader and closed by the writer after
+	// the response frame is written. It is a value embedded in the pooled
+	// slot, so the unsampled path stays allocation-free.
 	sp obs.Span
 }
 
@@ -150,9 +158,10 @@ type connBundle struct {
 	req     wire.Request     // reader-owned decode scratch
 	setReq  wire.SetRequest  // reader-owned set decode scratch
 	set     comm.Set         // reader-owned set build scratch
-	resp    wire.Response    // writer-owned encode scratch
-	setResp wire.SetResponse // writer-owned set encode scratch
-	enc     []byte           // writer-owned frame scratch
+	resp      wire.Response      // writer-owned encode scratch
+	setResp   wire.SetResponse   // writer-owned set encode scratch
+	deltaResp wire.DeltaResponse // writer-owned delta encode scratch
+	enc       []byte             // writer-owned frame scratch
 }
 
 func (s *WireServer) newBundle() *connBundle {
@@ -170,6 +179,10 @@ func (s *WireServer) newBundle() *connBundle {
 		out := b.out
 		wc.c.done = func(res Result) {
 			wc.res = res
+			out <- wc
+		}
+		wc.delta.done = func(res DeltaResult) {
+			wc.deltaRes = res
 			out <- wc
 		}
 		b.slots[i] = wc
@@ -338,7 +351,7 @@ func (s *WireServer) handle(conn net.Conn) {
 			// connection stops reading until an in-flight answer frees
 			// one.
 			wc := <-b.free
-			wc.isSet = false
+			wc.isSet, wc.isDelta = false, false
 			wc.c.arm(b.req.Src, b.req.Dst, b.req.Deadline())
 			wc.c.id = b.req.ID
 			// Open the request's root span: a v3 frame's trace block may
@@ -368,7 +381,7 @@ func (s *WireServer) handle(conn net.Conn) {
 			// through the same slot/out machinery keeps the response
 			// stream coherent with pipelined pair requests.
 			wc := <-b.free
-			wc.isSet = true
+			wc.isSet, wc.isDelta = true, false
 			wc.c.id = b.setReq.ID
 			wc.c.enq = time.Now()
 			wc.sp = s.tracer.StartServer("wire.plan", "serve", obs.SpanContext{
@@ -387,6 +400,40 @@ func (s *WireServer) handle(conn net.Conn) {
 				wc.setRes = s.cfg.Planner.PlanTraced(&b.set, protoWire, false, wc.sp.Context())
 			}
 			b.out <- wc
+		case typ == wire.TypeDeltaRequest && version >= wire.VersionDelta:
+			// Lease the slot BEFORE decoding: the delta decode scratch is
+			// slot-owned, because its pair slices must survive until the
+			// pinned shard worker applies the mutation.
+			wc := <-b.free
+			if err := wire.ParseDeltaRequest(body, &wc.dreq); err != nil {
+				s.met.protoErrs.Inc()
+				b.free <- wc
+				goto teardown
+			}
+			wc.isSet, wc.isDelta = false, true
+			wc.c.arm(0, 0, wc.dreq.Deadline())
+			wc.c.id = wc.dreq.ID
+			wc.sp = s.tracer.StartServer("wire.delta", "serve", obs.SpanContext{
+				Trace:   obs.TraceID(wc.dreq.Trace),
+				Span:    obs.SpanID(wc.dreq.Span),
+				Sampled: wc.dreq.Flags&wire.FlagSampled != 0,
+			})
+			wc.c.sctx = wc.sp.Context()
+			sd := &wc.delta
+			sd.session = wc.dreq.Session
+			sd.remove = sd.remove[:0]
+			for _, pr := range wc.dreq.Remove {
+				sd.remove = append(sd.remove, comm.Comm{Src: pr[0], Dst: pr[1]})
+			}
+			sd.add = sd.add[:0]
+			for _, pr := range wc.dreq.Add {
+				sd.add = append(sd.add, comm.Comm{Src: pr[0], Dst: pr[1]})
+			}
+			wc.c.delta = sd
+			if res, ok := s.pool.admitDelta(&wc.c); !ok {
+				wc.deltaRes = res
+				b.out <- wc
+			}
 		default:
 			// Unknown frame for this session's version — 0x03 on a v1
 			// session is as fatal as a type the decoder never heard of.
@@ -429,9 +476,12 @@ func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
 		}
 		var status int
 		var errmsg, rootName string
-		if wc.isSet {
+		switch {
+		case wc.isDelta:
+			status, errmsg, rootName = wc.deltaRes.Status, wc.deltaRes.Err, "wire.delta"
+		case wc.isSet:
 			status, errmsg, rootName = wc.setRes.Status, wc.setRes.Err, "wire.plan"
-		} else {
+		default:
 			status, errmsg, rootName = wc.res.Status, wc.res.Err, "wire.schedule"
 		}
 		// Always-sample-on-error: a refused or failed request that was
@@ -443,7 +493,20 @@ func (s *WireServer) writeLoop(b *connBundle, done chan<- struct{}) {
 		}
 		if werr == nil {
 			wsp := s.tracer.StartSpan(sctx, "response.write", "serve")
-			if wc.isSet {
+			if wc.isDelta {
+				r := &b.deltaResp
+				r.ID = wc.c.id
+				r.Session = wc.deltaRes.Session
+				r.Status = wc.deltaRes.Status
+				r.Rounds = wc.deltaRes.Rounds
+				r.Width = wc.deltaRes.Width
+				r.Size = wc.deltaRes.Size
+				r.Fallback = wc.deltaRes.Fallback
+				r.Err = wc.deltaRes.Err
+				r.Trace = uint64(sctx.Trace)
+				b.enc = wire.AppendDeltaResponse(b.enc[:0], r)
+				wc.deltaRes = DeltaResult{}
+			} else if wc.isSet {
 				r := &b.setResp
 				r.ID = wc.c.id
 				r.Status = wc.setRes.Status

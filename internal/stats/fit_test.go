@@ -46,6 +46,30 @@ func TestQuantileEdgeCases(t *testing.T) {
 	if xs[0] != 10 {
 		t.Error("Quantile reordered the caller's slice")
 	}
+
+	// Rank edge cases around ceil(q·n)−1: q=0 underflows the rank to −1
+	// and must clamp low to the minimum sample (not panic or read out of
+	// bounds), a subnormal-tiny q rounds up to rank 0, and q=1 lands
+	// exactly on the maximum — on multi-sample inputs and the n=1
+	// degenerate where both clamps collapse onto the same index.
+	for _, c := range []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"q=0 multi", []float64{5, 3, 4}, 0, 3},
+		{"q=0 single", []float64{7}, 0, 7},
+		{"q=tiny multi", []float64{5, 3, 4}, 1e-300, 3},
+		{"q=tiny single", []float64{7}, 1e-300, 7},
+		{"q=1 multi", []float64{5, 3, 4}, 1, 5},
+		{"q=1 single", []float64{7}, 1, 7},
+		{"q just under 1", []float64{5, 3, 4}, math.Nextafter(1, 0), 5},
+	} {
+		if got := Quantile(c.xs, c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", c.name, c.xs, c.q, got, c.want)
+		}
+	}
 }
 
 func TestQuantilesSharesOneSort(t *testing.T) {

@@ -26,9 +26,21 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendSetResponse(nil, &SetResponse{ID: 2, Status: 200, Rounds: 3,
 		Bound: 4, Width: 2, Batches: 1, Residual: 1, Units: 17, Strategy: StrategyPeel}))
 	f.Add(AppendSetResponse(nil, &SetResponse{ID: 5, Status: 400, Err: "bad set"}))
+	if dr, err := AppendDeltaRequest(nil, &DeltaRequest{ID: 3, Session: 7, DeadlineMS: 250,
+		Remove: [][2]int{{0, 8}}, Add: [][2]int{{0, 2}}, Trace: 0xabc, Span: 1, Flags: 1}); err == nil {
+		f.Add(dr)
+	}
+	f.Add(AppendDeltaResponse(nil, &DeltaResponse{ID: 3, Session: 7, Status: 200,
+		Rounds: 2, Width: 2, Size: 5, Fallback: true, Trace: 9}))
+	f.Add(AppendDeltaResponse(nil, &DeltaResponse{ID: 4, Session: 1, Status: 400, Err: "bad delta"}))
 	f.Add([]byte{0x03, 0x03, 0x01, 0x10, 0xff}) // set request with hostile count claim
 	f.Add([]byte{0x05, 0x01, 0x01, 0x03, 0x0c}) // one byte short
 	f.Add([]byte{0x02, 0x7f, 0x00})             // unknown type
+	// request with overflowing deadline_ms (> MaxInt64 milliseconds)
+	f.Add([]byte{0x0e, 0x01, 0x01, 0x00, 0x01,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	// delta request with hostile nremove claim
+	f.Add([]byte{0x09, 0x05, 0x01, 0x01, 0x00, 0x80, 0x80, 0x80, 0x80, 0x08})
 
 	typed := func(err error) bool {
 		return errors.Is(err, ErrTruncated) || errors.Is(err, ErrFrameTooLarge) ||
@@ -114,6 +126,56 @@ func FuzzDecodeFrame(f *testing.F) {
 			var back SetResponse
 			if rerr != nil || ParseSetResponse(rbody, &back) != nil || back != resp {
 				t.Fatalf("set response roundtrip mismatch: % x -> %+v -> % x -> %+v (%v)",
+					data[:n], resp, re, back, rerr)
+			}
+		case TypeDeltaRequest:
+			var req DeltaRequest
+			if perr := ParseDeltaRequest(body, &req); perr != nil {
+				if !typed(perr) {
+					t.Fatalf("ParseDeltaRequest: untyped error %v", perr)
+				}
+				return
+			}
+			if req.Deadline() < 0 {
+				t.Fatalf("negative deadline %v survived ParseDeltaRequest", req.Deadline())
+			}
+			re, aerr := AppendDeltaRequest(nil, &req)
+			if aerr != nil {
+				t.Fatalf("re-encode of parsed delta request failed: %v", aerr)
+			}
+			_, rbody, _, rerr := DecodeFrame(re)
+			var back DeltaRequest
+			if rerr != nil || ParseDeltaRequest(rbody, &back) != nil ||
+				back.ID != req.ID || back.Session != req.Session ||
+				back.DeadlineMS != req.DeadlineMS || back.Trace != req.Trace ||
+				back.Span != req.Span || back.Flags != req.Flags ||
+				len(back.Remove) != len(req.Remove) || len(back.Add) != len(req.Add) {
+				t.Fatalf("delta request roundtrip mismatch: % x -> %+v -> % x -> %+v (%v)",
+					data[:n], req, re, back, rerr)
+			}
+			for i := range back.Remove {
+				if back.Remove[i] != req.Remove[i] {
+					t.Fatalf("delta remove %d mismatch: %+v vs %+v", i, req, back)
+				}
+			}
+			for i := range back.Add {
+				if back.Add[i] != req.Add[i] {
+					t.Fatalf("delta add %d mismatch: %+v vs %+v", i, req, back)
+				}
+			}
+		case TypeDeltaResponse:
+			var resp DeltaResponse
+			if perr := ParseDeltaResponse(body, &resp); perr != nil {
+				if !typed(perr) {
+					t.Fatalf("ParseDeltaResponse: untyped error %v", perr)
+				}
+				return
+			}
+			re := AppendDeltaResponse(nil, &resp)
+			_, rbody, _, rerr := DecodeFrame(re)
+			var back DeltaResponse
+			if rerr != nil || ParseDeltaResponse(rbody, &back) != nil || back != resp {
+				t.Fatalf("delta response roundtrip mismatch: % x -> %+v -> % x -> %+v (%v)",
 					data[:n], resp, re, back, rerr)
 			}
 		default:

@@ -258,7 +258,7 @@ func TestSendSetNeedsV2(t *testing.T) {
 // TestHandshakeGolden pins the handshake bytes and Negotiate's min rule.
 func TestHandshakeGolden(t *testing.T) {
 	hello := AppendHello(nil, Version)
-	want := []byte{'C', 'S', 'T', 'W', 0x03}
+	want := []byte{'C', 'S', 'T', 'W', 0x04}
 	if !bytes.Equal(hello, want) {
 		t.Fatalf("AppendHello = % x, want % x", hello, want)
 	}

@@ -49,6 +49,29 @@
 // sessions are byte-identical to before: the codecs take the negotiated
 // version and only read or write the trace block at v3+.
 //
+// Protocol version 4 adds session-scoped delta frames for incremental
+// scheduling (padr.Engine.Apply): a client opens a logical session by
+// sending its first delta against an empty set, then mutates it in place
+// with add/remove pairs; the server keeps a warm engine per session and
+// reuses Phase 1 state outside the dirty root paths:
+//
+//	deltareq  := id:uvarint session:uvarint deadline_ms:uvarint
+//	             nremove:uvarint (src:uvarint dst:uvarint)*
+//	             nadd:uvarint (src:uvarint dst:uvarint)*
+//	             trace:uvarint span:uvarint flags:uint8
+//	deltaresp := id:uvarint session:uvarint status:uvarint rounds:uvarint
+//	             width:uvarint size:uvarint fallback:uint8 trace:uvarint
+//	             errlen:uvarint err:bytes
+//
+// Delta frames are only legal on a session that negotiated version >= 4,
+// which implies the v3 trace layout — their trace block is unconditional.
+// Status reuses the HTTP mapping (200 applied, 400 invalid delta, 429
+// session table full, 500 failed, 503 draining, 504 deadline); fallback=1
+// flags a 200 that was served by a from-scratch fallback run rather than
+// an incremental apply. Size is the resulting session set size. v1–v3
+// sessions are byte-identical to before: a pre-v4 peer never sees the new
+// type bytes.
+//
 // The id correlates pipelined requests with their answers: responses may
 // return out of submission order (conflict-deferred waves and deadline
 // expiries reorder), so clients must match on id, never on arrival order.
@@ -75,14 +98,16 @@ import (
 const (
 	// Magic opens both handshake directions.
 	Magic = "CSTW"
-	// Version is the current protocol revision: v3 adds span-trace
-	// context to every frame.
-	Version = 3
+	// Version is the current protocol revision: v4 adds session-scoped
+	// delta frames for incremental scheduling.
+	Version = 4
 	// VersionSets is the first revision that speaks the set frames.
 	VersionSets = 2
 	// VersionTrace is the first revision whose frames carry span-trace
 	// context blocks.
 	VersionTrace = 3
+	// VersionDelta is the first revision that speaks the delta frames.
+	VersionDelta = 4
 	// MaxFrameBytes bounds a frame payload. Requests are ~6 bytes and
 	// responses ~20 plus a short error string; anything larger is a
 	// corrupt or hostile stream.
@@ -101,6 +126,10 @@ const (
 	TypeSetRequest = 0x03
 	// TypeSetResponse frames a whole-set answer (v2+).
 	TypeSetResponse = 0x04
+	// TypeDeltaRequest frames a session-scoped delta request (v4+).
+	TypeDeltaRequest = 0x05
+	// TypeDeltaResponse frames a delta answer (v4+).
+	TypeDeltaResponse = 0x06
 )
 
 // Trace-block flag bits (v3+).
@@ -213,6 +242,234 @@ type SetResponse struct {
 	Err      string
 	// Trace is the server-assigned trace id (v3+; zero when unsampled).
 	Trace uint64
+}
+
+// DeltaRequest is one session-scoped incremental scheduling request
+// (protocol v4+): mutate session Session's communication set by removing
+// the Remove pairs and adding the Add pairs, then re-run the schedule
+// incrementally. A first delta against an unknown session id opens it with
+// an empty set.
+type DeltaRequest struct {
+	ID         uint64
+	Session    uint64
+	DeadlineMS int64
+	// Remove/Add are the (src, dst) mutations; removes apply first.
+	Remove [][2]int
+	Add    [][2]int
+	// Trace/Span/Flags are the propagated span-trace context (always
+	// present: v4 implies the v3 trace layout).
+	Trace uint64
+	Span  uint64
+	Flags uint8
+}
+
+// Deadline converts DeadlineMS to a duration (0 means the server default).
+func (r *DeltaRequest) Deadline() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
+}
+
+// DeltaResponse is the terminal answer for delta request ID. Status reuses
+// the HTTP mapping (200 applied, 400 invalid delta, 429 session table
+// full, 500 failed, 503 draining, 504 deadline); Rounds/Width/Size are
+// meaningful only for status 200. Fallback flags a success served by a
+// from-scratch fallback run instead of an incremental apply.
+type DeltaResponse struct {
+	ID       uint64
+	Session  uint64
+	Status   int
+	Rounds   int
+	Width    int
+	// Size is the session's set size after the delta.
+	Size     int
+	Fallback bool
+	Err      string
+	// Trace is the server-assigned trace id (zero when unsampled).
+	Trace uint64
+}
+
+// AppendDeltaRequest appends a complete delta-request frame (v4 layout) to
+// buf, or an error when the mutation list cannot fit MaxFrameBytes.
+func AppendDeltaRequest(buf []byte, r *DeltaRequest) ([]byte, error) {
+	body := make([]byte, 0, 6+(7+2*(len(r.Remove)+len(r.Add)))*binary.MaxVarintLen64)
+	body = append(body, TypeDeltaRequest)
+	body = binary.AppendUvarint(body, r.ID)
+	body = binary.AppendUvarint(body, r.Session)
+	body = binary.AppendUvarint(body, uint64(r.DeadlineMS))
+	body = binary.AppendUvarint(body, uint64(len(r.Remove)))
+	for _, p := range r.Remove {
+		body = binary.AppendUvarint(body, uint64(uint(p[0])))
+		body = binary.AppendUvarint(body, uint64(uint(p[1])))
+	}
+	body = binary.AppendUvarint(body, uint64(len(r.Add)))
+	for _, p := range r.Add {
+		body = binary.AppendUvarint(body, uint64(uint(p[0])))
+		body = binary.AppendUvarint(body, uint64(uint(p[1])))
+	}
+	body = binary.AppendUvarint(body, r.Trace)
+	body = binary.AppendUvarint(body, r.Span)
+	body = append(body, r.Flags)
+	if len(body) > MaxFrameBytes {
+		return buf, fmt.Errorf("%w: delta request needs %d bytes", ErrFrameTooLarge, len(body))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	return append(buf, body...), nil
+}
+
+// ParseDeltaRequest decodes a delta-request body (as returned by
+// DecodeFrame for TypeDeltaRequest) into req. The pair slices are reused
+// when they have capacity; claimed counts are checked against the
+// remaining bytes before any allocation sized by them.
+func ParseDeltaRequest(body []byte, req *DeltaRequest) error {
+	id, rest, err := uvarintField(body, "id")
+	if err != nil {
+		return err
+	}
+	session, rest, err := uvarintField(rest, "session")
+	if err != nil {
+		return err
+	}
+	dl, rest, err := uvarintField(rest, "deadline_ms")
+	if err != nil {
+		return err
+	}
+	if dl > math.MaxInt64/uint64(time.Millisecond) {
+		return fmt.Errorf("%w: deadline out of range", ErrBadFrame)
+	}
+	if req.Remove, rest, err = pairList(rest, req.Remove, "nremove"); err != nil {
+		return err
+	}
+	if req.Add, rest, err = pairList(rest, req.Add, "nadd"); err != nil {
+		return err
+	}
+	if req.Trace, req.Span, req.Flags, rest, err = traceBlock(rest); err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after delta request", ErrBadFrame, len(rest))
+	}
+	req.ID = id
+	req.Session = session
+	req.DeadlineMS = int64(dl)
+	return nil
+}
+
+// pairList reads a counted (src, dst) pair list, reusing dst's capacity.
+func pairList(b []byte, into [][2]int, name string) ([][2]int, []byte, error) {
+	count, rest, err := uvarintField(b, name)
+	if err != nil {
+		return into, nil, err
+	}
+	if count > uint64(len(rest))/2 {
+		return into, nil, fmt.Errorf("%w: %d pairs claimed with %d bytes left", ErrBadFrame, count, len(rest))
+	}
+	if cap(into) < int(count) {
+		into = make([][2]int, count)
+	}
+	into = into[:count]
+	for i := range into {
+		var src, dst uint64
+		src, rest, err = uvarintField(rest, "src")
+		if err != nil {
+			return into, nil, err
+		}
+		dst, rest, err = uvarintField(rest, "dst")
+		if err != nil {
+			return into, nil, err
+		}
+		if src > math.MaxInt32 || dst > math.MaxInt32 {
+			return into, nil, fmt.Errorf("%w: endpoint out of range", ErrBadFrame)
+		}
+		into[i] = [2]int{int(src), int(dst)}
+	}
+	return into, rest, nil
+}
+
+// AppendDeltaResponse appends a complete delta-response frame (v4 layout)
+// to buf. Oversized error strings are truncated like AppendResponse's.
+func AppendDeltaResponse(buf []byte, r *DeltaResponse) []byte {
+	const maxErr = MaxFrameBytes / 2
+	errStr := r.Err
+	if len(errStr) > maxErr {
+		errStr = errStr[:maxErr]
+	}
+	var body [2 + 8*binary.MaxVarintLen64]byte
+	n := 0
+	body[n] = TypeDeltaResponse
+	n++
+	n += binary.PutUvarint(body[n:], r.ID)
+	n += binary.PutUvarint(body[n:], r.Session)
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Status)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Rounds)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Width)))
+	n += binary.PutUvarint(body[n:], uint64(uint(r.Size)))
+	if r.Fallback {
+		body[n] = 1
+	} else {
+		body[n] = 0
+	}
+	n++
+	n += binary.PutUvarint(body[n:], r.Trace)
+	n += binary.PutUvarint(body[n:], uint64(len(errStr)))
+	buf = binary.AppendUvarint(buf, uint64(n+len(errStr)))
+	buf = append(buf, body[:n]...)
+	return append(buf, errStr...)
+}
+
+// ParseDeltaResponse decodes a delta-response body (as returned by
+// DecodeFrame for TypeDeltaResponse) into resp. It allocates only for a
+// non-empty error string.
+func ParseDeltaResponse(body []byte, resp *DeltaResponse) error {
+	id, rest, err := uvarintField(body, "id")
+	if err != nil {
+		return err
+	}
+	session, rest, err := uvarintField(rest, "session")
+	if err != nil {
+		return err
+	}
+	var fields [4]uint64
+	for i, name := range [...]string{"status", "rounds", "width", "size"} {
+		fields[i], rest, err = uvarintField(rest, name)
+		if err != nil {
+			return err
+		}
+		if fields[i] > math.MaxInt32 {
+			return fmt.Errorf("%w: field %s out of range", ErrBadFrame, name)
+		}
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("%w: field fallback", ErrTruncated)
+	}
+	fb := rest[0]
+	rest = rest[1:]
+	if fb > 1 {
+		return fmt.Errorf("%w: fallback flag %d", ErrBadFrame, fb)
+	}
+	trace, rest, err := uvarintField(rest, "trace")
+	if err != nil {
+		return err
+	}
+	errLen, rest, err := uvarintField(rest, "errlen")
+	if err != nil {
+		return err
+	}
+	if uint64(len(rest)) != errLen {
+		return fmt.Errorf("%w: errlen %d with %d bytes left", ErrBadFrame, errLen, len(rest))
+	}
+	resp.ID = id
+	resp.Session = session
+	resp.Status = int(fields[0])
+	resp.Rounds = int(fields[1])
+	resp.Width = int(fields[2])
+	resp.Size = int(fields[3])
+	resp.Fallback = fb == 1
+	resp.Trace = trace
+	if errLen == 0 {
+		resp.Err = ""
+	} else {
+		resp.Err = string(rest)
+	}
+	return nil
 }
 
 // AppendRequest appends a complete request frame (length prefix included)
@@ -521,7 +778,8 @@ func DecodeFrame(b []byte) (typ byte, body []byte, n int, err error) {
 	}
 	payload := b[ln : ln+int(length)]
 	switch payload[0] {
-	case TypeRequest, TypeResponse, TypeSetRequest, TypeSetResponse:
+	case TypeRequest, TypeResponse, TypeSetRequest, TypeSetResponse,
+		TypeDeltaRequest, TypeDeltaResponse:
 		return payload[0], payload[1:], ln + int(length), nil
 	default:
 		return 0, nil, 0, fmt.Errorf("%w: 0x%02x", ErrUnknownType, payload[0])
@@ -739,7 +997,8 @@ func (r *Reader) Next() (typ byte, body []byte, err error) {
 		return 0, nil, err
 	}
 	switch payload[0] {
-	case TypeRequest, TypeResponse, TypeSetRequest, TypeSetResponse:
+	case TypeRequest, TypeResponse, TypeSetRequest, TypeSetResponse,
+		TypeDeltaRequest, TypeDeltaResponse:
 		return payload[0], payload[1:], nil
 	default:
 		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, payload[0])
@@ -836,6 +1095,34 @@ func (c *ClientConn) SendSet(req *SetRequest) error {
 	}
 	_, err = c.bw.Write(c.scratch)
 	return err
+}
+
+// SendDelta buffers one delta-request frame. The negotiated version must
+// be at least VersionDelta.
+func (c *ClientConn) SendDelta(req *DeltaRequest) error {
+	if c.version < VersionDelta {
+		return fmt.Errorf("%w: delta frames need v%d, session negotiated v%d",
+			ErrVersion, VersionDelta, c.version)
+	}
+	var err error
+	c.scratch, err = AppendDeltaRequest(c.scratch[:0], req)
+	if err != nil {
+		return err
+	}
+	_, err = c.bw.Write(c.scratch)
+	return err
+}
+
+// RecvDelta blocks for the next delta-response frame and decodes it into resp.
+func (c *ClientConn) RecvDelta(resp *DeltaResponse) error {
+	typ, body, err := c.r.Next()
+	if err != nil {
+		return err
+	}
+	if typ != TypeDeltaResponse {
+		return fmt.Errorf("%w: 0x%02x where a delta response was expected", ErrUnknownType, typ)
+	}
+	return ParseDeltaResponse(body, resp)
 }
 
 // RecvSet blocks for the next set-response frame and decodes it into resp.
